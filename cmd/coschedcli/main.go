@@ -1,0 +1,205 @@
+// Command coschedcli schedules a batch of benchmark jobs onto multicore
+// machines with any of the methods of the ICPP'15 co-scheduling paper.
+//
+// Usage:
+//
+//	coschedcli -machine quad -method oastar -serial BT,CG,EP,FT
+//	coschedcli -machine 8core -method hastar -serial BT,CG -pc MG-Par:4,LU-Par:4
+//	coschedcli -machine quad -method ip -synthetic 12 -seed 7
+//	coschedcli -list
+//
+// The tool prints the schedule, the per-job degradations and the solver
+// statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cosched"
+)
+
+func main() {
+	var (
+		machineFlag = flag.String("machine", "quad", "machine class: dual, quad, 8core")
+		methodFlag  = flag.String("method", "oastar", "method: oastar, hastar, ip, osvp, pg, brute")
+		serialFlag  = flag.String("serial", "", "comma-separated serial benchmark names")
+		peFlag      = flag.String("pe", "", "PE jobs as name:procs, comma-separated")
+		pcFlag      = flag.String("pc", "", "PC (MPI) jobs as name:procs, comma-separated")
+		specFile    = flag.String("specfile", "", "JSON workload description (see cosched.SpecFile)")
+		synthetic   = flag.Int("synthetic", 0, "add N synthetic serial jobs instead of named ones")
+		seed        = flag.Int64("seed", 1, "seed for synthetic jobs")
+		accounting  = flag.String("accounting", "pc", "objective accounting: se, pe, pc")
+		ipConfig    = flag.String("ipconfig", "", "IP branch-and-bound preset name")
+		timeLimit   = flag.Duration("timelimit", 0, "IP time limit (e.g. 30s)")
+		simulate    = flag.Bool("simulate", false, "execute the schedule and print wall-clock outcomes")
+		dotFile     = flag.String("dot", "", "write the co-scheduling graph (with the schedule highlighted) as Graphviz DOT to this file")
+		list        = flag.Bool("list", false, "list the benchmark catalogue and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("serial programs:", strings.Join(cosched.SerialPrograms(), ", "))
+		fmt.Println("PE programs:    ", strings.Join(cosched.PEPrograms(), ", "))
+		fmt.Println("PC programs:    ", strings.Join(cosched.PCPrograms(), ", "))
+		return
+	}
+
+	machine, err := parseMachine(*machineFlag)
+	check(err)
+	method, err := parseMethod(*methodFlag)
+	check(err)
+	acct, err := parseAccounting(*accounting)
+	check(err)
+
+	var inst *cosched.Instance
+	if *specFile != "" {
+		data, err := os.ReadFile(*specFile)
+		check(err)
+		inst, err = cosched.ParseSpec(data)
+		check(err)
+	} else if *synthetic > 0 {
+		inst, err = cosched.SyntheticSerial(*synthetic, machine, *seed)
+		check(err)
+	} else {
+		w := cosched.NewWorkload()
+		for _, name := range splitList(*serialFlag) {
+			w.AddSerial(name)
+		}
+		for _, spec := range splitList(*peFlag) {
+			name, procs, err := parseJobSpec(spec)
+			check(err)
+			w.AddPE(name, procs)
+		}
+		for _, spec := range splitList(*pcFlag) {
+			name, procs, err := parseJobSpec(spec)
+			check(err)
+			w.AddPC(name, procs)
+		}
+		inst, err = w.Build(machine)
+		check(err)
+	}
+
+	opts := cosched.Options{
+		Method:     method,
+		Accounting: acct,
+		IPConfig:   *ipConfig,
+		TimeLimit:  *timeLimit,
+	}
+	start := time.Now()
+	sched, err := cosched.Solve(inst, opts)
+	check(err)
+
+	fmt.Printf("method %s on %s (%d processes, %d machines)\n",
+		method, machine, inst.NumProcesses(), inst.NumMachines())
+	fmt.Print(sched)
+	fmt.Printf("solve time: %v", time.Since(start).Round(time.Microsecond))
+	if sched.Stats.VisitedPaths > 0 {
+		fmt.Printf(", visited paths: %d", sched.Stats.VisitedPaths)
+	}
+	if sched.Stats.BBNodes > 0 {
+		fmt.Printf(", branch-and-bound nodes: %d", sched.Stats.BBNodes)
+	}
+	fmt.Println()
+
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		check(err)
+		err = inst.WriteGraphDOT(f, sched, 0)
+		check(f.Close())
+		check(err)
+		fmt.Printf("co-scheduling graph written to %s\n", *dotFile)
+	}
+
+	if *simulate {
+		exec, err := sched.Simulate()
+		check(err)
+		fmt.Printf("\nsimulated execution: makespan %.1fs, mean job finish %.1fs, %.1f CPU-seconds lost to contention\n",
+			exec.Makespan, exec.MeanJobFinish, exec.SlowdownSeconds)
+		for mi, busy := range exec.MachineBusy {
+			fmt.Printf("  machine %d busy %.1fs\n", mi, busy)
+		}
+	}
+}
+
+func parseMachine(s string) (cosched.MachineKind, error) {
+	switch strings.ToLower(s) {
+	case "dual", "dual-core", "2":
+		return cosched.DualCore, nil
+	case "quad", "quad-core", "4":
+		return cosched.QuadCore, nil
+	case "8core", "8-core", "eight", "8":
+		return cosched.EightCore, nil
+	default:
+		return 0, fmt.Errorf("unknown machine %q (dual, quad, 8core)", s)
+	}
+}
+
+func parseMethod(s string) (cosched.Method, error) {
+	switch strings.ToLower(s) {
+	case "oastar", "oa*", "oa":
+		return cosched.MethodOAStar, nil
+	case "hastar", "ha*", "ha":
+		return cosched.MethodHAStar, nil
+	case "ip":
+		return cosched.MethodIP, nil
+	case "osvp", "o-svp":
+		return cosched.MethodOSVP, nil
+	case "pg":
+		return cosched.MethodPG, nil
+	case "brute", "bruteforce", "bf":
+		return cosched.MethodBruteForce, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func parseAccounting(s string) (cosched.Accounting, error) {
+	switch strings.ToLower(s) {
+	case "se":
+		return cosched.AccountSE, nil
+	case "pe":
+		return cosched.AccountPE, nil
+	case "pc":
+		return cosched.AccountPC, nil
+	default:
+		return 0, fmt.Errorf("unknown accounting %q (se, pe, pc)", s)
+	}
+}
+
+func parseJobSpec(s string) (string, int, error) {
+	name, procsStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return "", 0, fmt.Errorf("job spec %q: want name:procs", s)
+	}
+	procs, err := strconv.Atoi(procsStr)
+	if err != nil || procs < 1 {
+		return "", 0, fmt.Errorf("job spec %q: bad process count", s)
+	}
+	return name, procs, nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coschedcli:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,89 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (§V).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -exp table1
+//	experiments -exp fig12 -quick
+//	experiments -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cosched/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (table1..table4, fig5..fig13, ablations, or 'all')")
+		quick    = flag.Bool("quick", false, "shrink graph counts and sweeps for a fast run")
+		seed     = flag.Int64("seed", 1, "synthetic workload seed")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jsonFlag = flag.Bool("json", false, "emit reports as JSON instead of text tables")
+		outDir   = flag.String("out", "", "also write each report to <out>/<id>.txt (and .json)")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Println("  ", id)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nuse -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opts := experiments.RunOptions{Quick: *quick, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			if err := writeReport(*outDir, id, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		if *jsonFlag {
+			out, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Print(rep)
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeReport saves the text and JSON renderings of one report.
+func writeReport(dir, id string, rep *experiments.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, id+".txt"), []byte(rep.String()), 0o644); err != nil {
+		return err
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".json"), js, 0o644)
+}

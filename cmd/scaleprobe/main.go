@@ -1,0 +1,68 @@
+// Command scaleprobe measures HA* scalability and quality against PG on
+// large synthetic batches (the Figs. 12-13 configuration). It is a
+// development tool; the reproducible experiment lives in cmd/experiments.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"cosched/internal/astar"
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/pg"
+	"cosched/internal/workload"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-pc" {
+		pcProbe()
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "-oa" {
+		oaProbe()
+		return
+	}
+	sizes := []int{96, 240, 480, 1208}
+	if len(os.Args) > 1 {
+		sizes = nil
+		for _, a := range os.Args[1:] {
+			n, err := strconv.Atoi(a)
+			if err != nil {
+				panic(err)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+	for _, n := range sizes {
+		m := cache.QuadCore
+		in, err := workload.SyntheticPairwiseInstance(n, &m, 5)
+		if err != nil {
+			panic(err)
+		}
+		c := in.Cost(degradation.ModePC)
+		g := graph.New(c, nil)
+		for _, b := range []int{8, 32, 128} {
+			s, err := astar.NewSolver(g, astar.Options{H: astar.HPerProcAvg, KPerLevel: n / 4,
+				HWeight: 1.2, BeamWidth: b})
+			if err != nil {
+				panic(err)
+			}
+			t0 := time.Now()
+			res, err := s.Solve()
+			if err != nil {
+				fmt.Printf("n=%d beam=%d ERR %v (%.1fs)\n", n, b, err, time.Since(t0).Seconds())
+				continue
+			}
+			fmt.Printf("n=%d beam=%d cost=%.3f avg=%.4f pops=%d gen=%d time=%.2fs\n",
+				n, b, res.Cost, res.Cost/float64(n), res.Stats.VisitedPaths, res.Stats.Generated,
+				time.Since(t0).Seconds())
+		}
+		t0 := time.Now()
+		p := pg.Solve(c)
+		fmt.Printf("n=%d PG cost=%.3f avg=%.4f time=%.2fs\n", n, p.Cost, p.Cost/float64(n), time.Since(t0).Seconds())
+	}
+}

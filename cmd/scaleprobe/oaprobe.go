@@ -1,0 +1,39 @@
+package main
+
+// oaProbe measures exact OA* cost on smooth synthetic instances (the
+// Fig. 5 / Fig. 9 population) at several sizes. Run via
+// "go run ./cmd/scaleprobe -oa".
+import (
+	"fmt"
+	"time"
+
+	"cosched/internal/astar"
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/workload"
+)
+
+func oaProbe() {
+	for _, n := range []int{16, 24, 32, 48} {
+		in, err := workload.SyntheticPairwiseSmoothInstance(n, &cache.QuadCore, 77)
+		if err != nil {
+			panic(err)
+		}
+		g := graph.New(in.Cost(degradation.ModePC), nil)
+		s, err := astar.NewSolver(g, astar.Options{H: astar.HPerProc, UseIncumbent: true})
+		if err != nil {
+			panic(err)
+		}
+		t0 := time.Now()
+		res, err := s.Solve()
+		if err != nil {
+			fmt.Printf("n=%d ERR %v\n", n, err)
+			continue
+		}
+		mer, ok := g.PathMER(res.Groups)
+		fmt.Printf("n=%d cost=%.4f pops=%d gen=%d pruned=%d mer=%d(%v) time=%.2fs\n",
+			n, res.Cost, res.Stats.VisitedPaths, res.Stats.Generated, res.Stats.Pruned,
+			mer, ok, time.Since(t0).Seconds())
+	}
+}

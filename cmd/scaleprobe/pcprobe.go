@@ -1,0 +1,55 @@
+package main
+
+// pcProbe measures OA*-PC on the Fig. 7 mix (4 MPI jobs + 4 serial) and
+// the PC-vs-PE contrast: the OA*-PE schedule evaluated under the full
+// communication-combined objective. Run via "go run ./cmd/scaleprobe -pc".
+import (
+	"fmt"
+	"time"
+
+	"cosched/internal/astar"
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/workload"
+)
+
+func pcProbe() {
+	for _, per := range []int{4, 6} {
+		in, err := workload.PCMixInstance(per, &cache.QuadCore)
+		if err != nil {
+			panic(err)
+		}
+		cpc := in.Cost(degradation.ModePC)
+		g := graph.New(cpc, in.Patterns)
+		s, err := astar.NewSolver(g, astar.Options{H: astar.HPerProc, Condense: true,
+			UseIncumbent: true, MaxExpansions: 3_000_000})
+		if err != nil {
+			panic(err)
+		}
+		t0 := time.Now()
+		res, err := s.Solve()
+		if err != nil {
+			fmt.Printf("per=%d PC ERR %v (%.1fs)\n", per, err, time.Since(t0).Seconds())
+			continue
+		}
+		fmt.Printf("per=%d PC cost=%.4f pops=%d time=%.2fs\n",
+			per, res.Cost, res.Stats.VisitedPaths, time.Since(t0).Seconds())
+
+		gpe := graph.New(in.Cost(degradation.ModePE), in.Patterns)
+		spe, err := astar.NewSolver(gpe, astar.Options{H: astar.HPerProc, Condense: true,
+			UseIncumbent: true, MaxExpansions: 3_000_000})
+		if err != nil {
+			panic(err)
+		}
+		t0 = time.Now()
+		rpe, err := spe.Solve()
+		if err != nil {
+			fmt.Printf("per=%d PE ERR %v (%.1fs)\n", per, err, time.Since(t0).Seconds())
+			continue
+		}
+		peUnderPC := cpc.PartitionCost(rpe.Groups)
+		fmt.Printf("per=%d PE-sched-under-PC=%.4f (PC-optimal %.4f, gap %.1f%%) time=%.2fs\n",
+			per, peUnderPC, res.Cost, (peUnderPC-res.Cost)/res.Cost*100, time.Since(t0).Seconds())
+	}
+}

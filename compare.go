@@ -1,0 +1,75 @@
+package cosched
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Comparison is the outcome of solving one instance with several methods.
+type Comparison struct {
+	Rows []ComparisonRow
+}
+
+// ComparisonRow is one method's result within a Comparison.
+type ComparisonRow struct {
+	Method    Method
+	Schedule  *Schedule
+	SolveTime time.Duration
+	Err       error
+}
+
+// Compare solves the instance with each method and collects the results;
+// per-method failures are recorded, not fatal. Methods default to
+// {OA*, HA*, PG} when empty.
+func Compare(inst *Instance, methods []Method, opts Options) *Comparison {
+	if len(methods) == 0 {
+		methods = []Method{MethodOAStar, MethodHAStar, MethodPG}
+	}
+	cmp := &Comparison{}
+	for _, m := range methods {
+		o := opts
+		o.Method = m
+		start := time.Now()
+		sched, err := Solve(inst, o)
+		cmp.Rows = append(cmp.Rows, ComparisonRow{
+			Method:    m,
+			Schedule:  sched,
+			SolveTime: time.Since(start),
+			Err:       err,
+		})
+	}
+	return cmp
+}
+
+// Best returns the successful row with the lowest total degradation, or
+// nil if every method failed.
+func (c *Comparison) Best() *ComparisonRow {
+	var best *ComparisonRow
+	for i := range c.Rows {
+		r := &c.Rows[i]
+		if r.Err != nil {
+			continue
+		}
+		if best == nil || r.Schedule.TotalDegradation < best.Schedule.TotalDegradation {
+			best = r
+		}
+	}
+	return best
+}
+
+// String renders the comparison as an aligned table.
+func (c *Comparison) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %-12s %-12s %s\n", "method", "total deg.", "avg deg.", "solve time")
+	for _, r := range c.Rows {
+		if r.Err != nil {
+			fmt.Fprintf(&sb, "%-14s failed: %v\n", r.Method, r.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-14s %-12.4f %-12.4f %v\n",
+			r.Method, r.Schedule.TotalDegradation, r.Schedule.AvgDegradation(),
+			r.SolveTime.Round(time.Microsecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,262 @@
+// Package cosched finds contention-aware co-schedules for a mix of serial
+// and parallel jobs on multicore machines, implementing the methods of
+// Zhu, He, Gao, Li & Li, "Modelling and Developing Co-scheduling
+// Strategies on Multicore Processors" (ICPP 2015):
+//
+//   - OA*: an extended A*-search over the co-scheduling graph that finds
+//     the provably minimal total-degradation schedule (§III),
+//   - HA*: a heuristic A* that trims each graph level to its n/u cheapest
+//     candidate nodes and finds near-optimal schedules orders of magnitude
+//     faster (§IV),
+//   - IP: an integer-programming formulation solved by branch-and-bound
+//     (§II),
+//   - O-SVP and PG: the two baselines the paper compares against,
+//   - BruteForce: exhaustive enumeration for verification on small
+//     batches.
+//
+// The quickstart:
+//
+//	w := cosched.NewWorkload()
+//	w.AddSerial("art")
+//	w.AddSerial("EP")
+//	w.AddPC("MG-Par", 4)
+//	inst, _ := w.Build(cosched.QuadCore)
+//	sched, _ := cosched.Solve(inst, cosched.Options{Method: cosched.MethodOAStar})
+//	fmt.Println(sched.AvgDegradation())
+package cosched
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cosched/internal/astar"
+	"cosched/internal/bruteforce"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/ip"
+	"cosched/internal/osvp"
+	"cosched/internal/pg"
+)
+
+// Method selects the co-scheduling algorithm.
+type Method int
+
+const (
+	// MethodOAStar is the Optimal A*-search (§III): exact, with h(v)
+	// pruning and optional process condensation.
+	MethodOAStar Method = iota
+	// MethodHAStar is the Heuristic A*-search (§IV): near-optimal, each
+	// level trimmed to the first MER = n/u candidate nodes by weight.
+	MethodHAStar
+	// MethodIP solves the integer-programming formulation (§II) by
+	// branch-and-bound.
+	MethodIP
+	// MethodOSVP is the Dijkstra-based optimal baseline of [33].
+	MethodOSVP
+	// MethodPG is the politeness-greedy heuristic baseline of [18].
+	MethodPG
+	// MethodBruteForce enumerates all partitions (verification only;
+	// guarded to small batches).
+	MethodBruteForce
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodOAStar:
+		return "OA*"
+	case MethodHAStar:
+		return "HA*"
+	case MethodIP:
+		return "IP"
+	case MethodOSVP:
+		return "O-SVP"
+	case MethodPG:
+		return "PG"
+	case MethodBruteForce:
+		return "brute-force"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Accounting selects how parallel jobs enter the objective, matching the
+// paper's three OA* variants (§V-B).
+type Accounting int
+
+const (
+	// AccountPC is the full model: per-parallel-job maxima with
+	// communication-combined degradation for PC jobs (Eq. 9 + Eq. 13).
+	// This is the default and what OA*-PC uses.
+	AccountPC Accounting = iota
+	// AccountPE recognises per-job maxima but ignores communication
+	// (OA*-PE).
+	AccountPE
+	// AccountSE treats every process as serial and sums everything
+	// (Eq. 12; OA*-SE).
+	AccountSE
+)
+
+func (a Accounting) mode() degradation.Mode {
+	switch a {
+	case AccountSE:
+		return degradation.ModeSE
+	case AccountPE:
+		return degradation.ModePE
+	default:
+		return degradation.ModePC
+	}
+}
+
+// Options tunes a Solve call. The zero value requests OA* with the
+// paper's best configuration (h Strategy 2 or the scalable per-process
+// variant, condensation on, full PC accounting).
+type Options struct {
+	Method     Method
+	Accounting Accounting
+	// HStrategy: 0 = automatic (Strategy 2 when levels are enumerable,
+	// per-process bound otherwise), 1 and 2 force the paper's two
+	// strategies, 3 forces the scalable per-process bound.
+	HStrategy int
+	// KPerLevel overrides HA*'s per-level candidate budget; 0 means the
+	// paper's MER function n/u. Ignored by other methods.
+	KPerLevel int
+	// DisableCondensation turns off the §III-E process condensation.
+	DisableCondensation bool
+	// ExactParallel strengthens OA*'s dismissal key with per-job maxima
+	// (see DESIGN.md §3).
+	ExactParallel bool
+	// IPConfig selects the branch-and-bound preset by name
+	// ("bnb-best+round", "bnb-best", "bnb-depth", "bnb-basic"); empty
+	// means the strongest.
+	IPConfig string
+	// TimeLimit aborts IP solves (0 = none).
+	TimeLimit time.Duration
+	// MaxExpansions aborts graph searches after this many expansions
+	// (0 = none).
+	MaxExpansions int64
+	// TraceWriter, when non-nil, receives a text trace of the graph
+	// search (sampled expansions plus the final solution).
+	TraceWriter io.Writer
+}
+
+// Solve schedules the instance's batch and returns the schedule.
+func Solve(inst *Instance, opts Options) (*Schedule, error) {
+	if inst == nil || inst.in == nil {
+		return nil, fmt.Errorf("cosched: nil instance")
+	}
+	cost := inst.in.Cost(opts.Accounting.mode())
+	switch opts.Method {
+	case MethodOAStar, MethodHAStar, MethodOSVP:
+		return solveGraph(inst, cost, opts)
+	case MethodIP:
+		return solveIP(inst, cost, opts)
+	case MethodPG:
+		res := pg.Solve(cost)
+		return newSchedule(inst, cost, res.Groups, res.Cost, Stats{}), nil
+	case MethodBruteForce:
+		res, err := bruteforce.Solve(cost)
+		if err != nil {
+			return nil, err
+		}
+		return newSchedule(inst, cost, res.Groups, res.Cost, Stats{}), nil
+	default:
+		return nil, fmt.Errorf("cosched: unknown method %v", opts.Method)
+	}
+}
+
+func solveGraph(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule, error) {
+	g := graph.New(cost, inst.in.Patterns)
+	n, u := g.N(), g.U()
+	aopts := astar.Options{
+		Condense:      !opts.DisableCondensation,
+		ExactParallel: opts.ExactParallel,
+		MaxExpansions: opts.MaxExpansions,
+	}
+	if opts.TraceWriter != nil {
+		aopts.Tracer = &astar.WriterTracer{W: opts.TraceWriter, Every: 100}
+	}
+	switch opts.HStrategy {
+	case 1:
+		aopts.H = astar.HStrategy1
+	case 2:
+		aopts.H = astar.HStrategy2
+	case 3:
+		aopts.H = astar.HPerProc
+	default:
+		if g.LevelEnumerable(1) && n <= 40 {
+			aopts.H = astar.HStrategy2
+		} else {
+			aopts.H = astar.HPerProc
+		}
+	}
+	switch opts.Method {
+	case MethodOSVP:
+		aopts = astar.Options{H: astar.HNone, MaxExpansions: opts.MaxExpansions}
+		res, err := osvp.SolveWithLimit(g, opts.MaxExpansions)
+		if err != nil {
+			return nil, err
+		}
+		return newSchedule(inst, cost, res.Groups, res.Cost, searchStats(res)), nil
+	case MethodHAStar:
+		aopts.KPerLevel = opts.KPerLevel
+		if aopts.KPerLevel == 0 {
+			aopts.KPerLevel = n / u // the paper's MER function
+		}
+		aopts.UseIncumbent = true
+		// Large batches need the scalable estimator, a depth bias and a
+		// bounded beam to converge (DESIGN.md §5a).
+		if n > 40 {
+			aopts.H = astar.HPerProcAvg
+			aopts.HWeight = 1.2
+			aopts.BeamWidth = 16
+			aopts.UseIncumbent = false
+		}
+	}
+	s, err := astar.NewSolver(g, aopts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Solve()
+	if err != nil {
+		return nil, err
+	}
+	return newSchedule(inst, cost, res.Groups, res.Cost, searchStats(res)), nil
+}
+
+func solveIP(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule, error) {
+	model, err := ip.BuildModel(cost)
+	if err != nil {
+		return nil, err
+	}
+	cfg := ip.ConfigA
+	if opts.IPConfig != "" {
+		found := false
+		for _, c := range ip.Configs() {
+			if c.Name == opts.IPConfig {
+				cfg, found = c, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cosched: unknown IP config %q", opts.IPConfig)
+		}
+	}
+	cfg.TimeLimit = opts.TimeLimit
+	res, err := ip.Solve(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := Stats{BBNodes: res.Stats.Nodes, Duration: res.Stats.Duration, TimedOut: res.Stats.TimedOut}
+	return newSchedule(inst, cost, res.Groups, res.Cost, st), nil
+}
+
+func searchStats(r *astar.Result) Stats {
+	return Stats{
+		VisitedPaths: r.Stats.VisitedPaths,
+		Generated:    r.Stats.Generated,
+		Condensed:    r.Stats.Condensed,
+		Duration:     r.Stats.Duration,
+	}
+}

@@ -1,0 +1,366 @@
+package cosched
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildSmallInstance(t *testing.T) *Instance {
+	t.Helper()
+	w := NewWorkload()
+	for _, n := range []string{"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"} {
+		w.AddSerial(n)
+	}
+	inst, err := w.Build(QuadCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestSolveAllMethodsAgreeOnCostOrdering(t *testing.T) {
+	inst := buildSmallInstance(t)
+	costs := map[Method]float64{}
+	for _, m := range []Method{MethodOAStar, MethodHAStar, MethodIP, MethodOSVP, MethodPG, MethodBruteForce} {
+		s, err := Solve(inst, Options{Method: m})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if s.NumMachines() != 2 {
+			t.Errorf("%v: machines = %d; want 2", m, s.NumMachines())
+		}
+		costs[m] = s.TotalDegradation
+	}
+	opt := costs[MethodBruteForce]
+	for _, m := range []Method{MethodOAStar, MethodIP, MethodOSVP} {
+		if math.Abs(costs[m]-opt) > 1e-6 {
+			t.Errorf("%v cost %v != optimum %v", m, costs[m], opt)
+		}
+	}
+	for _, m := range []Method{MethodHAStar, MethodPG} {
+		if costs[m] < opt-1e-9 {
+			t.Errorf("%v cost %v below optimum %v", m, costs[m], opt)
+		}
+	}
+}
+
+func TestSolveMixedWorkload(t *testing.T) {
+	w := NewWorkload()
+	w.AddSerial("art")
+	w.AddSerial("EP")
+	w.AddSerial("vpr")
+	w.AddPE("MCM", 2)
+	w.AddPC("MG-Par", 3)
+	inst, err := w.Build(QuadCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Solve(inst, Options{Method: MethodOAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.TotalDegradation <= 0 {
+		t.Errorf("total degradation = %v; want > 0", sched.TotalDegradation)
+	}
+	degs := sched.JobDegradations()
+	if len(degs) != 5 {
+		t.Errorf("JobDegradations has %d entries: %v", len(degs), degs)
+	}
+	// the per-job values must sum to the objective
+	var sum float64
+	for _, d := range degs {
+		sum += d
+	}
+	if math.Abs(sum-sched.TotalDegradation) > 1e-9 {
+		t.Errorf("per-job sum %v != total %v", sum, sched.TotalDegradation)
+	}
+}
+
+func TestAccountingModesOrdering(t *testing.T) {
+	w := NewWorkload()
+	w.AddPC("CG-Par", 4)
+	w.AddSerial("art")
+	w.AddSerial("EP")
+	w.AddSerial("IS")
+	w.AddSerial("vpr")
+	inst, err := w.Build(QuadCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Solve(inst, Options{Method: MethodOAStar, Accounting: AccountPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := Solve(inst, Options{Method: MethodOAStar, Accounting: AccountPE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The PC objective includes communication, so its optimum cannot be
+	// below the PE optimum of the same batch.
+	if pc.TotalDegradation < pe.TotalDegradation-1e-9 {
+		t.Errorf("PC optimum %v below PE optimum %v", pc.TotalDegradation, pe.TotalDegradation)
+	}
+}
+
+func TestWorkloadErrorsSurfaceAtBuild(t *testing.T) {
+	w := NewWorkload()
+	w.AddSerial("not-a-benchmark")
+	if _, err := w.Build(QuadCore); err == nil {
+		t.Error("unknown program accepted")
+	}
+	w2 := NewWorkload()
+	w2.AddPE("nope", 2)
+	if _, err := w2.Build(QuadCore); err == nil {
+		t.Error("unknown PE program accepted")
+	}
+	w3 := NewWorkload()
+	w3.AddPC("nope", 2)
+	if _, err := w3.Build(QuadCore); err == nil {
+		t.Error("unknown PC program accepted")
+	}
+}
+
+func TestSolveRejectsBadInputs(t *testing.T) {
+	if _, err := Solve(nil, Options{}); err == nil {
+		t.Error("nil instance accepted")
+	}
+	inst := buildSmallInstance(t)
+	if _, err := Solve(inst, Options{Method: Method(99)}); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if _, err := Solve(inst, Options{Method: MethodIP, IPConfig: "nope"}); err == nil {
+		t.Error("unknown IP config accepted")
+	}
+}
+
+func TestScheduleRendering(t *testing.T) {
+	inst := buildSmallInstance(t)
+	sched, err := Solve(inst, Options{Method: MethodHAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sched.String()
+	for _, want := range []string{"machine", "total degradation", "BT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+	pl := sched.Placements()
+	if len(pl) != 8 {
+		t.Errorf("placements = %d; want 8", len(pl))
+	}
+	seen := map[int]bool{}
+	for _, p := range pl {
+		if p.Machine < 0 || p.Machine >= 2 || p.Core < 0 || p.Core >= 4 {
+			t.Errorf("placement out of range: %+v", p)
+		}
+		if seen[p.Process] {
+			t.Errorf("process %d placed twice", p.Process)
+		}
+		seen[p.Process] = true
+	}
+	groups := sched.Groups()
+	if len(groups) != 2 || len(groups[0]) != 4 {
+		t.Errorf("Groups() = %v", groups)
+	}
+}
+
+func TestSyntheticConstructors(t *testing.T) {
+	for _, mk := range []MachineKind{DualCore, QuadCore, EightCore} {
+		inst, err := SyntheticSerial(mk.Cores()*3, mk, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", mk, err)
+		}
+		if inst.NumProcesses() != mk.Cores()*3 {
+			t.Errorf("%v: procs = %d", mk, inst.NumProcesses())
+		}
+	}
+	large, err := SyntheticLarge(96, QuadCore, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Solve(large, Options{Method: MethodHAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.NumMachines() != 24 {
+		t.Errorf("large HA*: machines = %d; want 24", sched.NumMachines())
+	}
+	mixed, err := SyntheticMixed(16, 2, 4, QuadCore, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.NumJobs() != 2+8 {
+		t.Errorf("mixed jobs = %d; want 10", mixed.NumJobs())
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	inst := buildSmallInstance(t)
+	opt, err := Solve(inst, Options{Method: MethodOAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgSched, err := Solve(inst, Options{Method: MethodPG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	execOpt, err := opt.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	execPG, err := pgSched.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execOpt.Makespan <= 0 || execOpt.MeanJobFinish <= 0 {
+		t.Errorf("degenerate execution: %+v", execOpt)
+	}
+	if len(execOpt.JobFinish) != 8 {
+		t.Errorf("JobFinish entries = %d; want 8", len(execOpt.JobFinish))
+	}
+	if len(execOpt.MachineBusy) != opt.NumMachines() {
+		t.Errorf("MachineBusy entries = %d; want %d", len(execOpt.MachineBusy), opt.NumMachines())
+	}
+	// A schedule with lower objective should not lose substantially
+	// more wall-clock time than a worse one.
+	if execOpt.SlowdownSeconds > execPG.SlowdownSeconds*1.1 {
+		t.Errorf("optimal schedule lost %.1fs; PG lost %.1fs", execOpt.SlowdownSeconds, execPG.SlowdownSeconds)
+	}
+}
+
+func TestMachineKindStrings(t *testing.T) {
+	if DualCore.String() != "dual-core" || QuadCore.Cores() != 4 || EightCore.Cores() != 8 {
+		t.Error("machine kind metadata wrong")
+	}
+	if !strings.Contains(MachineKind(9).String(), "9") {
+		t.Error("unknown machine kind string")
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for m, want := range map[Method]string{
+		MethodOAStar: "OA*", MethodHAStar: "HA*", MethodIP: "IP",
+		MethodOSVP: "O-SVP", MethodPG: "PG", MethodBruteForce: "brute-force",
+	} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q; want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestProgramCatalogues(t *testing.T) {
+	if len(SerialPrograms()) != 16 || len(PEPrograms()) != 5 || len(PCPrograms()) != 4 {
+		t.Error("catalogue sizes wrong")
+	}
+}
+
+func TestJobNames(t *testing.T) {
+	inst := buildSmallInstance(t)
+	names := inst.JobNames()
+	if len(names) != 8 || names[0] != "BT" {
+		t.Errorf("JobNames = %v", names)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	inst := buildSmallInstance(t)
+	cmp := Compare(inst, nil, Options{})
+	if len(cmp.Rows) != 3 {
+		t.Fatalf("rows = %d; want 3 defaults", len(cmp.Rows))
+	}
+	best := cmp.Best()
+	if best == nil {
+		t.Fatal("no successful method")
+	}
+	if best.Method != MethodOAStar {
+		t.Errorf("best method = %v; want OA* (it is optimal)", best.Method)
+	}
+	out := cmp.String()
+	for _, want := range []string{"OA*", "HA*", "PG", "total deg."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison rendering missing %q", want)
+		}
+	}
+	// A failing method is reported, not fatal.
+	cmp2 := Compare(inst, []Method{Method(99)}, Options{})
+	if cmp2.Rows[0].Err == nil {
+		t.Error("unknown method did not error")
+	}
+	if cmp2.Best() != nil {
+		t.Error("Best() returned a failed row")
+	}
+	if !strings.Contains(cmp2.String(), "failed") {
+		t.Error("failure not rendered")
+	}
+}
+
+func TestSimulateUsesPhysicalModel(t *testing.T) {
+	// An SE-optimised schedule must be judged under the full model: for
+	// a batch with communicating jobs its simulated slowdown can only
+	// be >= the PC-optimised schedule's.
+	w := NewWorkload()
+	w.AddPC("MG-Par", 4)
+	w.AddSerial("art")
+	w.AddSerial("EP")
+	w.AddSerial("vpr")
+	w.AddSerial("IS")
+	inst, err := w.Build(QuadCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := Solve(inst, Options{Method: MethodOAStar, Accounting: AccountSE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Solve(inst, Options{Method: MethodOAStar, Accounting: AccountPC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	execSE, err := se.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	execPC, err := pc.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if execSE.SlowdownSeconds < execPC.SlowdownSeconds-1e-9 {
+		t.Errorf("SE-optimised schedule simulated better (%v) than PC-optimised (%v)",
+			execSE.SlowdownSeconds, execPC.SlowdownSeconds)
+	}
+}
+
+func TestWriteGraphDOT(t *testing.T) {
+	w := NewWorkload()
+	for _, n := range []string{"BT", "CG", "EP", "FT", "IS", "LU"} {
+		w.AddSerial(n)
+	}
+	inst, err := w.Build(DualCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := Solve(inst, Options{Method: MethodOAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := inst.WriteGraphDOT(&sb, sched, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "digraph cosched") {
+		t.Error("DOT output malformed")
+	}
+	if !strings.Contains(sb.String(), "lightblue") {
+		t.Error("schedule not highlighted")
+	}
+	// large graphs must refuse
+	big, err := SyntheticSerial(40, QuadCore, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.WriteGraphDOT(&sb, nil, 100); err == nil {
+		t.Error("oversized graph rendered")
+	}
+}

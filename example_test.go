@@ -1,0 +1,78 @@
+package cosched_test
+
+import (
+	"fmt"
+	"sort"
+
+	"cosched"
+)
+
+// ExampleSolve schedules a small serial batch optimally and prints the
+// machine assignment.
+func ExampleSolve() {
+	w := cosched.NewWorkload()
+	for _, name := range []string{"art", "MG", "EP", "vpr"} {
+		w.AddSerial(name)
+	}
+	inst, err := w.Build(cosched.DualCore)
+	if err != nil {
+		panic(err)
+	}
+	sched, err := cosched.Solve(inst, cosched.Options{Method: cosched.MethodOAStar})
+	if err != nil {
+		panic(err)
+	}
+	for i, names := range sched.Machines() {
+		fmt.Printf("machine %d: %v\n", i, names)
+	}
+	// Output:
+	// machine 0: [art vpr]
+	// machine 1: [MG EP]
+}
+
+// ExampleWorkload_AddPC shows a mixed batch with an MPI job.
+func ExampleWorkload_AddPC() {
+	w := cosched.NewWorkload()
+	w.AddPC("MG-Par", 4)
+	w.AddSerial("EP")
+	w.AddSerial("vpr")
+	w.AddSerial("art")
+	w.AddSerial("IS")
+	inst, err := w.Build(cosched.QuadCore)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(inst.NumProcesses(), "processes on", inst.NumMachines(), "machines")
+	// Output:
+	// 8 processes on 2 machines
+}
+
+// ExampleSchedule_JobDegradations prints each job's slowdown, sorted.
+func ExampleSchedule_JobDegradations() {
+	w := cosched.NewWorkload()
+	for _, name := range []string{"BT", "CG", "EP", "FT"} {
+		w.AddSerial(name)
+	}
+	inst, err := w.Build(cosched.QuadCore)
+	if err != nil {
+		panic(err)
+	}
+	sched, err := cosched.Solve(inst, cosched.Options{Method: cosched.MethodBruteForce})
+	if err != nil {
+		panic(err)
+	}
+	degs := sched.JobDegradations()
+	names := make([]string, 0, len(degs))
+	for n := range degs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s degrades\n", n)
+	}
+	// Output:
+	// BT degrades
+	// CG degrades
+	// EP degrades
+	// FT degrades
+}

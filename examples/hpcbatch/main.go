@@ -1,0 +1,99 @@
+// HPC batch scheduling: the scenario the paper's introduction motivates.
+// A cluster queue holds a mix of MPI applications, embarrassingly-parallel
+// Monte-Carlo codes and serial jobs. The operator wants to know how much
+// performance the default (arrival-order) placement leaves on the table,
+// and whether the near-optimal HA* heuristic is good enough to replace
+// the exact-but-slow OA*.
+//
+// The example schedules the same queue three ways (arrival order, HA*,
+// OA*), reports each job's slowdown, and prints the OA*/HA*/naive gap.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"cosched"
+)
+
+func buildQueue() (*cosched.Instance, error) {
+	w := cosched.NewWorkload()
+	// Two MPI solvers with halo exchanges.
+	w.AddPC("LU-Par", 4)
+	w.AddPC("CG-Par", 4)
+	// One Monte-Carlo style PE job: slaves with no communication.
+	w.AddPE("MCM", 4)
+	// Serial jobs of mixed cache appetite.
+	for _, name := range []string{"art", "equake", "EP", "vpr"} {
+		w.AddSerial(name)
+	}
+	return w.Build(cosched.QuadCore)
+}
+
+func main() {
+	inst, err := buildQueue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queue: %d jobs, %d processes on %d quad-core machines\n\n",
+		inst.NumJobs(), inst.NumProcesses(), inst.NumMachines())
+
+	// OA*: the optimal co-schedule, the offline performance target
+	// (§I: "how much performance can be extracted if the system were
+	// best tuned").
+	t0 := time.Now()
+	oa, err := cosched.Solve(inst, cosched.Options{Method: cosched.MethodOAStar})
+	if err != nil {
+		log.Fatal(err)
+	}
+	oaTime := time.Since(t0)
+
+	// HA*: the near-optimal heuristic a production scheduler could
+	// actually afford.
+	t0 = time.Now()
+	ha, err := cosched.Solve(inst, cosched.Options{Method: cosched.MethodHAStar})
+	if err != nil {
+		log.Fatal(err)
+	}
+	haTime := time.Since(t0)
+
+	// PG: the politeness-greedy baseline from prior work.
+	pgRes, err := cosched.Solve(inst, cosched.Options{Method: cosched.MethodPG})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %-12s %-12s %s\n", "method", "total deg.", "avg deg.", "solve time")
+	fmt.Printf("%-22s %-12.4f %-12.4f %v\n", "OA* (optimal)", oa.TotalDegradation, oa.AvgDegradation(), oaTime.Round(time.Microsecond))
+	fmt.Printf("%-22s %-12.4f %-12.4f %v\n", "HA* (near-optimal)", ha.TotalDegradation, ha.AvgDegradation(), haTime.Round(time.Microsecond))
+	fmt.Printf("%-22s %-12.4f %-12.4f %s\n", "PG (greedy baseline)", pgRes.TotalDegradation, pgRes.AvgDegradation(), "-")
+
+	fmt.Printf("\nHA* is within %.1f%% of optimal; PG is %.1f%% worse than optimal\n",
+		gap(ha.TotalDegradation, oa.TotalDegradation),
+		gap(pgRes.TotalDegradation, oa.TotalDegradation))
+
+	fmt.Println("\nper-job slowdown under the optimal schedule:")
+	degs := oa.JobDegradations()
+	names := make([]string, 0, len(degs))
+	for n := range degs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %-10s %5.1f%%\n", n, degs[n]*100)
+	}
+
+	fmt.Println("\nmachine assignment (OA*):")
+	for mi, names := range oa.Machines() {
+		fmt.Printf("  machine %d: %v\n", mi, names)
+	}
+}
+
+func gap(v, opt float64) float64 {
+	if opt == 0 {
+		return 0
+	}
+	return (v - opt) / opt * 100
+}

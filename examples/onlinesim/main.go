@@ -1,0 +1,79 @@
+// Online scheduling vs the offline optimum: the paper's stated purpose
+// for computing optimal co-schedules is to give runtime schedulers a
+// performance target (§I — "knowing the gap between current and optimal
+// performance"). This example simulates a stream of arriving jobs under
+// four online placement policies and reports each policy's mean
+// turnaround, alongside the contention floor an offline OA* schedule of
+// the same batch achieves.
+//
+// This example uses internal packages directly (it lives inside the
+// module); external users would drive the same comparison through the
+// public cosched API plus their own arrival traces.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cosched/internal/astar"
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/job"
+	"cosched/internal/online"
+	"cosched/internal/sim"
+	"cosched/internal/workload"
+)
+
+func main() {
+	const nJobs = 16
+	m := cache.QuadCore
+	in, err := workload.SyntheticSerialInstance(nJobs, &m, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := in.Cost(degradation.ModePC)
+	machines := nJobs / m.Cores
+
+	// Jobs arrive every 5 seconds.
+	arrivals := make([]online.Arrival, nJobs)
+	for i := range arrivals {
+		arrivals[i] = online.Arrival{Job: job.JobID(i), Time: float64(i) * 5}
+	}
+
+	fmt.Printf("%d jobs arriving every 5s onto %d quad-core machines\n\n", nJobs, machines)
+	fmt.Printf("%-18s %-16s %s\n", "policy", "mean turnaround", "makespan")
+	policies := []online.Policy{
+		online.FirstFit{},
+		online.Spread{},
+		online.ContentionAware{},
+		online.Random{Rng: rand.New(rand.NewSource(1))},
+	}
+	for _, p := range policies {
+		res, err := online.Simulate(c, in.SoloTime, machines, arrivals, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %-16.1f %.1f\n", res.Policy, res.MeanTurnaround, res.Makespan)
+	}
+
+	// The offline target: OA* sees the whole batch at once; its
+	// execution gives the contention floor online policies chase.
+	g := graph.New(c, in.Patterns)
+	s, err := astar.NewSolver(g, astar.Options{H: astar.HPerProc, UseIncumbent: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := s.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec, err := sim.Run(c, sim.SoloTimeFunc(in.SoloTime), opt.Groups)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noffline OA* target: all jobs co-run at the optimal placement would finish\n")
+	fmt.Printf("within %.1fs of their start (mean %.1fs) — total contention cost %.1f CPU-seconds\n",
+		exec.Makespan, exec.MeanJobFinish(), exec.TotalSlowdownSeconds)
+}

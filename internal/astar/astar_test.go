@@ -1,0 +1,433 @@
+package astar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cosched/internal/bruteforce"
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/job"
+	"cosched/internal/workload"
+)
+
+const eps = 1e-9
+
+func solveWith(t *testing.T, g *graph.Graph, opts Options) *Result {
+	t.Helper()
+	s, err := NewSolver(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Cost.ValidatePartition(res.Groups); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	if got := g.Cost.PartitionCost(res.Groups); math.Abs(got-res.Cost) > eps {
+		t.Fatalf("reported cost %v != recomputed %v", res.Cost, got)
+	}
+	return res
+}
+
+func syntheticGraph(t *testing.T, n, u int, seed int64, mode degradation.Mode) *graph.Graph {
+	t.Helper()
+	m, err := cache.MachineByCores(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.SyntheticSerialInstance(n, &m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.New(in.Cost(mode), in.Patterns)
+}
+
+func mixedGraph(t *testing.T, total, parJobs, procsPer, u int, seed int64, mode degradation.Mode) *graph.Graph {
+	t.Helper()
+	m, err := cache.MachineByCores(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.SyntheticMixedInstance(total, parJobs, procsPer, &m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return graph.New(in.Cost(mode), in.Patterns)
+}
+
+func TestOAStarMatchesBruteForceSerial(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := syntheticGraph(t, 8, 2, seed, degradation.ModePC)
+		bf, err := bruteforce.Solve(g.Cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []HStrategy{HNone, HStrategy1, HStrategy2, HPerProc} {
+			res := solveWith(t, g, Options{H: h})
+			if math.Abs(res.Cost-bf.Cost) > eps {
+				t.Errorf("seed %d h=%v: OA* cost %v != brute force %v", seed, h, res.Cost, bf.Cost)
+			}
+		}
+	}
+}
+
+func TestOAStarMatchesBruteForceQuadCore(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := syntheticGraph(t, 12, 4, seed, degradation.ModePC)
+		bf, err := bruteforce.Solve(g.Cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := solveWith(t, g, Options{H: HStrategy2})
+		if math.Abs(res.Cost-bf.Cost) > eps {
+			t.Errorf("seed %d: OA* %v != brute force %v", seed, res.Cost, bf.Cost)
+		}
+	}
+}
+
+func TestOAStarMatchesBruteForceMixed(t *testing.T) {
+	// Mixed serial+PC batches: Eq. 13 accounting with per-job maxima and
+	// communication terms.
+	for seed := int64(1); seed <= 6; seed++ {
+		g := mixedGraph(t, 12, 2, 3, 4, seed, degradation.ModePC)
+		bf, err := bruteforce.Solve(g.Cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opts := range []Options{
+			{H: HPerProc},
+			{H: HPerProc, Condense: true},
+			{H: HPerProc, ExactParallel: true},
+			{H: HStrategy2},
+			{H: HNone},
+		} {
+			res := solveWith(t, g, opts)
+			if math.Abs(res.Cost-bf.Cost) > eps {
+				t.Errorf("seed %d opts %+v: OA* %v != brute force %v", seed, opts, res.Cost, bf.Cost)
+			}
+		}
+	}
+}
+
+func TestOAStarMatchesBruteForcePEJobs(t *testing.T) {
+	// PE jobs through the SDC oracle (no comm): per-job max accounting.
+	m := cache.QuadCore
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		spec := workload.NewSpec()
+		spec.AddPE(workload.SyntheticProgram("pe1", rng), 4)
+		spec.AddPE(workload.SyntheticProgram("pe2", rng), 3)
+		for i := 0; i < 5; i++ {
+			spec.AddSerial(workload.SyntheticProgram("s", rng))
+		}
+		in, err := spec.Build(&m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := graph.New(in.Cost(degradation.ModePE), in.Patterns)
+		bf, err := bruteforce.Solve(g.Cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := solveWith(t, g, Options{H: HPerProc})
+		if math.Abs(res.Cost-bf.Cost) > eps {
+			t.Errorf("seed %d: OA*-PE %v != brute force %v", seed, res.Cost, bf.Cost)
+		}
+	}
+}
+
+func TestUseIncumbentPreservesOptimality(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := syntheticGraph(t, 12, 4, seed, degradation.ModePC)
+		plain := solveWith(t, g, Options{H: HStrategy2})
+		pruned := solveWith(t, g, Options{H: HStrategy2, UseIncumbent: true})
+		if math.Abs(plain.Cost-pruned.Cost) > eps {
+			t.Errorf("seed %d: incumbent pruning changed cost %v -> %v", seed, plain.Cost, pruned.Cost)
+		}
+	}
+}
+
+func TestStrategy2VisitsFewerPathsThanStrategy1(t *testing.T) {
+	// Table IV's qualitative claim. Aggregated over seeds to tolerate
+	// individual ties.
+	var v1, v2 int64
+	for seed := int64(1); seed <= 5; seed++ {
+		g := syntheticGraph(t, 12, 4, seed, degradation.ModePC)
+		v1 += solveWith(t, g, Options{H: HStrategy1}).Stats.VisitedPaths
+		v2 += solveWith(t, g, Options{H: HStrategy2}).Stats.VisitedPaths
+	}
+	if float64(v2) > 1.05*float64(v1) {
+		t.Errorf("Strategy 2 visited %d paths; Strategy 1 %d — expected 2 <= 1", v2, v1)
+	}
+}
+
+func TestOSVPVisitsMorePathsThanOAStar(t *testing.T) {
+	var vn, v2 int64
+	for seed := int64(1); seed <= 5; seed++ {
+		g := syntheticGraph(t, 12, 4, seed, degradation.ModePC)
+		vn += solveWith(t, g, Options{H: HNone}).Stats.VisitedPaths
+		v2 += solveWith(t, g, Options{H: HStrategy2}).Stats.VisitedPaths
+	}
+	if vn <= v2 {
+		t.Errorf("h=none visited %d paths <= strategy2's %d", vn, v2)
+	}
+}
+
+func TestHAStarNearOptimal(t *testing.T) {
+	// HA* with k = n/u must produce a valid schedule within a small
+	// factor of the optimum (§IV/§V-E: within ~10% in the paper).
+	var worst float64
+	for seed := int64(1); seed <= 8; seed++ {
+		g := syntheticGraph(t, 12, 4, seed, degradation.ModePC)
+		opt := solveWith(t, g, Options{H: HStrategy2})
+		ha := solveWith(t, g, Options{H: HPerProc, KPerLevel: 3})
+		if ha.Cost < opt.Cost-eps {
+			t.Fatalf("seed %d: HA* cost %v below optimum %v", seed, ha.Cost, opt.Cost)
+		}
+		if ratio := ha.Cost / opt.Cost; ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst > 1.35 {
+		t.Errorf("HA* worst-case ratio %v; want near-optimal (< 1.35)", worst)
+	}
+}
+
+func TestHAStarKPerLevelOneIsGreedyLike(t *testing.T) {
+	g := syntheticGraph(t, 12, 4, 3, degradation.ModePC)
+	res := solveWith(t, g, Options{H: HPerProc, KPerLevel: 1})
+	if len(res.Groups) != 3 {
+		t.Errorf("HA*(k=1) groups = %d; want 3", len(res.Groups))
+	}
+}
+
+func TestCondensationReducesExpansionsOnPEJobs(t *testing.T) {
+	// Processes of a PE job are interchangeable, so condensation must
+	// collapse their permutations.
+	g := mixedGraph(t, 12, 1, 8, 4, 7, degradation.ModePC)
+	plain := solveWith(t, g, Options{H: HPerProc})
+	cond := solveWith(t, g, Options{H: HPerProc, Condense: true})
+	if math.Abs(plain.Cost-cond.Cost) > eps {
+		t.Fatalf("condensation changed the optimum: %v vs %v", plain.Cost, cond.Cost)
+	}
+	if cond.Stats.Generated >= plain.Stats.Generated {
+		t.Errorf("condensation did not reduce generated elements: %d vs %d",
+			cond.Stats.Generated, plain.Stats.Generated)
+	}
+}
+
+func TestCondensationFiresOnPCJobs(t *testing.T) {
+	// PC ranks stay raw in the class enumeration, so the node-level
+	// condensation dedup (§III-E) must fire on them.
+	g := mixedGraph(t, 12, 1, 8, 4, 7, degradation.ModePC)
+	cond := solveWith(t, g, Options{H: HPerProc, Condense: true})
+	if cond.Stats.Condensed == 0 {
+		t.Error("condensation never fired on an 8-process PC job")
+	}
+}
+
+func TestLazyKSmallestMatchesSort(t *testing.T) {
+	// The lazy enumerator must emit exactly the k cheapest nodes, in
+	// ascending weight order, for a pairwise oracle.
+	m := cache.QuadCore
+	in, err := workload.SyntheticPairwiseInstance(16, &m, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(in.Cost(degradation.ModePC), nil)
+	s, err := NewSolver(g, Options{H: HPerProc, KPerLevel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.pairW == nil {
+		t.Fatal("pairwise fast path not detected")
+	}
+	avail := make([]job.ProcID, 0, 15)
+	for p := 2; p <= 16; p++ {
+		avail = append(avail, job.ProcID(p))
+	}
+	// Reference: enumerate and sort.
+	type cand struct {
+		w float64
+	}
+	var ws []float64
+	g.ForEachNode(1, avail, func(node []job.ProcID) bool {
+		ws = append(ws, g.Cost.NodeWeight(node))
+		return true
+	})
+	sortFloats(ws)
+	var got []float64
+	s.lazyKSmallest(1, avail, func(node []job.ProcID) bool {
+		got = append(got, g.Cost.NodeWeight(node))
+		return len(got) < 10
+	})
+	if len(got) != 10 {
+		t.Fatalf("lazy enumerator emitted %d nodes; want 10", len(got))
+	}
+	for i := range got {
+		if math.Abs(got[i]-ws[i]) > eps {
+			t.Fatalf("lazy emission %d = %v; want %v (full order %v...)", i, got[i], ws[i], ws[:10])
+		}
+		if i > 0 && got[i] < got[i-1]-eps {
+			t.Fatalf("lazy emissions not ascending: %v", got)
+		}
+	}
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+func TestHAStarLargeScalePairwise(t *testing.T) {
+	// The large-scale configuration of Figs. 12-13 in miniature: the
+	// lazy enumerator must let HA* handle a batch whose levels are far
+	// beyond full enumeration... here just big enough to be meaningful.
+	m := cache.QuadCore
+	in, err := workload.SyntheticPairwiseInstance(96, &m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(in.Cost(degradation.ModePC), nil)
+	res := solveWith(t, g, Options{H: HPerProcAvg, KPerLevel: 24, UseIncumbent: true})
+	if len(res.Groups) != 24 {
+		t.Fatalf("groups = %d; want 24", len(res.Groups))
+	}
+}
+
+func TestHPerProcAvgRejectedForOAStar(t *testing.T) {
+	g := syntheticGraph(t, 8, 2, 1, degradation.ModePC)
+	if _, err := NewSolver(g, Options{H: HPerProcAvg}); err == nil {
+		t.Error("OA* accepted the inadmissible HPerProcAvg strategy")
+	}
+}
+
+func TestHPerProcAvgQualityOnSmallInstance(t *testing.T) {
+	// The inadmissible estimator must still land near the optimum when
+	// the trimmed graph contains it.
+	var worst float64
+	for seed := int64(1); seed <= 6; seed++ {
+		g := syntheticGraph(t, 12, 4, seed, degradation.ModePC)
+		opt := solveWith(t, g, Options{H: HStrategy2})
+		ha := solveWith(t, g, Options{H: HPerProcAvg, KPerLevel: 3})
+		if ha.Cost < opt.Cost-eps {
+			t.Fatalf("seed %d: HA*(avg) cost %v below optimum %v", seed, ha.Cost, opt.Cost)
+		}
+		if r := ha.Cost / opt.Cost; r > worst {
+			worst = r
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("HA*(avg) worst-case ratio %v; want < 1.5", worst)
+	}
+}
+
+func TestSolverRejectsBadConfigs(t *testing.T) {
+	// Indivisible batch sizes are impossible by construction (builder
+	// pads), so hand-roll a bad one.
+	bd := job.NewBuilder()
+	bd.AddSerial("a")
+	bd.AddSerial("b")
+	b, err := bd.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtx := [][]float64{{0, 0}, {0, 0}}
+	o, err := degradation.NewPairwiseOracle(b, mtx, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := degradation.NewCost(b, o, degradation.ModePC)
+	b.Cores = 3 // corrupt after construction
+	if _, err := NewSolver(graph.New(c, nil), Options{}); err == nil {
+		t.Error("solver accepted n not divisible by u")
+	}
+}
+
+func TestMaxExpansionsAborts(t *testing.T) {
+	g := syntheticGraph(t, 12, 4, 1, degradation.ModePC)
+	s, err := NewSolver(g, Options{H: HNone, MaxExpansions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(); err == nil {
+		t.Error("expansion-limited search did not abort")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	g := syntheticGraph(t, 8, 2, 2, degradation.ModePC)
+	res := solveWith(t, g, Options{H: HStrategy2})
+	st := res.Stats
+	if st.VisitedPaths <= 0 || st.Generated <= 0 || st.MaxQueue <= 0 || st.Duration <= 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+func TestHStrategyString(t *testing.T) {
+	for h, want := range map[HStrategy]string{
+		HNone: "none", HStrategy1: "strategy1", HStrategy2: "strategy2", HPerProc: "perproc",
+	} {
+		if h.String() != want {
+			t.Errorf("%d.String() = %q; want %q", h, h.String(), want)
+		}
+	}
+	if HStrategy(9).String() == "" {
+		t.Error("unknown strategy string empty")
+	}
+}
+
+func TestDismissStrategyKeepsShortestSameSetSubpath(t *testing.T) {
+	// The §III-C1 example: with node weights 11, 9, 9, 7, 4 on nodes
+	// <1,5>,<1,6>,<2,3>,<4,5>,<4,6>, plain A* dismisses the sub-path
+	// <1,5>,<2,3> (distance 20) in favour of <1,6>,<2,3> (18) and ends
+	// at 25, while the optimal valid path <1,5>,<2,3>,<4,6> costs 24.
+	// The set-keyed dismissal must recover 24.
+	bd := job.NewBuilder()
+	for i := 0; i < 6; i++ {
+		bd.AddSerial("s")
+	}
+	b, err := bd.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights are on *nodes*; realise them through a pairwise matrix
+	// where w(<i,j>) = m[i][j] + m[j][i]. Use m[i][j] = half the target
+	// node weight for the five nodes of interest, and large values
+	// elsewhere so the optimum uses only the paper's nodes.
+	big := 100.0
+	target := map[[2]int]float64{
+		{1, 5}: 11, {1, 6}: 9, {2, 3}: 9, {4, 5}: 7, {4, 6}: 4,
+	}
+	n := b.NumProcs()
+	mtx := make([][]float64, n)
+	for i := range mtx {
+		mtx[i] = make([]float64, n)
+		for j := range mtx[i] {
+			if i != j {
+				mtx[i][j] = big
+			}
+		}
+	}
+	for k, w := range target {
+		i, j := k[0]-1, k[1]-1
+		mtx[i][j], mtx[j][i] = w/2, w/2
+	}
+	o, err := degradation.NewPairwiseOracle(b, mtx, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(degradation.NewCost(b, o, degradation.ModePC), nil)
+	res := solveWith(t, g, Options{H: HNone})
+	if math.Abs(res.Cost-24) > eps {
+		t.Errorf("shortest valid path cost = %v; want 24 (the paper's example)", res.Cost)
+	}
+}

@@ -1,0 +1,86 @@
+package astar
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"cosched/internal/bitset"
+	"cosched/internal/job"
+)
+
+// solveBeam runs a layered beam search over the trimmed co-scheduling
+// graph: the frontier advances one machine (path depth) at a time,
+// keeping at each depth the BeamWidth sub-paths with the smallest
+// g + HWeight·h. Work and memory are strictly bounded by
+// BeamWidth × KPerLevel per layer and (n/u) layers, which is what lets
+// the thousand-process HA* runs of Figs. 12-13 finish; the price is that
+// — unlike the priority-list search — a dropped sub-path can never be
+// revisited.
+func (s *Solver) solveBeam() (*Result, error) {
+	start := time.Now()
+	var stats Stats
+	hw := s.opts.HWeight
+	if hw < 1 {
+		hw = 1
+	}
+
+	root := &element{set: bitset.New(s.n), hSerial: s.hSerialAll}
+	if len(s.parJobs) > 0 {
+		root.jobMax = make([]float64, len(s.parJobs))
+	}
+	root.key = s.elementKey(root.set)
+
+	frontier := []*element{root}
+	depths := s.n / s.u
+	for d := 0; d < depths; d++ {
+		bestByKey := make(map[string]*element)
+		for _, e := range frontier {
+			stats.VisitedPaths++
+			leader := e.set.SmallestAbsent(s.n)
+			if leader == 0 {
+				continue
+			}
+			avail := s.available(e, job.ProcID(leader))
+			s.forEachCandidate(e, job.ProcID(leader), avail, &stats, func(node []job.ProcID) {
+				child := s.makeChild(e, node)
+				if prev, ok := bestByKey[child.key]; ok && prev.g <= child.g {
+					return
+				}
+				child.h = s.heuristic(child)
+				bestByKey[child.key] = child
+				stats.Generated++
+			})
+		}
+		if len(bestByKey) == 0 {
+			return nil, errors.New("astar: beam search produced no children (malformed batch)")
+		}
+		next := make([]*element, 0, len(bestByKey))
+		for _, e := range bestByKey {
+			next = append(next, e)
+		}
+		sort.Slice(next, func(i, j int) bool {
+			fi, fj := next[i].g+hw*next[i].h, next[j].g+hw*next[j].h
+			if fi != fj {
+				return fi < fj
+			}
+			return next[i].key < next[j].key
+		})
+		if len(next) > s.opts.BeamWidth {
+			next = next[:s.opts.BeamWidth]
+		}
+		if len(next) > stats.MaxQueue {
+			stats.MaxQueue = len(next)
+		}
+		frontier = next
+	}
+
+	best := frontier[0]
+	for _, e := range frontier[1:] {
+		if e.g < best.g {
+			best = e
+		}
+	}
+	stats.Duration = time.Since(start)
+	return &Result{Groups: reconstruct(best), Cost: best.g, Stats: stats}, nil
+}

@@ -1,0 +1,93 @@
+package astar
+
+import (
+	"cosched/internal/job"
+)
+
+// forEachClassCandidate enumerates the candidate nodes for a level as
+// multisets over process equivalence classes: every PE job forms one
+// class (its ranks are interchangeable — same profile, no communication),
+// while serial processes, PC ranks and padding processes stay singleton
+// classes. For each multiset one representative node is produced, built
+// from the lowest-ID available ranks of each PE class.
+//
+// The enumeration is exact under PE symmetry: every raw candidate node of
+// the level is equivalent (identical weight, identical completion costs)
+// to exactly one representative produced here.
+func (s *Solver) forEachClassCandidate(leader job.ProcID, avail []job.ProcID, fn func(node []job.ProcID) bool) {
+	r := s.u - 1
+	if r == 0 {
+		fn([]job.ProcID{leader})
+		return
+	}
+	if len(avail) < r {
+		return
+	}
+	b := s.gr.Batch
+	// Build the class table: classes[i] lists available members (PE
+	// classes carry all their available ranks; singleton classes one).
+	var classes [][]job.ProcID
+	peClass := make(map[job.JobID]int)
+	imClass := -1
+	for _, p := range avail {
+		j := b.JobOf(p)
+		if j == nil {
+			// padding processes are mutually interchangeable
+			if imClass < 0 {
+				imClass = len(classes)
+				classes = append(classes, nil)
+			}
+			classes[imClass] = append(classes[imClass], p)
+			continue
+		}
+		if s.symmetricJob(j.Kind) {
+			ci, ok := peClass[j.ID]
+			if !ok {
+				ci = len(classes)
+				peClass[j.ID] = ci
+				classes = append(classes, nil)
+			}
+			classes[ci] = append(classes[ci], p)
+			continue
+		}
+		classes = append(classes, []job.ProcID{p})
+	}
+
+	node := make([]job.ProcID, 0, s.u)
+	node = append(node, leader)
+	// Recursive multiset enumeration: choose how many members to take
+	// from each class in order.
+	var rec func(ci, need int) bool
+	rec = func(ci, need int) bool {
+		if need == 0 {
+			sorted := append([]job.ProcID(nil), node...)
+			sortNode(sorted)
+			return fn(sorted)
+		}
+		if ci >= len(classes) {
+			return true
+		}
+		// Feasibility: enough members remain in later classes.
+		remaining := 0
+		for i := ci; i < len(classes) && remaining < need; i++ {
+			remaining += len(classes[i])
+		}
+		if remaining < need {
+			return true
+		}
+		maxTake := len(classes[ci])
+		if maxTake > need {
+			maxTake = need
+		}
+		for take := 0; take <= maxTake; take++ {
+			node = append(node, classes[ci][:take]...)
+			ok := rec(ci+1, need-take)
+			node = node[:len(node)-take]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, r)
+}

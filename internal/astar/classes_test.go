@@ -1,0 +1,125 @@
+package astar
+
+import (
+	"testing"
+
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/job"
+	"cosched/internal/workload"
+)
+
+// classTestSolver builds a solver over 2 PE jobs (3 ranks each) and 2
+// serial jobs on quad-core machines with condensation on.
+func classTestSolver(t *testing.T, mode degradation.Mode) (*Solver, *graph.Graph) {
+	t.Helper()
+	m := cache.QuadCore
+	spec := workload.NewSpec()
+	spec.AddPE(workload.SyntheticProgram("pe1", randFor(1)), 3)
+	spec.AddPE(workload.SyntheticProgram("pe2", randFor(2)), 3)
+	spec.AddSerial(workload.SyntheticProgram("s1", randFor(3)))
+	spec.AddSerial(workload.SyntheticProgram("s2", randFor(4)))
+	in, err := spec.Build(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(in.Cost(mode), in.Patterns)
+	s, err := NewSolver(g, Options{H: HPerProc, Condense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, g
+}
+
+func TestClassCandidateCount(t *testing.T) {
+	s, _ := classTestSolver(t, degradation.ModePE)
+	// Level 1: leader is rank 0 of pe1; available are ranks {2,3} of
+	// pe1, ranks {4,5,6} of pe2, serial {7,8}. Classes: pe1 (2 members),
+	// pe2 (3 members), s7, s8. Multisets of size 3:
+	// enumerate (a from pe1 0..2, b from pe2 0..3, c7 0..1, c8 0..1 with
+	// a+b+c7+c8=3): count = 12.
+	avail := []job.ProcID{2, 3, 4, 5, 6, 7, 8}
+	count := 0
+	seen := map[string]bool{}
+	s.forEachClassCandidate(1, avail, func(node []job.ProcID) bool {
+		count++
+		key := graph.NodeID(node)
+		if seen[key] {
+			t.Fatalf("duplicate representative %v", node)
+		}
+		seen[key] = true
+		if node[0] != 1 || len(node) != 4 {
+			t.Fatalf("bad node %v", node)
+		}
+		return true
+	})
+	want := 0
+	for a := 0; a <= 2; a++ {
+		for b := 0; b <= 3; b++ {
+			for c7 := 0; c7 <= 1; c7++ {
+				for c8 := 0; c8 <= 1; c8++ {
+					if a+b+c7+c8 == 3 {
+						want++
+					}
+				}
+			}
+		}
+	}
+	if count != want {
+		t.Errorf("class candidates = %d; want %d (raw level has C(7,3)=35)", count, want)
+	}
+	if count >= 35 {
+		t.Errorf("class enumeration did not shrink the level: %d nodes", count)
+	}
+}
+
+func TestClassCandidateEarlyStop(t *testing.T) {
+	s, _ := classTestSolver(t, degradation.ModePE)
+	avail := []job.ProcID{2, 3, 4, 5, 6, 7, 8}
+	n := 0
+	s.forEachClassCandidate(1, avail, func(node []job.ProcID) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("enumeration continued after stop: %d", n)
+	}
+}
+
+func TestSymmetricJobByMode(t *testing.T) {
+	m := cache.QuadCore
+	spec := workload.NewSpec()
+	prog, err := workload.PCProgram("CG-Par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.AddPC(prog, 4, nil)
+	spec.AddSerial(workload.SyntheticProgram("s", randFor(9)))
+	spec.AddSerial(workload.SyntheticProgram("t", randFor(10)))
+	spec.AddSerial(workload.SyntheticProgram("u", randFor(11)))
+	spec.AddSerial(workload.SyntheticProgram("v", randFor(12)))
+	in, err := spec.Build(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under ModePC the PC job's ranks are position-bound: no
+	// canonicalisation.
+	gPC := graph.New(in.Cost(degradation.ModePC), in.Patterns)
+	sPC, err := NewSolver(gPC, Options{H: HPerProc, Condense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sPC.peAll != nil {
+		t.Error("PC ranks canonicalised under ModePC")
+	}
+	// Under ModePE communication is invisible, so they are symmetric.
+	gPE := graph.New(in.Cost(degradation.ModePE), in.Patterns)
+	sPE, err := NewSolver(gPE, Options{H: HPerProc, Condense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sPE.peAll == nil {
+		t.Error("PC ranks not canonicalised under ModePE")
+	}
+}

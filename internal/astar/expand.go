@@ -1,0 +1,388 @@
+package astar
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/job"
+)
+
+// forEachCandidate produces the candidate nodes for expanding element e at
+// the given valid level: all of them for OA*, or the first KPerLevel valid
+// nodes in ascending weight order for HA* (§IV). Candidate nodes sharing a
+// condensation key are attempted once when condensation is on (§III-E).
+func (s *Solver) forEachCandidate(e *element, leader job.ProcID, avail []job.ProcID, stats *Stats, fn func(node []job.ProcID)) {
+	k := s.opts.KPerLevel
+	var seen map[string]bool
+	if s.opts.Condense && len(s.parJobs) > 0 {
+		seen = make(map[string]bool)
+	}
+	condensed := func(node []job.ProcID) bool {
+		if seen == nil {
+			return false
+		}
+		ck := s.gr.CondenseKey(node)
+		if seen[ck] {
+			stats.Condensed++
+			return true
+		}
+		seen[ck] = true
+		return false
+	}
+
+	// PE ranks are interchangeable, so with condensation the candidates
+	// are enumerated over equivalence classes (one class per PE job,
+	// singletons otherwise) instead of raw combinations: the level
+	// collapses from C(|avail|, u-1) nodes to a multiset count. This is
+	// what makes mixes with large PE jobs (Fig. 6) tractable, especially
+	// on 8-core machines.
+	if k <= 0 && s.peAll != nil {
+		s.forEachClassCandidate(leader, avail, func(node []job.ProcID) bool {
+			if !condensed(node) {
+				fn(node)
+			}
+			return true
+		})
+		return
+	}
+
+	if k <= 0 {
+		s.gr.ForEachNode(leader, avail, func(node []job.ProcID) bool {
+			if !condensed(node) {
+				fn(node)
+			}
+			return true
+		})
+		return
+	}
+
+	if s.pairW != nil && graph.Binomial(len(avail), s.u-1) > smallLevel {
+		emitted := 0
+		emitFn := func(node []job.ProcID) bool {
+			if condensed(node) {
+				return true
+			}
+			fn(node)
+			emitted++
+			return emitted < k
+		}
+		if k <= exactLazyMaxK && s.u <= 5 {
+			// Exact k-smallest enumeration stays efficient for small
+			// budgets and small node cardinalities; its best-first
+			// frontier over include/exclude states blows up for large k
+			// or deep nodes (u-1 >= 7).
+			s.lazyKSmallest(leader, avail, emitFn)
+		} else {
+			s.anchoredCandidates(leader, avail, k, emitFn)
+		}
+		return
+	}
+
+	// Fallback: enumerate the whole level restricted to avail, sort by
+	// weight, attempt the k cheapest. With an additive oracle the weight
+	// is a direct pair-cost sum, skipping the memoized-oracle overhead.
+	weight := s.cost.NodeWeight
+	if s.pairW != nil {
+		weight = func(node []job.ProcID) float64 {
+			var w float64
+			for i := 1; i < len(node); i++ {
+				ri := s.pairW[int(node[i])-1]
+				for j := 0; j < i; j++ {
+					w += ri[int(node[j])-1]
+				}
+			}
+			return w
+		}
+	}
+	type cand struct {
+		node []job.ProcID
+		w    float64
+	}
+	var cands []cand
+	s.gr.ForEachNode(leader, avail, func(node []job.ProcID) bool {
+		cands = append(cands, cand{node: append([]job.ProcID(nil), node...), w: weight(node)})
+		return true
+	})
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w < cands[j].w
+		}
+		return lessNodes(cands[i].node, cands[j].node)
+	})
+	emitted := 0
+	for i := range cands {
+		if emitted >= k {
+			break
+		}
+		if condensed(cands[i].node) {
+			continue
+		}
+		fn(cands[i].node)
+		emitted++
+	}
+}
+
+const (
+	// smallLevel is the node count below which full enumeration + sort
+	// beats lazy generation.
+	smallLevel = 20000
+	// exactLazyMaxK is the largest per-level budget for which the exact
+	// lazy k-smallest enumerator is used; beyond it the best-first
+	// frontier over include/exclude states degenerates (near-tied
+	// bounds), so the greedy-anchored generator takes over.
+	exactLazyMaxK = 12
+)
+
+// anchoredCandidates approximates the k cheapest nodes of a level at
+// scale: the j-th candidate anchors the leader to its j-th cheapest
+// partner (by pair cost) and completes the node greedily, which yields k
+// diverse low-weight nodes in O(k·u·|avail|) — the HA* trimming spirit of
+// §IV without the paper's full level sort, which is infeasible at
+// C(n-1, u-1) nodes per level (documented in DESIGN.md §3).
+func (s *Solver) anchoredCandidates(leader job.ProcID, avail []job.ProcID, k int, emit func(node []job.ProcID) bool) {
+	r := s.u - 1
+	m := len(avail)
+	if r == 0 {
+		emit([]job.ProcID{leader})
+		return
+	}
+	if m < r {
+		return
+	}
+	li := int(leader) - 1
+	sorted := append([]job.ProcID(nil), avail...)
+	sort.Slice(sorted, func(a, b int) bool {
+		sa, sb := s.pairW[li][int(sorted[a])-1], s.pairW[li][int(sorted[b])-1]
+		if sa != sb {
+			return sa < sb
+		}
+		return sorted[a] < sorted[b]
+	})
+	inNode := make([]bool, s.n+1)
+	node := make([]job.ProcID, 0, s.u)
+	seen := make(map[string]bool, k)
+	for j := 0; j < m; j++ {
+		node = node[:0]
+		node = append(node, leader, sorted[j])
+		inNode[leader], inNode[sorted[j]] = true, true
+		for len(node) < s.u {
+			best := job.ProcID(0)
+			bestInc := math.Inf(1)
+			for _, x := range sorted {
+				if inNode[x] {
+					continue
+				}
+				var inc float64
+				xi := int(x) - 1
+				for _, y := range node {
+					inc += s.pairW[int(y)-1][xi]
+				}
+				if inc < bestInc {
+					bestInc, best = inc, x
+				}
+			}
+			if best == 0 {
+				break
+			}
+			node = append(node, best)
+			inNode[best] = true
+		}
+		done := len(node) < s.u
+		for _, p := range node {
+			inNode[p] = false
+		}
+		inNode[leader] = false
+		if done {
+			continue
+		}
+		sortNode(node)
+		key := nodeKey(node)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if !emit(node) {
+			return
+		}
+		if len(seen) >= k {
+			return
+		}
+	}
+}
+
+// nodeKey builds a compact dedup key for a sorted node.
+func nodeKey(node []job.ProcID) string {
+	b := make([]byte, 0, len(node)*2)
+	for _, p := range node {
+		b = append(b, byte(p), byte(int(p)>>8))
+	}
+	return string(b)
+}
+
+// lessNodes orders nodes lexicographically for deterministic tie-breaks.
+func lessNodes(a, b []job.ProcID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// pairWeights extracts the symmetric pair-cost matrix when the batch is
+// all-serial and the oracle is additive-pairwise; nil otherwise. With it,
+// node weight == sum of pair costs over the node's unordered pairs, which
+// enables lazy k-smallest enumeration without touching the whole level.
+func (s *Solver) pairWeights() [][]float64 {
+	for i := range s.procPar {
+		if s.procPar[i] >= 0 {
+			return nil
+		}
+	}
+	var inner degradation.Oracle = s.cost.Oracle
+	if m, ok := inner.(*degradation.Memoized); ok {
+		inner = m.Inner()
+	}
+	pw, ok := inner.(*degradation.PairwiseOracle)
+	if !ok {
+		return nil
+	}
+	m := pw.Matrix()
+	s.pairM = m
+	w := make([][]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		w[i] = make([]float64, s.n)
+		for j := 0; j < s.n; j++ {
+			w[i][j] = m[i][j] + m[j][i]
+		}
+	}
+	return w
+}
+
+// lazyKSmallest enumerates the nodes {leader} ∪ S, S ⊆ avail, |S| = u-1,
+// in ascending order of node weight without materialising the level. It
+// is a best-first search over include/exclude decisions on avail sorted
+// by leader-pair cost; the admissible completion bound is the sum of the
+// cheapest remaining leader-pair costs. emit returning false stops the
+// enumeration.
+func (s *Solver) lazyKSmallest(leader job.ProcID, avail []job.ProcID, emit func(node []job.ProcID) bool) {
+	r := s.u - 1
+	m := len(avail)
+	if r == 0 {
+		emit([]job.ProcID{leader})
+		return
+	}
+	if m < r {
+		return
+	}
+	li := int(leader) - 1
+	// Sort available processes by their pair cost with the leader.
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	scores := make([]float64, m)
+	for i, p := range avail {
+		scores[i] = s.pairW[li][int(p)-1]
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if scores[idx[a]] != scores[idx[b]] {
+			return scores[idx[a]] < scores[idx[b]]
+		}
+		return avail[idx[a]] < avail[idx[b]]
+	})
+	sortedAvail := make([]job.ProcID, m)
+	sortedS := make([]float64, m)
+	for i, id := range idx {
+		sortedAvail[i] = avail[id]
+		sortedS[i] = scores[id]
+	}
+	prefix := make([]float64, m+1)
+	for i, v := range sortedS {
+		prefix[i+1] = prefix[i] + v
+	}
+	tail := func(pos, need int) float64 {
+		if pos+need > m {
+			return math.Inf(1)
+		}
+		return prefix[pos+need] - prefix[pos]
+	}
+
+	var lq lazyQueue
+	heap.Init(&lq)
+	push := func(members []int32, pos int, exact float64) {
+		need := r - len(members)
+		b := exact + tail(pos, need)
+		if math.IsInf(b, 1) {
+			return
+		}
+		heap.Push(&lq, lazyState{bound: b, exact: exact, members: members, pos: pos})
+	}
+	push(nil, 0, 0)
+
+	node := make([]job.ProcID, s.u)
+	for lq.Len() > 0 {
+		st := heap.Pop(&lq).(lazyState)
+		if len(st.members) == r {
+			node[0] = leader
+			for i, mi := range st.members {
+				node[i+1] = sortedAvail[mi]
+			}
+			sortNode(node)
+			if !emit(node) {
+				return
+			}
+			continue
+		}
+		// Include sortedAvail[st.pos].
+		inc := st.exact + sortedS[st.pos]
+		for _, mi := range st.members {
+			inc += s.pairW[int(sortedAvail[mi])-1][int(sortedAvail[st.pos])-1]
+		}
+		withNew := make([]int32, len(st.members)+1)
+		copy(withNew, st.members)
+		withNew[len(st.members)] = int32(st.pos)
+		push(withNew, st.pos+1, inc)
+		// Exclude it.
+		push(st.members, st.pos+1, st.exact)
+	}
+}
+
+// sortNode sorts a node's processes ascending in place (u is tiny, so
+// insertion sort).
+func sortNode(node []job.ProcID) {
+	for i := 1; i < len(node); i++ {
+		for j := i; j > 0 && node[j] < node[j-1]; j-- {
+			node[j], node[j-1] = node[j-1], node[j]
+		}
+	}
+}
+
+type lazyState struct {
+	bound   float64
+	exact   float64
+	members []int32
+	pos     int
+}
+
+type lazyQueue []lazyState
+
+func (q lazyQueue) Len() int { return len(q) }
+func (q lazyQueue) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound < q[j].bound
+	}
+	return len(q[i].members) > len(q[j].members)
+}
+func (q lazyQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *lazyQueue) Push(x interface{}) { *q = append(*q, x.(lazyState)) }
+func (q *lazyQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

@@ -1,0 +1,183 @@
+package astar
+
+import (
+	"container/heap"
+	"sort"
+
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+)
+
+// heuristic dispatches the configured h(v) estimator for a freshly built
+// child element. All strategies are admissible: they never exceed the true
+// cheapest completion of the sub-path, which by §III-D guarantees that the
+// search stays optimal (for OA*).
+func (s *Solver) heuristic(e *element) float64 {
+	if e.q >= s.n {
+		return 0
+	}
+	switch s.opts.H {
+	case HStrategy1:
+		return s.hStrategy1(e)
+	case HStrategy2:
+		return s.hStrategy2(e)
+	case HPerProc, HPerProcAvg:
+		return s.hPerProc(e)
+	default:
+		return 0
+	}
+}
+
+// hPerProc: every unscheduled serial process must eventually pay at least
+// its cheapest pair degradation (co-runners never help); every parallel
+// job must eventually pay at least the largest such floor among its
+// unscheduled processes, less what the sub-path already paid for it.
+func (s *Solver) hPerProc(e *element) float64 {
+	h := e.hSerial
+	if s.cost.Mode == degradation.ModeSE {
+		return h // everything is charged per-process under SE accounting
+	}
+	b := s.gr.Batch
+	for pi, jid := range s.parJobs {
+		var maxRem float64
+		for _, p := range b.Jobs[jid].Procs {
+			if !e.set.Has(int(p)) {
+				if d := s.dminAll[int(p)-1]; d > maxRem {
+					maxRem = d
+				}
+			}
+		}
+		if e.jobMax != nil && maxRem > e.jobMax[pi] {
+			h += maxRem - e.jobMax[pi]
+		} else if e.jobMax == nil {
+			h += maxRem
+		}
+	}
+	return h
+}
+
+// hStrategy2 (§III-D Strategy 2): the remaining (n-q)/u machines each
+// cost at least the minimum node weight of one remaining valid level; the
+// sum of the (n-q)/u smallest per-level minima over unscheduled-leader
+// levels is therefore a lower bound.
+//
+// With parallel jobs the Eq. 13 objective can undercut node-weight sums
+// (a job's max may already be paid), so in mixed batches the bound is
+// computed from serial-only node weights via the per-process floors.
+func (s *Solver) hStrategy2(e *element) float64 {
+	k := (s.n - e.q) / s.u
+	if k == 0 {
+		return 0
+	}
+	if len(s.parJobs) > 0 {
+		// Mixed batch: fall back to the per-process bound, which
+		// handles parallel maxima correctly.
+		s.computeDmin()
+		return s.hPerProc(e)
+	}
+	// Collect per-level minima for levels led by unscheduled processes
+	// and sum the k smallest. Levels beyond n-u+1 are statically empty
+	// (fewer than u-1 higher-numbered processes exist) and can never
+	// lead a node, so they are excluded rather than counted as zero.
+	mins := make([]float64, 0, s.n-e.q)
+	e.set.ForEachAbsent(s.n, func(v int) bool {
+		if v <= s.n-s.u+1 {
+			mins = append(mins, s.levelMinWeight(job.ProcID(v)))
+		}
+		return true
+	})
+	sort.Float64s(mins)
+	var h float64
+	for i := 0; i < k && i < len(mins); i++ {
+		h += mins[i]
+	}
+	return h
+}
+
+// levelMinWeight returns (and caches) a lower bound on the minimum node
+// weight of the level led by the given process: exact when the level is
+// enumerable, the sum of the u cheapest per-process pair floors otherwise.
+func (s *Solver) levelMinWeight(leader job.ProcID) float64 {
+	if s.levelMinDone[leader] {
+		return s.levelMin[leader]
+	}
+	var w float64
+	if ls, ok := s.gr.LevelStats(leader); ok {
+		w = ls.Min()
+	} else {
+		s.computeDmin()
+		w = s.dminAll[int(leader)-1]
+		rest := make([]float64, 0, s.n-int(leader))
+		for p := int(leader) + 1; p <= s.n; p++ {
+			rest = append(rest, s.dminAll[p-1])
+		}
+		sort.Float64s(rest)
+		for i := 0; i < s.u-1 && i < len(rest); i++ {
+			w += rest[i]
+		}
+	}
+	s.levelMin[leader] = w
+	s.levelMinDone[leader] = true
+	return w
+}
+
+// hStrategy1 (§III-D Strategy 1): regardless of validity, take the
+// (n-q)/u smallest node weights among all nodes of the levels below the
+// element's last node and sum them. Implemented as a k-way merge over the
+// per-level sorted weight arrays.
+func (s *Solver) hStrategy1(e *element) float64 {
+	k := (s.n - e.q) / s.u
+	if k == 0 {
+		return 0
+	}
+	if len(s.parJobs) > 0 {
+		s.computeDmin()
+		return s.hPerProc(e)
+	}
+	l := int(e.node[0])
+	var mh mergeHeap
+	for lv := l + 1; lv <= s.n-s.u+1; lv++ {
+		ls, ok := s.gr.LevelStats(job.ProcID(lv))
+		if !ok {
+			// prepare() guarantees enumerability; defensive fallback
+			return s.hStrategy2(e)
+		}
+		if ls.Size() > 0 {
+			mh = append(mh, mergeCursor{w: ls.SortedWeights[0], level: lv, idx: 0})
+		}
+	}
+	heap.Init(&mh)
+	var h float64
+	for i := 0; i < k && mh.Len() > 0; i++ {
+		cur := mh[0]
+		h += cur.w
+		ls, _ := s.gr.LevelStats(job.ProcID(cur.level))
+		if cur.idx+1 < ls.Size() {
+			mh[0] = mergeCursor{w: ls.SortedWeights[cur.idx+1], level: cur.level, idx: cur.idx + 1}
+			heap.Fix(&mh, 0)
+		} else {
+			heap.Pop(&mh)
+		}
+	}
+	return h
+}
+
+type mergeCursor struct {
+	w     float64
+	level int
+	idx   int
+}
+
+type mergeHeap []mergeCursor
+
+func (m mergeHeap) Len() int            { return len(m) }
+func (m mergeHeap) Less(i, j int) bool  { return m[i].w < m[j].w }
+func (m mergeHeap) Swap(i, j int)       { m[i], m[j] = m[j], m[i] }
+func (m *mergeHeap) Push(x interface{}) { *m = append(*m, x.(mergeCursor)) }
+func (m *mergeHeap) Pop() interface{} {
+	old := *m
+	n := len(old)
+	x := old[n-1]
+	*m = old[:n-1]
+	return x
+}

@@ -1,0 +1,62 @@
+package astar
+
+import (
+	"sync"
+
+	"cosched/internal/job"
+)
+
+// nodeCosts returns the per-process effective degradations of a node
+// (d(p, node\{p}) for each member, in node order), cached per node.
+//
+// The cache key is canonical under the active job symmetries: members of
+// a symmetric parallel job contribute their job identity instead of their
+// rank, so the thousands of rank permutations a PE-heavy search touches
+// share one entry. Job processes occupy contiguous ID ranges, so the
+// class sequence of a sorted node is identical across equivalent nodes
+// and the cached values line up position by position.
+//
+// Only non-additive (SDC) oracles use this path; additive oracles compute
+// costs directly from the interference matrix.
+func (s *Solver) nodeCosts(node []job.ProcID) []float64 {
+	key := s.canonicalNodeKey(node)
+	s.nodeCostMu.Lock()
+	if v, ok := s.nodeCostCache[key]; ok {
+		s.nodeCostMu.Unlock()
+		return v
+	}
+	s.nodeCostMu.Unlock()
+	v := make([]float64, len(node))
+	var others [16]job.ProcID
+	for i, p := range node {
+		co := others[:0]
+		co = append(co, node[:i]...)
+		co = append(co, node[i+1:]...)
+		v[i] = s.cost.ProcCost(p, co)
+	}
+	s.nodeCostMu.Lock()
+	s.nodeCostCache[key] = v
+	s.nodeCostMu.Unlock()
+	return v
+}
+
+// canonicalNodeKey packs the node's members, replacing symmetric ranks by
+// their job identity.
+func (s *Solver) canonicalNodeKey(node []job.ProcID) string {
+	b := make([]byte, 0, len(node)*3)
+	for _, p := range node {
+		if s.peAll != nil && s.peAll.Has(int(p)) {
+			pi := s.procPar[int(p)-1]
+			b = append(b, 0xFF, byte(pi), byte(pi>>8))
+			continue
+		}
+		b = append(b, 0, byte(p), byte(int(p)>>8))
+	}
+	return string(b)
+}
+
+// nodeCostState is embedded in Solver (kept separate for clarity).
+type nodeCostState struct {
+	nodeCostMu    sync.Mutex
+	nodeCostCache map[string][]float64
+}

@@ -1,0 +1,84 @@
+package astar
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/job"
+	"cosched/internal/workload"
+)
+
+func TestNodeCostsMatchOracle(t *testing.T) {
+	m := cache.QuadCore
+	in, err := workload.SyntheticSerialInstance(8, &m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := in.Cost(degradation.ModePC)
+	g := graph.New(c, nil)
+	s, err := NewSolver(g, Options{H: HPerProc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := []job.ProcID{1, 3, 5, 7}
+	costs := s.nodeCosts(node)
+	for i, p := range node {
+		var co []job.ProcID
+		co = append(co, node[:i]...)
+		co = append(co, node[i+1:]...)
+		want := c.ProcCost(p, co)
+		if math.Abs(costs[i]-want) > 1e-12 {
+			t.Errorf("nodeCosts[%d] = %v; want %v", i, costs[i], want)
+		}
+	}
+	// second call hits the cache and returns the same slice
+	again := s.nodeCosts(node)
+	if &again[0] != &costs[0] {
+		t.Error("node costs not cached")
+	}
+}
+
+func TestCanonicalNodeKeySymmetry(t *testing.T) {
+	m := cache.QuadCore
+	spec := workload.NewSpec()
+	spec.AddPE(workload.SyntheticProgram("pe", randFor(1)), 5) // procs 1-5
+	spec.AddSerial(workload.SyntheticProgram("s1", randFor(2)))
+	spec.AddSerial(workload.SyntheticProgram("s2", randFor(3)))
+	spec.AddSerial(workload.SyntheticProgram("s3", randFor(4)))
+	in, err := spec.Build(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(in.Cost(degradation.ModePE), in.Patterns)
+	s, err := NewSolver(g, Options{H: HPerProc, Condense: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equivalent nodes: different PE ranks, same serial members.
+	a := s.canonicalNodeKey([]job.ProcID{1, 2, 6, 7})
+	b := s.canonicalNodeKey([]job.ProcID{3, 5, 6, 7})
+	if a != b {
+		t.Error("equivalent PE nodes have different canonical keys")
+	}
+	// Different serial members must differ.
+	cKey := s.canonicalNodeKey([]job.ProcID{1, 2, 6, 8})
+	if a == cKey {
+		t.Error("nodes with different serial members share a canonical key")
+	}
+	// Different PE counts must differ.
+	dKey := s.canonicalNodeKey([]job.ProcID{1, 2, 3, 6})
+	if a == dKey {
+		t.Error("nodes with different PE counts share a canonical key")
+	}
+	// Without condensation, keys are raw and rank-sensitive.
+	sRaw, err := NewSolver(g, Options{H: HPerProc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRaw.canonicalNodeKey([]job.ProcID{1, 2, 6, 7}) == sRaw.canonicalNodeKey([]job.ProcID{3, 5, 6, 7}) {
+		t.Error("raw keys unexpectedly canonical")
+	}
+}

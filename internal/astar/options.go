@@ -1,0 +1,157 @@
+// Package astar implements the paper's primary contribution: the Optimal
+// A*-search (OA*) and Heuristic A*-search (HA*) algorithms over the
+// co-scheduling graph (§III, §IV).
+//
+// The search extends textbook A* in the two ways §III-C describes:
+//
+//  1. Valid paths. The priority list holds *process sets* (sub-paths keyed
+//     by the set of processes they contain), and a sub-path is dismissed
+//     only when a recorded sub-path over exactly the same process set has
+//     a shorter distance (Theorem 1). Plain per-node dismissal would lose
+//     optimal valid paths.
+//  2. Parallel-aware distances. The distance of a sub-path follows Eq. 13:
+//     serial degradations add up, while each parallel job contributes the
+//     running maximum over its scheduled processes.
+//
+// HA* is OA* with each level's candidate nodes capped to the first
+// MER = n/u valid nodes in ascending weight order (§IV).
+package astar
+
+import (
+	"fmt"
+	"time"
+
+	"cosched/internal/job"
+)
+
+// HStrategy selects the h(v) estimator (§III-D).
+type HStrategy int
+
+const (
+	// HNone uses h = 0: the search degenerates to uniform-cost
+	// (Dijkstra) search, which is exactly the O-SVP algorithm of the
+	// authors' earlier work [33].
+	HNone HStrategy = iota
+	// HStrategy1 is the paper's Strategy 1: take the (n-q)/u smallest
+	// node weights from all nodes of the levels below v, regardless of
+	// validity. Requires the graph's levels to be enumerable.
+	HStrategy1
+	// HStrategy2 is the paper's Strategy 2: take the smallest node
+	// weight of each of the (n-q)/u cheapest remaining valid levels.
+	// Requires per-level minima, exact when levels are enumerable and a
+	// pair-based lower bound otherwise.
+	HStrategy2
+	// HPerProc is this implementation's scalable tightening of Strategy
+	// 2: every unscheduled serial process contributes its cheapest
+	// possible pair degradation (for additive-pairwise oracles, the sum
+	// of its u-1 cheapest pair degradations), and every untouched
+	// parallel job the largest such bound among its processes. O(1)
+	// amortised per child, admissible under the co-runner monotonicity
+	// of the oracle.
+	HPerProc
+	// HPerProcAvg estimates instead of bounds: each unscheduled process
+	// is charged its average pairwise degradation times (u-1)
+	// co-runners. Not admissible — rejected for OA*; it is the strongly
+	// goal-directed estimator HA* uses on large batches (Figs. 12-13
+	// scale).
+	HPerProcAvg
+)
+
+// String implements fmt.Stringer.
+func (h HStrategy) String() string {
+	switch h {
+	case HNone:
+		return "none"
+	case HStrategy1:
+		return "strategy1"
+	case HStrategy2:
+		return "strategy2"
+	case HPerProc:
+		return "perproc"
+	case HPerProcAvg:
+		return "perproc-avg"
+	default:
+		return fmt.Sprintf("HStrategy(%d)", int(h))
+	}
+}
+
+// Options configures one search.
+type Options struct {
+	// H selects the h(v) strategy. The zero value is HNone.
+	H HStrategy
+	// KPerLevel, when positive, caps how many candidate nodes (in
+	// ascending weight order) the search attempts per level: the HA*
+	// trimming of §IV. Zero means unlimited (OA*).
+	KPerLevel int
+	// HWeight inflates the heuristic in the priority: f = g + HWeight·h
+	// (weighted A*). Values above 1 make the search strongly
+	// depth-directed, which is what lets HA* finish thousand-process
+	// batches; they forfeit within-trimmed-graph optimality, so OA*
+	// (KPerLevel == 0) rejects HWeight > 1. Zero means 1.
+	HWeight float64
+	// BeamWidth, when positive, caps how many elements the search
+	// expands at each path depth (number of machines filled). It turns
+	// HA* into a beam search with strictly bounded work
+	// (BeamWidth × n/u expansions), the regime the thousand-process
+	// experiments need. Zero means unbounded. Like HWeight > 1 it
+	// forfeits optimality, so OA* rejects it.
+	BeamWidth int
+	// Condense enables the communication-aware process condensation of
+	// §III-E: candidate nodes with identical condensation keys are
+	// attempted once per expansion.
+	Condense bool
+	// ExactParallel extends the dismissal key with the per-parallel-job
+	// running maxima, restoring provable optimality of Eq. 13 accounting
+	// at the cost of a larger search space (DESIGN.md §3).
+	ExactParallel bool
+	// UseIncumbent primes the search with a greedy upper bound and
+	// prunes children whose f exceeds it. Never affects optimality.
+	UseIncumbent bool
+	// MaxExpansions aborts the search after this many pops (0 = no
+	// limit); the search then returns an error.
+	MaxExpansions int64
+	// TimeLimit aborts the search after this much wall-clock time
+	// (0 = none); the search then returns an error. Unlike
+	// MaxExpansions it also bounds searches whose per-expansion work is
+	// huge (wide levels).
+	TimeLimit time.Duration
+	// Tracer, when non-nil, receives search events (expansions and the
+	// final solution); see WriterTracer for a text renderer.
+	Tracer Tracer
+	// Workers parallelises child evaluation within each expansion (the
+	// paper's §VII future-work direction). Values above 1 spread the
+	// degradation-oracle queries of one expansion across goroutines;
+	// the search order and result stay deterministic. Only the
+	// table-free h strategies (HNone, HPerProc, HPerProcAvg) support
+	// it; 0 and 1 mean serial.
+	Workers int
+}
+
+// Stats reports the work a search performed.
+type Stats struct {
+	// VisitedPaths counts popped (expanded) priority-list elements, the
+	// paper's Table IV metric.
+	VisitedPaths int64
+	// Generated counts child sub-paths pushed into the priority list.
+	Generated int64
+	// Condensed counts candidate nodes skipped by condensation.
+	Condensed int64
+	// Pruned counts children discarded against the incumbent bound.
+	Pruned int64
+	// MaxQueue is the high-water mark of the priority list.
+	MaxQueue int
+	// Duration is the wall-clock solving time.
+	Duration time.Duration
+}
+
+// Result is a complete co-schedule found by the search.
+type Result struct {
+	// Groups is the partition of processes onto machines, in valid-path
+	// order (ascending leaders).
+	Groups [][]job.ProcID
+	// Cost is the Eq. 13 objective of the schedule under the search's
+	// cost model.
+	Cost float64
+	// Stats describes the search effort.
+	Stats Stats
+}

@@ -1,0 +1,66 @@
+package astar
+
+import (
+	"fmt"
+	"sync"
+
+	"cosched/internal/job"
+)
+
+// validateWorkers rejects worker parallelism for strategies whose lazily
+// built tables (per-level statistics) are not safe for concurrent use.
+func (s *Solver) validateWorkers() error {
+	if s.opts.Workers <= 1 {
+		return nil
+	}
+	switch s.opts.H {
+	case HNone, HPerProc, HPerProcAvg:
+		return nil
+	default:
+		return fmt.Errorf("astar: Workers > 1 requires HNone, HPerProc or HPerProcAvg (got %v)", s.opts.H)
+	}
+}
+
+// expandParallel evaluates one expansion's candidate children across
+// worker goroutines: the oracle queries of makeChild and the O(1)
+// heuristics run concurrently, then the children are handed to sink in
+// candidate order so dismissal and heap behaviour stay deterministic.
+func (s *Solver) expandParallel(e *element, leader job.ProcID, avail []job.ProcID, stats *Stats, sink func(child *element)) {
+	var nodes [][]job.ProcID
+	s.forEachCandidate(e, leader, avail, stats, func(node []job.ProcID) {
+		nodes = append(nodes, append([]job.ProcID(nil), node...))
+	})
+	if len(nodes) == 0 {
+		return
+	}
+	workers := s.opts.Workers
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	children := make([]*element, len(nodes))
+	var wg sync.WaitGroup
+	chunk := (len(nodes) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c := s.makeChild(e, nodes[i])
+				c.h = s.heuristic(c)
+				children[i] = c
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, c := range children {
+		sink(c)
+	}
+}

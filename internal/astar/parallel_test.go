@@ -1,0 +1,41 @@
+package astar
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/degradation"
+)
+
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := syntheticGraph(t, 12, 4, seed, degradation.ModePC)
+		serial := solveWith(t, g, Options{H: HPerProc, UseIncumbent: true})
+		par := solveWith(t, g, Options{H: HPerProc, UseIncumbent: true, Workers: 4})
+		if math.Abs(serial.Cost-par.Cost) > eps {
+			t.Errorf("seed %d: workers changed the optimum: %v vs %v", seed, serial.Cost, par.Cost)
+		}
+		if serial.Stats.VisitedPaths != par.Stats.VisitedPaths {
+			t.Errorf("seed %d: visited paths differ: %d vs %d (determinism lost)",
+				seed, serial.Stats.VisitedPaths, par.Stats.VisitedPaths)
+		}
+	}
+}
+
+func TestParallelWorkersMixedBatch(t *testing.T) {
+	g := mixedGraph(t, 12, 2, 3, 4, 5, degradation.ModePC)
+	serial := solveWith(t, g, Options{H: HPerProc, ExactParallel: true})
+	par := solveWith(t, g, Options{H: HPerProc, ExactParallel: true, Workers: 3})
+	if math.Abs(serial.Cost-par.Cost) > eps {
+		t.Errorf("workers changed the mixed-batch optimum: %v vs %v", serial.Cost, par.Cost)
+	}
+}
+
+func TestWorkersRejectedForTableStrategies(t *testing.T) {
+	g := syntheticGraph(t, 8, 2, 1, degradation.ModePC)
+	for _, h := range []HStrategy{HStrategy1, HStrategy2} {
+		if _, err := NewSolver(g, Options{H: h, Workers: 4}); err == nil {
+			t.Errorf("%v accepted workers", h)
+		}
+	}
+}

@@ -1,0 +1,537 @@
+package astar
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"cosched/internal/bitset"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/job"
+)
+
+// Solver runs OA*/HA* searches over one co-scheduling graph. A Solver is
+// not safe for concurrent use; build one per goroutine (they share the
+// memoized oracle safely).
+type Solver struct {
+	gr   *graph.Graph
+	cost *degradation.Cost
+	opts Options
+	n, u int
+
+	// Parallel-job bookkeeping: parJobs lists PE/PC jobs, procPar maps
+	// process -> dense parallel-job index (-1 for serial/imaginary).
+	parJobs []job.JobID
+	procPar []int
+
+	// dminAll[p-1] is the cheapest pair degradation of process p: an
+	// admissible per-process cost floor (co-runners never help, so
+	// d(p,S) >= min_q d(p,{q}) for any non-empty S).
+	dminAll []float64
+	// dminSerial is dminAll for serial processes and 0 for parallel
+	// ones (their cost enters through per-job maxima instead).
+	dminSerial []float64
+	hSerialAll float64 // sum of dminSerial over all processes
+
+	// levelMin caches per-level minimum node weights (exact when the
+	// level is enumerable, pair-based lower bound otherwise).
+	levelMin     []float64
+	levelMinDone []bool
+
+	// pairW[i][j] is the symmetric pair cost m[i][j]+m[j][i] when the
+	// oracle is additive-pairwise and the batch is all-serial; nil
+	// otherwise. Enables lazy k-smallest node enumeration at scale.
+	pairW [][]float64
+	// pairM is the raw interference matrix behind pairW, letting the
+	// hot child-extension path bypass the memoized oracle.
+	pairM [][]float64
+
+	// PE-symmetry canonicalisation (active with Condense): processes of
+	// an embarrassingly-parallel job are interchangeable, so dismissal
+	// keys replace their identities with per-job counts. peAll masks all
+	// PE processes; peJobMask holds one mask per PE job.
+	peAll     *bitset.Set
+	peJobMask []*bitset.Set
+
+	nodeCostState
+}
+
+// element is one priority-list entry: a sub-path recorded as the set of
+// processes it contains (§III-C1).
+type element struct {
+	set     *bitset.Set
+	key     string
+	q       int     // processes scheduled
+	g       float64 // Eq. 13 distance of the sub-path
+	h       float64
+	hSerial float64   // remaining per-process serial bound (HPerProc)
+	jobMax  []float64 // per parallel job: running max degradation
+	parent  *element
+	node    []job.ProcID // the node whose addition created this element
+}
+
+type heapEntry struct {
+	f, g float64
+	seq  int64
+	e    *element
+}
+
+type pqueue []heapEntry
+
+func (q pqueue) Len() int { return len(q) }
+func (q pqueue) Less(i, j int) bool {
+	if q[i].f != q[j].f {
+		return q[i].f < q[j].f
+	}
+	if q[i].g != q[j].g {
+		return q[i].g > q[j].g // deeper paths first among equals
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pqueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pqueue) Push(x interface{}) { *q = append(*q, x.(heapEntry)) }
+func (q *pqueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// NewSolver builds a solver for the given graph and options.
+func NewSolver(g *graph.Graph, opts Options) (*Solver, error) {
+	s := &Solver{
+		gr:   g,
+		cost: g.Cost,
+		opts: opts,
+		n:    g.N(),
+		u:    g.U(),
+	}
+	s.nodeCostCache = make(map[string][]float64)
+	if s.n == 0 || s.n%s.u != 0 {
+		return nil, fmt.Errorf("astar: %d processes not schedulable on %d-core machines", s.n, s.u)
+	}
+	b := g.Batch
+	s.procPar = make([]int, s.n)
+	for i := range s.procPar {
+		s.procPar[i] = -1
+	}
+	for _, jid := range b.ParallelJobs() {
+		idx := len(s.parJobs)
+		s.parJobs = append(s.parJobs, jid)
+		for _, p := range b.Jobs[jid].Procs {
+			s.procPar[int(p)-1] = idx
+		}
+	}
+	if err := s.prepare(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// prepare precomputes the heuristic tables the selected strategy needs.
+func (s *Solver) prepare() error {
+	if err := s.validateAvgUse(); err != nil {
+		return err
+	}
+	if err := s.validateWorkers(); err != nil {
+		return err
+	}
+	s.pairW = s.pairWeights()
+	if s.opts.H == HPerProcAvg {
+		s.computeAvgEstimates()
+	}
+	needDmin := s.opts.H == HPerProc || s.opts.H == HStrategy2 || s.opts.UseIncumbent ||
+		(s.opts.H == HStrategy1 && len(s.parJobs) > 0)
+	if needDmin && s.opts.H != HPerProcAvg {
+		s.computeDmin()
+	}
+	switch s.opts.H {
+	case HStrategy1:
+		// Strategy 1 merges sorted node weights across whole levels,
+		// so every level must be enumerable.
+		for l := 1; l <= s.n-s.u+1; l++ {
+			if _, ok := s.gr.LevelStats(job.ProcID(l)); !ok {
+				return fmt.Errorf("astar: level %d too large for h strategy 1 (use strategy 2 or perproc)", l)
+			}
+		}
+	case HStrategy2:
+		s.levelMin = make([]float64, s.n+1)
+		s.levelMinDone = make([]bool, s.n+1)
+	}
+	if s.opts.KPerLevel > 0 && s.pairW == nil {
+		// HA* without the lazy enumerator must enumerate levels.
+		if graph.Binomial(s.n-1, s.u-1) > int64(graph.DefaultEnumLimit) {
+			return fmt.Errorf("astar: HA* needs enumerable levels or an additive pairwise oracle at n=%d u=%d", s.n, s.u)
+		}
+	}
+	if s.opts.Condense {
+		b := s.gr.Batch
+		for _, jid := range b.ParallelJobs() {
+			if !s.symmetricJob(b.Jobs[jid].Kind) {
+				continue
+			}
+			if s.peAll == nil {
+				s.peAll = bitset.New(s.n)
+			}
+			jm := bitset.New(s.n)
+			for _, p := range b.Jobs[jid].Procs {
+				jm.Add(int(p))
+				s.peAll.Add(int(p))
+			}
+			s.peJobMask = append(s.peJobMask, jm)
+		}
+		// Padding processes are interchangeable too: zero degradation,
+		// no identity. They form one more symmetry class.
+		var im *bitset.Set
+		for i := range b.Procs {
+			if b.Procs[i].Imaginary {
+				if im == nil {
+					im = bitset.New(s.n)
+				}
+				im.Add(int(b.Procs[i].ID))
+			}
+		}
+		if im != nil {
+			if s.peAll == nil {
+				s.peAll = bitset.New(s.n)
+			}
+			for i := range b.Procs {
+				if b.Procs[i].Imaginary {
+					s.peAll.Add(int(b.Procs[i].ID))
+				}
+			}
+			s.peJobMask = append(s.peJobMask, im)
+		}
+	}
+	return nil
+}
+
+// symmetricJob reports whether the ranks of a parallel job of this kind
+// are interchangeable under the active cost mode: PE ranks always are
+// (identical profiles, no communication); PC ranks are too when the mode
+// ignores communication (ModeSE/ModePE), since nothing then distinguishes
+// one rank from another.
+func (s *Solver) symmetricJob(k job.Kind) bool {
+	if k == job.PE {
+		return true
+	}
+	return k == job.PC && s.cost.Mode != degradation.ModePC
+}
+
+// elementKey builds the dismissal key for a process set: the raw set, or
+// — when PE symmetry canonicalisation is active — the set with PE
+// processes replaced by per-job counts, collapsing equivalent rank
+// permutations into one sub-path family.
+func (s *Solver) elementKey(set *bitset.Set) string {
+	if s.peAll == nil {
+		return set.Key()
+	}
+	key := set.KeyMasked(s.peAll)
+	counts := make([]byte, len(s.peJobMask))
+	for i, jm := range s.peJobMask {
+		counts[i] = byte(set.IntersectCount(jm))
+	}
+	return key + string(counts)
+}
+
+// computeDmin fills the per-process admissible cost floors from pair
+// degradations: for additive-pairwise oracles the sum of the u-1 cheapest
+// pair degradations (exact additivity), for general monotone oracles the
+// single cheapest pair (d(p,S) >= min_q d(p,{q}) because co-runners never
+// help).
+func (s *Solver) computeDmin() {
+	if s.dminAll != nil {
+		return
+	}
+	s.dminAll = make([]float64, s.n)
+	s.dminSerial = make([]float64, s.n)
+	b := s.gr.Batch
+	row := make([]float64, 0, s.n)
+	for p := 1; p <= s.n; p++ {
+		if b.Procs[p-1].Imaginary {
+			continue
+		}
+		row = row[:0]
+		for q := 1; q <= s.n; q++ {
+			if q == p {
+				continue
+			}
+			row = append(row, s.cost.ProcCost(job.ProcID(p), []job.ProcID{job.ProcID(q)}))
+		}
+		var bound float64
+		if len(row) > 0 {
+			sort.Float64s(row)
+			if s.pairW != nil {
+				for i := 0; i < s.u-1 && i < len(row); i++ {
+					bound += row[i]
+				}
+			} else {
+				bound = row[0]
+			}
+		}
+		s.dminAll[p-1] = bound
+		if s.procPar[p-1] < 0 || s.cost.Mode == degradation.ModeSE {
+			// Under SE accounting every process contributes to the sum
+			// directly, so parallel processes get per-process floors
+			// too (their per-job-max treatment only applies to the
+			// other modes).
+			s.dminSerial[p-1] = bound
+			s.hSerialAll += bound
+		}
+	}
+}
+
+// Solve runs the search and returns the best schedule it can prove (the
+// optimal one for OA*; the trimmed-search result for HA*). With
+// BeamWidth set it runs the layered beam search instead.
+func (s *Solver) Solve() (*Result, error) {
+	if s.opts.BeamWidth > 0 {
+		return s.solveBeam()
+	}
+	start := time.Now()
+	var stats Stats
+	ub := math.Inf(1)
+	var greedyGroups [][]job.ProcID
+	if s.opts.UseIncumbent {
+		if greedyGroups = s.greedySchedule(); greedyGroups != nil {
+			ub = s.cost.PartitionCost(greedyGroups)
+		}
+	}
+	// Incumbent pruning is only sound when f never overestimates: an
+	// admissible h at weight 1. Inadmissible or weighted searches keep
+	// the incumbent purely as a fallback result.
+	pruneExact := s.opts.H != HPerProcAvg && s.opts.HWeight <= 1
+	var bestComplete *element
+
+	root := &element{set: bitset.New(s.n), hSerial: s.hSerialAll}
+	if len(s.parJobs) > 0 {
+		root.jobMax = make([]float64, len(s.parJobs))
+	}
+	root.key = s.elementKey(root.set)
+
+	hw := s.opts.HWeight
+	if hw < 1 {
+		hw = 1
+	}
+	bestG := map[string]float64{root.key: 0}
+	var pq pqueue
+	heap.Init(&pq)
+	var seq int64
+	heap.Push(&pq, heapEntry{f: 0, g: 0, seq: seq, e: root})
+	seq++
+
+	for pq.Len() > 0 {
+		if pq.Len() > stats.MaxQueue {
+			stats.MaxQueue = pq.Len()
+		}
+		ent := heap.Pop(&pq).(heapEntry)
+		e := ent.e
+		if g, ok := bestG[e.key]; !ok || e.g > g {
+			continue // stale entry superseded by a shorter same-set sub-path
+		}
+		stats.VisitedPaths++
+		if s.opts.MaxExpansions > 0 && stats.VisitedPaths > s.opts.MaxExpansions {
+			return nil, fmt.Errorf("astar: expansion limit %d exceeded", s.opts.MaxExpansions)
+		}
+		if s.opts.TimeLimit > 0 && time.Since(start) > s.opts.TimeLimit {
+			return nil, fmt.Errorf("astar: time limit %v exceeded", s.opts.TimeLimit)
+		}
+		leader := e.set.SmallestAbsent(s.n)
+		if s.opts.Tracer != nil {
+			s.opts.Tracer.Expand(stats.VisitedPaths, e.q/s.u, e.g, e.h, job.ProcID(leader))
+		}
+		if leader == 0 {
+			if bestComplete != nil && bestComplete.g < e.g {
+				e = bestComplete
+			}
+			stats.Duration = time.Since(start)
+			groups := reconstruct(e)
+			if s.opts.Tracer != nil {
+				s.opts.Tracer.Solution(e.g, groups)
+			}
+			return &Result{Groups: groups, Cost: e.g, Stats: stats}, nil
+		}
+		avail := s.available(e, job.ProcID(leader))
+
+		admit := func(child *element) {
+			if prev, ok := bestG[child.key]; ok && prev <= child.g {
+				return
+			}
+			f := child.g + hw*child.h
+			if pruneExact && f > ub {
+				stats.Pruned++
+				return
+			}
+			// With a concrete schedule achieving ub in hand, ties are
+			// prunable too: a path with f == ub cannot beat it.
+			if pruneExact && f >= ub-1e-12 && (bestComplete != nil || greedyGroups != nil) && child.q < s.n {
+				stats.Pruned++
+				return
+			}
+			if child.q == s.n {
+				if child.g < ub {
+					ub = child.g // every completed child tightens the bound
+				}
+				if bestComplete == nil || child.g < bestComplete.g {
+					bestComplete = child
+				}
+			}
+			bestG[child.key] = child.g
+			heap.Push(&pq, heapEntry{f: f, g: child.g, seq: seq, e: child})
+			seq++
+			stats.Generated++
+		}
+		if s.opts.Workers > 1 {
+			s.expandParallel(e, job.ProcID(leader), avail, &stats, admit)
+		} else {
+			s.forEachCandidate(e, job.ProcID(leader), avail, &stats, func(node []job.ProcID) {
+				child := s.makeChild(e, node)
+				if prev, ok := bestG[child.key]; ok && prev <= child.g {
+					return // dismissed before spending h work
+				}
+				child.h = s.heuristic(child)
+				admit(child)
+			})
+		}
+	}
+	// Exhausted queue: fall back to the best complete schedule seen.
+	stats.Duration = time.Since(start)
+	if bestComplete != nil {
+		return &Result{Groups: reconstruct(bestComplete), Cost: bestComplete.g, Stats: stats}, nil
+	}
+	if greedyGroups != nil {
+		return &Result{Groups: greedyGroups, Cost: s.cost.PartitionCost(greedyGroups), Stats: stats}, nil
+	}
+	return nil, errors.New("astar: priority list exhausted without a complete schedule")
+}
+
+// available lists the unscheduled processes excluding the leader.
+func (s *Solver) available(e *element, leader job.ProcID) []job.ProcID {
+	avail := make([]job.ProcID, 0, s.n-e.q-1)
+	e.set.ForEachAbsent(s.n, func(v int) bool {
+		if job.ProcID(v) != leader {
+			avail = append(avail, job.ProcID(v))
+		}
+		return true
+	})
+	return avail
+}
+
+// makeChild extends a sub-path with one node, maintaining the Eq. 13
+// distance and the per-parallel-job maxima incrementally.
+func (s *Solver) makeChild(e *element, node []job.ProcID) *element {
+	child := &element{
+		set:     e.set.Clone(),
+		q:       e.q + len(node),
+		g:       e.g,
+		hSerial: e.hSerial,
+		jobMax:  e.jobMax,
+		parent:  e,
+		node:    append([]job.ProcID(nil), node...),
+	}
+	jobMaxCopied := false
+	var costs []float64
+	if s.pairM == nil {
+		costs = s.nodeCosts(node)
+	}
+	for i, p := range node {
+		child.set.Add(int(p))
+		var d float64
+		if s.pairM != nil {
+			row := s.pairM[int(p)-1]
+			for j, q := range node {
+				if j != i {
+					d += row[int(q)-1]
+				}
+			}
+		} else {
+			d = costs[i]
+		}
+		pi := s.procPar[int(p)-1]
+		if s.cost.Mode == degradation.ModeSE || pi < 0 {
+			child.g += d
+			if s.dminSerial != nil {
+				child.hSerial -= s.dminSerial[int(p)-1]
+			}
+			continue
+		}
+		if d > child.jobMax[pi] {
+			if !jobMaxCopied {
+				child.jobMax = append([]float64(nil), child.jobMax...)
+				jobMaxCopied = true
+			}
+			child.g += d - child.jobMax[pi]
+			child.jobMax[pi] = d
+		}
+	}
+	child.key = s.elementKey(child.set)
+	if s.opts.ExactParallel && len(child.jobMax) > 0 {
+		child.key += jobMaxKey(child.jobMax)
+	}
+	return child
+}
+
+// jobMaxKey encodes the per-job maxima into the dismissal key for
+// ExactParallel mode.
+func jobMaxKey(jm []float64) string {
+	b := make([]byte, 0, 8*len(jm))
+	for _, v := range jm {
+		u := math.Float64bits(v)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return string(b)
+}
+
+// reconstruct walks parent pointers back to the root.
+func reconstruct(e *element) [][]job.ProcID {
+	var rev [][]job.ProcID
+	for cur := e; cur != nil && cur.node != nil; cur = cur.parent {
+		rev = append(rev, cur.node)
+	}
+	groups := make([][]job.ProcID, len(rev))
+	for i := range rev {
+		groups[i] = rev[len(rev)-1-i]
+	}
+	return groups
+}
+
+// greedySchedule builds a quick feasible schedule for the incumbent
+// bound: repeatedly fill the machine led by the smallest unscheduled
+// process with the locally cheapest companions.
+func (s *Solver) greedySchedule() [][]job.ProcID {
+	set := bitset.New(s.n)
+	var groups [][]job.ProcID
+	for {
+		leader := set.SmallestAbsent(s.n)
+		if leader == 0 {
+			return groups
+		}
+		node := []job.ProcID{job.ProcID(leader)}
+		set.Add(leader)
+		for len(node) < s.u {
+			bestP := 0
+			bestW := math.Inf(1)
+			set.ForEachAbsent(s.n, func(v int) bool {
+				cand := append(node, job.ProcID(v))
+				w := s.cost.NodeWeight(cand)
+				if w < bestW {
+					bestW, bestP = w, v
+				}
+				node = cand[:len(node)]
+				return true
+			})
+			if bestP == 0 {
+				return nil // not enough processes left: malformed batch
+			}
+			node = append(node, job.ProcID(bestP))
+			set.Add(bestP)
+		}
+		groups = append(groups, job.SortedProcIDs(node))
+	}
+}

@@ -1,0 +1,20 @@
+package astar
+
+import (
+	"math/rand"
+
+	"cosched/internal/bitset"
+)
+
+// randFor returns a seeded RNG for synthetic-program construction in
+// tests.
+func randFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// newTestSet builds a bit set holding the given values.
+func newTestSet(capacity int, vals ...int) *bitset.Set {
+	s := bitset.New(capacity)
+	for _, v := range vals {
+		s.Add(v)
+	}
+	return s
+}

@@ -1,0 +1,26 @@
+package astar
+
+import (
+	"testing"
+	"time"
+
+	"cosched/internal/degradation"
+)
+
+func TestTimeLimitAborts(t *testing.T) {
+	g := syntheticGraph(t, 16, 4, 1, degradation.ModePC)
+	s, err := NewSolver(g, Options{H: HNone, TimeLimit: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(); err == nil {
+		t.Error("time-limited search did not abort")
+	}
+	s2, err := NewSolver(g, Options{H: HPerProc, UseIncumbent: true, TimeLimit: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Solve(); err != nil {
+		t.Errorf("generous time limit failed: %v", err)
+	}
+}

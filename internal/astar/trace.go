@@ -1,0 +1,44 @@
+package astar
+
+import (
+	"fmt"
+	"io"
+
+	"cosched/internal/graph"
+	"cosched/internal/job"
+)
+
+// Tracer receives search events; attach one through Options.Tracer to
+// watch OA*/HA* work (teaching, debugging h strategies, understanding why
+// a sub-path was dismissed). The zero-overhead default is no tracer.
+type Tracer interface {
+	// Expand is called when an element is popped for expansion.
+	Expand(popIndex int64, depth int, g, h float64, leader job.ProcID)
+	// Solution is called once with the final schedule.
+	Solution(cost float64, groups [][]job.ProcID)
+}
+
+// WriterTracer renders search events as text lines, one per expansion.
+type WriterTracer struct {
+	W io.Writer
+	// Every reduces volume: only each Every-th expansion is printed
+	// (the solution line always is). Zero means every expansion.
+	Every int64
+}
+
+// Expand implements Tracer.
+func (t *WriterTracer) Expand(popIndex int64, depth int, g, h float64, leader job.ProcID) {
+	if t.Every > 1 && popIndex%t.Every != 0 {
+		return
+	}
+	fmt.Fprintf(t.W, "pop %6d depth %3d g=%.4f h=%.4f next-level=%d\n", popIndex, depth, g, h, leader)
+}
+
+// Solution implements Tracer.
+func (t *WriterTracer) Solution(cost float64, groups [][]job.ProcID) {
+	fmt.Fprintf(t.W, "solution cost=%.4f machines=%d:", cost, len(groups))
+	for _, g := range groups {
+		fmt.Fprintf(t.W, " %s", graph.NodeID(g))
+	}
+	fmt.Fprintln(t.W)
+}

@@ -1,0 +1,54 @@
+package astar
+
+import (
+	"strings"
+	"testing"
+
+	"cosched/internal/degradation"
+)
+
+func TestWriterTracer(t *testing.T) {
+	g := syntheticGraph(t, 8, 2, 1, degradation.ModePC)
+	var sb strings.Builder
+	s, err := NewSolver(g, Options{H: HPerProc, Tracer: &WriterTracer{W: &sb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "pop ") {
+		t.Error("no expansion lines traced")
+	}
+	if !strings.Contains(out, "solution cost=") {
+		t.Error("no solution line traced")
+	}
+	if !strings.Contains(out, "<1,") {
+		t.Error("solution nodes not rendered")
+	}
+	_ = res
+}
+
+func TestWriterTracerEvery(t *testing.T) {
+	g := syntheticGraph(t, 8, 2, 2, degradation.ModePC)
+	var all, sampled strings.Builder
+	s1, err := NewSolver(g, Options{H: HPerProc, Tracer: &WriterTracer{W: &all}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSolver(g, Options{H: HPerProc, Tracer: &WriterTracer{W: &sampled, Every: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sampled.String(), "pop ") >= strings.Count(all.String(), "pop ") {
+		t.Error("sampling did not reduce trace volume")
+	}
+}

@@ -1,0 +1,130 @@
+// Package bitset provides the fixed-capacity bit sets the search
+// algorithms use to track scheduled processes. The extended A*-search
+// records, for every examined sub-path, the *set* of processes it contains
+// (§III-C1); with batches of up to a few thousand processes those sets
+// must be compact and cheap to compare, which is what this package is for.
+package bitset
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// Set is a bit set over the integers [1, capacity]. Index 0 is unused,
+// matching the 1-based process IDs of the job package.
+type Set struct {
+	words []uint64
+}
+
+// New returns an empty set able to hold values 1..capacity.
+func New(capacity int) *Set {
+	return &Set{words: make([]uint64, (capacity+64)/64)}
+}
+
+// Add inserts v into the set.
+func (s *Set) Add(v int) { s.words[v>>6] |= 1 << (uint(v) & 63) }
+
+// Remove deletes v from the set.
+func (s *Set) Remove(v int) { s.words[v>>6] &^= 1 << (uint(v) & 63) }
+
+// Has reports whether v is in the set.
+func (s *Set) Has(v int) bool { return s.words[v>>6]&(1<<(uint(v)&63)) != 0 }
+
+// Len returns the number of elements in the set.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() *Set {
+	return &Set{words: append([]uint64(nil), s.words...)}
+}
+
+// Key returns a map key uniquely identifying the set's contents among sets
+// of the same capacity. The underlying bytes are copied into the string.
+func (s *Set) Key() string {
+	if len(s.words) == 0 {
+		return ""
+	}
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&s.words[0])), len(s.words)*8)
+	return string(b)
+}
+
+// KeyMasked returns a map key for the set's contents with the bits of
+// mask cleared. The search uses it to canonicalise process sets under
+// job symmetries: interchangeable processes are masked out of the key
+// and re-added as counts.
+func (s *Set) KeyMasked(mask *Set) string {
+	if len(s.words) == 0 {
+		return ""
+	}
+	buf := make([]byte, len(s.words)*8)
+	for i, w := range s.words {
+		if i < len(mask.words) {
+			w &^= mask.words[i]
+		}
+		for b := 0; b < 8; b++ {
+			buf[i*8+b] = byte(w >> (8 * b))
+		}
+	}
+	return string(buf)
+}
+
+// IntersectCount returns |s ∩ mask|.
+func (s *Set) IntersectCount(mask *Set) int {
+	n := 0
+	for i, w := range s.words {
+		if i < len(mask.words) {
+			n += bits.OnesCount64(w & mask.words[i])
+		}
+	}
+	return n
+}
+
+// SmallestAbsent returns the smallest value in [1, capacity] not in the
+// set, or 0 if the set contains all of them. This is how the search finds
+// the next *valid level* of the co-scheduling graph: the first level whose
+// number does not appear in the sub-path's process set.
+func (s *Set) SmallestAbsent(capacity int) int {
+	for wi, w := range s.words {
+		inv := ^w
+		if wi == 0 {
+			inv &^= 1 // value 0 is not a member of the domain
+		}
+		if inv == 0 {
+			continue
+		}
+		v := wi*64 + bits.TrailingZeros64(inv)
+		if v > capacity {
+			return 0
+		}
+		return v
+	}
+	return 0
+}
+
+// ForEachAbsent calls fn for every value in [1, capacity] not in the set,
+// in ascending order. fn returning false stops the iteration.
+func (s *Set) ForEachAbsent(capacity int, fn func(v int) bool) {
+	for v := 1; v <= capacity; v++ {
+		if !s.Has(v) {
+			if !fn(v) {
+				return
+			}
+		}
+	}
+}
+
+// AppendAbsent appends every value in [1, capacity] not in the set to dst
+// in ascending order and returns the extended slice.
+func (s *Set) AppendAbsent(capacity int, dst []int) []int {
+	s.ForEachAbsent(capacity, func(v int) bool {
+		dst = append(dst, v)
+		return true
+	})
+	return dst
+}

@@ -1,0 +1,227 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(130)
+	for _, v := range []int{1, 64, 65, 128, 130} {
+		if s.Has(v) {
+			t.Errorf("empty set has %d", v)
+		}
+		s.Add(v)
+		if !s.Has(v) {
+			t.Errorf("set missing %d after Add", v)
+		}
+	}
+	if got := s.Len(); got != 5 {
+		t.Errorf("Len = %d; want 5", got)
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Error("set has 64 after Remove")
+	}
+	if got := s.Len(); got != 4 {
+		t.Errorf("Len = %d; want 4", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	c := s.Clone()
+	c.Add(7)
+	if s.Has(7) {
+		t.Error("Clone shares storage")
+	}
+	if !c.Has(3) {
+		t.Error("Clone lost element")
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	// Property: two sets over the same capacity have equal keys iff they
+	// have equal contents.
+	f := func(a, b []uint8) bool {
+		s1, s2 := New(256), New(256)
+		m1, m2 := map[int]bool{}, map[int]bool{}
+		for _, v := range a {
+			s1.Add(int(v)%256 + 1)
+			m1[int(v)%256+1] = true
+		}
+		for _, v := range b {
+			s2.Add(int(v)%256 + 1)
+			m2[int(v)%256+1] = true
+		}
+		same := len(m1) == len(m2)
+		if same {
+			for k := range m1 {
+				if !m2[k] {
+					same = false
+					break
+				}
+			}
+		}
+		return (s1.Key() == s2.Key()) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallestAbsent(t *testing.T) {
+	s := New(6)
+	if got := s.SmallestAbsent(6); got != 1 {
+		t.Errorf("SmallestAbsent(empty) = %d; want 1", got)
+	}
+	s.Add(1)
+	s.Add(2)
+	s.Add(4)
+	if got := s.SmallestAbsent(6); got != 3 {
+		t.Errorf("SmallestAbsent = %d; want 3", got)
+	}
+	for _, v := range []int{3, 5, 6} {
+		s.Add(v)
+	}
+	if got := s.SmallestAbsent(6); got != 0 {
+		t.Errorf("SmallestAbsent(full) = %d; want 0", got)
+	}
+}
+
+func TestSmallestAbsentAcrossWords(t *testing.T) {
+	s := New(200)
+	for v := 1; v <= 150; v++ {
+		s.Add(v)
+	}
+	if got := s.SmallestAbsent(200); got != 151 {
+		t.Errorf("SmallestAbsent = %d; want 151", got)
+	}
+	for v := 151; v <= 200; v++ {
+		s.Add(v)
+	}
+	if got := s.SmallestAbsent(200); got != 0 {
+		t.Errorf("SmallestAbsent(full 200) = %d; want 0", got)
+	}
+}
+
+func TestForEachAbsentAndAppend(t *testing.T) {
+	s := New(8)
+	s.Add(2)
+	s.Add(5)
+	var got []int
+	s.ForEachAbsent(8, func(v int) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []int{1, 3, 4, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("ForEachAbsent = %v; want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachAbsent = %v; want %v", got, want)
+		}
+	}
+	// early stop
+	count := 0
+	s.ForEachAbsent(8, func(v int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early-stopped iteration ran %d times; want 3", count)
+	}
+	app := s.AppendAbsent(8, []int{99})
+	if app[0] != 99 || len(app) != 7 {
+		t.Errorf("AppendAbsent = %v", app)
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := New(500)
+	ref := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		v := 1 + rng.Intn(500)
+		if rng.Intn(2) == 0 {
+			s.Add(v)
+			ref[v] = true
+		} else {
+			s.Remove(v)
+			delete(ref, v)
+		}
+	}
+	if s.Len() != len(ref) {
+		t.Fatalf("Len = %d; want %d", s.Len(), len(ref))
+	}
+	for v := 1; v <= 500; v++ {
+		if s.Has(v) != ref[v] {
+			t.Fatalf("Has(%d) = %v; want %v", v, s.Has(v), ref[v])
+		}
+	}
+	// SmallestAbsent agrees with the reference
+	want := 0
+	for v := 1; v <= 500; v++ {
+		if !ref[v] {
+			want = v
+			break
+		}
+	}
+	if got := s.SmallestAbsent(500); got != want {
+		t.Fatalf("SmallestAbsent = %d; want %d", got, want)
+	}
+}
+
+func TestKeyMaskedAndIntersectCount(t *testing.T) {
+	s := New(130)
+	for _, v := range []int{1, 5, 64, 100, 129} {
+		s.Add(v)
+	}
+	mask := New(130)
+	mask.Add(5)
+	mask.Add(100)
+	mask.Add(128) // masking an absent bit is a no-op
+
+	// The masked key must equal the key of the set minus the mask.
+	want := New(130)
+	for _, v := range []int{1, 64, 129} {
+		want.Add(v)
+	}
+	if s.KeyMasked(mask) != want.Key() {
+		t.Error("KeyMasked differs from key of the difference set")
+	}
+	if got := s.IntersectCount(mask); got != 2 {
+		t.Errorf("IntersectCount = %d; want 2", got)
+	}
+	empty := New(130)
+	if got := s.IntersectCount(empty); got != 0 {
+		t.Errorf("IntersectCount(empty) = %d; want 0", got)
+	}
+	// Sets differing only inside the mask share a masked key.
+	s2 := s.Clone()
+	s2.Remove(5)
+	s2.Add(100) // already set; still only-masked difference
+	if s.KeyMasked(mask) != s2.KeyMasked(mask) {
+		t.Error("masked keys differ despite only-masked differences")
+	}
+	// A difference outside the mask must show.
+	s3 := s.Clone()
+	s3.Add(2)
+	if s.KeyMasked(mask) == s3.KeyMasked(mask) {
+		t.Error("masked keys equal despite unmasked difference")
+	}
+}
+
+func TestKeyZeroCapacity(t *testing.T) {
+	s := New(0)
+	if s.Key() != "" && len(s.Key()) == 0 {
+		t.Error("unreachable")
+	}
+	// capacity 0 still allocates one word; Key is stable
+	if s.Key() != s.Clone().Key() {
+		t.Error("zero-capacity keys unstable")
+	}
+}

@@ -1,0 +1,170 @@
+// Package bruteforce enumerates every partition of a batch into
+// u-cardinality machine groups and returns the Eq. 13 optimum. It is the
+// verification oracle for OA*, HA*, O-SVP, PG and the IP method on small
+// instances (feasible up to roughly 16 processes on quad-core machines:
+// C(15,3)·C(11,3)·C(7,3) ≈ 2.6M partitions).
+package bruteforce
+
+import (
+	"fmt"
+	"math"
+
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+)
+
+// Result is the provably optimal schedule.
+type Result struct {
+	Groups [][]job.ProcID
+	Cost   float64
+	// Partitions counts the complete partitions evaluated (after
+	// branch-and-bound pruning).
+	Partitions int64
+}
+
+// MaxProcs guards against accidentally launching an astronomically large
+// enumeration.
+const MaxProcs = 24
+
+type searcher struct {
+	cost    *degradation.Cost
+	batch   *job.Batch
+	n, u    int
+	used    []bool
+	procPar []int // dense parallel-job index per process, -1 for serial
+	jobMax  []float64
+	dist    float64
+	cur     [][]job.ProcID
+	best    float64
+	bestG   [][]job.ProcID
+	parts   int64
+}
+
+// Solve exhaustively finds the minimum-objective partition.
+func Solve(c *degradation.Cost) (*Result, error) {
+	b := c.Batch
+	n := b.NumProcs()
+	if n > MaxProcs {
+		return nil, fmt.Errorf("bruteforce: %d processes exceed the enumeration guard (%d)", n, MaxProcs)
+	}
+	s := &searcher{
+		cost:  c,
+		batch: b,
+		n:     n,
+		u:     b.Cores,
+		used:  make([]bool, n+1),
+		best:  math.Inf(1),
+	}
+	s.procPar = make([]int, n)
+	for i := range s.procPar {
+		s.procPar[i] = -1
+	}
+	par := b.ParallelJobs()
+	for idx, jid := range par {
+		for _, p := range b.Jobs[jid].Procs {
+			s.procPar[int(p)-1] = idx
+		}
+	}
+	s.jobMax = make([]float64, len(par))
+	s.recurse()
+	if math.IsInf(s.best, 1) {
+		return nil, fmt.Errorf("bruteforce: no feasible partition")
+	}
+	return &Result{Groups: s.bestG, Cost: s.best, Partitions: s.parts}, nil
+}
+
+func (s *searcher) recurse() {
+	leader := 0
+	for p := 1; p <= s.n; p++ {
+		if !s.used[p] {
+			leader = p
+			break
+		}
+	}
+	if leader == 0 {
+		s.parts++
+		if s.dist < s.best {
+			s.best = s.dist
+			s.bestG = make([][]job.ProcID, len(s.cur))
+			for i, g := range s.cur {
+				s.bestG[i] = append([]job.ProcID(nil), g...)
+			}
+		}
+		return
+	}
+	avail := make([]int, 0, s.n-leader)
+	for p := leader + 1; p <= s.n; p++ {
+		if !s.used[p] {
+			avail = append(avail, p)
+		}
+	}
+	r := s.u - 1
+	if len(avail) < r {
+		return
+	}
+	idx := make([]int, r)
+	for i := range idx {
+		idx[i] = i
+	}
+	node := make([]job.ProcID, s.u)
+	node[0] = job.ProcID(leader)
+	for {
+		for i, ai := range idx {
+			node[i+1] = job.ProcID(avail[ai])
+		}
+		s.tryNode(node)
+		i := r - 1
+		for i >= 0 && idx[i] == len(avail)-r+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < r; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// tryNode commits one machine group, recurses and undoes the commit.
+// Increments are non-negative, so sub-paths already at or above the
+// incumbent are pruned.
+func (s *searcher) tryNode(node []job.ProcID) {
+	type undo struct {
+		pi  int
+		old float64
+	}
+	var undos []undo
+	savedDist := s.dist
+	var others [16]job.ProcID
+	for i, p := range node {
+		s.used[p] = true
+		co := others[:0]
+		co = append(co, node[:i]...)
+		co = append(co, node[i+1:]...)
+		d := s.cost.ProcCost(p, co)
+		pi := s.procPar[int(p)-1]
+		if s.cost.Mode == degradation.ModeSE || pi < 0 {
+			s.dist += d
+			continue
+		}
+		if d > s.jobMax[pi] {
+			undos = append(undos, undo{pi: pi, old: s.jobMax[pi]})
+			s.dist += d - s.jobMax[pi]
+			s.jobMax[pi] = d
+		}
+	}
+	if s.dist < s.best {
+		s.cur = append(s.cur, append([]job.ProcID(nil), node...))
+		s.recurse()
+		s.cur = s.cur[:len(s.cur)-1]
+	}
+	for i := len(undos) - 1; i >= 0; i-- {
+		s.jobMax[undos[i].pi] = undos[i].old
+	}
+	s.dist = savedDist
+	for _, p := range node {
+		s.used[p] = false
+	}
+}

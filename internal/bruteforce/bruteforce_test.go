@@ -1,0 +1,114 @@
+package bruteforce
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+	"cosched/internal/workload"
+)
+
+func TestSolveTinyKnownOptimum(t *testing.T) {
+	// 4 processes on dual-core machines; interference chosen so the
+	// optimum is {1,4},{2,3}: pairing the two aggressors together would
+	// be costly for everyone else.
+	bd := job.NewBuilder()
+	for i := 0; i < 4; i++ {
+		bd.AddSerial("s")
+	}
+	b, err := bd.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric pair costs: w(1,2)=10, w(3,4)=10, w(1,3)=4, w(2,4)=4,
+	// w(1,4)=1, w(2,3)=1. Partitions: {12|34}=20, {13|24}=8, {14|23}=2.
+	mtx := make([][]float64, 4)
+	for i := range mtx {
+		mtx[i] = make([]float64, 4)
+	}
+	setPair := func(a, bb int, w float64) {
+		mtx[a-1][bb-1], mtx[bb-1][a-1] = w/2, w/2
+	}
+	setPair(1, 2, 10)
+	setPair(3, 4, 10)
+	setPair(1, 3, 4)
+	setPair(2, 4, 4)
+	setPair(1, 4, 1)
+	setPair(2, 3, 1)
+	o, err := degradation.NewPairwiseOracle(b, mtx, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := degradation.NewCost(b, o, degradation.ModePC)
+	res, err := Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-2) > 1e-12 {
+		t.Errorf("optimum = %v; want 2", res.Cost)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %v", res.Groups)
+	}
+	if !(res.Groups[0][0] == 1 && res.Groups[0][1] == 4) {
+		t.Errorf("optimal grouping = %v; want {1,4},{2,3}", res.Groups)
+	}
+	if res.Partitions <= 0 {
+		t.Error("partition counter not populated")
+	}
+}
+
+func TestSolveGuardsLargeInstances(t *testing.T) {
+	m := cache.QuadCore
+	in, err := workload.SyntheticSerialInstance(28, &m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(in.Cost(degradation.ModePC)); err == nil {
+		t.Error("brute force accepted 28 processes")
+	}
+}
+
+func TestSolveValidatesAgainstAllModes(t *testing.T) {
+	m := cache.QuadCore
+	in, err := workload.SyntheticMixedInstance(8, 1, 4, &m, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []degradation.Mode{degradation.ModeSE, degradation.ModePE, degradation.ModePC} {
+		c := in.Cost(mode)
+		res, err := Solve(c)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if err := c.ValidatePartition(res.Groups); err != nil {
+			t.Errorf("mode %v: %v", mode, err)
+		}
+		if got := c.PartitionCost(res.Groups); math.Abs(got-res.Cost) > 1e-9 {
+			t.Errorf("mode %v: reported %v != recomputed %v", mode, res.Cost, got)
+		}
+	}
+}
+
+func TestSEModeCostAtLeastPEMode(t *testing.T) {
+	// Summing every parallel process (SE) can never undercut per-job
+	// maxima (PE) on the same schedule; the optima satisfy PE <= SE.
+	m := cache.QuadCore
+	in, err := workload.SyntheticMixedInstance(8, 2, 3, &m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := Solve(in.Cost(degradation.ModeSE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := Solve(in.Cost(degradation.ModePE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe.Cost > se.Cost+1e-9 {
+		t.Errorf("PE optimum %v exceeds SE optimum %v", pe.Cost, se.Cost)
+	}
+}

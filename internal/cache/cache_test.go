@@ -1,0 +1,273 @@
+package cache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniformProfile(name string, rate, beyond, base float64, ways int) *Profile {
+	hits := make([]float64, ways)
+	for i := range hits {
+		hits[i] = rate
+	}
+	return &Profile{Name: name, Hits: hits, Beyond: beyond, BaseCycles: base}
+}
+
+func TestMachinePresetsValidate(t *testing.T) {
+	for _, m := range []Machine{DualCore, QuadCore, EightCore} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.Sets() <= 0 {
+			t.Errorf("%s: Sets() = %d", m.Name, m.Sets())
+		}
+	}
+}
+
+func TestMachineByCores(t *testing.T) {
+	for _, u := range []int{2, 4, 8} {
+		m, err := MachineByCores(u)
+		if err != nil {
+			t.Fatalf("MachineByCores(%d): %v", u, err)
+		}
+		if m.Cores != u {
+			t.Errorf("MachineByCores(%d).Cores = %d", u, m.Cores)
+		}
+	}
+	if _, err := MachineByCores(3); err == nil {
+		t.Error("MachineByCores(3) accepted")
+	}
+}
+
+func TestMachineValidateRejects(t *testing.T) {
+	bad := []Machine{
+		{Name: "c", Cores: 0, SharedCacheBytes: 1, Ways: 1, LineBytes: 1, MissPenaltyCycles: 1, ClockGHz: 1},
+		{Name: "c", Cores: 1, SharedCacheBytes: 0, Ways: 1, LineBytes: 1, MissPenaltyCycles: 1, ClockGHz: 1},
+		{Name: "c", Cores: 1, SharedCacheBytes: 1, Ways: 0, LineBytes: 1, MissPenaltyCycles: 1, ClockGHz: 1},
+		{Name: "c", Cores: 1, SharedCacheBytes: 1, Ways: 1, LineBytes: 0, MissPenaltyCycles: 1, ClockGHz: 1},
+		{Name: "c", Cores: 1, SharedCacheBytes: 1, Ways: 1, LineBytes: 1, MissPenaltyCycles: 0, ClockGHz: 1},
+		{Name: "c", Cores: 1, SharedCacheBytes: 1, Ways: 1, LineBytes: 1, MissPenaltyCycles: 1, ClockGHz: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, m)
+		}
+	}
+}
+
+func TestProfileMissRates(t *testing.T) {
+	p := uniformProfile("p", 1, 4, 1e9, 8) // 8 hits spread evenly, 4 beyond
+	if got := p.AccessRate(); got != 12 {
+		t.Errorf("AccessRate = %v; want 12", got)
+	}
+	if got := p.SoloMissRate(); got != 4 {
+		t.Errorf("SoloMissRate = %v; want 4", got)
+	}
+	if got := p.MissRateWithWays(8); got != 4 {
+		t.Errorf("MissRateWithWays(all) = %v; want 4", got)
+	}
+	if got := p.MissRateWithWays(0); got != 12 {
+		t.Errorf("MissRateWithWays(0) = %v; want 12 (everything misses)", got)
+	}
+	if got := p.MissRateWithWays(5); got != 7 {
+		t.Errorf("MissRateWithWays(5) = %v; want 7", got)
+	}
+	// out-of-range clamping
+	if got := p.MissRateWithWays(-3); got != 12 {
+		t.Errorf("MissRateWithWays(-3) = %v; want 12", got)
+	}
+	if got := p.MissRateWithWays(99); got != 4 {
+		t.Errorf("MissRateWithWays(99) = %v; want 4", got)
+	}
+	if got := p.MissRatio(); math.Abs(got-4.0/12.0) > 1e-12 {
+		t.Errorf("MissRatio = %v; want 1/3", got)
+	}
+}
+
+func TestProfileMissRateMonotoneInWays(t *testing.T) {
+	// Property: more cache never increases the miss rate.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		ways := 1 + rng.Intn(16)
+		hits := make([]float64, ways)
+		for i := range hits {
+			hits[i] = rng.Float64() * 10
+		}
+		p := &Profile{Name: "r", Hits: hits, Beyond: rng.Float64() * 10, BaseCycles: 1e9}
+		prev := p.MissRateWithWays(0)
+		for w := 1; w <= ways; w++ {
+			cur := p.MissRateWithWays(w)
+			if cur > prev+1e-12 {
+				t.Fatalf("miss rate increased from %v to %v at %d ways", prev, cur, w)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	good := uniformProfile("g", 1, 1, 1e9, 4)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	bad := []*Profile{
+		{Name: "no positions", BaseCycles: 1},
+		{Name: "neg hit", Hits: []float64{-1}, BaseCycles: 1},
+		{Name: "neg beyond", Hits: []float64{1}, Beyond: -1, BaseCycles: 1},
+		{Name: "no cycles", Hits: []float64{1}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %q", p.Name)
+		}
+	}
+}
+
+func TestProfileClone(t *testing.T) {
+	p := uniformProfile("p", 1, 2, 1e9, 4)
+	q := p.Clone()
+	q.Hits[0] = 99
+	q.Beyond = 99
+	if p.Hits[0] == 99 || p.Beyond == 99 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestEffectiveWaysSoloGetsEverythingItCanUse(t *testing.T) {
+	p := uniformProfile("p", 1, 0, 1e9, 8)
+	eff := EffectiveWays([]*Profile{p}, 16)
+	if eff[0] != 8 {
+		t.Errorf("solo effective ways = %d; want 8 (all measured positions)", eff[0])
+	}
+}
+
+func TestEffectiveWaysSumBounded(t *testing.T) {
+	// Property: total awarded ways never exceed the associativity, and
+	// no process wins more positions than it has counters.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nprofiles := 1 + rng.Intn(4)
+		ways := 1 + rng.Intn(16)
+		ps := make([]*Profile, nprofiles)
+		for i := range ps {
+			n := 1 + rng.Intn(16)
+			hits := make([]float64, n)
+			for j := range hits {
+				hits[j] = rng.Float64()
+			}
+			ps[i] = &Profile{Name: "x", Hits: hits, Beyond: rng.Float64(), BaseCycles: 1e9}
+		}
+		eff := EffectiveWays(ps, ways)
+		total := 0
+		for i, e := range eff {
+			if e < 0 || e > len(ps[i].Hits) {
+				return false
+			}
+			total += e
+		}
+		return total <= ways
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEffectiveWaysHungrierProcessWinsMore(t *testing.T) {
+	hungry := uniformProfile("hungry", 10, 0, 1e9, 16)
+	modest := uniformProfile("modest", 1, 0, 1e9, 16)
+	eff := EffectiveWays([]*Profile{hungry, modest}, 16)
+	if eff[0] <= eff[1] {
+		t.Errorf("effective ways: hungry=%d modest=%d; hungry should win more", eff[0], eff[1])
+	}
+	if eff[0]+eff[1] != 16 {
+		t.Errorf("total ways = %d; want 16", eff[0]+eff[1])
+	}
+}
+
+func TestEffectiveWaysDegenerate(t *testing.T) {
+	if got := EffectiveWays(nil, 16); len(got) != 0 {
+		t.Errorf("EffectiveWays(nil) = %v", got)
+	}
+	p := uniformProfile("p", 1, 0, 1e9, 8)
+	if got := EffectiveWays([]*Profile{p}, 0); got[0] != 0 {
+		t.Errorf("EffectiveWays with 0 ways = %v", got)
+	}
+}
+
+func TestCPUTimeModel(t *testing.T) {
+	m := &Machine{Name: "m", Cores: 2, SharedCacheBytes: 1 << 20, Ways: 4,
+		LineBytes: 64, MissPenaltyCycles: 100, ClockGHz: 1}
+	p := uniformProfile("p", 1, 2, 1e9, 4) // 2 misses per kilocycle solo
+	// misses = 2 * 1e9/1000 = 2e6; cycles = 1e9 + 2e6*100 = 1.2e9; at 1GHz = 1.2s
+	if got := SoloCPUTime(m, p); math.Abs(got-1.2) > 1e-9 {
+		t.Errorf("SoloCPUTime = %v; want 1.2", got)
+	}
+	// with all 6 accesses missing: misses = 6e6, cycles = 1.6e9
+	if got := CoRunCPUTime(m, p, 6); math.Abs(got-1.6) > 1e-9 {
+		t.Errorf("CoRunCPUTime = %v; want 1.6", got)
+	}
+}
+
+func TestCoRunDegradationsSoloIsZero(t *testing.T) {
+	m := &QuadCore
+	p := uniformProfile("p", 1, 2, 1e9, m.Ways)
+	d := CoRunDegradations(m, []*Profile{p})
+	if d[0] != 0 {
+		t.Errorf("solo degradation = %v; want 0", d[0])
+	}
+}
+
+func TestCoRunDegradationsNonNegativeAndSymmetricSetup(t *testing.T) {
+	m := &QuadCore
+	a := uniformProfile("a", 8, 3, 1e9, m.Ways)
+	b := uniformProfile("b", 6, 2, 2e9, m.Ways)
+	d := CoRunDegradations(m, []*Profile{a, b})
+	for i, v := range d {
+		if v < 0 {
+			t.Errorf("degradation[%d] = %v; want >= 0", i, v)
+		}
+	}
+	// order of profiles must not change per-program results
+	d2 := CoRunDegradations(m, []*Profile{b, a})
+	if math.Abs(d[0]-d2[1]) > 1e-12 || math.Abs(d[1]-d2[0]) > 1e-12 {
+		t.Errorf("degradations depend on argument order: %v vs %v", d, d2)
+	}
+}
+
+func TestCoRunDegradationsNilProfileIsImaginary(t *testing.T) {
+	m := &QuadCore
+	a := uniformProfile("a", 8, 3, 1e9, m.Ways)
+	d := CoRunDegradations(m, []*Profile{a, nil, nil, nil})
+	if d[0] != 0 {
+		t.Errorf("degradation with only imaginary co-runners = %v; want 0", d[0])
+	}
+	for _, v := range d[1:] {
+		if v != 0 {
+			t.Errorf("imaginary process degradation = %v; want 0", v)
+		}
+	}
+}
+
+func TestCoRunDegradationsMoreCoRunnersNeverHelp(t *testing.T) {
+	// Property: adding a co-runner cannot decrease a process's
+	// degradation (the SDC share can only shrink).
+	m := &QuadCore
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		mk := func() *Profile {
+			hits := make([]float64, m.Ways)
+			for i := range hits {
+				hits[i] = rng.Float64() * 5
+			}
+			return &Profile{Name: "r", Hits: hits, Beyond: rng.Float64() * 5, BaseCycles: 1e9}
+		}
+		target, b, c := mk(), mk(), mk()
+		d2 := CoRunDegradations(m, []*Profile{target, b})[0]
+		d3 := CoRunDegradations(m, []*Profile{target, b, c})[0]
+		if d3 < d2-1e-12 {
+			t.Fatalf("degradation dropped from %v to %v when adding a co-runner", d2, d3)
+		}
+	}
+}

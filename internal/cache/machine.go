@@ -1,0 +1,119 @@
+// Package cache models the shared last-level cache of a multicore machine
+// and predicts co-run cache misses with the Stack Distance Competition
+// (SDC) model of Chandra et al. [14], exactly the prediction pipeline the
+// paper uses to obtain co-run degradations (§V, Eq. 14-15).
+//
+// The pipeline is:
+//
+//	per-program stack distance profile (SDP)
+//	  --SDC merge-->  effective cache share per co-runner
+//	  --Eq. 15---->   memory stall cycles
+//	  --Eq. 14---->   co-run CPU time
+//	  --Eq. 1----->   degradation
+//
+// The paper obtains SDPs from the gcc-slo compiler suite and single-run
+// counters from perf; this package replaces both with parametric profiles
+// (see internal/workload) while keeping the published equations intact.
+package cache
+
+import "fmt"
+
+// Machine describes one multicore machine class used in the evaluation.
+// The shared cache is the contended resource; private levels only shift
+// the base cycle count and are folded into each program's BaseCycles.
+type Machine struct {
+	Name  string
+	Cores int
+	// SharedCacheBytes is the capacity of the cache shared by all cores
+	// (L2 on the dual-core Core 2, L3 on the i7-2600 and E5-2450L).
+	SharedCacheBytes int
+	// Ways is the associativity of the shared cache; the SDC model
+	// tracks stack distances at way granularity.
+	Ways int
+	// LineBytes is the cache line size.
+	LineBytes int
+	// MissPenaltyCycles is the additional latency of a shared-cache miss
+	// (Eq. 15's Miss_Penalty).
+	MissPenaltyCycles float64
+	// ClockGHz converts cycles to seconds (Eq. 14's Clock_Cycle_Time is
+	// 1/ClockGHz nanoseconds).
+	ClockGHz float64
+	// NetworkBandwidth is the inter-machine bandwidth in bytes/second
+	// (the evaluation's 10 Gigabit Ethernet).
+	NetworkBandwidth float64
+}
+
+// Validate reports configuration errors.
+func (m *Machine) Validate() error {
+	switch {
+	case m.Cores < 1:
+		return fmt.Errorf("cache: machine %q has %d cores", m.Name, m.Cores)
+	case m.SharedCacheBytes <= 0:
+		return fmt.Errorf("cache: machine %q has no shared cache", m.Name)
+	case m.Ways < 1:
+		return fmt.Errorf("cache: machine %q has %d ways", m.Name, m.Ways)
+	case m.LineBytes <= 0:
+		return fmt.Errorf("cache: machine %q has line size %d", m.Name, m.LineBytes)
+	case m.MissPenaltyCycles <= 0:
+		return fmt.Errorf("cache: machine %q has non-positive miss penalty", m.Name)
+	case m.ClockGHz <= 0:
+		return fmt.Errorf("cache: machine %q has non-positive clock", m.Name)
+	}
+	return nil
+}
+
+// Sets returns the number of cache sets of the shared cache.
+func (m *Machine) Sets() int {
+	return m.SharedCacheBytes / (m.Ways * m.LineBytes)
+}
+
+// The three machine classes of the paper's evaluation (§V).
+var (
+	// DualCore models the Intel Core 2 Duo machine: 4MB 16-way shared L2.
+	DualCore = Machine{
+		Name:              "dual-core",
+		Cores:             2,
+		SharedCacheBytes:  4 << 20,
+		Ways:              16,
+		LineBytes:         64,
+		MissPenaltyCycles: 200,
+		ClockGHz:          2.4,
+		NetworkBandwidth:  10e9 / 8, // 10 GbE in bytes/s
+	}
+	// QuadCore models the Intel Core i7-2600 machine: 8MB 16-way shared L3.
+	QuadCore = Machine{
+		Name:              "quad-core",
+		Cores:             4,
+		SharedCacheBytes:  8 << 20,
+		Ways:              16,
+		LineBytes:         64,
+		MissPenaltyCycles: 220,
+		ClockGHz:          3.4,
+		NetworkBandwidth:  10e9 / 8,
+	}
+	// EightCore models the Intel Xeon E5-2450L machine: 20MB 16-way shared L3.
+	EightCore = Machine{
+		Name:              "8-core",
+		Cores:             8,
+		SharedCacheBytes:  20 << 20,
+		Ways:              16,
+		LineBytes:         64,
+		MissPenaltyCycles: 240,
+		ClockGHz:          1.8,
+		NetworkBandwidth:  10e9 / 8,
+	}
+)
+
+// MachineByCores returns the evaluation machine with the given core count.
+func MachineByCores(u int) (Machine, error) {
+	switch u {
+	case 2:
+		return DualCore, nil
+	case 4:
+		return QuadCore, nil
+	case 8:
+		return EightCore, nil
+	default:
+		return Machine{}, fmt.Errorf("cache: no evaluation machine with %d cores", u)
+	}
+}

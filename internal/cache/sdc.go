@@ -1,0 +1,72 @@
+package cache
+
+// Stack Distance Competition (SDC) co-run cache model [14].
+//
+// When several processes share a cache, SDC builds a merged stack distance
+// profile: walking the stack positions of the shared cache from most- to
+// least-recently-used, at every position the process with the highest
+// remaining hit rate wins the position. After the walk, each process's
+// effective cache space is the number of positions it won; accesses whose
+// stack distance exceeds that share become misses.
+
+// EffectiveWays runs the SDC competition among the given co-running
+// profiles for a cache with the given associativity and returns, for each
+// profile, the number of ways it effectively occupies. The returned slice
+// is index-aligned with profiles.
+//
+// Each profile competes with its own hit counters in stack-distance order
+// (a process cannot win position d+1 before winning position d, mirroring
+// the inclusion property of LRU stacks). Ties are broken toward the
+// earlier profile for determinism.
+func EffectiveWays(profiles []*Profile, ways int) []int {
+	eff := make([]int, len(profiles))
+	if ways <= 0 || len(profiles) == 0 {
+		return eff
+	}
+	// next[i] is the stack position profile i competes with next.
+	next := make([]int, len(profiles))
+	remaining := ways
+	// MRU guarantee: a running process always retains at least its
+	// most-recently-used way under LRU, so when the cache has enough
+	// ways every co-runner with measured reuse is granted one way before
+	// the competition. Without this, a low-appetite (compute-bound)
+	// process is starved to zero cache by any memory-intensive
+	// neighbour, which real hardware does not do.
+	if len(profiles) <= ways {
+		for i, p := range profiles {
+			if len(p.Hits) > 0 {
+				eff[i], next[i] = 1, 1
+				remaining--
+			}
+		}
+	}
+	for pos := 0; pos < remaining; pos++ {
+		best := -1
+		bestRate := -1.0
+		for i, p := range profiles {
+			if next[i] >= len(p.Hits) {
+				continue
+			}
+			if r := p.Hits[next[i]]; r > bestRate {
+				best, bestRate = i, r
+			}
+		}
+		if best < 0 {
+			break // every profile exhausted its measured positions
+		}
+		eff[best]++
+		next[best]++
+	}
+	return eff
+}
+
+// CoRunMissRates predicts the per-process miss rate (misses per kilocycle)
+// for the given co-running profiles sharing the machine's cache.
+func CoRunMissRates(m *Machine, profiles []*Profile) []float64 {
+	eff := EffectiveWays(profiles, m.Ways)
+	rates := make([]float64, len(profiles))
+	for i, p := range profiles {
+		rates[i] = p.MissRateWithWays(eff[i])
+	}
+	return rates
+}

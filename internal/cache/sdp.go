@@ -1,0 +1,99 @@
+package cache
+
+import "fmt"
+
+// Profile is a stack distance profile (SDP) of one program measured against
+// a W-way shared cache, plus the single-run execution parameters the
+// CPU-time model (Eq. 14) needs.
+//
+// Hits[d] is the rate of accesses (per kilocycle of base execution) whose
+// LRU stack distance is d+1, i.e. that hit a cache of at least d+1 ways.
+// Beyond is the rate of accesses whose stack distance exceeds the
+// associativity; those miss even when the program runs alone.
+//
+// The paper measures these profiles offline with gcc-slo [11]; the workload
+// package synthesises them parametrically (see DESIGN.md §3).
+type Profile struct {
+	Name string
+	// Hits[d] = access rate with stack distance d+1, accesses per 1000
+	// base cycles. Length equals the shared-cache associativity the
+	// profile was taken against.
+	Hits []float64
+	// Beyond is the rate of compulsory/capacity misses that no cache
+	// share avoids.
+	Beyond float64
+	// BaseCycles is CPU_Clock_Cycle of Eq. 14: the cycles the program
+	// spends computing, excluding shared-cache miss stalls.
+	BaseCycles float64
+}
+
+// Validate reports malformed profiles.
+func (p *Profile) Validate() error {
+	if len(p.Hits) == 0 {
+		return fmt.Errorf("cache: profile %q has no stack distance positions", p.Name)
+	}
+	for d, h := range p.Hits {
+		if h < 0 {
+			return fmt.Errorf("cache: profile %q has negative hit rate at distance %d", p.Name, d+1)
+		}
+	}
+	if p.Beyond < 0 {
+		return fmt.Errorf("cache: profile %q has negative beyond-rate", p.Name)
+	}
+	if p.BaseCycles <= 0 {
+		return fmt.Errorf("cache: profile %q has non-positive base cycles", p.Name)
+	}
+	return nil
+}
+
+// AccessRate returns the total shared-cache access rate (accesses per
+// kilocycle).
+func (p *Profile) AccessRate() float64 {
+	total := p.Beyond
+	for _, h := range p.Hits {
+		total += h
+	}
+	return total
+}
+
+// SoloMissRate returns the miss rate (misses per kilocycle) when the
+// program has the whole shared cache: only beyond-associativity accesses
+// miss.
+func (p *Profile) SoloMissRate() float64 { return p.Beyond }
+
+// MissRateWithWays returns the miss rate when the program's effective
+// cache share is limited to the given number of ways: every access with a
+// stack distance beyond the share misses.
+func (p *Profile) MissRateWithWays(ways int) float64 {
+	if ways < 0 {
+		ways = 0
+	}
+	if ways > len(p.Hits) {
+		ways = len(p.Hits)
+	}
+	miss := p.Beyond
+	for d := ways; d < len(p.Hits); d++ {
+		miss += p.Hits[d]
+	}
+	return miss
+}
+
+// MissRatio returns the solo miss ratio: misses over total accesses. The
+// synthetic-workload generator draws this from [15%, 75%] as in Fig. 5.
+func (p *Profile) MissRatio() float64 {
+	acc := p.AccessRate()
+	if acc == 0 {
+		return 0
+	}
+	return p.Beyond / acc
+}
+
+// Clone returns a deep copy of the profile.
+func (p *Profile) Clone() *Profile {
+	return &Profile{
+		Name:       p.Name,
+		Hits:       append([]float64(nil), p.Hits...),
+		Beyond:     p.Beyond,
+		BaseCycles: p.BaseCycles,
+	}
+}

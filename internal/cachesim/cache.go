@@ -1,0 +1,110 @@
+// Package cachesim is a direct set-associative LRU cache simulator: the
+// "offline profiling" route to co-run degradations that the paper's §VI-B
+// contrasts with SDC prediction. Programs are modelled as synthetic memory
+// reference streams; co-running streams interleave on the shared cache and
+// the simulator counts each stream's hits and misses exactly.
+//
+// It is far slower than the analytical SDC model (internal/cache) — which
+// is precisely the trade-off the paper describes — so it serves as ground
+// truth in tests and ablations rather than as the solvers' oracle: the
+// test suite checks that SDC's predicted degradations order co-run pairs
+// the same way the simulated cache does.
+package cachesim
+
+import "fmt"
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	sets      int
+	ways      int
+	lineBytes int
+	// lines[set][way] holds the cached line address (tag+set combined)
+	// or 0 for an invalid way; age[set][way] is the LRU clock value.
+	lines [][]uint64
+	age   [][]uint64
+	clock uint64
+
+	// Hits and Misses are counted per owner ID passed to Access.
+	Hits   []uint64
+	Misses []uint64
+}
+
+// New builds a cache with the given geometry for the given number of
+// access owners (co-running processes).
+func New(sets, ways, lineBytes, owners int) (*Cache, error) {
+	if sets <= 0 || ways <= 0 || lineBytes <= 0 || owners <= 0 {
+		return nil, fmt.Errorf("cachesim: invalid geometry %d sets × %d ways × %dB for %d owners",
+			sets, ways, lineBytes, owners)
+	}
+	// sets must be a power of two for the address mapping below.
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: %d sets is not a power of two", sets)
+	}
+	c := &Cache{
+		sets:      sets,
+		ways:      ways,
+		lineBytes: lineBytes,
+		lines:     make([][]uint64, sets),
+		age:       make([][]uint64, sets),
+		Hits:      make([]uint64, owners),
+		Misses:    make([]uint64, owners),
+	}
+	for s := range c.lines {
+		c.lines[s] = make([]uint64, ways)
+		c.age[s] = make([]uint64, ways)
+	}
+	return c, nil
+}
+
+// Access simulates one memory reference by the given owner and reports
+// whether it hit.
+func (c *Cache) Access(owner int, addr uint64) bool {
+	line := addr / uint64(c.lineBytes)
+	set := int(line) & (c.sets - 1)
+	key := line + 1 // 0 marks an invalid way
+	c.clock++
+	ways := c.lines[set]
+	ages := c.age[set]
+	for w, l := range ways {
+		if l == key {
+			ages[w] = c.clock
+			c.Hits[owner]++
+			return true
+		}
+	}
+	// Miss: evict the LRU way.
+	victim := 0
+	for w := 1; w < c.ways; w++ {
+		if ages[w] < ages[victim] {
+			victim = w
+		}
+	}
+	ways[victim] = key
+	ages[victim] = c.clock
+	c.Misses[owner]++
+	return false
+}
+
+// MissRatio returns the owner's miss ratio so far.
+func (c *Cache) MissRatio(owner int) float64 {
+	total := c.Hits[owner] + c.Misses[owner]
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses[owner]) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for s := range c.lines {
+		for w := range c.lines[s] {
+			c.lines[s][w] = 0
+			c.age[s][w] = 0
+		}
+	}
+	for i := range c.Hits {
+		c.Hits[i] = 0
+		c.Misses[i] = 0
+	}
+	c.clock = 0
+}

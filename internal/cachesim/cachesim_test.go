@@ -1,0 +1,213 @@
+package cachesim
+
+import (
+	"testing"
+
+	"cosched/internal/cache"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c, err := New(4, 2, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0, 0) { // cold miss
+		t.Error("cold access hit")
+	}
+	if !c.Access(0, 0) { // now resident
+		t.Error("warm access missed")
+	}
+	if c.Hits[0] != 1 || c.Misses[0] != 1 {
+		t.Errorf("counters = %d hits / %d misses", c.Hits[0], c.Misses[0])
+	}
+	if got := c.MissRatio(0); got != 0.5 {
+		t.Errorf("MissRatio = %v; want 0.5", got)
+	}
+	c.Reset()
+	if c.Hits[0] != 0 || c.Misses[0] != 0 || c.MissRatio(0) != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 set, 2 ways: the third distinct line evicts the least recently
+	// used.
+	c, err := New(1, 2, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, 0*64)
+	c.Access(0, 1*64)
+	c.Access(0, 0*64) // line 0 becomes MRU
+	c.Access(0, 2*64) // evicts line 1
+	if !c.Access(0, 0*64) {
+		t.Error("MRU line was evicted")
+	}
+	if c.Access(0, 1*64) {
+		t.Error("LRU line survived eviction")
+	}
+}
+
+func TestCacheRejectsBadGeometry(t *testing.T) {
+	cases := [][4]int{{0, 2, 64, 1}, {4, 0, 64, 1}, {4, 2, 0, 1}, {4, 2, 64, 0}, {3, 2, 64, 1}}
+	for _, tc := range cases {
+		if _, err := New(tc[0], tc[1], tc[2], tc[3]); err == nil {
+			t.Errorf("geometry %v accepted", tc)
+		}
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	if _, err := NewStream(1, 0, 0, 1, 0.5, 1); err == nil {
+		t.Error("empty working set accepted")
+	}
+	if _, err := NewStream(1, 0, 10, 20, 0.5, 1); err == nil {
+		t.Error("hot set larger than working set accepted")
+	}
+	if _, err := NewStream(1, 0, 10, 5, 1.5, 1); err == nil {
+		t.Error("bad hot probability accepted")
+	}
+	if _, err := NewStream(1, 0, 10, 5, 0.5, 0); err == nil {
+		t.Error("zero access rate accepted")
+	}
+}
+
+func TestStreamStaysInRegion(t *testing.T) {
+	st, err := NewStream(7, 1<<30, 100, 10, 0.8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		a := st.Next(64)
+		if a < 1<<30 || a > 1<<30+uint64(101*64) {
+			t.Fatalf("address %#x outside the stream's region", a)
+		}
+	}
+}
+
+func TestSoloMissRatioTracksWorkingSet(t *testing.T) {
+	// A working set that fits in the cache should mostly hit; one that
+	// vastly exceeds it should mostly miss.
+	g := Geometry{Sets: 64, Ways: 8, LineBytes: 64, MissPenaltyCycles: 200}
+	small, err := NewStream(1, 0, 128, 32, 0.7, 5) // 128 lines vs 512-line cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSmall, err := SoloMissRatio(g, small, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewStream(2, 1<<30, 8192, 64, 0.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBig, err := SoloMissRatio(g, big, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmall > 0.05 {
+		t.Errorf("fitting working set missed %.1f%%", rSmall*100)
+	}
+	if rBig < 0.4 {
+		t.Errorf("oversized working set missed only %.1f%%", rBig*100)
+	}
+}
+
+func TestCoRunDegradesSensitiveStream(t *testing.T) {
+	// A stream that fits alone but not alongside an aggressor must lose
+	// hits when co-run.
+	g := Geometry{Sets: 64, Ways: 8, LineBytes: 64, MissPenaltyCycles: 200}
+	victim, err := NewStream(3, 0, 384, 64, 0.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := SoloMissRatio(g, victim, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh streams for the co-run (same seeds) keep it reproducible.
+	victim2, _ := NewStream(3, 0, 384, 64, 0.6, 5)
+	aggressor2, _ := NewStream(4, 1<<30, 4096, 64, 0.1, 15)
+	co, err := CoRunMissRatios(g, []*Stream{victim2, aggressor2}, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co[0] <= solo {
+		t.Errorf("victim miss ratio did not rise: solo %.3f vs co-run %.3f", solo, co[0])
+	}
+	d := Degradation(g, victim, solo, co[0])
+	if d <= 0 {
+		t.Errorf("degradation = %v; want positive", d)
+	}
+}
+
+func TestSimAgreesWithSDCOrdering(t *testing.T) {
+	// Cross-model check: the analytical SDC model (internal/cache) and
+	// the direct simulation must agree on which of two co-runners hurts
+	// a victim more.
+	// 512 sets × 16 ways = 8192 lines: the victim's working set fits
+	// alone but is squeezed out by the harsh co-runner.
+	g := Geometry{Sets: 512, Ways: 16, LineBytes: 64, MissPenaltyCycles: 200}
+	mkStream := func(seed int64, base uint64, ws int, rate float64) *Stream {
+		st, err := NewStream(seed, base, ws, ws/8, 0.6, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	const accesses = 60000
+	victim := func() *Stream { return mkStream(1, 0, 6000, 8) }
+	mild := func() *Stream { return mkStream(2, 1<<30, 1000, 2) }
+	harsh := func() *Stream { return mkStream(3, 1<<31, 120000, 14) }
+
+	solo, err := SoloMissRatio(g, victim(), accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coMild, err := CoRunMissRatios(g, []*Stream{victim(), mild()}, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coHarsh, err := CoRunMissRatios(g, []*Stream{victim(), harsh()}, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dMildSim := Degradation(g, victim(), solo, coMild[0])
+	dHarshSim := Degradation(g, victim(), solo, coHarsh[0])
+
+	// SDC-side: profiles qualitatively matching the streams.
+	m := &cache.Machine{Name: "sim", Cores: 2, SharedCacheBytes: g.Sets * g.Ways * g.LineBytes,
+		Ways: g.Ways, LineBytes: g.LineBytes, MissPenaltyCycles: g.MissPenaltyCycles, ClockGHz: 2}
+	prof := func(rate, miss, reuse float64) *cache.Profile {
+		hits := make([]float64, m.Ways)
+		norm := 0.0
+		for d := range hits {
+			norm += pow(reuse, d)
+		}
+		for d := range hits {
+			hits[d] = rate * (1 - miss) * pow(reuse, d) / norm
+		}
+		return &cache.Profile{Name: "p", Hits: hits, Beyond: rate * miss, BaseCycles: 1e9}
+	}
+	victimP := prof(8, 0.1, 0.9)
+	mildP := prof(2, 0.1, 0.6)
+	harshP := prof(14, 0.6, 0.95)
+	dMildSDC := cache.CoRunDegradations(m, []*cache.Profile{victimP, mildP})[0]
+	dHarshSDC := cache.CoRunDegradations(m, []*cache.Profile{victimP, harshP})[0]
+
+	if (dHarshSim > dMildSim) != (dHarshSDC > dMildSDC) {
+		t.Errorf("models disagree on ordering: sim %v/%v, SDC %v/%v",
+			dMildSim, dHarshSim, dMildSDC, dHarshSDC)
+	}
+	if dHarshSim <= dMildSim {
+		t.Errorf("simulated cache: harsh co-runner (%v) not worse than mild (%v)", dHarshSim, dMildSim)
+	}
+}
+
+func pow(b float64, e int) float64 {
+	r := 1.0
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}

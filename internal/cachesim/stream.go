@@ -1,0 +1,137 @@
+package cachesim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stream generates a synthetic memory reference trace for one process: a
+// hot set reused with high probability embedded in a larger working set,
+// the classic two-level locality model. Disjoint base addresses keep
+// co-running streams from sharing lines (the paper's jobs share nothing).
+type Stream struct {
+	// WorkingSetLines is the stream's total footprint in cache lines.
+	WorkingSetLines int
+	// HotLines is the size of the frequently-reused subset.
+	HotLines int
+	// HotProb is the probability an access goes to the hot subset.
+	HotProb float64
+	// AccessRate weighs the stream in co-run interleaving and converts
+	// misses to stall cycles (accesses per kilocycle, as in
+	// cache.Profile).
+	AccessRate float64
+
+	base uint64
+	line int
+	rng  *rand.Rand
+}
+
+// NewStream builds a reproducible stream. base gives the stream a private
+// address region; pass distinct values per co-runner.
+func NewStream(seed int64, base uint64, workingSetLines, hotLines int, hotProb, accessRate float64) (*Stream, error) {
+	switch {
+	case workingSetLines <= 0:
+		return nil, fmt.Errorf("cachesim: working set must be positive")
+	case hotLines <= 0 || hotLines > workingSetLines:
+		return nil, fmt.Errorf("cachesim: hot set %d outside (0, %d]", hotLines, workingSetLines)
+	case hotProb < 0 || hotProb > 1:
+		return nil, fmt.Errorf("cachesim: hot probability %v outside [0,1]", hotProb)
+	case accessRate <= 0:
+		return nil, fmt.Errorf("cachesim: access rate must be positive")
+	}
+	return &Stream{
+		WorkingSetLines: workingSetLines,
+		HotLines:        hotLines,
+		HotProb:         hotProb,
+		AccessRate:      accessRate,
+		base:            base,
+		rng:             rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Next returns the next referenced address (line-granular).
+func (st *Stream) Next(lineBytes int) uint64 {
+	var line int
+	if st.rng.Float64() < st.HotProb {
+		line = st.rng.Intn(st.HotLines)
+	} else {
+		line = st.HotLines + st.rng.Intn(st.WorkingSetLines-st.HotLines+1)
+	}
+	return st.base + uint64(line*lineBytes)
+}
+
+// Geometry describes the simulated shared cache plus the timing constants
+// of the Eq. 14-15 CPU-time model.
+type Geometry struct {
+	Sets              int
+	Ways              int
+	LineBytes         int
+	MissPenaltyCycles float64
+}
+
+// SoloMissRatio simulates the stream alone on the cache for n accesses
+// (after a warm-up of the same length) and returns its miss ratio.
+func SoloMissRatio(g Geometry, st *Stream, n int) (float64, error) {
+	c, err := New(g.Sets, g.Ways, g.LineBytes, 1)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ { // warm-up
+		c.Access(0, st.Next(g.LineBytes))
+	}
+	c.Hits[0], c.Misses[0] = 0, 0
+	for i := 0; i < n; i++ {
+		c.Access(0, st.Next(g.LineBytes))
+	}
+	return c.MissRatio(0), nil
+}
+
+// CoRunMissRatios interleaves the streams on one shared cache, weighting
+// each stream by its access rate (a deficit-round-robin schedule), and
+// returns per-stream miss ratios measured after a warm-up pass.
+func CoRunMissRatios(g Geometry, streams []*Stream, accessesPerStream int) ([]float64, error) {
+	c, err := New(g.Sets, g.Ways, g.LineBytes, len(streams))
+	if err != nil {
+		return nil, err
+	}
+	run := func(count bool) {
+		credits := make([]float64, len(streams))
+		issued := make([]int, len(streams))
+		for done := 0; done < len(streams); {
+			done = 0
+			for i, st := range streams {
+				if issued[i] >= accessesPerStream {
+					done++
+					continue
+				}
+				credits[i] += st.AccessRate
+				for credits[i] >= 1 && issued[i] < accessesPerStream {
+					credits[i]--
+					c.Access(i, st.Next(g.LineBytes))
+					issued[i]++
+				}
+			}
+		}
+		if !count {
+			for i := range streams {
+				c.Hits[i], c.Misses[i] = 0, 0
+			}
+		}
+	}
+	run(false) // warm-up
+	run(true)
+	out := make([]float64, len(streams))
+	for i := range streams {
+		out[i] = c.MissRatio(i)
+	}
+	return out, nil
+}
+
+// Degradation converts a solo/co-run miss-ratio pair into the Eq. 1
+// degradation via the Eq. 14-15 CPU-time model: per kilocycle of base
+// execution the stream spends rate·ratio·penalty cycles stalled.
+func Degradation(g Geometry, st *Stream, soloRatio, coRatio float64) float64 {
+	soloStall := st.AccessRate * soloRatio * g.MissPenaltyCycles
+	coStall := st.AccessRate * coRatio * g.MissPenaltyCycles
+	return (coStall - soloStall) / (1000 + soloStall)
+}

@@ -1,0 +1,298 @@
+package degradation
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cosched/internal/job"
+)
+
+// fixedOracle returns canned degradations for deterministic objective
+// tests: d(p,S) = base[p] + 0.1*|S∩real|, comm(p,S) = comm[p] when remote.
+type fixedOracle struct {
+	batch *job.Batch
+	base  map[job.ProcID]float64
+	comm  map[job.ProcID]float64
+}
+
+func (f *fixedOracle) Degradation(p job.ProcID, co []job.ProcID) float64 {
+	if f.batch.Proc(p).Imaginary {
+		return 0
+	}
+	n := 0
+	for _, q := range co {
+		if !f.batch.Proc(q).Imaginary {
+			n++
+		}
+	}
+	return f.base[p] + 0.1*float64(n)
+}
+
+func (f *fixedOracle) CommDegradation(p job.ProcID, co []job.ProcID) float64 {
+	j := f.batch.JobOf(p)
+	if j == nil || j.Kind != job.PC {
+		return 0
+	}
+	return f.comm[p]
+}
+
+func mixedBatch(t *testing.T) *job.Batch {
+	t.Helper()
+	bd := job.NewBuilder()
+	bd.AddPC("pc", 2)  // procs 1,2
+	bd.AddPE("pe", 2)  // procs 3,4
+	bd.AddSerial("s1") // proc 5
+	bd.AddSerial("s2") // proc 6
+	b, err := bd.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestModeString(t *testing.T) {
+	if ModeSE.String() != "SE" || ModePE.String() != "PE" || ModePC.String() != "PC" {
+		t.Error("mode strings wrong")
+	}
+	if !strings.Contains(Mode(7).String(), "7") {
+		t.Error("unknown mode string")
+	}
+}
+
+func TestPartitionCostModeSE(t *testing.T) {
+	b := mixedBatch(t)
+	o := &fixedOracle{batch: b,
+		base: map[job.ProcID]float64{1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4, 5: 0.5, 6: 0.6},
+		comm: map[job.ProcID]float64{1: 1.0, 2: 1.0}}
+	c := NewCost(b, o, ModeSE)
+	groups := [][]job.ProcID{{1, 2}, {3, 4}, {5, 6}}
+	// ModeSE: plain sum of Eq.1 degradations, each with 1 real co-runner.
+	want := (0.1 + 0.2 + 0.3 + 0.4 + 0.5 + 0.6) + 6*0.1
+	if got := c.PartitionCost(groups); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SE cost = %v; want %v", got, want)
+	}
+}
+
+func TestPartitionCostModePE(t *testing.T) {
+	b := mixedBatch(t)
+	o := &fixedOracle{batch: b,
+		base: map[job.ProcID]float64{1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4, 5: 0.5, 6: 0.6},
+		comm: map[job.ProcID]float64{1: 1.0, 2: 1.0}}
+	c := NewCost(b, o, ModePE)
+	groups := [][]job.ProcID{{1, 2}, {3, 4}, {5, 6}}
+	// Parallel jobs contribute their max only: pc max(0.2,0.3)=0.3,
+	// pe max(0.4,0.5)=0.5; serial 0.6+0.7. No comm in ModePE.
+	want := 0.3 + 0.5 + 0.6 + 0.7
+	if got := c.PartitionCost(groups); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PE cost = %v; want %v", got, want)
+	}
+}
+
+func TestPartitionCostModePC(t *testing.T) {
+	b := mixedBatch(t)
+	o := &fixedOracle{batch: b,
+		base: map[job.ProcID]float64{1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4, 5: 0.5, 6: 0.6},
+		comm: map[job.ProcID]float64{1: 1.0, 2: 1.0}}
+	c := NewCost(b, o, ModePC)
+	groups := [][]job.ProcID{{1, 2}, {3, 4}, {5, 6}}
+	// PC procs gain +1.0 comm: max(1.2, 1.3)=1.3; PE unchanged.
+	want := 1.3 + 0.5 + 0.6 + 0.7
+	if got := c.PartitionCost(groups); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PC cost = %v; want %v", got, want)
+	}
+}
+
+func TestPartitionCostOrderInvariant(t *testing.T) {
+	b := mixedBatch(t)
+	o := &fixedOracle{batch: b,
+		base: map[job.ProcID]float64{1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4, 5: 0.5, 6: 0.6},
+		comm: map[job.ProcID]float64{1: 0.7, 2: 0.9}}
+	c := NewCost(b, o, ModePC)
+	a := c.PartitionCost([][]job.ProcID{{1, 2}, {3, 4}, {5, 6}})
+	bb := c.PartitionCost([][]job.ProcID{{6, 5}, {2, 1}, {4, 3}})
+	if math.Abs(a-bb) > 1e-12 {
+		t.Errorf("cost depends on group order: %v vs %v", a, bb)
+	}
+}
+
+func TestAccumulatorIncrementalMatchesPartitionCost(t *testing.T) {
+	b := mixedBatch(t)
+	o := &fixedOracle{batch: b,
+		base: map[job.ProcID]float64{1: 0.15, 2: 0.25, 3: 0.35, 4: 0.45, 5: 0.55, 6: 0.65},
+		comm: map[job.ProcID]float64{1: 0.5, 2: 0.1}}
+	for _, mode := range []Mode{ModeSE, ModePE, ModePC} {
+		c := NewCost(b, o, mode)
+		groups := [][]job.ProcID{{1, 3}, {2, 5}, {4, 6}}
+		acc := c.NewAccumulator()
+		var last float64
+		for _, g := range groups {
+			last = acc.Add(g)
+		}
+		want := c.PartitionCost(groups)
+		if math.Abs(last-want) > 1e-12 {
+			t.Errorf("mode %v: incremental %v != batch %v", mode, last, want)
+		}
+		if math.Abs(acc.Dist()-want) > 1e-12 {
+			t.Errorf("mode %v: Dist() %v != %v", mode, acc.Dist(), want)
+		}
+	}
+}
+
+func TestAccumulatorCloneIndependent(t *testing.T) {
+	b := mixedBatch(t)
+	o := &fixedOracle{batch: b,
+		base: map[job.ProcID]float64{1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4, 5: 0.5, 6: 0.6}}
+	c := NewCost(b, o, ModePC)
+	acc := c.NewAccumulator()
+	acc.Add([]job.ProcID{1, 3})
+	snap := acc.Dist()
+	cl := acc.Clone()
+	cl.Add([]job.ProcID{2, 5})
+	if acc.Dist() != snap {
+		t.Error("Clone shares state with original")
+	}
+	if len(cl.JobMaxes()) < len(acc.JobMaxes()) {
+		t.Error("clone lost job maxima")
+	}
+}
+
+func TestPerJobDegradation(t *testing.T) {
+	b := mixedBatch(t)
+	o := &fixedOracle{batch: b,
+		base: map[job.ProcID]float64{1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4, 5: 0.5, 6: 0.6},
+		comm: map[job.ProcID]float64{1: 1.0, 2: 1.0}}
+	c := NewCost(b, o, ModePC)
+	groups := [][]job.ProcID{{1, 2}, {3, 4}, {5, 6}}
+	per := c.PerJobDegradation(groups)
+	if math.Abs(per[0]-1.3) > 1e-12 { // PC job: max(1.2,1.3)
+		t.Errorf("PC job degradation = %v; want 1.3", per[0])
+	}
+	if math.Abs(per[1]-0.5) > 1e-12 { // PE job: max(0.4,0.5)
+		t.Errorf("PE job degradation = %v; want 0.5", per[1])
+	}
+	if math.Abs(per[2]-0.6) > 1e-12 || math.Abs(per[3]-0.7) > 1e-12 {
+		t.Errorf("serial degradations = %v/%v; want 0.6/0.7", per[2], per[3])
+	}
+	// Sum of per-job degradations equals the objective.
+	var sum float64
+	for _, v := range per {
+		sum += v
+	}
+	if want := c.PartitionCost(groups); math.Abs(sum-want) > 1e-12 {
+		t.Errorf("per-job sum %v != objective %v", sum, want)
+	}
+}
+
+func TestValidatePartition(t *testing.T) {
+	b := mixedBatch(t)
+	o := &fixedOracle{batch: b, base: map[job.ProcID]float64{}}
+	c := NewCost(b, o, ModePC)
+	good := [][]job.ProcID{{1, 2}, {3, 4}, {5, 6}}
+	if err := c.ValidatePartition(good); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	bad := []struct {
+		name   string
+		groups [][]job.ProcID
+	}{
+		{"wrong group size", [][]job.ProcID{{1, 2, 3}, {4, 5, 6}}},
+		{"duplicate", [][]job.ProcID{{1, 1}, {2, 3}, {4, 5}}},
+		{"unknown proc", [][]job.ProcID{{1, 9}, {2, 3}, {4, 5}}},
+		{"missing procs", [][]job.ProcID{{1, 2}}},
+	}
+	for _, tc := range bad {
+		if err := c.ValidatePartition(tc.groups); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestNodeWeightIsSumOfProcCosts(t *testing.T) {
+	b := mixedBatch(t)
+	o := &fixedOracle{batch: b,
+		base: map[job.ProcID]float64{1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4, 5: 0.5, 6: 0.6},
+		comm: map[job.ProcID]float64{1: 0.3, 2: 0.4}}
+	c := NewCost(b, o, ModePC)
+	node := []job.ProcID{1, 5}
+	want := c.ProcCost(1, []job.ProcID{5}) + c.ProcCost(5, []job.ProcID{1})
+	if got := c.NodeWeight(node); math.Abs(got-want) > 1e-12 {
+		t.Errorf("NodeWeight = %v; want %v", got, want)
+	}
+}
+
+func TestAccumulatorPropertyRandomPartitions(t *testing.T) {
+	// Property (testing/quick): for random batches and random valid
+	// partitions, the incremental Eq. 13 accumulator agrees with the
+	// batch evaluation under every accounting mode, regardless of
+	// group order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bd := job.NewBuilder()
+		nPar := rng.Intn(3)
+		for i := 0; i < nPar; i++ {
+			if rng.Intn(2) == 0 {
+				bd.AddPE("pe", 2+rng.Intn(3))
+			} else {
+				bd.AddPC("pc", 2+rng.Intn(3))
+			}
+		}
+		for bd.NumProcs() < 8 {
+			bd.AddSerial("s")
+		}
+		u := []int{2, 4}[rng.Intn(2)]
+		b, err := bd.Build(u)
+		if err != nil {
+			return false
+		}
+		n := b.NumProcs()
+		mtx := make([][]float64, n)
+		for i := range mtx {
+			mtx[i] = make([]float64, n)
+			for j := range mtx[i] {
+				if i != j && !b.Procs[i].Imaginary && !b.Procs[j].Imaginary {
+					mtx[i][j] = rng.Float64()
+				}
+			}
+		}
+		o, err := NewPairwiseOracle(b, mtx, nil, 0)
+		if err != nil {
+			return false
+		}
+		// random permutation partitioned into u-sized groups
+		perm := rng.Perm(n)
+		var groups [][]job.ProcID
+		for i := 0; i < n; i += u {
+			var g []job.ProcID
+			for _, v := range perm[i : i+u] {
+				g = append(g, job.ProcID(v+1))
+			}
+			groups = append(groups, g)
+		}
+		for _, mode := range []Mode{ModeSE, ModePE, ModePC} {
+			c := NewCost(b, o, mode)
+			if err := c.ValidatePartition(groups); err != nil {
+				return false
+			}
+			acc := c.NewAccumulator()
+			for _, g := range groups {
+				acc.Add(g)
+			}
+			if math.Abs(acc.Dist()-c.PartitionCost(groups)) > 1e-9 {
+				return false
+			}
+			// shuffled group order gives the same objective
+			shuffled := append([][]job.ProcID(nil), groups...)
+			rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+			if math.Abs(c.PartitionCost(shuffled)-c.PartitionCost(groups)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

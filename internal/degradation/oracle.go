@@ -1,0 +1,127 @@
+// Package degradation supplies the co-run degradation figures every
+// co-scheduling method in this repository consumes: Eq. 1 (computation
+// degradation), the communication term of Eq. 9, and the objective
+// evaluation of Eq. 6 / Eq. 13 over complete and partial schedules.
+//
+// Two oracle implementations are provided:
+//
+//   - SDCOracle drives the full cache pipeline (stack distance competition,
+//     Eq. 14-15 CPU times) plus the comm.Pattern network model; it is the
+//     faithful reproduction of the paper's measurement methodology.
+//   - PairwiseOracle approximates d(i,S) as the sum of pairwise
+//     interferences; it is O(u) per query and backs the large synthetic
+//     sweeps (Figs. 12-13) where the SDC merge would dominate runtime.
+package degradation
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"cosched/internal/job"
+)
+
+// Oracle answers degradation queries for one batch on one machine class.
+//
+// Degradation returns Eq. 1's d(i,S): the relative slowdown of process p's
+// computation when co-running with coRunners on one machine. CommDegradation
+// returns Eq. 9's additive term c(i,S)/ct(i): the communication time of p
+// normalised by its solo computation time, given that exactly the processes
+// in coRunners share p's machine. Both must return 0 for imaginary
+// (padding) processes, and imaginary co-runners must have no effect.
+type Oracle interface {
+	Degradation(p job.ProcID, coRunners []job.ProcID) float64
+	CommDegradation(p job.ProcID, coRunners []job.ProcID) float64
+}
+
+// setKey builds a compact map key for (p, set) queries. The co-runner set
+// is sorted by the caller's contract (callers pass node contents whose
+// order may vary), so we sort a small stack copy here.
+func setKey(p job.ProcID, coRunners []job.ProcID) string {
+	var stack [16]job.ProcID
+	set := stack[:0]
+	set = append(set, coRunners...)
+	// insertion sort: u-1 elements, u ≤ 16 in practice
+	for i := 1; i < len(set); i++ {
+		for j := i; j > 0 && set[j] < set[j-1]; j-- {
+			set[j], set[j-1] = set[j-1], set[j]
+		}
+	}
+	buf := make([]byte, 0, (len(set)+1)*3)
+	buf = binary.AppendUvarint(buf, uint64(p))
+	for _, q := range set {
+		buf = binary.AppendUvarint(buf, uint64(q))
+	}
+	return string(buf)
+}
+
+// Memoized wraps an Oracle with a concurrency-safe query cache. Both OA*
+// and the IP model builder ask for the same (p,S) pairs many times; the
+// cache turns repeated SDC merges into map hits.
+type Memoized struct {
+	inner Oracle
+
+	mu    sync.Mutex
+	deg   map[string]float64
+	comm  map[string]float64
+	hits  int64
+	total int64
+}
+
+// NewMemoized wraps the oracle with a cache. Wrapping an already-memoized
+// oracle returns it unchanged.
+func NewMemoized(inner Oracle) *Memoized {
+	if m, ok := inner.(*Memoized); ok {
+		return m
+	}
+	return &Memoized{
+		inner: inner,
+		deg:   make(map[string]float64),
+		comm:  make(map[string]float64),
+	}
+}
+
+// Degradation implements Oracle.
+func (m *Memoized) Degradation(p job.ProcID, coRunners []job.ProcID) float64 {
+	k := setKey(p, coRunners)
+	m.mu.Lock()
+	m.total++
+	if v, ok := m.deg[k]; ok {
+		m.hits++
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
+	v := m.inner.Degradation(p, coRunners)
+	m.mu.Lock()
+	m.deg[k] = v
+	m.mu.Unlock()
+	return v
+}
+
+// CommDegradation implements Oracle.
+func (m *Memoized) CommDegradation(p job.ProcID, coRunners []job.ProcID) float64 {
+	k := setKey(p, coRunners)
+	m.mu.Lock()
+	if v, ok := m.comm[k]; ok {
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
+	v := m.inner.CommDegradation(p, coRunners)
+	m.mu.Lock()
+	m.comm[k] = v
+	m.mu.Unlock()
+	return v
+}
+
+// Inner returns the wrapped oracle, letting solvers detect oracle
+// families (e.g. the additive-pairwise oracle) through the cache.
+func (m *Memoized) Inner() Oracle { return m.inner }
+
+// CacheStats returns (hits, total) degradation queries, for tests and
+// diagnostics.
+func (m *Memoized) CacheStats() (hits, total int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.total
+}

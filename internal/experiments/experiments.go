@@ -1,0 +1,148 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V). Each experiment is registered under the paper's label
+// ("table1".."table4", "fig5".."fig13") and produces a Report whose rows
+// mirror the published table/series; EXPERIMENTS.md records paper-vs-
+// measured for each. Run them through cmd/experiments or the root
+// bench_test.go harness.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RunOptions scales an experiment run.
+type RunOptions struct {
+	// Quick shrinks graph counts and sweep ranges so the experiment
+	// finishes in benchmark-friendly time; the full configuration
+	// matches the paper as closely as feasibility allows (deviations
+	// are printed in the report notes and recorded in EXPERIMENTS.md).
+	Quick bool
+	// Seed drives all synthetic workload generation.
+	Seed int64
+	// Verbose adds per-iteration detail rows where applicable.
+	Verbose bool
+}
+
+// Report is the regenerated table/figure.
+type Report struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// JSON renders the report as indented JSON for machine consumption.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Runner regenerates one experiment.
+type Runner func(RunOptions) (*Report, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs lists the registered experiment labels in canonical order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return orderKey(ids[i]) < orderKey(ids[j]) })
+	return ids
+}
+
+func orderKey(id string) string {
+	// tables, then figures, then ablations; numeric order within
+	var kind string
+	var num int
+	switch {
+	case strings.HasPrefix(id, "table"):
+		kind = "a"
+		fmt.Sscanf(id, "table%d", &num)
+	case strings.HasPrefix(id, "fig"):
+		kind = "b"
+		fmt.Sscanf(id, "fig%d", &num)
+	default:
+		return "c" + id
+	}
+	return fmt.Sprintf("%s%03d", kind, num)
+}
+
+// Run regenerates one experiment by label.
+func Run(id string, opts RunOptions) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return r(opts)
+}
+
+// fmtSec renders seconds with adaptive precision.
+func fmtSec(sec float64) string {
+	switch {
+	case sec < 0.001:
+		return fmt.Sprintf("%.5f", sec)
+	case sec < 1:
+		return fmt.Sprintf("%.4f", sec)
+	default:
+		return fmt.Sprintf("%.2f", sec)
+	}
+}
+
+// fmtDeg renders a degradation value.
+func fmtDeg(d float64) string { return fmt.Sprintf("%.4f", d) }

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4",
+		"fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"ablation-beam", "ablation-dismissal", "ablation-h", "ablation-online",
+		"ablation-oracle", "ablation-sdc", "ablation-symmetry", "ablation-workers"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("IDs = %v; want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("IDs[%d] = %q; want %q (canonical order)", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("table9", RunOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{
+		ID:      "x",
+		Title:   "demo",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:   []string{"hello"},
+	}
+	out := rep.String()
+	for _, want := range []string{"=== x: demo ===", "a", "bb", "333", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1QuickShape(t *testing.T) {
+	rep, err := Run("table1", RunOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rep.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row %v has %d cells", row, len(row))
+		}
+		// IP and OA* must agree per machine (both exact).
+		if row[1] != row[2] {
+			t.Errorf("dual-core IP %s != OA* %s", row[1], row[2])
+		}
+		if row[3] != row[4] {
+			t.Errorf("quad-core IP %s != OA* %s", row[3], row[4])
+		}
+	}
+}
+
+func TestTable2QuickShape(t *testing.T) {
+	rep, err := Run("table2", RunOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if row[1] != row[2] || row[3] != row[4] {
+			t.Errorf("IP and OA* disagree in row %v", row)
+		}
+	}
+}
+
+func TestFig10QuickShape(t *testing.T) {
+	rep, err := Run("fig10", RunOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rep.Rows[len(rep.Rows)-1]
+	if last[0] != "AVG" {
+		t.Fatalf("last row %v is not AVG", last)
+	}
+	oa, _ := strconv.ParseFloat(last[1], 64)
+	ha, _ := strconv.ParseFloat(last[2], 64)
+	pg, _ := strconv.ParseFloat(last[3], 64)
+	if !(oa <= ha+1e-9) {
+		t.Errorf("AVG(OA*)=%v > AVG(HA*)=%v", oa, ha)
+	}
+	if !(oa <= pg+1e-9) {
+		t.Errorf("AVG(OA*)=%v > AVG(PG)=%v", oa, pg)
+	}
+}
+
+func TestFig12QuickShape(t *testing.T) {
+	rep, err := Run("fig12", RunOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		ha, _ := strconv.ParseFloat(row[2], 64)
+		pg, _ := strconv.ParseFloat(row[3], 64)
+		if ha >= pg {
+			t.Errorf("HA* %v not better than PG %v in row %v", ha, pg, row)
+		}
+	}
+}
+
+func TestFig13QuickShape(t *testing.T) {
+	rep, err := Run("fig13", RunOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 2 {
+		t.Fatal("too few rows")
+	}
+	for _, row := range rep.Rows {
+		if _, err := strconv.ParseFloat(row[2], 64); err != nil {
+			t.Errorf("time cell %q not numeric", row[2])
+		}
+	}
+}
+
+func TestFig5QuickShape(t *testing.T) {
+	rep, err := Run("fig5", RunOptions{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		pct := strings.TrimSuffix(row[6], "%")
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			t.Fatalf("P[gap<=5%%] cell %q not a percentage", row[6])
+		}
+		if v < 80 {
+			t.Errorf("P[gap <= 5%%] = %v%% in row %v; the trimming hypothesis should hold for most graphs", v, row)
+		}
+	}
+}

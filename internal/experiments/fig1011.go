@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+	"cosched/internal/pg"
+	"cosched/internal/workload"
+)
+
+func init() {
+	register("fig10", fig10)
+	register("fig11", fig11)
+}
+
+// fig10 reproduces Figure 10: per-application degradation of the twelve
+// NPB/SPEC benchmarks on quad-core machines under OA*, HA* and PG.
+func fig10(opts RunOptions) (*Report, error) {
+	return benchmarkComparison("fig10", 4, workload.Fig10Names(), opts)
+}
+
+// fig11 reproduces Figure 11: the sixteen-application comparison on
+// 8-core machines.
+func fig11(opts RunOptions) (*Report, error) {
+	return benchmarkComparison("fig11", 8, workload.Fig11Names(), opts)
+}
+
+func benchmarkComparison(id string, u int, names []string, opts RunOptions) (*Report, error) {
+	rep := &Report{
+		ID:      id,
+		Title:   fmt.Sprintf("Per-application degradation under OA*, HA* and PG (%d-core)", u),
+		Headers: []string{"job", "OA*", "HA*", "PG"},
+	}
+	if opts.Quick && len(names) > 8 {
+		names = names[:8]
+	}
+	m, err := machineFor(u)
+	if err != nil {
+		return nil, err
+	}
+	in, err := workload.SerialInstance(names, m)
+	if err != nil {
+		return nil, err
+	}
+	oa, err := solveOA(in, degradation.ModePC)
+	if err != nil {
+		return nil, err
+	}
+	ha, err := solveHA(in, degradation.ModePC)
+	if err != nil {
+		return nil, err
+	}
+	pgRes := pg.Solve(in.Cost(degradation.ModePC))
+
+	c := in.Cost(degradation.ModePC)
+	pers := []map[job.JobID]float64{
+		c.PerJobDegradation(oa.Groups),
+		c.PerJobDegradation(ha.Groups),
+		c.PerJobDegradation(pgRes.Groups),
+	}
+	avgs := make([]float64, 3)
+	for _, j := range in.Batch.Jobs {
+		row := []string{j.Name}
+		for i := range pers {
+			d := pers[i][j.ID]
+			avgs[i] += d
+			row = append(row, fmtDeg(d))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	row := []string{"AVG"}
+	for i := range avgs {
+		row = append(row, fmtDeg(avgs[i]/float64(len(in.Batch.Jobs))))
+	}
+	rep.Rows = append(rep.Rows, row)
+	rep.Notes = append(rep.Notes,
+		"expected shape: AVG(OA*) <= AVG(HA*) <= AVG(PG), HA* within ~10% of OA* (paper: 9.8% quad, 4.6% 8-core; PG 12-15% worse)")
+	return rep, nil
+}

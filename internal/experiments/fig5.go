@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cosched/internal/astar"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/workload"
+)
+
+func init() {
+	register("fig5", fig5)
+}
+
+// fig5 reproduces Figure 5's finding in its operational form. The paper
+// records the Maximum Effective Rank of the optimal path over K random
+// graphs and concludes that trimming each level to the first n/u valid
+// nodes (by weight) almost always preserves the shortest path. The rank
+// statistic itself rides on the heavy cost ties of their
+// hardware-counter-derived data — on continuous synthetic data the rank
+// of a co-optimal node is essentially arbitrary — so this experiment
+// measures what the statistic is *used for* directly: the optimality gap
+// of the trimmed search at the paper's budget,
+//
+//	gap(n/u) = (HA*(k = n/u) cost - OA* cost) / OA* cost,
+//
+// over K random graphs per configuration. The paper's hypothesis
+// corresponds to this gap being zero or tiny for almost all graphs.
+func fig5(opts RunOptions) (*Report, error) {
+	rep := &Report{
+		ID:    "fig5",
+		Title: "Optimality gap of the n/u-trimmed search over random graphs",
+		Headers: []string{"machine", "jobs", "graphs", "n/u", "P[gap=0]",
+			"P[gap<=1%]", "P[gap<=5%]", "median gap", "max gap"},
+	}
+	type cfg struct {
+		u      int
+		sizes  []int
+		graphs int
+	}
+	cfgs := []cfg{
+		{u: 4, sizes: []int{12, 16, 20}, graphs: 12},
+		{u: 8, sizes: []int{16}, graphs: 10},
+	}
+	if opts.Quick {
+		cfgs = []cfg{
+			{u: 4, sizes: []int{12, 16}, graphs: 8},
+			{u: 8, sizes: []int{16}, graphs: 4},
+		}
+	}
+	for _, c := range cfgs {
+		m, err := machineFor(c.u)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range c.sizes {
+			var gaps []float64
+			for gi := 0; gi < c.graphs; gi++ {
+				in, err := workload.SyntheticPairwiseSmoothInstance(n, m, opts.Seed+int64(1000*n+gi))
+				if err != nil {
+					return nil, err
+				}
+				opt, err := solveOACapped(in, degradation.ModePC)
+				if err != nil {
+					return nil, err
+				}
+				g := graph.New(in.Cost(degradation.ModePC), in.Patterns)
+				s, err := astar.NewSolver(g, astar.Options{
+					H: astar.HPerProc, KPerLevel: n / c.u, UseIncumbent: true})
+				if err != nil {
+					return nil, err
+				}
+				ha, err := s.Solve()
+				if err != nil {
+					return nil, err
+				}
+				gap := 0.0
+				if opt.Cost > 0 {
+					gap = (ha.Cost - opt.Cost) / opt.Cost
+				}
+				gaps = append(gaps, gap)
+			}
+			sort.Float64s(gaps)
+			atMost := func(x float64) float64 {
+				cnt := 0
+				for _, g := range gaps {
+					if g <= x+1e-12 {
+						cnt++
+					}
+				}
+				return 100 * float64(cnt) / float64(len(gaps))
+			}
+			rep.Rows = append(rep.Rows, []string{
+				fmt.Sprintf("%d-core", c.u),
+				fmt.Sprint(n),
+				fmt.Sprint(len(gaps)),
+				fmt.Sprint(n / c.u),
+				fmt.Sprintf("%.1f%%", atMost(0)),
+				fmt.Sprintf("%.1f%%", atMost(0.01)),
+				fmt.Sprintf("%.1f%%", atMost(0.05)),
+				fmt.Sprintf("%.2f%%", gaps[len(gaps)/2]*100),
+				fmt.Sprintf("%.2f%%", gaps[len(gaps)-1]*100),
+			})
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"gap(n/u) reformulates the paper's MER statistic operationally (see EXPERIMENTS.md)",
+		"expected shape: gaps at or near zero for almost all graphs, justifying HA*'s per-level budget")
+	return rep, nil
+}

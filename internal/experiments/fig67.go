@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+	"cosched/internal/workload"
+)
+
+func init() {
+	register("fig6", fig6)
+	register("fig7", fig7)
+}
+
+// fig6 reproduces Figure 6: the benefit of the parallel-aware path
+// distance (Eq. 13) for PE jobs. OA*-SE optimises the plain sum (Eq. 12)
+// while OA*-PE optimises per-job maxima; both schedules are then
+// evaluated under the PE objective per benchmark and on average.
+func fig6(opts RunOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig6",
+		Title:   "Degradation under OA*-PE vs OA*-SE (PE + serial mix)",
+		Headers: []string{"machine", "job", "OA*-PE", "OA*-SE"},
+	}
+	// The paper runs 10 processes per PE job (55 processes in all); the
+	// exact searches here stay laptop-scale at 4 (25 processes), which
+	// preserves the SE-vs-PE contrast (EXPERIMENTS.md).
+	procsPerJob := 4
+	machines := []int{4, 8}
+	if opts.Quick {
+		procsPerJob = 3
+		machines = []int{4}
+	}
+	for _, u := range machines {
+		m, err := machineFor(u)
+		if err != nil {
+			return nil, err
+		}
+		in, err := workload.PEMixInstance(procsPerJob, m)
+		if err != nil {
+			return nil, err
+		}
+		pe, err := solveOAPlain(in, degradation.ModePE)
+		if err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%d-core arm skipped: %v", u, err))
+			continue
+		}
+		se, err := solveOAPlain(in, degradation.ModeSE)
+		if err != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%d-core arm skipped: %v", u, err))
+			continue
+		}
+		if err := appendPerJobRows(rep, in, degradation.ModePE, fmt.Sprintf("%d-core", u),
+			[][][]job.ProcID{pe.Groups, se.Groups}); err != nil {
+			return nil, err
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"both schedules evaluated under the Eq. 13 per-job-max objective (Eq. 1 degradations)",
+		"expected shape: OA*-SE average worse than OA*-PE by tens of percent (paper: 31.9% quad, 34.8% 8-core)")
+	return rep, nil
+}
+
+// fig7 reproduces Figure 7: the benefit of folding communication into the
+// degradation (Eq. 9) for PC jobs. OA*-PE ignores communication when
+// optimising; OA*-PC includes it; both are evaluated under the full
+// communication-combined objective.
+func fig7(opts RunOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "fig7",
+		Title:   "Communication-combined degradation under OA*-PC vs OA*-PE (PC + serial mix)",
+		Headers: []string{"machine", "job", "OA*-PC", "OA*-PE"},
+	}
+	// The paper runs 11 processes per MPI job. Two deviations keep the
+	// exact OA*-PC search feasible and the contrast honest
+	// (EXPERIMENTS.md): (1) 11 is prime, so its near-square
+	// decomposition is a chain whose rank adjacency coincides with
+	// process-ID order, letting the comm-oblivious schedule look
+	// comm-friendly by tie-breaking luck — 4-process jobs give genuine
+	// 2x2 grids; (2) PC ranks cannot be canonicalised in the dismissal
+	// key, so larger jobs put the exact search out of laptop reach.
+	procsPerJob := 4
+	machines := []int{4, 8}
+	if opts.Quick {
+		machines = []int{4}
+	}
+	for _, u := range machines {
+		m, err := machineFor(u)
+		if err != nil {
+			return nil, err
+		}
+		in, err := workload.PCMixInstance(procsPerJob, m)
+		if err != nil {
+			return nil, err
+		}
+		pc, err := solveOAPlain(in, degradation.ModePC)
+		if err != nil {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("%d-core arm skipped: %v", u, err))
+			continue
+		}
+		pe, err := solveOAPlain(in, degradation.ModePE)
+		if err != nil {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("%d-core arm skipped: %v", u, err))
+			continue
+		}
+		if err := appendPerJobRows(rep, in, degradation.ModePC, fmt.Sprintf("%d-core", u),
+			[][][]job.ProcID{pc.Groups, pe.Groups}); err != nil {
+			return nil, err
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"both schedules evaluated under the Eq. 9 + Eq. 13 objective",
+		"expected shape: OA*-PE average worse than OA*-PC by tens of percent (paper: 36.1% quad, 39.5% 8-core)")
+	return rep, nil
+}
+
+// appendPerJobRows evaluates several schedules of the same instance under
+// one objective and appends one row per job plus the AVG row.
+func appendPerJobRows(rep *Report, in *workload.Instance, mode degradation.Mode,
+	machine string, groups [][][]job.ProcID) error {
+	c := in.Cost(mode)
+	pers := make([]map[job.JobID]float64, len(groups))
+	for i, g := range groups {
+		if err := c.ValidatePartition(g); err != nil {
+			return err
+		}
+		pers[i] = c.PerJobDegradation(g)
+	}
+	jobs := append([]job.Job(nil), in.Batch.Jobs...)
+	sort.SliceStable(jobs, func(a, b int) bool {
+		// parallel jobs first, then serial, preserving insertion order
+		pa, pb := jobs[a].Kind != job.Serial, jobs[b].Kind != job.Serial
+		if pa != pb {
+			return pa
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	avgs := make([]float64, len(groups))
+	for _, j := range jobs {
+		row := []string{machine, j.Name}
+		for i := range groups {
+			d := pers[i][j.ID]
+			avgs[i] += d
+			row = append(row, fmtDeg(d))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	row := []string{machine, "AVG"}
+	for i := range avgs {
+		row = append(row, fmtDeg(avgs[i]/float64(len(jobs))))
+	}
+	rep.Rows = append(rep.Rows, row)
+	return nil
+}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cosched/internal/astar"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/ip"
+	"cosched/internal/osvp"
+	"cosched/internal/workload"
+)
+
+func init() {
+	register("table1", table1)
+	register("table2", table2)
+	register("table3", table3)
+	register("table4", table4)
+}
+
+// table1 reproduces Table I: OA* and the IP method must report identical
+// average degradations for all-serial batches of 8/12/16 jobs on
+// dual-core and quad-core machines.
+func table1(opts RunOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "table1",
+		Title:   "Comparison between OA* and IP for serial jobs (avg degradation)",
+		Headers: []string{"jobs", "dual IP", "dual OA*", "quad IP", "quad OA*"},
+	}
+	sizes := []int{8, 12, 16}
+	if opts.Quick {
+		sizes = []int{8, 12}
+	}
+	for _, n := range sizes {
+		row := []string{fmt.Sprint(n)}
+		for _, u := range []int{2, 4} {
+			m, err := machineFor(u)
+			if err != nil {
+				return nil, err
+			}
+			in, err := workload.TableIInstance(n, m)
+			if err != nil {
+				return nil, err
+			}
+			ipRes, err := solveIPBest(in, degradation.ModePC, 5*time.Minute)
+			if err != nil {
+				return nil, err
+			}
+			oaRes, err := solveOA(in, degradation.ModePC)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				fmtDeg(avgJobDegradation(in, degradation.ModePC, ipRes.Groups)),
+				fmtDeg(avgJobDegradation(in, degradation.ModePC, oaRes.Groups)))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "expected shape: IP and OA* columns identical per machine (both optimal)")
+	return rep, nil
+}
+
+// table2 reproduces Table II: the same optimality check for the mixed
+// serial + parallel batches (MG-Par and LU-Par with 2-4 processes).
+func table2(opts RunOptions) (*Report, error) {
+	rep := &Report{
+		ID:      "table2",
+		Title:   "Comparison of IP and OA* for serial and parallel jobs (avg degradation)",
+		Headers: []string{"procs", "dual IP", "dual OA*", "quad IP", "quad OA*"},
+	}
+	sizes := []int{8, 12, 16}
+	if opts.Quick {
+		sizes = []int{8, 12}
+	}
+	for _, n := range sizes {
+		row := []string{fmt.Sprint(n)}
+		for _, u := range []int{2, 4} {
+			m, err := machineFor(u)
+			if err != nil {
+				return nil, err
+			}
+			in, err := workload.TableIIInstance(n, m)
+			if err != nil {
+				return nil, err
+			}
+			ipRes, err := solveIPBest(in, degradation.ModePC, 5*time.Minute)
+			if err != nil {
+				return nil, err
+			}
+			oaRes, err := solveOA(in, degradation.ModePC)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				fmtDeg(avgJobDegradation(in, degradation.ModePC, ipRes.Groups)),
+				fmtDeg(avgJobDegradation(in, degradation.ModePC, oaRes.Groups)))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	rep.Notes = append(rep.Notes, "expected shape: IP and OA* columns identical per machine (both optimal)")
+	return rep, nil
+}
+
+// table3 reproduces Table III: solving time of the four IP solver
+// configurations, OA* and O-SVP on quad-core machines for 8/12/16
+// processes in serial (se), serial+PE (pe) and serial+PC (pc) mixes.
+func table3(opts RunOptions) (*Report, error) {
+	rep := &Report{
+		ID:    "table3",
+		Title: "Efficiency of the methods on quad-core machines (seconds)",
+		Headers: []string{"batch",
+			ip.ConfigA.Name, ip.ConfigB.Name, ip.ConfigC.Name, ip.ConfigD.Name,
+			"OA*", "O-SVP"},
+	}
+	m, err := machineFor(4)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{8, 12, 16}
+	if opts.Quick {
+		sizes = []int{8, 12}
+	}
+	ipLimit := 60 * time.Second
+	for _, n := range sizes {
+		for _, kind := range []string{"se", "pe", "pc"} {
+			var in *workload.Instance
+			var err error
+			switch kind {
+			case "se":
+				in, err = workload.TableIInstance(n, m)
+			case "pe":
+				in, err = tableIIPEInstance(n, m)
+			case "pc":
+				in, err = workload.TableIIInstance(n, m)
+			}
+			if err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprintf("%d(%s)", n, kind)}
+			// Warm the degradation cache once so every solver below is
+			// timed on model work, not on first-touch oracle queries.
+			if _, err := ip.BuildModel(in.Cost(degradation.ModePC)); err != nil {
+				return nil, err
+			}
+			for _, cfg := range ip.Configs() {
+				cfg.TimeLimit = ipLimit
+				start := time.Now()
+				model, err := ip.BuildModel(in.Cost(degradation.ModePC))
+				if err != nil {
+					return nil, err
+				}
+				res, err := ip.Solve(model, cfg)
+				el := time.Since(start).Seconds()
+				cell := fmtSec(el)
+				if err != nil || (res != nil && res.Stats.TimedOut) {
+					cell = ">" + fmtSec(ipLimit.Seconds())
+				}
+				row = append(row, cell)
+			}
+			start := time.Now()
+			if _, err := solveOA(in, degradation.ModePC); err != nil {
+				return nil, err
+			}
+			row = append(row, fmtSec(time.Since(start).Seconds()))
+			start = time.Now()
+			g := graph.New(in.Cost(degradation.ModePC), in.Patterns)
+			if _, err := osvp.Solve(g); err != nil {
+				return nil, err
+			}
+			row = append(row, fmtSec(time.Since(start).Seconds()))
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"CPLEX/CBC/SCIP/GLPK are reproduced by four configurations of this repo's pure-Go branch-and-bound (DESIGN.md §3)",
+		"expected shape: OA* fastest, O-SVP close behind, every IP configuration slower")
+	return rep, nil
+}
+
+// table4 reproduces Table IV: solving time and visited paths of OA* under
+// h Strategy 1 vs Strategy 2 vs O-SVP on 16/20/24 synthetic serial jobs
+// (quad-core).
+func table4(opts RunOptions) (*Report, error) {
+	rep := &Report{
+		ID:    "table4",
+		Title: "h(v) strategies: solving time (s) and visited paths (quad-core)",
+		Headers: []string{"jobs", "time S1", "time S2", "time O-SVP",
+			"paths S1", "paths S2", "paths O-SVP"},
+	}
+	m, err := machineFor(4)
+	if err != nil {
+		return nil, err
+	}
+	// The paper runs 16/20/24 jobs; exact search on our continuous
+	// synthetic data grows steeply past 20 (EXPERIMENTS.md), so the
+	// sweep tops out there.
+	sizes := []int{12, 16, 20}
+	if opts.Quick {
+		sizes = []int{12, 16}
+	}
+	for _, n := range sizes {
+		in, err := workload.SyntheticSerialInstance(n, m, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		type meas struct {
+			sec   float64
+			paths int64
+		}
+		run := func(o astar.Options) (meas, error) {
+			g := graph.New(in.Cost(degradation.ModePC), in.Patterns)
+			s, err := astar.NewSolver(g, o)
+			if err != nil {
+				return meas{}, err
+			}
+			start := time.Now()
+			res, err := s.Solve()
+			if err != nil {
+				return meas{}, err
+			}
+			return meas{sec: time.Since(start).Seconds(), paths: res.Stats.VisitedPaths}, nil
+		}
+		s1, err := run(astar.Options{H: astar.HStrategy1})
+		if err != nil {
+			return nil, err
+		}
+		s2, err := run(astar.Options{H: astar.HStrategy2})
+		if err != nil {
+			return nil, err
+		}
+		sv, err := run(astar.Options{H: astar.HNone})
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprint(n),
+			fmtSec(s1.sec), fmtSec(s2.sec), fmtSec(sv.sec),
+			fmt.Sprint(s1.paths), fmt.Sprint(s2.paths), fmt.Sprint(sv.paths),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"expected shape: Strategy 2 visits far fewer paths than Strategy 1; O-SVP (h=0) visits the most")
+	return rep, nil
+}

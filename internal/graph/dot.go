@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+
+	"cosched/internal/job"
+)
+
+// WriteDOT renders the co-scheduling graph in Graphviz DOT form, the way
+// the paper's Fig. 3 draws it: one cluster per level, node labels
+// <i,j,...> with the node weight underneath, and — optionally — the edges
+// of one highlighted valid path (a schedule). Only graphs whose levels
+// are enumerable and whose total node count stays under maxNodes are
+// rendered; bigger graphs return an error instead of an unreadable file.
+func (g *Graph) WriteDOT(w io.Writer, highlight [][]job.ProcID, maxNodes int) error {
+	if maxNodes <= 0 {
+		maxNodes = 512
+	}
+	total := int64(0)
+	lastLevel := g.N() - g.U() + 1
+	for l := 1; l <= lastLevel; l++ {
+		total += Binomial(g.N()-l, g.U()-1)
+		if total > int64(maxNodes) {
+			return fmt.Errorf("graph: %d+ nodes exceed the DOT budget of %d", total, maxNodes)
+		}
+	}
+	onPath := map[string]bool{}
+	var pathIDs []string
+	if highlight != nil {
+		for _, node := range CanonicalPath(highlight) {
+			id := NodeID(node)
+			onPath[id] = true
+			pathIDs = append(pathIDs, id)
+		}
+	}
+	fmt.Fprintln(w, "digraph cosched {")
+	fmt.Fprintln(w, "  rankdir=TB;")
+	fmt.Fprintln(w, "  node [shape=ellipse, fontsize=10];")
+	fmt.Fprintln(w, `  start [shape=circle, label="start"];`)
+	fmt.Fprintln(w, `  end [shape=circle, label="end"];`)
+	for l := 1; l <= lastLevel; l++ {
+		fmt.Fprintf(w, "  subgraph cluster_level%d {\n", l)
+		fmt.Fprintf(w, "    label=\"level %d\"; color=gray;\n", l)
+		g.ForEachNode(job.ProcID(l), g.fullLevelAvail(job.ProcID(l)), func(node []job.ProcID) bool {
+			id := NodeID(node)
+			style := ""
+			if onPath[id] {
+				style = ", style=filled, fillcolor=lightblue"
+			}
+			fmt.Fprintf(w, "    %q [label=\"%s\\n%.3f\"%s];\n", id, id, g.Cost.NodeWeight(node), style)
+			return true
+		})
+		fmt.Fprintln(w, "  }")
+	}
+	// Edges of the highlighted path; the full edge set is dynamic (built
+	// during search), so only the schedule's own edges are drawn, as the
+	// paper does for clarity.
+	if len(pathIDs) > 0 {
+		fmt.Fprintf(w, "  start -> %q;\n", pathIDs[0])
+		for i := 1; i < len(pathIDs); i++ {
+			fmt.Fprintf(w, "  %q -> %q;\n", pathIDs[i-1], pathIDs[i])
+		}
+		fmt.Fprintf(w, "  %q -> end;\n", pathIDs[len(pathIDs)-1])
+	}
+	fmt.Fprintln(w, "}")
+	return nil
+}

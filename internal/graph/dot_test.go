@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"cosched/internal/job"
+)
+
+func TestWriteDOT(t *testing.T) {
+	c, _ := pairInstance(t, 6, 2, 0.01)
+	g := New(c, nil)
+	var sb strings.Builder
+	path := [][]job.ProcID{{1, 2}, {3, 4}, {5, 6}}
+	if err := g.WriteDOT(&sb, path, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph cosched",
+		`"<1,2>"`, `"<2,3>"`, `"<5,6>"`,
+		"cluster_level1", "cluster_level5",
+		`start -> "<1,2>"`, `"<1,2>" -> "<3,4>"`, `"<5,6>" -> end`,
+		"fillcolor=lightblue",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// level 1 of a 6-process dual-core graph has C(5,1)=5 nodes
+	if got := strings.Count(out, "cluster_level"); got != 5 {
+		t.Errorf("levels rendered = %d; want 5", got)
+	}
+}
+
+func TestWriteDOTBudget(t *testing.T) {
+	c, _ := pairInstance(t, 24, 4, 0.001)
+	g := New(c, nil)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil, 100); err == nil {
+		t.Error("oversized graph rendered without error")
+	}
+}
+
+func TestWriteDOTNoHighlight(t *testing.T) {
+	c, _ := pairInstance(t, 4, 2, 0.01)
+	g := New(c, nil)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "lightblue") {
+		t.Error("highlight styling present without a highlighted path")
+	}
+}

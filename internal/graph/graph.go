@@ -1,0 +1,188 @@
+// Package graph implements the co-scheduling graph of §III-A: every node
+// is a u-cardinality process set (one filled machine), nodes are organised
+// into levels by their smallest process ID, and a co-scheduling solution
+// is a valid path — one that visits each process exactly once — from the
+// start to the end of the graph. The graph is never materialised: levels
+// hold up to C(n-1, u-1) nodes, so node enumeration is lazy and the
+// weight of a node is computed (and memoised via the degradation oracle)
+// on first touch.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"cosched/internal/comm"
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+)
+
+// Graph binds a batch and its cost model into the co-scheduling graph.
+type Graph struct {
+	Batch *job.Batch
+	Cost  *degradation.Cost
+	// Patterns supplies the communication structure used by the
+	// communication-aware condensation keys (§III-E); nil entries (or a
+	// nil map) mean no communication.
+	Patterns map[job.JobID]*comm.Pattern
+
+	// EnumLimit caps how many nodes a single level enumeration may
+	// visit; levels beyond it are not exactly enumerable and callers
+	// fall back to bounds. Zero means DefaultEnumLimit.
+	EnumLimit int
+
+	levelStats map[job.ProcID]*LevelStats
+}
+
+// DefaultEnumLimit is the default per-level node enumeration budget.
+const DefaultEnumLimit = 4_000_000
+
+// New constructs the graph view for a batch/cost pair.
+func New(c *degradation.Cost, patterns map[job.JobID]*comm.Pattern) *Graph {
+	return &Graph{
+		Batch:      c.Batch,
+		Cost:       c,
+		Patterns:   patterns,
+		levelStats: make(map[job.ProcID]*LevelStats),
+	}
+}
+
+// U returns the node cardinality (cores per machine).
+func (g *Graph) U() int { return g.Batch.Cores }
+
+// N returns the number of processes.
+func (g *Graph) N() int { return g.Batch.NumProcs() }
+
+// Binomial returns C(n, k) with saturation at math.MaxInt64/2 to keep
+// feasibility checks overflow-safe.
+func Binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	const sat = int64(1) << 62
+	r := int64(1)
+	for i := 1; i <= k; i++ {
+		f := int64(n - k + i)
+		if r > sat/f {
+			return sat // would overflow: saturate before multiplying
+		}
+		r = r * f / int64(i)
+		if r >= sat {
+			return sat
+		}
+	}
+	return r
+}
+
+// ForEachNode enumerates the nodes led by leader whose co-members are
+// drawn from avail (ascending process IDs, all greater than leader and not
+// equal to it). Each node is passed as a full sorted u-slice that is
+// reused between calls — copy it to retain it. fn returning false stops
+// the enumeration.
+func (g *Graph) ForEachNode(leader job.ProcID, avail []job.ProcID, fn func(node []job.ProcID) bool) {
+	u := g.U()
+	node := make([]job.ProcID, u)
+	node[0] = leader
+	if u == 1 {
+		fn(node)
+		return
+	}
+	r := u - 1
+	if len(avail) < r {
+		return
+	}
+	idx := make([]int, r)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		for i, ai := range idx {
+			node[i+1] = avail[ai]
+		}
+		if !fn(node) {
+			return
+		}
+		// advance the combination
+		i := r - 1
+		for i >= 0 && idx[i] == len(avail)-r+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < r; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// CondenseKey returns the communication-aware condensation key of a node
+// (§III-E): two nodes in the same level condense when they contain the
+// same serial jobs, the same number of processes per parallel job, and
+// identical per-dimension external-communication counts for each PC job.
+// The returned key is identical exactly for condensable nodes.
+func (g *Graph) CondenseKey(node []job.ProcID) string {
+	b := g.Batch
+	// Serial and imaginary members identify themselves; parallel members
+	// contribute (job, count, property...).
+	type parEntry struct {
+		j     job.JobID
+		ranks []int
+	}
+	var pars []parEntry
+	key := make([]byte, 0, 4*len(node))
+	appendInt := func(v int) {
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	for _, p := range node {
+		j := b.JobOf(p)
+		if j == nil || j.Kind == job.Serial {
+			appendInt(int(p))
+			continue
+		}
+		rank := b.Proc(p).Rank
+		found := false
+		for i := range pars {
+			if pars[i].j == j.ID {
+				pars[i].ranks = append(pars[i].ranks, rank)
+				found = true
+				break
+			}
+		}
+		if !found {
+			pars = append(pars, parEntry{j: j.ID, ranks: []int{rank}})
+		}
+	}
+	sort.Slice(pars, func(i, k int) bool { return pars[i].j < pars[k].j })
+	for _, pe := range pars {
+		appendInt(-1) // marker separating serial IDs from job entries
+		appendInt(int(pe.j))
+		appendInt(len(pe.ranks))
+		var pt *comm.Pattern
+		if g.Patterns != nil {
+			pt = g.Patterns[pe.j]
+		}
+		if pt != nil {
+			for _, c := range pt.Property(pe.ranks) {
+				appendInt(c)
+			}
+		}
+	}
+	return string(key)
+}
+
+// NodeID formats a node the way the paper writes them: <1,2,...>.
+func NodeID(node []job.ProcID) string {
+	s := "<"
+	for i, p := range node {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprint(int(p))
+	}
+	return s + ">"
+}

@@ -1,0 +1,277 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/comm"
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+)
+
+// pairOracle builds a tiny pairwise instance for graph tests.
+func pairInstance(t *testing.T, n, u int, scale float64) (*degradation.Cost, *job.Batch) {
+	t.Helper()
+	bd := job.NewBuilder()
+	for i := 0; i < n; i++ {
+		bd.AddSerial("s")
+	}
+	b, err := bd.Build(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := b.NumProcs()
+	m := make([][]float64, nn)
+	for i := range m {
+		m[i] = make([]float64, nn)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = scale * float64(i+1) * float64(j+1)
+			}
+		}
+	}
+	o, err := degradation.NewPairwiseOracle(b, m, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return degradation.NewCost(b, o, degradation.ModePC), b
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{5, 2, 10}, {6, 1, 6}, {6, 0, 1}, {6, 6, 1}, {6, 7, 0}, {5, -1, 0},
+		{23, 3, 1771}, {55, 3, 26235}, {99, 3, 156849},
+	}
+	for _, tc := range cases {
+		if got := Binomial(tc.n, tc.k); got != tc.want {
+			t.Errorf("Binomial(%d,%d) = %d; want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+	// The paper's §IV example: C(91,3) = 121485 valid nodes for n=100,
+	// u=4, k=2.
+	if got := Binomial(91, 3); got != 121485 {
+		t.Errorf("Binomial(91,3) = %d; want 121485 (paper's example)", got)
+	}
+	// saturation
+	if got := Binomial(1000, 500); got != int64(1)<<62 {
+		t.Errorf("Binomial(1000,500) = %d; want saturated", got)
+	}
+}
+
+func TestForEachNodeEnumeratesAllCombinations(t *testing.T) {
+	c, _ := pairInstance(t, 6, 3, 0.01)
+	g := New(c, nil)
+	var nodes [][]job.ProcID
+	avail := []job.ProcID{2, 3, 4, 5, 6}
+	g.ForEachNode(1, avail, func(node []job.ProcID) bool {
+		nodes = append(nodes, append([]job.ProcID(nil), node...))
+		return true
+	})
+	if got := len(nodes); got != 10 { // C(5,2)
+		t.Fatalf("enumerated %d nodes; want 10", got)
+	}
+	seen := map[string]bool{}
+	for _, nd := range nodes {
+		if nd[0] != 1 {
+			t.Errorf("node %v not led by 1", nd)
+		}
+		if !(nd[0] < nd[1] && nd[1] < nd[2]) {
+			t.Errorf("node %v not ascending", nd)
+		}
+		seen[NodeID(nd)] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("duplicate nodes in enumeration: %d unique", len(seen))
+	}
+}
+
+func TestForEachNodeEarlyStop(t *testing.T) {
+	c, _ := pairInstance(t, 6, 3, 0.01)
+	g := New(c, nil)
+	count := 0
+	g.ForEachNode(1, []job.ProcID{2, 3, 4, 5, 6}, func(node []job.ProcID) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Errorf("enumeration ran %d times; want 4", count)
+	}
+}
+
+func TestForEachNodeSingleCore(t *testing.T) {
+	c, _ := pairInstance(t, 4, 1, 0.01)
+	g := New(c, nil)
+	var got [][]job.ProcID
+	g.ForEachNode(2, nil, func(node []job.ProcID) bool {
+		got = append(got, append([]job.ProcID(nil), node...))
+		return true
+	})
+	if len(got) != 1 || len(got[0]) != 1 || got[0][0] != 2 {
+		t.Errorf("u=1 enumeration = %v; want [[2]]", got)
+	}
+}
+
+func TestForEachNodeInsufficientAvail(t *testing.T) {
+	c, _ := pairInstance(t, 6, 3, 0.01)
+	g := New(c, nil)
+	called := false
+	g.ForEachNode(5, []job.ProcID{6}, func(node []job.ProcID) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Error("enumeration produced nodes from an undersized pool")
+	}
+}
+
+func TestLevelStats(t *testing.T) {
+	c, _ := pairInstance(t, 6, 2, 0.01)
+	g := New(c, nil)
+	ls, ok := g.LevelStats(1)
+	if !ok {
+		t.Fatal("level 1 not enumerable")
+	}
+	if got := ls.Size(); got != 5 { // nodes <1,2>..<1,6>
+		t.Fatalf("level 1 size = %d; want 5", got)
+	}
+	// weights ascending
+	for i := 1; i < len(ls.SortedWeights); i++ {
+		if ls.SortedWeights[i] < ls.SortedWeights[i-1] {
+			t.Fatal("weights not sorted")
+		}
+	}
+	// Min is the weight of <1,2>: d(1|2)+d(2|1) = 0.01*(1*2 + 2*1)
+	want := 0.01 * 4
+	if math.Abs(ls.Min()-want) > 1e-12 {
+		t.Errorf("level 1 min = %v; want %v", ls.Min(), want)
+	}
+	if math.Abs(ls.KSmallestSum(2)-(ls.SortedWeights[0]+ls.SortedWeights[1])) > 1e-12 {
+		t.Error("KSmallestSum(2) mismatch")
+	}
+	if ls.KSmallestSum(99) != ls.KSmallestSum(5) {
+		t.Error("KSmallestSum should clamp at level size")
+	}
+	if ls.KSmallestSum(-1) != 0 {
+		t.Error("KSmallestSum(-1) != 0")
+	}
+	// cached: same pointer on second call
+	ls2, _ := g.LevelStats(1)
+	if ls2 != ls {
+		t.Error("LevelStats not cached")
+	}
+}
+
+func TestLevelEnumerableBudget(t *testing.T) {
+	c, _ := pairInstance(t, 12, 4, 0.001)
+	g := New(c, nil)
+	g.EnumLimit = 10 // C(11,3)=165 exceeds it
+	if g.LevelEnumerable(1) {
+		t.Error("level 1 reported enumerable under a tiny budget")
+	}
+	if _, ok := g.LevelStats(1); ok {
+		t.Error("LevelStats succeeded over budget")
+	}
+	if g.LevelEnumerable(10) != true { // C(2,3)=0 nodes
+		t.Error("trailing level should be enumerable")
+	}
+}
+
+func TestCondenseKeySerialNodesDistinct(t *testing.T) {
+	c, _ := pairInstance(t, 6, 2, 0.01)
+	g := New(c, nil)
+	k1 := g.CondenseKey([]job.ProcID{1, 2})
+	k2 := g.CondenseKey([]job.ProcID{1, 3})
+	if k1 == k2 {
+		t.Error("distinct serial nodes share a condensation key")
+	}
+}
+
+func TestCondenseKeyMatchesPaperFig4(t *testing.T) {
+	// 9-process PC job on a 3x3 grid plus one serial job, as in Fig. 4.
+	bd := job.NewBuilder()
+	pcid := bd.AddPC("par", 9)
+	bd.AddSerial("ser")
+	b, err := bd.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := b.NumProcs()
+	mtx := make([][]float64, n)
+	for i := range mtx {
+		mtx[i] = make([]float64, n)
+	}
+	o, err := degradation.NewPairwiseOracle(b, mtx, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := degradation.NewCost(b, o, degradation.ModePC)
+	patterns := map[job.JobID]*comm.Pattern{pcid: comm.Grid2D(3, 3, 1, 1)}
+	g := New(cost, patterns)
+
+	key := func(a, bb int) string { return g.CondenseKey([]job.ProcID{job.ProcID(a), job.ProcID(bb)}) }
+	// Fig. 4: <1,3>, <1,7>, <1,9> condense (property (2,2)); <1,2> does not.
+	if key(1, 3) != key(1, 7) || key(1, 3) != key(1, 9) {
+		t.Error("<1,3>, <1,7>, <1,9> should condense")
+	}
+	if key(1, 2) == key(1, 3) {
+		t.Error("<1,2> must not condense with <1,3>")
+	}
+	// <1,4> has property (2,1) and <1,2> has (1,2): distinct.
+	if key(1, 2) == key(1, 4) {
+		t.Error("<1,2> must not condense with <1,4>")
+	}
+	// A serial member distinguishes nodes: <1,10> unique.
+	if key(1, 10) == key(1, 3) {
+		t.Error("serial node condensed with parallel node")
+	}
+	// <1,5> and <1,6>: properties (3,3) and (2,3) per Fig. 4: distinct.
+	if key(1, 5) == key(1, 6) {
+		t.Error("<1,5> must not condense with <1,6>")
+	}
+}
+
+func TestEffectiveRankAndPathMER(t *testing.T) {
+	c, _ := pairInstance(t, 6, 2, 0.01)
+	g := New(c, nil)
+	// With weights 0.02*i*j, the cheapest partner for any leader is the
+	// smallest free ID. Optimal path: <1,2>,<3,4>,<5,6>... verify MER of
+	// that path: each node's effective rank.
+	groups := [][]job.ProcID{{1, 2}, {3, 4}, {5, 6}}
+	mer, ok := g.PathMER(groups)
+	if !ok {
+		t.Fatal("PathMER not computable")
+	}
+	// <1,2> is rank 1 in level 1 (cheapest). <3,4> is the cheapest valid
+	// node of level 3 (nodes <3,4>..<3,6>). <5,6> likewise. MER = 1.
+	if mer != 1 {
+		t.Errorf("MER = %d; want 1", mer)
+	}
+	// A deliberately bad path has a larger MER.
+	bad := [][]job.ProcID{{1, 6}, {2, 5}, {3, 4}}
+	mer2, ok := g.PathMER(bad)
+	if !ok {
+		t.Fatal("PathMER not computable")
+	}
+	if mer2 <= 1 {
+		t.Errorf("bad path MER = %d; want > 1", mer2)
+	}
+}
+
+func TestPathMERCanonicalises(t *testing.T) {
+	c, _ := pairInstance(t, 6, 2, 0.01)
+	g := New(c, nil)
+	a, _ := g.PathMER([][]job.ProcID{{1, 2}, {3, 4}, {5, 6}})
+	b, _ := g.PathMER([][]job.ProcID{{6, 5}, {4, 3}, {2, 1}})
+	if a != b {
+		t.Errorf("MER depends on group ordering: %d vs %d", a, b)
+	}
+}
+
+func TestNodeID(t *testing.T) {
+	if got := NodeID([]job.ProcID{1, 2}); got != "<1,2>" {
+		t.Errorf("NodeID = %q", got)
+	}
+}

@@ -1,0 +1,7 @@
+// Package integration holds cross-solver validation suites: randomised
+// instances solved by every method in the repository, with the exact
+// methods (OA* with exact-parallel dismissal, IP branch-and-bound, O-SVP,
+// brute force) required to agree and the heuristics (HA*, PG) required to
+// stay feasible and no better than the optimum. This is the repository's
+// strongest correctness evidence beyond per-package unit tests.
+package integration

@@ -1,0 +1,207 @@
+package ip
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosched/internal/bruteforce"
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/workload"
+)
+
+func buildCost(t *testing.T, n, u int, seed int64, mode degradation.Mode) *degradation.Cost {
+	t.Helper()
+	m, err := cache.MachineByCores(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.SyntheticSerialInstance(n, &m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Cost(mode)
+}
+
+func buildMixedCost(t *testing.T, total, parJobs, per, u int, seed int64) *degradation.Cost {
+	t.Helper()
+	m, err := cache.MachineByCores(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := workload.SyntheticMixedInstance(total, parJobs, per, &m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Cost(degradation.ModePC)
+}
+
+func TestModelColumnCount(t *testing.T) {
+	c := buildCost(t, 8, 2, 1, degradation.ModePC)
+	m, err := BuildModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Columns); got != 28 { // C(8,2)
+		t.Errorf("columns = %d; want 28", got)
+	}
+	if m.NumVars() != 28 { // serial batch: no y variables
+		t.Errorf("NumVars = %d; want 28", m.NumVars())
+	}
+	for i, cols := range m.colsByProc {
+		if len(cols) != 7 { // each process appears in C(7,1) columns
+			t.Errorf("process %d appears in %d columns; want 7", i+1, len(cols))
+		}
+	}
+}
+
+func TestModelGuard(t *testing.T) {
+	c := buildCost(t, 48, 8, 1, degradation.ModePC)
+	if _, err := BuildModel(c); err == nil {
+		t.Error("model guard did not trip on C(48,8)")
+	}
+}
+
+func TestSolveMatchesBruteForceSerial(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		c := buildCost(t, 8, 2, seed, degradation.ModePC)
+		m, err := BuildModel(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := bruteforce.Solve(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range Configs() {
+			res, err := Solve(m, cfg)
+			if err != nil {
+				t.Fatalf("seed %d cfg %s: %v", seed, cfg.Name, err)
+			}
+			if !res.Optimal {
+				t.Fatalf("seed %d cfg %s: not optimal", seed, cfg.Name)
+			}
+			if err := c.ValidatePartition(res.Groups); err != nil {
+				t.Fatalf("seed %d cfg %s: %v", seed, cfg.Name, err)
+			}
+			if math.Abs(res.Cost-bf.Cost) > 1e-6 {
+				t.Errorf("seed %d cfg %s: IP %v != optimum %v", seed, cfg.Name, res.Cost, bf.Cost)
+			}
+		}
+	}
+}
+
+func TestSolveMatchesBruteForceQuadSerial(t *testing.T) {
+	c := buildCost(t, 12, 4, 2, degradation.ModePC)
+	m, err := BuildModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := bruteforce.Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(m, ConfigA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-bf.Cost) > 1e-6 {
+		t.Errorf("IP %v != optimum %v", res.Cost, bf.Cost)
+	}
+}
+
+func TestSolveMatchesBruteForceMixed(t *testing.T) {
+	// The Eq. 7-8 y-linearisation must reproduce the per-job max
+	// objective exactly.
+	for seed := int64(1); seed <= 3; seed++ {
+		c := buildMixedCost(t, 8, 1, 4, 2, seed)
+		m, err := BuildModel(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(m.ParJobs) != 1 {
+			t.Fatalf("parallel jobs = %d; want 1", len(m.ParJobs))
+		}
+		bf, err := bruteforce.Solve(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []Config{ConfigA, ConfigD} {
+			res, err := Solve(m, cfg)
+			if err != nil {
+				t.Fatalf("seed %d cfg %s: %v", seed, cfg.Name, err)
+			}
+			if math.Abs(res.Cost-bf.Cost) > 1e-6 {
+				t.Errorf("seed %d cfg %s: IP %v != optimum %v", seed, cfg.Name, res.Cost, bf.Cost)
+			}
+		}
+	}
+}
+
+func TestSolveMixedQuadCore(t *testing.T) {
+	c := buildMixedCost(t, 12, 2, 3, 4, 5)
+	m, err := BuildModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := bruteforce.Solve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(m, ConfigA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-bf.Cost) > 1e-6 {
+		t.Errorf("IP %v != optimum %v", res.Cost, bf.Cost)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	c := buildCost(t, 16, 4, 1, degradation.ModePC)
+	m, err := BuildModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ConfigD
+	cfg.TimeLimit = 1 * time.Nanosecond
+	res, err := Solve(m, cfg)
+	// Either it found nothing in time (error) or returned a non-optimal
+	// incumbent; both must flag the timeout.
+	if err == nil && res.Optimal {
+		t.Error("nanosecond time limit produced a claimed-optimal result")
+	}
+}
+
+func TestMaxNodes(t *testing.T) {
+	c := buildCost(t, 12, 4, 3, degradation.ModePC)
+	m, err := BuildModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ConfigA
+	cfg.MaxNodes = 1
+	res, err := Solve(m, cfg)
+	if err != nil {
+		// acceptable: no feasible solution within one node
+		return
+	}
+	if res.Stats.Nodes > 1 {
+		t.Errorf("node limit ignored: %d nodes", res.Stats.Nodes)
+	}
+}
+
+func TestConfigsOrder(t *testing.T) {
+	cfgs := Configs()
+	if len(cfgs) != 4 {
+		t.Fatalf("configs = %d; want 4", len(cfgs))
+	}
+	names := map[string]bool{}
+	for _, c := range cfgs {
+		if names[c.Name] {
+			t.Errorf("duplicate config name %q", c.Name)
+		}
+		names[c.Name] = true
+	}
+}

@@ -1,0 +1,194 @@
+package job
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderSerialOnly(t *testing.T) {
+	bd := NewBuilder()
+	a := bd.AddSerial("a")
+	b := bd.AddSerial("b")
+	batch, err := bd.Build(2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if a != 0 || b != 1 {
+		t.Errorf("job IDs = %d,%d; want 0,1", a, b)
+	}
+	if got := batch.NumProcs(); got != 2 {
+		t.Errorf("NumProcs = %d; want 2", got)
+	}
+	if got := batch.NumMachines(); got != 1 {
+		t.Errorf("NumMachines = %d; want 1", got)
+	}
+	if batch.Proc(1).Job != a || batch.Proc(2).Job != b {
+		t.Errorf("process->job mapping wrong: %+v", batch.Procs)
+	}
+}
+
+func TestBuilderPadsToMultipleOfCores(t *testing.T) {
+	bd := NewBuilder()
+	bd.AddSerial("a")
+	bd.AddSerial("b")
+	bd.AddSerial("c")
+	batch, err := bd.Build(4)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := batch.NumProcs(); got != 4 {
+		t.Fatalf("NumProcs = %d; want 4 after padding", got)
+	}
+	pad := batch.Proc(4)
+	if !pad.Imaginary || pad.Job != NoJob {
+		t.Errorf("padding process = %+v; want imaginary with NoJob", pad)
+	}
+	if batch.JobOf(4) != nil {
+		t.Errorf("JobOf(padding) = %v; want nil", batch.JobOf(4))
+	}
+}
+
+func TestBuilderParallelJobs(t *testing.T) {
+	bd := NewBuilder()
+	pe := bd.AddPE("mc", 3)
+	pc := bd.AddPC("mpi", 4)
+	s := bd.AddSerial("ser")
+	batch, err := bd.Build(4)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := batch.NumProcs(); got != 8 {
+		t.Fatalf("NumProcs = %d; want 8", got)
+	}
+	if got := len(batch.Jobs[pe].Procs); got != 3 {
+		t.Errorf("PE job procs = %d; want 3", got)
+	}
+	if got := batch.Jobs[pc].Kind; got != PC {
+		t.Errorf("PC job kind = %v; want PC", got)
+	}
+	// ranks within a job are 0..k-1 in process order
+	for r, pid := range batch.Jobs[pc].Procs {
+		if batch.Proc(pid).Rank != r {
+			t.Errorf("proc %d rank = %d; want %d", pid, batch.Proc(pid).Rank, r)
+		}
+	}
+	if !batch.IsParallelProc(batch.Jobs[pe].Procs[0]) {
+		t.Error("PE process not recognised as parallel")
+	}
+	if batch.IsParallelProc(batch.Jobs[s].Procs[0]) {
+		t.Error("serial process recognised as parallel")
+	}
+	par := batch.ParallelJobs()
+	if len(par) != 2 || par[0] != pe || par[1] != pc {
+		t.Errorf("ParallelJobs = %v; want [%d %d]", par, pe, pc)
+	}
+}
+
+func TestValidateRejectsBadBatches(t *testing.T) {
+	cases := []struct {
+		name  string
+		batch Batch
+		want  string
+	}{
+		{
+			name:  "zero cores",
+			batch: Batch{Cores: 0, Procs: []Process{{ID: 1, Job: NoJob, Imaginary: true}}},
+			want:  "cores",
+		},
+		{
+			name:  "empty",
+			batch: Batch{Cores: 2},
+			want:  "no processes",
+		},
+		{
+			name: "not divisible",
+			batch: Batch{Cores: 2, Procs: []Process{
+				{ID: 1, Job: NoJob, Imaginary: true},
+			}},
+			want: "divisible",
+		},
+		{
+			name: "non-dense IDs",
+			batch: Batch{Cores: 2, Procs: []Process{
+				{ID: 1, Job: NoJob, Imaginary: true},
+				{ID: 3, Job: NoJob, Imaginary: true},
+			}},
+			want: "ID",
+		},
+		{
+			name: "orphan process",
+			batch: Batch{Cores: 2, Procs: []Process{
+				{ID: 1, Job: NoJob},
+				{ID: 2, Job: NoJob, Imaginary: true},
+			}},
+			want: "no job",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.batch.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.batch)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateAcceptsBuilderOutput(t *testing.T) {
+	// Property: every batch the builder produces validates, for any mix
+	// of job kinds and any core count in 1..8.
+	f := func(serial, pe, pc uint8, cores uint8) bool {
+		u := int(cores%8) + 1
+		bd := NewBuilder()
+		for i := 0; i < int(serial%16); i++ {
+			bd.AddSerial("s")
+		}
+		for i := 0; i < int(pe%4); i++ {
+			bd.AddPE("pe", int(pe%5)+1)
+		}
+		for i := 0; i < int(pc%4); i++ {
+			bd.AddPC("pc", int(pc%5)+1)
+		}
+		if bd.NumProcs() == 0 {
+			bd.AddSerial("s")
+		}
+		b, err := bd.Build(u)
+		return err == nil && b.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Serial.String() != "se" || PE.String() != "pe" || PC.String() != "pc" {
+		t.Errorf("Kind strings = %q,%q,%q", Serial, PE, PC)
+	}
+	if got := Kind(9).String(); got != "Kind(9)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestSortedProcIDs(t *testing.T) {
+	in := []ProcID{5, 1, 3}
+	out := SortedProcIDs(in)
+	if out[0] != 1 || out[1] != 3 || out[2] != 5 {
+		t.Errorf("SortedProcIDs = %v", out)
+	}
+	if in[0] != 5 {
+		t.Error("SortedProcIDs mutated its input")
+	}
+}
+
+func TestBuildRejectsZeroProcJob(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AddPE with 0 procs did not panic")
+		}
+	}()
+	NewBuilder().AddPE("bad", 0)
+}

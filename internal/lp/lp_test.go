@@ -1,0 +1,238 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  => min -(x+y); optimum x=1.6,y=1.2.
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -1)
+	p.AddConstraint([]Term{{0, 1}, {1, 2}}, LE, 4)
+	p.AddConstraint([]Term{{0, 3}, {1, 1}}, LE, 6)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, -2.8) || !approx(s.X[0], 1.6) || !approx(s.X[1], 1.2) {
+		t.Errorf("solution = %v obj %v; want x=(1.6,1.2) obj=-2.8", s.X, s.Objective)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x+3y s.t. x+y=10, x>=4  => x=10? No: y>=0, so x in [4,10];
+	// cost 2x+3(10-x) = 30 - x minimised at x=10 => 20.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 10)
+	p.AddConstraint([]Term{{0, 1}}, GE, 4)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 20) || !approx(s.X[0], 10) {
+		t.Errorf("got %+v; want x=10 obj=20", s)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v; want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v; want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalisation(t *testing.T) {
+	// -x <= -3  <=>  x >= 3; min x => 3.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -3)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.X[0], 3) {
+		t.Errorf("got %+v; want x=3", s)
+	}
+}
+
+func TestDuplicateTermsAreSummed(t *testing.T) {
+	// (1+1)x <= 4, min -x => x=2.
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Term{{0, 1}, {0, 1}}, LE, 4)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.X[0], 2) {
+		t.Errorf("got %+v; want x=2", s)
+	}
+}
+
+func TestBadVariableIndex(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{5, 1}}, LE, 1)
+	if _, err := p.Solve(); err == nil {
+		t.Error("constraint with unknown variable accepted")
+	}
+}
+
+func TestSetPartitioningRelaxationIntegral(t *testing.T) {
+	// A tiny set-partitioning LP: 4 items, pair columns; the LP optimum
+	// of this structure is the same as the IP optimum here.
+	// Columns: {1,2}:20 {3,4}:20 {1,3}:8 {2,4}:8 {1,4}:1 {2,3}:1
+	cols := []struct {
+		a, b int
+		cost float64
+	}{{0, 1, 20}, {2, 3, 20}, {0, 2, 8}, {1, 3, 8}, {0, 3, 1}, {1, 2, 1}}
+	p := NewProblem(len(cols))
+	for j, c := range cols {
+		p.SetObjective(j, c.cost)
+	}
+	for item := 0; item < 4; item++ {
+		var terms []Term
+		for j, c := range cols {
+			if c.a == item || c.b == item {
+				terms = append(terms, Term{j, 1})
+			}
+		}
+		p.AddConstraint(terms, EQ, 1)
+	}
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 2) {
+		t.Errorf("objective = %v (%v); want 2", s.Objective, s.Status)
+	}
+}
+
+func TestRandomisedAgainstBruteForce(t *testing.T) {
+	// Property: for random bounded 2-variable LPs, simplex matches a
+	// fine grid search within tolerance.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		c0, c1 := rng.Float64()*4-2, rng.Float64()*4-2
+		// box constraints keep it bounded and feasible at (0,0)
+		ub0, ub1 := 1+rng.Float64()*5, 1+rng.Float64()*5
+		a0, a1 := rng.Float64()*2, rng.Float64()*2
+		rhs := 1 + rng.Float64()*6
+		p := NewProblem(2)
+		p.SetObjective(0, c0)
+		p.SetObjective(1, c1)
+		p.AddConstraint([]Term{{0, 1}}, LE, ub0)
+		p.AddConstraint([]Term{{1, 1}}, LE, ub1)
+		p.AddConstraint([]Term{{0, a0}, {1, a1}}, LE, rhs)
+		s, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		best := math.Inf(1)
+		const steps = 200
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := ub0 * float64(i) / steps
+				y := ub1 * float64(j) / steps
+				if a0*x+a1*y <= rhs+1e-12 {
+					if v := c0*x + c1*y; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if s.Objective > best+1e-6 || s.Objective < best-0.1 {
+			t.Errorf("trial %d: simplex %v vs grid %v", trial, s.Objective, best)
+		}
+	}
+}
+
+func TestIterLimit(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.MaxIters = 0 // default is plenty
+	s, err := p.Solve()
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("default iters: %v %v", err, s)
+	}
+	if s.Iters <= 0 {
+		t.Error("iteration counter not populated")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for st, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q", st, st.String())
+		}
+	}
+}
+
+func TestTinyIterLimitReported(t *testing.T) {
+	// A deliberately tiny pivot budget must surface as IterLimit, not
+	// as a wrong answer.
+	p := NewProblem(3)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -2)
+	p.SetObjective(2, -3)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}, {2, 1}}, LE, 10)
+	p.AddConstraint([]Term{{0, 2}, {1, 1}}, LE, 8)
+	p.AddConstraint([]Term{{1, 1}, {2, 2}}, GE, 1)
+	p.MaxIters = 1
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status == Optimal {
+		// With artificials, one pivot cannot complete both phases.
+		t.Errorf("status = %v with MaxIters=1", s.Status)
+	}
+}
+
+func TestZeroConstraintProblem(t *testing.T) {
+	// No constraints, non-negative costs: optimum is x = 0.
+	p := NewProblem(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 5)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || s.Objective != 0 {
+		t.Errorf("got %+v; want zero optimum", s)
+	}
+}

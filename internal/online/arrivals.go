@@ -1,0 +1,48 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+
+	"cosched/internal/job"
+)
+
+// Arrival trace generators for the online simulator. All are seeded and
+// deterministic.
+
+// UniformArrivals spaces jobs evenly: one every gap seconds, in job-ID
+// order.
+func UniformArrivals(jobs int, gap float64) []Arrival {
+	out := make([]Arrival, jobs)
+	for i := range out {
+		out[i] = Arrival{Job: job.JobID(i), Time: float64(i) * gap}
+	}
+	return out
+}
+
+// PoissonArrivals draws exponential inter-arrival times with the given
+// mean, shuffling job order: the classic open-system workload.
+func PoissonArrivals(jobs int, meanGap float64, seed int64) []Arrival {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(jobs)
+	out := make([]Arrival, jobs)
+	t := 0.0
+	for i := range out {
+		out[i] = Arrival{Job: job.JobID(order[i]), Time: t}
+		t += rng.ExpFloat64() * meanGap
+	}
+	return out
+}
+
+// BurstyArrivals releases jobs in bursts of burstSize at burstGap
+// intervals: the batch-submission pattern of cluster users.
+func BurstyArrivals(jobs, burstSize int, burstGap float64) []Arrival {
+	if burstSize < 1 {
+		burstSize = 1
+	}
+	out := make([]Arrival, jobs)
+	for i := range out {
+		out[i] = Arrival{Job: job.JobID(i), Time: math.Floor(float64(i)/float64(burstSize)) * burstGap}
+	}
+	return out
+}

@@ -1,0 +1,290 @@
+// Package online simulates *online* contention-aware co-scheduling: jobs
+// arrive over time and a placement policy must assign their processes to
+// cores immediately, while co-runner sets — and therefore every process's
+// execution speed — keep changing as jobs start and finish.
+//
+// This is the paper's first category of co-scheduling work (§I): practical
+// runtime schedulers. The paper's own contribution, the offline optimum,
+// is "the performance target other co-scheduling systems" are measured
+// against — and that is exactly how this package is used: run an online
+// policy, compare its outcome with the OA* bound on the same batch
+// (see examples/onlinesim and the tests).
+//
+// Execution model: a process's instantaneous speed is 1/(1+d(p,S)) where
+// S is its machine's current co-runner set (Eq. 1/9 degradations from the
+// same oracle the offline solvers use); work is measured in solo-seconds;
+// speeds change at every placement/completion event.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+)
+
+// Arrival is one job entering the system.
+type Arrival struct {
+	Job  job.JobID
+	Time float64
+}
+
+// Policy decides where an arriving job's processes go. free lists, per
+// machine, how many cores are idle; the policy returns one machine index
+// per process of the job (machines may repeat up to their free count).
+// Returning an error queues the job until the next completion event.
+type Policy interface {
+	Name() string
+	// Place assigns the job's processes to machines.
+	Place(sys *System, j job.JobID) ([]int, error)
+}
+
+// System is the simulated cluster.
+type System struct {
+	Cost     *degradation.Cost
+	Solo     func(job.ProcID) float64
+	Machines int
+	Cores    int
+
+	now float64
+	// perMachine[m] lists the processes currently running on machine m.
+	perMachine [][]job.ProcID
+	// remaining[p-1] is the process's remaining work in solo-seconds;
+	// NaN marks not-yet-arrived, 0 done.
+	remaining []float64
+	machineOf []int // machine of each running process, -1 otherwise
+
+	queue    []job.JobID
+	finished map[job.JobID]float64
+}
+
+// Result summarises one simulation.
+type Result struct {
+	Policy string
+	// Makespan is when the last job finished.
+	Makespan float64
+	// MeanTurnaround averages (finish - arrival) over jobs.
+	MeanTurnaround float64
+	// JobFinish maps jobs to finish times.
+	JobFinish map[job.JobID]float64
+}
+
+// NewSystem builds a cluster of the given size over the cost model.
+func NewSystem(c *degradation.Cost, solo func(job.ProcID) float64, machines int) *System {
+	n := c.Batch.NumProcs()
+	s := &System{
+		Cost:       c,
+		Solo:       solo,
+		Machines:   machines,
+		Cores:      c.Batch.Cores,
+		perMachine: make([][]job.ProcID, machines),
+		remaining:  make([]float64, n),
+		machineOf:  make([]int, n),
+		finished:   make(map[job.JobID]float64),
+	}
+	for i := range s.remaining {
+		s.remaining[i] = math.NaN()
+		s.machineOf[i] = -1
+	}
+	return s
+}
+
+// Free returns the idle core count of machine m.
+func (s *System) Free(m int) int { return s.Cores - len(s.perMachine[m]) }
+
+// Running returns the processes currently on machine m.
+func (s *System) Running(m int) []job.ProcID { return s.perMachine[m] }
+
+// Now returns the simulation clock.
+func (s *System) Now() float64 { return s.now }
+
+// Simulate runs the arrival sequence under the policy. Arrivals must be
+// time-sorted; every job of the batch must appear exactly once.
+func Simulate(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
+	arrivals []Arrival, p Policy) (*Result, error) {
+	s := NewSystem(c, solo, machines)
+	b := c.Batch
+	arrivalTime := make(map[job.JobID]float64, len(arrivals))
+	for i, a := range arrivals {
+		if i > 0 && a.Time < arrivals[i-1].Time {
+			return nil, fmt.Errorf("online: arrivals not time-sorted")
+		}
+		if _, dup := arrivalTime[a.Job]; dup {
+			return nil, fmt.Errorf("online: job %d arrives twice", a.Job)
+		}
+		arrivalTime[a.Job] = a.Time
+	}
+	if len(arrivalTime) != len(b.Jobs) {
+		return nil, fmt.Errorf("online: %d arrivals for %d jobs", len(arrivalTime), len(b.Jobs))
+	}
+
+	next := 0
+	for len(s.finished) < len(b.Jobs) {
+		// Advance to the next event: either an arrival or the earliest
+		// completion on the current speeds.
+		dt, anyRunning := s.timeToNextCompletion()
+		var eventTime float64
+		if anyRunning {
+			eventTime = s.now + dt
+		} else {
+			eventTime = math.Inf(1)
+		}
+		if next < len(arrivals) && arrivals[next].Time <= eventTime {
+			s.progress(arrivals[next].Time - s.now)
+			s.now = arrivals[next].Time
+			s.queue = append(s.queue, arrivals[next].Job)
+			next++
+		} else {
+			if !anyRunning {
+				return nil, fmt.Errorf("online: deadlock — queue %v cannot be placed", s.queue)
+			}
+			s.progress(dt)
+			s.now = eventTime
+			s.reap(arrivalTime)
+		}
+		s.drainQueue(p)
+	}
+
+	res := &Result{Policy: p.Name(), JobFinish: s.finished}
+	var sum float64
+	for j, t := range s.finished {
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+		sum += t - arrivalTime[j]
+	}
+	res.MeanTurnaround = sum / float64(len(s.finished))
+	return res, nil
+}
+
+// drainQueue tries to place queued jobs in FIFO order; a job that cannot
+// be placed blocks the ones behind it (no backfilling — conservative).
+func (s *System) drainQueue(p Policy) {
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		placement, err := p.Place(s, j)
+		if err != nil {
+			return
+		}
+		procs := s.Cost.Batch.Jobs[j].Procs
+		if len(placement) != len(procs) {
+			return
+		}
+		// validate capacity
+		need := map[int]int{}
+		for _, m := range placement {
+			need[m]++
+		}
+		for m, k := range need {
+			if m < 0 || m >= s.Machines || s.Free(m) < k {
+				return
+			}
+		}
+		for i, pid := range procs {
+			m := placement[i]
+			s.perMachine[m] = append(s.perMachine[m], pid)
+			s.machineOf[int(pid)-1] = m
+			s.remaining[int(pid)-1] = s.Solo(pid)
+		}
+		s.queue = s.queue[1:]
+	}
+}
+
+// speed returns the instantaneous execution rate of a running process.
+func (s *System) speed(pid job.ProcID) float64 {
+	m := s.machineOf[int(pid)-1]
+	var others [16]job.ProcID
+	co := others[:0]
+	for _, q := range s.perMachine[m] {
+		if q != pid {
+			co = append(co, q)
+		}
+	}
+	return 1 / (1 + s.Cost.ProcCost(pid, co))
+}
+
+// timeToNextCompletion returns the wall-clock time until the earliest
+// running process finishes at current speeds.
+func (s *System) timeToNextCompletion() (float64, bool) {
+	best := math.Inf(1)
+	any := false
+	for m := range s.perMachine {
+		for _, pid := range s.perMachine[m] {
+			t := s.remaining[int(pid)-1] / s.speed(pid)
+			if t < best {
+				best = t
+			}
+			any = true
+		}
+	}
+	return best, any
+}
+
+// progress advances every running process by dt wall-clock at current
+// speeds.
+func (s *System) progress(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for m := range s.perMachine {
+		for _, pid := range s.perMachine[m] {
+			s.remaining[int(pid)-1] -= dt * s.speed(pid)
+		}
+	}
+}
+
+// reap removes finished processes and records job completions.
+func (s *System) reap(arrivalTime map[job.JobID]float64) {
+	b := s.Cost.Batch
+	for m := range s.perMachine {
+		kept := s.perMachine[m][:0]
+		for _, pid := range s.perMachine[m] {
+			if s.remaining[int(pid)-1] > 1e-9 {
+				kept = append(kept, pid)
+				continue
+			}
+			s.remaining[int(pid)-1] = 0
+			s.machineOf[int(pid)-1] = -1
+		}
+		s.perMachine[m] = kept
+	}
+	// a job finishes when all its processes are done
+	for ji := range b.Jobs {
+		j := &b.Jobs[ji]
+		if _, done := s.finished[j.ID]; done {
+			continue
+		}
+		all := true
+		for _, pid := range j.Procs {
+			if s.remaining[int(pid)-1] != 0 || math.IsNaN(s.remaining[int(pid)-1]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			s.finished[j.ID] = s.now
+		}
+	}
+	_ = arrivalTime
+}
+
+// totalFree returns the cluster's idle core count.
+func (s *System) totalFree() int {
+	free := 0
+	for m := range s.perMachine {
+		free += s.Free(m)
+	}
+	return free
+}
+
+// sortMachinesByFree returns machine indices, most-idle first (stable).
+func (s *System) sortMachinesByFree() []int {
+	idx := make([]int, s.Machines)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.Free(idx[a]) > s.Free(idx[b]) })
+	return idx
+}

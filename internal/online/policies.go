@@ -1,0 +1,134 @@
+package online
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cosched/internal/job"
+)
+
+// FirstFit packs each arriving job onto the lowest-numbered machines with
+// free cores: the contention-oblivious default of a conventional
+// scheduler.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Place implements Policy.
+func (FirstFit) Place(sys *System, j job.JobID) ([]int, error) {
+	need := len(sys.Cost.Batch.Jobs[j].Procs)
+	if sys.totalFree() < need {
+		return nil, fmt.Errorf("online: %d cores needed, %d free", need, sys.totalFree())
+	}
+	var out []int
+	for m := 0; m < sys.Machines && len(out) < need; m++ {
+		for k := 0; k < sys.Free(m) && len(out) < need; k++ {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Spread places processes on the idlest machines first, the
+// load-balancing instinct without contention awareness.
+type Spread struct{}
+
+// Name implements Policy.
+func (Spread) Name() string { return "spread" }
+
+// Place implements Policy.
+func (Spread) Place(sys *System, j job.JobID) ([]int, error) {
+	need := len(sys.Cost.Batch.Jobs[j].Procs)
+	if sys.totalFree() < need {
+		return nil, fmt.Errorf("online: %d cores needed, %d free", need, sys.totalFree())
+	}
+	var out []int
+	for _, m := range sys.sortMachinesByFree() {
+		for k := 0; k < sys.Free(m) && len(out) < need; k++ {
+			out = append(out, m)
+		}
+		if len(out) == need {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ContentionAware greedily assigns each process to the free core whose
+// machine minimises the marginal degradation (the process's own cost with
+// the machine's current residents plus the extra cost it inflicts on
+// them) — the online counterpart of the paper's objective.
+type ContentionAware struct{}
+
+// Name implements Policy.
+func (ContentionAware) Name() string { return "contention-aware" }
+
+// Place implements Policy.
+func (ContentionAware) Place(sys *System, j job.JobID) ([]int, error) {
+	procs := sys.Cost.Batch.Jobs[j].Procs
+	if sys.totalFree() < len(procs) {
+		return nil, fmt.Errorf("online: %d cores needed, %d free", len(procs), sys.totalFree())
+	}
+	// Tentative residents per machine (existing + already-placed ranks).
+	resid := make([][]job.ProcID, sys.Machines)
+	free := make([]int, sys.Machines)
+	for m := 0; m < sys.Machines; m++ {
+		resid[m] = append(resid[m], sys.Running(m)...)
+		free[m] = sys.Free(m)
+	}
+	var out []int
+	for _, pid := range procs {
+		bestM, bestCost := -1, 0.0
+		for m := 0; m < sys.Machines; m++ {
+			if free[m] == 0 {
+				continue
+			}
+			cost := sys.Cost.ProcCost(pid, resid[m])
+			for _, q := range resid[m] {
+				var co []job.ProcID
+				for _, r := range resid[m] {
+					if r != q {
+						co = append(co, r)
+					}
+				}
+				cost += sys.Cost.ProcCost(q, append(co, pid)) - sys.Cost.ProcCost(q, co)
+			}
+			if bestM < 0 || cost < bestCost {
+				bestM, bestCost = m, cost
+			}
+		}
+		if bestM < 0 {
+			return nil, fmt.Errorf("online: no free core")
+		}
+		out = append(out, bestM)
+		resid[bestM] = append(resid[bestM], pid)
+		free[bestM]--
+	}
+	return out, nil
+}
+
+// Random places processes on uniformly random free cores; the chaos
+// baseline.
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Policy.
+func (Random) Name() string { return "random" }
+
+// Place implements Policy.
+func (r Random) Place(sys *System, j job.JobID) ([]int, error) {
+	need := len(sys.Cost.Batch.Jobs[j].Procs)
+	var slots []int
+	for m := 0; m < sys.Machines; m++ {
+		for k := 0; k < sys.Free(m); k++ {
+			slots = append(slots, m)
+		}
+	}
+	if len(slots) < need {
+		return nil, fmt.Errorf("online: %d cores needed, %d free", need, len(slots))
+	}
+	r.Rng.Shuffle(len(slots), func(a, b int) { slots[a], slots[b] = slots[b], slots[a] })
+	return slots[:need], nil
+}

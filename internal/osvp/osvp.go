@@ -1,0 +1,32 @@
+// Package osvp implements the O-SVP baseline of the authors' earlier work
+// [33] (MASCOTS 2014): an optimal shortest-valid-path search that extends
+// Dijkstra's algorithm instead of A*. It shares the co-scheduling graph,
+// the process-set dismissal strategy and the Eq. 13 distance with OA*, but
+// expands sub-paths in plain distance order (h = 0) and has neither the
+// h(v) pruning nor the process condensation — which is exactly the gap
+// Tables III and IV quantify.
+package osvp
+
+import (
+	"cosched/internal/astar"
+	"cosched/internal/graph"
+)
+
+// Solve finds the optimal co-schedule by uniform-cost search.
+func Solve(g *graph.Graph) (*astar.Result, error) {
+	s, err := astar.NewSolver(g, astar.Options{H: astar.HNone})
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve()
+}
+
+// SolveWithLimit aborts after maxExpansions pops, for bounded experiment
+// runs on instances O-SVP cannot finish in reasonable time.
+func SolveWithLimit(g *graph.Graph, maxExpansions int64) (*astar.Result, error) {
+	s, err := astar.NewSolver(g, astar.Options{H: astar.HNone, MaxExpansions: maxExpansions})
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve()
+}

@@ -1,0 +1,76 @@
+package osvp
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/astar"
+	"cosched/internal/bruteforce"
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/workload"
+)
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	m := cache.QuadCore
+	for seed := int64(1); seed <= 4; seed++ {
+		in, err := workload.SyntheticSerialInstance(12, &m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := in.Cost(degradation.ModePC)
+		g := graph.New(c, in.Patterns)
+		res, err := Solve(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := bruteforce.Solve(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Cost-bf.Cost) > 1e-9 {
+			t.Errorf("seed %d: O-SVP %v != optimum %v", seed, res.Cost, bf.Cost)
+		}
+	}
+}
+
+func TestSolveMatchesOAStarOnMixedBatch(t *testing.T) {
+	m := cache.QuadCore
+	in, err := workload.SyntheticMixedInstance(12, 2, 3, &m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := in.Cost(degradation.ModePC)
+	g := graph.New(c, in.Patterns)
+	res, err := Solve(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := astar.NewSolver(g, astar.Options{H: astar.HStrategy2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Cost-oa.Cost) > 1e-9 {
+		t.Errorf("O-SVP %v != OA* %v", res.Cost, oa.Cost)
+	}
+}
+
+func TestSolveWithLimitAborts(t *testing.T) {
+	m := cache.QuadCore
+	in, err := workload.SyntheticSerialInstance(16, &m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New(in.Cost(degradation.ModePC), nil)
+	if _, err := SolveWithLimit(g, 2); err == nil {
+		t.Error("limited O-SVP did not abort")
+	}
+	if _, err := SolveWithLimit(g, 1_000_000); err != nil {
+		t.Errorf("generous limit failed: %v", err)
+	}
+}

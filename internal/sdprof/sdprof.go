@@ -1,0 +1,135 @@
+// Package sdprof measures stack distance profiles from memory reference
+// streams: the role gcc-slo [11] plays in the paper's pipeline (offline
+// profiling of each program, §V). Where internal/workload *synthesises*
+// profiles parametrically, this package *measures* them from the same
+// synthetic reference streams internal/cachesim executes — which lets the
+// test suite close the loop the paper relies on:
+//
+//	stream --sdprof--> SDP --SDC--> predicted co-run misses
+//	stream --cachesim (direct co-simulation)--> actual co-run misses
+//
+// and check that prediction tracks simulation.
+package sdprof
+
+import (
+	"fmt"
+
+	"cosched/internal/cache"
+	"cosched/internal/cachesim"
+)
+
+// Recorder maintains an exact LRU stack over cache lines and histograms
+// the reuse (stack) distance of every access. Distances are measured in
+// distinct lines touched since the previous access to the same line —
+// the quantity the SDC model competes on, bucketed to the shared cache's
+// associativity by Profile().
+type Recorder struct {
+	// stack[0] is the most recently used line.
+	stack []uint64
+	pos   map[uint64]int // line -> index in stack
+	// hist[d] counts accesses with stack distance d (0 = immediate
+	// reuse); deeper reuse and cold misses land in beyond.
+	hist   []uint64
+	beyond uint64
+	total  uint64
+	// maxDepth bounds the exact stack; reuse deeper than this counts as
+	// beyond. Keeps recording O(maxDepth) per access.
+	maxDepth int
+}
+
+// NewRecorder builds a recorder tracking reuse distances up to maxDepth
+// lines.
+func NewRecorder(maxDepth int) (*Recorder, error) {
+	if maxDepth <= 0 {
+		return nil, fmt.Errorf("sdprof: maxDepth must be positive")
+	}
+	return &Recorder{
+		pos:      make(map[uint64]int),
+		hist:     make([]uint64, maxDepth),
+		maxDepth: maxDepth,
+	}, nil
+}
+
+// Touch records one access to the given line address.
+func (r *Recorder) Touch(line uint64) {
+	r.total++
+	if idx, ok := r.pos[line]; ok {
+		r.hist[idx]++
+		// move to front
+		copy(r.stack[1:idx+1], r.stack[:idx])
+		r.stack[0] = line
+		for i := 0; i <= idx; i++ {
+			r.pos[r.stack[i]] = i
+		}
+		return
+	}
+	r.beyond++
+	// push front, trimming the stack at maxDepth
+	if len(r.stack) == r.maxDepth {
+		last := r.stack[len(r.stack)-1]
+		delete(r.pos, last)
+		r.stack = r.stack[:len(r.stack)-1]
+	}
+	r.stack = append(r.stack, 0)
+	copy(r.stack[1:], r.stack[:len(r.stack)-1])
+	r.stack[0] = line
+	for i := range r.stack {
+		r.pos[r.stack[i]] = i
+	}
+}
+
+// Total returns the access count recorded so far.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Profile converts the measured histogram into a cache.Profile against a
+// machine with the given associativity. The stack-distance axis is
+// rescaled from lines to ways: a cache of W ways and S sets holds S
+// lines per way, so distance d (in lines) maps to way ceil((d+1)/S).
+// accessRate scales counts into accesses-per-kilocycle (the Profile
+// convention); baseCycles fills Eq. 14's compute term.
+func (r *Recorder) Profile(name string, sets, ways int, accessRate, baseCycles float64) (*cache.Profile, error) {
+	if sets <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("sdprof: bad geometry %d sets × %d ways", sets, ways)
+	}
+	if r.total == 0 {
+		return nil, fmt.Errorf("sdprof: no accesses recorded")
+	}
+	hits := make([]float64, ways)
+	var beyond float64 = float64(r.beyond)
+	for d, c := range r.hist {
+		w := d / sets // way bucket, 0-based
+		if w >= ways {
+			beyond += float64(c)
+			continue
+		}
+		hits[w] += float64(c)
+	}
+	scale := accessRate / float64(r.total)
+	for i := range hits {
+		hits[i] *= scale
+	}
+	return &cache.Profile{
+		Name:       name,
+		Hits:       hits,
+		Beyond:     beyond * scale,
+		BaseCycles: baseCycles,
+	}, nil
+}
+
+// MeasureStream profiles a cachesim stream: n warm-up accesses followed
+// by n recorded ones.
+func MeasureStream(st *cachesim.Stream, lineBytes, maxDepth, n int) (*Recorder, error) {
+	r, err := NewRecorder(maxDepth)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ { // warm-up primes the stack
+		r.Touch(st.Next(lineBytes) / uint64(lineBytes))
+	}
+	r.hist = make([]uint64, r.maxDepth)
+	r.beyond, r.total = 0, 0
+	for i := 0; i < n; i++ {
+		r.Touch(st.Next(lineBytes) / uint64(lineBytes))
+	}
+	return r, nil
+}

@@ -1,0 +1,160 @@
+package sdprof
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/cache"
+	"cosched/internal/cachesim"
+)
+
+func TestRecorderKnownDistances(t *testing.T) {
+	r, err := NewRecorder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A B A C B A : distances — A cold, B cold, A=1 (B between), C cold,
+	// B=2 (C,A... stack after "A B A": [A,B]; C cold -> [C,A,B];
+	// B at depth 2 -> hist[2]; A at depth... after B: [B,C,A]; A -> hist[2].
+	seq := []uint64{1, 2, 1, 3, 2, 1}
+	for _, l := range seq {
+		r.Touch(l)
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if r.beyond != 3 {
+		t.Errorf("cold misses = %d; want 3", r.beyond)
+	}
+	if r.hist[1] != 1 {
+		t.Errorf("hist[1] = %d; want 1 (A after B)", r.hist[1])
+	}
+	if r.hist[2] != 2 {
+		t.Errorf("hist[2] = %d; want 2 (B and A at depth 2)", r.hist[2])
+	}
+}
+
+func TestRecorderDepthTrim(t *testing.T) {
+	r, err := NewRecorder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 2 3 1: with depth 2 the stack forgets line 1 by the time it
+	// recurs, so the reuse counts as beyond.
+	for _, l := range []uint64{1, 2, 3, 1} {
+		r.Touch(l)
+	}
+	if r.beyond != 4 {
+		t.Errorf("beyond = %d; want 4 (deep reuse trimmed)", r.beyond)
+	}
+}
+
+func TestRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Error("zero depth accepted")
+	}
+	r, _ := NewRecorder(4)
+	if _, err := r.Profile("p", 4, 2, 1, 1e9); err == nil {
+		t.Error("empty recorder produced a profile")
+	}
+	r.Touch(1)
+	if _, err := r.Profile("p", 0, 2, 1, 1e9); err == nil {
+		t.Error("bad geometry accepted")
+	}
+}
+
+func TestProfileBucketsToWays(t *testing.T) {
+	// sets=2: distances 0-1 -> way 1, 2-3 -> way 2, ...
+	r, err := NewRecorder(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build distance-3 reuses: touch 1,2,3,4 then 1 again (distance 3).
+	for _, l := range []uint64{1, 2, 3, 4, 1} {
+		r.Touch(l)
+	}
+	p, err := r.Profile("p", 2, 4, 5 /*accesses per kc*/, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 cold + 1 hit at distance 3 -> way index 3/2 = 1
+	if p.Hits[1] <= 0 {
+		t.Errorf("expected mass in way bucket 2: %v", p.Hits)
+	}
+	total := p.AccessRate()
+	if math.Abs(total-5) > 1e-9 {
+		t.Errorf("access rate = %v; want 5", total)
+	}
+}
+
+// TestMeasuredProfilePredictsSimulatedContention closes the paper's
+// pipeline: profile two streams (gcc-slo role), predict their co-run
+// degradations with SDC (Chandra et al.), and check the prediction
+// against direct co-simulation of the same streams on the same cache.
+func TestMeasuredProfilePredictsSimulatedContention(t *testing.T) {
+	g := cachesim.Geometry{Sets: 64, Ways: 8, LineBytes: 64, MissPenaltyCycles: 200}
+	mk := func(seed int64, base uint64, ws int, rate float64) *cachesim.Stream {
+		st, err := cachesim.NewStream(seed, base, ws, ws/8, 0.7, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	const n = 20000
+	// victim fits alone (384 of 512 lines); the aggressor floods.
+	victim := func() *cachesim.Stream { return mk(1, 0, 384, 6) }
+	aggressor := func() *cachesim.Stream { return mk(2, 1<<30, 4096, 12) }
+	mild := func() *cachesim.Stream { return mk(3, 1<<31, 64, 1) }
+
+	profileOf := func(st *cachesim.Stream, rate float64) *cache.Profile {
+		rec, err := MeasureStream(st, g.LineBytes, g.Sets*g.Ways*2, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := rec.Profile("m", g.Sets, g.Ways, rate, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	vp := profileOf(victim(), 6)
+	ap := profileOf(aggressor(), 12)
+	mp := profileOf(mild(), 1)
+
+	m := &cache.Machine{Name: "sim", Cores: 2,
+		SharedCacheBytes: g.Sets * g.Ways * g.LineBytes, Ways: g.Ways,
+		LineBytes: g.LineBytes, MissPenaltyCycles: g.MissPenaltyCycles, ClockGHz: 2}
+	predAggr := cache.CoRunDegradations(m, []*cache.Profile{vp, ap})[0]
+	predMild := cache.CoRunDegradations(m, []*cache.Profile{vp, mp})[0]
+
+	solo, err := cachesim.SoloMissRatio(g, victim(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coAggr, err := cachesim.CoRunMissRatios(g, []*cachesim.Stream{victim(), aggressor()}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coMild, err := cachesim.CoRunMissRatios(g, []*cachesim.Stream{victim(), mild()}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simAggr := cachesim.Degradation(g, victim(), solo, coAggr[0])
+	simMild := cachesim.Degradation(g, victim(), solo, coMild[0])
+
+	// The prediction must order co-runners the way the simulation does,
+	// and react to the aggressive co-runner at all.
+	if (predAggr > predMild) != (simAggr > simMild) {
+		t.Errorf("SDC prediction ordering (%v vs %v) disagrees with simulation (%v vs %v)",
+			predAggr, predMild, simAggr, simMild)
+	}
+	if simAggr <= simMild {
+		t.Fatalf("simulation setup degenerate: aggr %v <= mild %v", simAggr, simMild)
+	}
+	if predAggr <= 0 {
+		t.Errorf("SDC predicted no degradation (%v) for an aggressive co-runner", predAggr)
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/astar"
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/job"
+	"cosched/internal/pg"
+	"cosched/internal/workload"
+)
+
+func constSolo(t float64) SoloTimes {
+	return SoloTimeFunc(func(job.ProcID) float64 { return t })
+}
+
+func smallInstance(t *testing.T) *workload.Instance {
+	t.Helper()
+	m := cache.QuadCore
+	in, err := workload.SerialInstance(
+		[]string{"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP"}, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestRunBasics(t *testing.T) {
+	in := smallInstance(t)
+	c := in.Cost(degradation.ModePC)
+	groups := [][]job.ProcID{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	res, err := Run(c, SoloTimeFunc(in.SoloTime), groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MachineBusy) != 2 {
+		t.Fatalf("machines = %d", len(res.MachineBusy))
+	}
+	if res.Makespan != math.Max(res.MachineBusy[0], res.MachineBusy[1]) {
+		t.Errorf("makespan %v != max machine busy %v", res.Makespan, res.MachineBusy)
+	}
+	for p := 1; p <= 8; p++ {
+		solo := in.SoloTime(job.ProcID(p))
+		if res.ProcFinish[p-1] < solo {
+			t.Errorf("process %d finished at %v, before its solo time %v", p, res.ProcFinish[p-1], solo)
+		}
+	}
+	if res.TotalSlowdownSeconds <= 0 {
+		t.Errorf("total slowdown = %v; co-running should cost time", res.TotalSlowdownSeconds)
+	}
+	if got := len(res.JobFinish); got != 8 {
+		t.Errorf("JobFinish entries = %d; want 8", got)
+	}
+	if res.MeanJobFinish() <= 0 || res.MeanJobFinish() > res.Makespan {
+		t.Errorf("mean job finish %v outside (0, makespan=%v]", res.MeanJobFinish(), res.Makespan)
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	in := smallInstance(t)
+	c := in.Cost(degradation.ModePC)
+	if _, err := Run(c, constSolo(1), [][]job.ProcID{{1, 2, 3, 4}}); err == nil {
+		t.Error("partial partition accepted")
+	}
+	bad := SoloTimeFunc(func(job.ProcID) float64 { return math.NaN() })
+	if _, err := Run(c, bad, [][]job.ProcID{{1, 2, 3, 4}, {5, 6, 7, 8}}); err == nil {
+		t.Error("NaN solo time accepted")
+	}
+}
+
+func TestParallelJobFinishIsMaxOverRanks(t *testing.T) {
+	m := cache.QuadCore
+	spec := workload.NewSpec()
+	pcProg, err := workload.PCProgram("MG-Par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jid := spec.AddPC(pcProg, 4, nil)
+	for _, n := range []string{"EP", "vpr", "art", "IS"} {
+		if _, err := spec.AddSerialByName(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, err := spec.Build(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := in.Cost(degradation.ModePC)
+	// Split the MPI job across both machines so ranks see different
+	// degradations and communication.
+	groups := [][]job.ProcID{{1, 2, 5, 6}, {3, 4, 7, 8}}
+	res, err := Run(c, SoloTimeFunc(in.SoloTime), groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, p := range in.Batch.Jobs[jid].Procs {
+		if f := res.ProcFinish[int(p)-1]; f > worst {
+			worst = f
+		}
+	}
+	if math.Abs(res.JobFinish[jid]-worst) > 1e-12 {
+		t.Errorf("parallel job finish %v != slowest rank %v", res.JobFinish[jid], worst)
+	}
+}
+
+func TestImaginaryProcessesTakeNoTime(t *testing.T) {
+	m := cache.QuadCore
+	in, err := workload.SerialInstance([]string{"BT", "CG", "EP"}, &m) // pads to 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := in.Cost(degradation.ModePC)
+	res, err := Run(c, SoloTimeFunc(in.SoloTime), [][]job.ProcID{{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ProcFinish[3] != 0 {
+		t.Errorf("imaginary process finished at %v; want 0", res.ProcFinish[3])
+	}
+}
+
+func TestBetterScheduleFinishesSooner(t *testing.T) {
+	// End-to-end premise check: the OA* schedule's aggregate slowdown
+	// must not exceed PG's when executed.
+	for seed := int64(1); seed <= 5; seed++ {
+		m := cache.QuadCore
+		in, err := workload.SyntheticSerialInstance(12, &m, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := in.Cost(degradation.ModePC)
+		g := graph.New(c, nil)
+		s, err := astar.NewSolver(g, astar.Options{H: astar.HPerProc, UseIncumbent: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oa, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pgRes := pg.Solve(c)
+		solo := SoloTimeFunc(in.SoloTime)
+		simOA, err := Run(c, solo, oa.Groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simPG, err := Run(c, solo, pgRes.Groups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simOA.TotalSlowdownSeconds > simPG.TotalSlowdownSeconds+1e-9 {
+			t.Errorf("seed %d: optimal schedule lost more time (%v) than PG (%v)",
+				seed, simOA.TotalSlowdownSeconds, simPG.TotalSlowdownSeconds)
+		}
+	}
+}

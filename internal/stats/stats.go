@@ -1,0 +1,98 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses: CDFs over integer samples and summary aggregates.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IntCDF is the empirical cumulative distribution of integer samples.
+type IntCDF struct {
+	samples []int
+}
+
+// NewIntCDF copies and sorts the samples.
+func NewIntCDF(samples []int) *IntCDF {
+	s := append([]int(nil), samples...)
+	sort.Ints(s)
+	return &IntCDF{samples: s}
+}
+
+// N returns the sample count.
+func (c *IntCDF) N() int { return len(c.samples) }
+
+// AtMost returns P[X <= v] as a percentage.
+func (c *IntCDF) AtMost(v int) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	idx := sort.SearchInts(c.samples, v+1)
+	return 100 * float64(idx) / float64(len(c.samples))
+}
+
+// Max returns the largest sample (0 when empty).
+func (c *IntCDF) Max() int {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	return c.samples[len(c.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by the
+// nearest-rank method.
+func (c *IntCDF) Percentile(p float64) int {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(c.samples))+0.999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(c.samples) {
+		rank = len(c.samples) - 1
+	}
+	return c.samples[rank]
+}
+
+// Points renders the distinct (value, cumulative %) pairs, the series
+// Fig. 5 plots.
+func (c *IntCDF) Points() []CDFPoint {
+	var pts []CDFPoint
+	for i, v := range c.samples {
+		if i+1 < len(c.samples) && c.samples[i+1] == v {
+			continue
+		}
+		pts = append(pts, CDFPoint{Value: v, CumPct: 100 * float64(i+1) / float64(len(c.samples))})
+	}
+	return pts
+}
+
+// CDFPoint is one step of an empirical CDF.
+type CDFPoint struct {
+	Value  int
+	CumPct float64
+}
+
+// Mean returns the arithmetic mean of float samples.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// FormatSeries renders value/percentage pairs compactly, e.g.
+// "≤6:98.1% ≤8:99.8%".
+func FormatSeries(pts []CDFPoint) string {
+	parts := make([]string, len(pts))
+	for i, p := range pts {
+		parts[i] = fmt.Sprintf("≤%d:%.1f%%", p.Value, p.CumPct)
+	}
+	return strings.Join(parts, " ")
+}

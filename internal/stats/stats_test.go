@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntCDFBasics(t *testing.T) {
+	c := NewIntCDF([]int{3, 1, 4, 1, 5, 9, 2, 6})
+	if c.N() != 8 {
+		t.Errorf("N = %d; want 8", c.N())
+	}
+	if got := c.AtMost(4); math.Abs(got-62.5) > 1e-9 { // 1,1,2,3,4 = 5/8
+		t.Errorf("AtMost(4) = %v; want 62.5", got)
+	}
+	if got := c.AtMost(0); got != 0 {
+		t.Errorf("AtMost(0) = %v; want 0", got)
+	}
+	if got := c.AtMost(9); got != 100 {
+		t.Errorf("AtMost(9) = %v; want 100", got)
+	}
+	if c.Max() != 9 {
+		t.Errorf("Max = %d; want 9", c.Max())
+	}
+	if got := c.Percentile(50); got != 3 {
+		t.Errorf("P50 = %d; want 3", got)
+	}
+	if got := c.Percentile(100); got != 9 {
+		t.Errorf("P100 = %d; want 9", got)
+	}
+}
+
+func TestIntCDFEmpty(t *testing.T) {
+	c := NewIntCDF(nil)
+	if c.N() != 0 || c.Max() != 0 || c.AtMost(5) != 0 || c.Percentile(50) != 0 {
+		t.Error("empty CDF misbehaves")
+	}
+	if pts := c.Points(); len(pts) != 0 {
+		t.Errorf("empty CDF points = %v", pts)
+	}
+}
+
+func TestIntCDFPointsMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		samples := make([]int, len(raw))
+		for i, v := range raw {
+			samples[i] = int(v % 20)
+		}
+		c := NewIntCDF(samples)
+		pts := c.Points()
+		prevV := -1
+		prevP := 0.0
+		for _, p := range pts {
+			if p.Value <= prevV || p.CumPct < prevP {
+				return false
+			}
+			prevV, prevP = p.Value, p.CumPct
+		}
+		if len(samples) > 0 && (len(pts) == 0 || math.Abs(pts[len(pts)-1].CumPct-100) > 1e-9) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v; want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v; want 0", got)
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	s := FormatSeries([]CDFPoint{{Value: 6, CumPct: 98.1}, {Value: 8, CumPct: 99.8}})
+	if !strings.Contains(s, "≤6:98.1%") || !strings.Contains(s, "≤8:99.8%") {
+		t.Errorf("FormatSeries = %q", s)
+	}
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+
+	"cosched/internal/cache"
+)
+
+// The batch constructors below reproduce the specific program mixes named
+// in the paper's evaluation (§V-A, §V-B, §V-E).
+
+// TableIInstance builds the all-serial batches of Table I: the first
+// nJobs programs from NPB3.3-SER + SPEC CPU 2000 on the given machine.
+func TableIInstance(nJobs int, m *cache.Machine) (*Instance, error) {
+	names, err := FirstSerialNames(nJobs)
+	if err != nil {
+		return nil, err
+	}
+	return SerialInstance(names, m)
+}
+
+// TableIIInstance builds the mixed serial+parallel batches of Table II:
+// MG-Par and LU-Par (parProcs processes each, 2..4 in the paper) combined
+// with the serial programs the paper lists for each total process count.
+//
+//	 8 procs: MG-Par, LU-Par + applu, art, equake, vpr
+//	12 procs: MG-Par, LU-Par + applu, art, ammp, equake, galgel, vpr
+//	16 procs: MG-Par, LU-Par + BT, IS, applu, art, ammp, equake, galgel, vpr
+func TableIIInstance(totalProcs int, m *cache.Machine) (*Instance, error) {
+	var serial []string
+	var parProcs int
+	switch totalProcs {
+	case 8:
+		serial = []string{"applu", "art", "equake", "vpr"}
+		parProcs = 2
+	case 12:
+		serial = []string{"applu", "art", "ammp", "equake", "galgel", "vpr"}
+		parProcs = 3
+	case 16:
+		serial = []string{"BT", "IS", "applu", "art", "ammp", "equake", "galgel", "vpr"}
+		parProcs = 4
+	default:
+		return nil, fmt.Errorf("workload: Table II defines 8, 12 or 16 processes; got %d", totalProcs)
+	}
+	s := NewSpec()
+	mg, err := PCProgram("MG-Par")
+	if err != nil {
+		return nil, err
+	}
+	lu, err := PCProgram("LU-Par")
+	if err != nil {
+		return nil, err
+	}
+	s.AddPC(mg, parProcs, nil)
+	s.AddPC(lu, parProcs, nil)
+	for _, n := range serial {
+		if _, err := s.AddSerialByName(n); err != nil {
+			return nil, err
+		}
+	}
+	if s.NumProcs() != totalProcs {
+		return nil, fmt.Errorf("workload: Table II batch built %d processes; want %d", s.NumProcs(), totalProcs)
+	}
+	return s.Build(m)
+}
+
+// PEMixInstance builds the Fig. 6 batches: the five PE programs with
+// procsPerJob slave processes each (10 in the paper), mixed with serial
+// programs from NPB-SER plus art.
+func PEMixInstance(procsPerJob int, m *cache.Machine) (*Instance, error) {
+	s := NewSpec()
+	for _, name := range PEProgramNames() {
+		p, err := PEProgram(name)
+		if err != nil {
+			return nil, err
+		}
+		s.AddPE(p, procsPerJob)
+	}
+	for _, name := range []string{"BT", "DC", "UA", "IS", "art"} {
+		if _, err := s.AddSerialByName(name); err != nil {
+			return nil, err
+		}
+	}
+	return s.Build(m)
+}
+
+// PCMixInstance builds the Fig. 7 batches: BT-Par, LU-Par, MG-Par and
+// CG-Par with procsPerJob processes each (11 in the paper), mixed with the
+// serial jobs UA, DC, FT and IS.
+func PCMixInstance(procsPerJob int, m *cache.Machine) (*Instance, error) {
+	s := NewSpec()
+	for _, name := range PCProgramNames() {
+		p, err := PCProgram(name)
+		if err != nil {
+			return nil, err
+		}
+		s.AddPC(p, procsPerJob, nil)
+	}
+	for _, name := range []string{"UA", "DC", "FT", "IS"} {
+		if _, err := s.AddSerialByName(name); err != nil {
+			return nil, err
+		}
+	}
+	return s.Build(m)
+}
+
+// Fig10Names returns the twelve applications of the Quad-core HA*/PG
+// comparison (Fig. 10).
+func Fig10Names() []string {
+	return []string{"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA", "DC", "art", "ammp"}
+}
+
+// Fig11Names returns the sixteen applications of the 8-core comparison
+// (Fig. 11).
+func Fig11Names() []string {
+	return []string{"BT", "CG", "EP", "FT", "IS", "LU", "MG", "SP", "UA", "DC",
+		"applu", "art", "equake", "galgel", "vpr", "ammp"}
+}

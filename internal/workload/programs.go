@@ -1,0 +1,173 @@
+// Package workload supplies the program profiles and batch constructors
+// behind every experiment in the paper's evaluation (§V): parametric
+// stand-ins for the NPB3.3-SER, SPEC CPU 2000, NPB3.3-MPI and
+// embarrassingly-parallel benchmark programs, the three machine classes,
+// and the synthetic job generators used for the large-scale studies.
+//
+// The paper profiles real binaries with perf and gcc-slo; this package
+// synthesises stack distance profiles from four per-program parameters
+// (access rate, solo miss ratio, locality decay, base cycle count) chosen
+// so that the programs keep their published contention character:
+// memory-intensive codes (art, RA, MG, DC, FT) are cache-hungry and
+// cache-sensitive, compute-bound codes (EP, PI, MMS) barely notice
+// co-runners, and the rest sit in between. See DESIGN.md §3.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"cosched/internal/cache"
+)
+
+// Class is the contention character of a program.
+type Class int
+
+const (
+	// Compute programs rarely touch the shared cache.
+	Compute Class = iota
+	// Balanced programs have moderate cache appetite.
+	Balanced
+	// Memory programs are both cache-hungry and cache-sensitive.
+	Memory
+)
+
+// Program holds the parametric profile of one benchmark program.
+type Program struct {
+	Name  string
+	Class Class
+	// AccessRate is shared-cache accesses per kilocycle of base
+	// execution.
+	AccessRate float64
+	// MissRatio is the solo miss fraction (beyond-associativity
+	// accesses / all accesses).
+	MissRatio float64
+	// Reuse is the geometric stack-distance decay in (0,1): hit mass at
+	// distance d+1 is proportional to Reuse^d. Values near 1 spread hits
+	// across many ways (large working set, cache-sensitive); small
+	// values concentrate hits near the top of the stack.
+	Reuse float64
+	// BaseGCycles is CPU_Clock_Cycle of Eq. 14 in billions of cycles.
+	BaseGCycles float64
+}
+
+// Profile materialises the program's stack distance profile against the
+// given machine's shared cache.
+func (p Program) Profile(m *cache.Machine) *cache.Profile {
+	w := m.Ways
+	hits := make([]float64, w)
+	// Normalise the geometric weights so that total hit rate is
+	// AccessRate·(1-MissRatio).
+	var norm float64
+	for d := 0; d < w; d++ {
+		norm += math.Pow(p.Reuse, float64(d))
+	}
+	hitMass := p.AccessRate * (1 - p.MissRatio)
+	for d := 0; d < w; d++ {
+		hits[d] = hitMass * math.Pow(p.Reuse, float64(d)) / norm
+	}
+	return &cache.Profile{
+		Name:       p.Name,
+		Hits:       hits,
+		Beyond:     p.AccessRate * p.MissRatio,
+		BaseCycles: p.BaseGCycles * 1e9,
+	}
+}
+
+// Serial benchmark programs of the evaluation. The first ten mirror
+// NPB3.3-SER (problem size C), the rest SPEC CPU 2000.
+var serialPrograms = []Program{
+	{Name: "BT", Class: Balanced, AccessRate: 6.0, MissRatio: 0.28, Reuse: 0.82, BaseGCycles: 210},
+	{Name: "CG", Class: Memory, AccessRate: 11.0, MissRatio: 0.42, Reuse: 0.90, BaseGCycles: 95},
+	{Name: "EP", Class: Compute, AccessRate: 0.8, MissRatio: 0.18, Reuse: 0.45, BaseGCycles: 160},
+	{Name: "FT", Class: Memory, AccessRate: 9.5, MissRatio: 0.38, Reuse: 0.88, BaseGCycles: 140},
+	{Name: "IS", Class: Memory, AccessRate: 8.0, MissRatio: 0.52, Reuse: 0.86, BaseGCycles: 35},
+	{Name: "LU", Class: Balanced, AccessRate: 5.5, MissRatio: 0.26, Reuse: 0.80, BaseGCycles: 190},
+	{Name: "MG", Class: Memory, AccessRate: 12.0, MissRatio: 0.47, Reuse: 0.92, BaseGCycles: 80},
+	{Name: "SP", Class: Balanced, AccessRate: 7.0, MissRatio: 0.31, Reuse: 0.84, BaseGCycles: 200},
+	{Name: "UA", Class: Balanced, AccessRate: 6.5, MissRatio: 0.29, Reuse: 0.83, BaseGCycles: 170},
+	{Name: "DC", Class: Memory, AccessRate: 10.5, MissRatio: 0.55, Reuse: 0.91, BaseGCycles: 120},
+	{Name: "applu", Class: Balanced, AccessRate: 5.0, MissRatio: 0.24, Reuse: 0.78, BaseGCycles: 150},
+	{Name: "art", Class: Memory, AccessRate: 14.0, MissRatio: 0.60, Reuse: 0.94, BaseGCycles: 70},
+	{Name: "ammp", Class: Balanced, AccessRate: 4.5, MissRatio: 0.22, Reuse: 0.76, BaseGCycles: 130},
+	{Name: "equake", Class: Memory, AccessRate: 8.5, MissRatio: 0.40, Reuse: 0.87, BaseGCycles: 110},
+	{Name: "galgel", Class: Balanced, AccessRate: 6.0, MissRatio: 0.27, Reuse: 0.81, BaseGCycles: 125},
+	{Name: "vpr", Class: Balanced, AccessRate: 3.5, MissRatio: 0.20, Reuse: 0.70, BaseGCycles: 100},
+}
+
+// Embarrassingly-parallel programs (§II-B1, Fig. 6): multiple slave
+// processes, no inter-process communication.
+var peprograms = []Program{
+	{Name: "PI", Class: Compute, AccessRate: 0.5, MissRatio: 0.15, Reuse: 0.40, BaseGCycles: 90},
+	{Name: "MMS", Class: Compute, AccessRate: 0.9, MissRatio: 0.17, Reuse: 0.50, BaseGCycles: 110},
+	{Name: "RA", Class: Memory, AccessRate: 15.0, MissRatio: 0.70, Reuse: 0.95, BaseGCycles: 60},
+	{Name: "EP-Par", Class: Compute, AccessRate: 0.8, MissRatio: 0.18, Reuse: 0.45, BaseGCycles: 160},
+	{Name: "MCM", Class: Balanced, AccessRate: 3.0, MissRatio: 0.25, Reuse: 0.72, BaseGCycles: 140},
+}
+
+// MPI (PC) programs from NPB3.3-MPI. Decomposition shapes and halo
+// volumes are set in batches.go when the process count is known.
+var pcPrograms = []Program{
+	{Name: "BT-Par", Class: Balanced, AccessRate: 6.0, MissRatio: 0.28, Reuse: 0.82, BaseGCycles: 210},
+	{Name: "LU-Par", Class: Balanced, AccessRate: 5.5, MissRatio: 0.26, Reuse: 0.80, BaseGCycles: 190},
+	{Name: "MG-Par", Class: Memory, AccessRate: 12.0, MissRatio: 0.47, Reuse: 0.92, BaseGCycles: 80},
+	{Name: "CG-Par", Class: Memory, AccessRate: 11.0, MissRatio: 0.42, Reuse: 0.90, BaseGCycles: 95},
+}
+
+// SerialProgram looks up a serial program by name.
+func SerialProgram(name string) (Program, error) {
+	for _, p := range serialPrograms {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("workload: unknown serial program %q", name)
+}
+
+// PEProgram looks up an embarrassingly-parallel program by name.
+func PEProgram(name string) (Program, error) {
+	for _, p := range peprograms {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("workload: unknown PE program %q", name)
+}
+
+// PCProgram looks up an MPI program by name.
+func PCProgram(name string) (Program, error) {
+	for _, p := range pcPrograms {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("workload: unknown PC program %q", name)
+}
+
+// SerialProgramNames returns the evaluation's serial program names in
+// their canonical order (NPB-SER first, then SPEC CPU 2000).
+func SerialProgramNames() []string {
+	names := make([]string, len(serialPrograms))
+	for i, p := range serialPrograms {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// PEProgramNames returns the five PE program names.
+func PEProgramNames() []string {
+	names := make([]string, len(peprograms))
+	for i, p := range peprograms {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// PCProgramNames returns the NPB-MPI program names.
+func PCProgramNames() []string {
+	names := make([]string, len(pcPrograms))
+	for i, p := range pcPrograms {
+		names[i] = p.Name
+	}
+	return names
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+)
+
+func TestParallelRanksStrongScale(t *testing.T) {
+	// A k-way parallel job's ranks each carry 1/k of the program's base
+	// cycles, so a rank's solo time is ~1/k of the serial program's.
+	m := cache.QuadCore
+	serialSpec := NewSpec()
+	prog, err := PCProgram("MG-Par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialSpec.AddSerial(prog)
+	serialSpec.AddSerial(prog)
+	serialSpec.AddSerial(prog)
+	serialSpec.AddSerial(prog)
+	serialIn, err := serialSpec.Build(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSpec := NewSpec()
+	parSpec.AddPC(prog, 4, nil)
+	parIn, err := parSpec.Build(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloSerial := serialIn.SoloTime(1)
+	soloRank := parIn.SoloTime(1)
+	if math.Abs(soloRank*4-soloSerial) > 1e-9*soloSerial {
+		t.Errorf("rank solo time %v; want 1/4 of serial %v", soloRank, soloSerial)
+	}
+	// Degradations are ratios and must be unaffected by the scaling.
+	dSerial := serialIn.Oracle.Degradation(1, []job.ProcID{2, 3, 4})
+	dRank := parIn.Oracle.Degradation(1, []job.ProcID{2, 3, 4})
+	if math.Abs(dSerial-dRank) > 1e-12 {
+		t.Errorf("strong scaling changed computation degradation: %v vs %v", dSerial, dRank)
+	}
+}
+
+func TestDefaultHaloShrinksWithRankCount(t *testing.T) {
+	m := cache.QuadCore
+	mk := func(k int) *Instance {
+		s := NewSpec()
+		prog, err := PCProgram("CG-Par")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.AddPC(prog, k, nil)
+		in, err := s.Build(&m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	in4, in16 := mk(4), mk(16)
+	h4 := in4.Patterns[0].HaloBytes[0]
+	h16 := in16.Patterns[0].HaloBytes[0]
+	if math.Abs(h16-h4/2) > 1e-6*h4 { // sqrt(16)/sqrt(4) = 2
+		t.Errorf("halo at 16 ranks = %v; want half of %v", h16, h4)
+	}
+}
+
+func TestSmoothPairwiseQuantised(t *testing.T) {
+	m := cache.QuadCore
+	in, err := SyntheticPairwiseSmoothInstance(16, &m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grid = 0.005
+	for i := 1; i <= 16; i++ {
+		for j := 1; j <= 16; j++ {
+			if i == j {
+				continue
+			}
+			d := in.Oracle.Degradation(job.ProcID(i), []job.ProcID{job.ProcID(j)})
+			q := math.Round(d/grid) * grid
+			if math.Abs(d-q) > 1e-12 {
+				t.Fatalf("pair degradation %v not on the %v grid", d, grid)
+			}
+		}
+	}
+}
+
+func TestSoloTimePaths(t *testing.T) {
+	m := cache.QuadCore
+	sdc, err := SerialInstance([]string{"BT", "CG", "EP"}, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdc.SoloTime(1) <= 0 {
+		t.Error("SDC-backed solo time not positive")
+	}
+	if sdc.SoloTime(4) != 0 { // padding
+		t.Error("imaginary solo time not zero")
+	}
+	pw, err := SyntheticPairwiseInstance(8, &m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pw.SoloTime(1); got != 60 {
+		t.Errorf("pairwise solo time = %v; want the 60s nominal", got)
+	}
+}
+
+func TestCostModesShareOracle(t *testing.T) {
+	m := cache.QuadCore
+	in, err := SyntheticSerialInstance(8, &m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := in.Cost(degradation.ModePC).ProcCost(1, []job.ProcID{2})
+	b := in.Cost(degradation.ModePE).ProcCost(1, []job.ProcID{2})
+	if a != b { // serial process: modes agree
+		t.Errorf("mode-dependent cost on a serial process: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,204 @@
+package cosched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cosched/internal/degradation"
+	"cosched/internal/job"
+	"cosched/internal/sim"
+)
+
+// Stats summarises the solver effort behind a schedule.
+type Stats struct {
+	// VisitedPaths counts expanded priority-list elements (graph
+	// searches), the paper's Table IV metric.
+	VisitedPaths int64
+	// Generated counts sub-paths pushed into the priority list.
+	Generated int64
+	// Condensed counts candidate nodes skipped by process condensation.
+	Condensed int64
+	// BBNodes counts branch-and-bound nodes (IP method).
+	BBNodes int64
+	// Duration is the solver wall-clock time.
+	Duration time.Duration
+	// TimedOut reports whether an IP solve hit its time limit.
+	TimedOut bool
+}
+
+// Placement is one process pinned to one core.
+type Placement struct {
+	Machine int    // machine index, 0-based
+	Core    int    // core index within the machine
+	Process int    // 1-based process ID
+	Job     string // job name ("" for padding processes)
+	Rank    int    // rank within the job (0 for serial jobs)
+}
+
+// Schedule is a complete co-scheduling solution.
+type Schedule struct {
+	inst   *Instance
+	cost   *degradation.Cost
+	groups [][]job.ProcID
+
+	// TotalDegradation is the Eq. 6/13 objective: serial degradations
+	// summed, parallel jobs contributing their slowest process.
+	TotalDegradation float64
+	// Stats describes the solve.
+	Stats Stats
+}
+
+func newSchedule(inst *Instance, cost *degradation.Cost, groups [][]job.ProcID, total float64, st Stats) *Schedule {
+	return &Schedule{inst: inst, cost: cost, groups: groups, TotalDegradation: total, Stats: st}
+}
+
+// Placements lists every process's machine and core assignment.
+func (s *Schedule) Placements() []Placement {
+	b := s.cost.Batch
+	var out []Placement
+	for mi, g := range s.groups {
+		for ci, p := range g {
+			pl := Placement{Machine: mi, Core: ci, Process: int(p)}
+			if j := b.JobOf(p); j != nil {
+				pl.Job = j.Name
+				pl.Rank = b.Proc(p).Rank
+			}
+			out = append(out, pl)
+		}
+	}
+	return out
+}
+
+// Machines returns the job names co-scheduled on each machine.
+func (s *Schedule) Machines() [][]string {
+	b := s.cost.Batch
+	out := make([][]string, len(s.groups))
+	for mi, g := range s.groups {
+		for _, p := range g {
+			if j := b.JobOf(p); j != nil {
+				out[mi] = append(out[mi], j.Name)
+			} else {
+				out[mi] = append(out[mi], "-")
+			}
+		}
+	}
+	return out
+}
+
+// JobDegradations returns each job's final degradation: Eq. 1/9 for
+// serial jobs, the per-job maximum for parallel jobs. Keys are job names
+// (duplicate names are suffixed with their job index).
+func (s *Schedule) JobDegradations() map[string]float64 {
+	b := s.cost.Batch
+	per := s.cost.PerJobDegradation(s.groups)
+	names := make(map[string]int)
+	for _, j := range b.Jobs {
+		names[j.Name]++
+	}
+	out := make(map[string]float64, len(per))
+	for jid, d := range per {
+		name := b.Jobs[jid].Name
+		if names[name] > 1 {
+			name = fmt.Sprintf("%s#%d", name, jid)
+		}
+		out[name] = d
+	}
+	return out
+}
+
+// AvgDegradation returns the objective averaged over the batch's jobs
+// (the paper's "AVG" bars).
+func (s *Schedule) AvgDegradation() float64 {
+	n := len(s.cost.Batch.Jobs)
+	if n == 0 {
+		return 0
+	}
+	return s.TotalDegradation / float64(n)
+}
+
+// NumMachines returns the machine count of the schedule.
+func (s *Schedule) NumMachines() int { return len(s.groups) }
+
+// String renders the schedule as a small table.
+func (s *Schedule) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedule over %d machines, total degradation %.4f (avg %.4f)\n",
+		len(s.groups), s.TotalDegradation, s.AvgDegradation())
+	for mi, names := range s.Machines() {
+		fmt.Fprintf(&sb, "  machine %2d: %s\n", mi, strings.Join(names, ", "))
+	}
+	degs := s.JobDegradations()
+	keys := make([]string, 0, len(degs))
+	for k := range degs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "  %-12s %.4f\n", k, degs[k])
+	}
+	return sb.String()
+}
+
+// Execution is the simulated wall-clock outcome of running the schedule
+// (see internal/sim for the execution model).
+type Execution struct {
+	// Makespan is the batch completion time in seconds.
+	Makespan float64
+	// MeanJobFinish is the average job finish time in seconds.
+	MeanJobFinish float64
+	// JobFinish maps job names to finish times (duplicate names get a
+	// #index suffix, as in JobDegradations).
+	JobFinish map[string]float64
+	// MachineBusy is each machine's busy time in seconds.
+	MachineBusy []float64
+	// SlowdownSeconds is the total wall-clock time lost to contention
+	// and communication versus solo execution.
+	SlowdownSeconds float64
+}
+
+// Simulate executes the schedule against the machine model and returns
+// the wall-clock outcome: the end-to-end effect of the placement, not
+// just the abstract degradation objective. Execution always uses the
+// full physical model (cache contention plus communication, AccountPC),
+// whatever accounting the schedule was optimised under — that is what
+// makes simulating an SE- or PE-optimised schedule informative.
+func (s *Schedule) Simulate() (*Execution, error) {
+	physical := s.inst.in.Cost(degradation.ModePC)
+	res, err := sim.Run(physical, sim.SoloTimeFunc(s.inst.in.SoloTime), s.groups)
+	if err != nil {
+		return nil, err
+	}
+	b := s.cost.Batch
+	names := make(map[string]int)
+	for _, j := range b.Jobs {
+		names[j.Name]++
+	}
+	jf := make(map[string]float64, len(res.JobFinish))
+	for jid, t := range res.JobFinish {
+		name := b.Jobs[jid].Name
+		if names[name] > 1 {
+			name = fmt.Sprintf("%s#%d", name, jid)
+		}
+		jf[name] = t
+	}
+	return &Execution{
+		Makespan:        res.Makespan,
+		MeanJobFinish:   res.MeanJobFinish(),
+		JobFinish:       jf,
+		MachineBusy:     res.MachineBusy,
+		SlowdownSeconds: res.TotalSlowdownSeconds,
+	}, nil
+}
+
+// Groups exposes the raw partition as 1-based process IDs.
+func (s *Schedule) Groups() [][]int {
+	out := make([][]int, len(s.groups))
+	for i, g := range s.groups {
+		for _, p := range g {
+			out[i] = append(out[i], int(p))
+		}
+	}
+	return out
+}

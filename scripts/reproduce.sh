@@ -1,0 +1,19 @@
+#!/bin/sh
+# Reproduce everything: build, verify, regenerate every table/figure and
+# ablation, and leave the reports in ./results.
+set -e
+
+echo "== build =="
+go build ./...
+go vet ./...
+
+echo "== tests =="
+go test ./... 2>&1 | tee test_output.txt
+
+echo "== tables, figures, ablations (full mode; see -quick for a fast pass) =="
+go run ./cmd/experiments -exp all -out results
+
+echo "== benchmarks =="
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+echo "done; reports in ./results, logs in test_output.txt / bench_output.txt"

@@ -1,0 +1,218 @@
+package cosched
+
+import (
+	"fmt"
+	"io"
+
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/job"
+	"cosched/internal/workload"
+)
+
+// MachineKind names the three machine classes of the paper's evaluation.
+type MachineKind int
+
+const (
+	// DualCore is the Intel Core 2 Duo class: 2 cores sharing a 4MB
+	// 16-way L2.
+	DualCore MachineKind = iota
+	// QuadCore is the Intel i7-2600 class: 4 cores sharing an 8MB
+	// 16-way L3.
+	QuadCore
+	// EightCore is the Intel Xeon E5-2450L class: 8 cores sharing a
+	// 20MB 16-way L3.
+	EightCore
+)
+
+// String implements fmt.Stringer.
+func (m MachineKind) String() string {
+	switch m {
+	case DualCore:
+		return "dual-core"
+	case QuadCore:
+		return "quad-core"
+	case EightCore:
+		return "8-core"
+	default:
+		return fmt.Sprintf("MachineKind(%d)", int(m))
+	}
+}
+
+// Cores returns the core count of the machine class.
+func (m MachineKind) Cores() int {
+	switch m {
+	case DualCore:
+		return 2
+	case EightCore:
+		return 8
+	default:
+		return 4
+	}
+}
+
+func (m MachineKind) machine() (*cache.Machine, error) {
+	switch m {
+	case DualCore:
+		return &cache.DualCore, nil
+	case QuadCore:
+		return &cache.QuadCore, nil
+	case EightCore:
+		return &cache.EightCore, nil
+	default:
+		return nil, fmt.Errorf("cosched: unknown machine kind %d", int(m))
+	}
+}
+
+// Instance is a ready-to-solve co-scheduling problem: a batch of jobs
+// bound to a machine class with a degradation model.
+type Instance struct {
+	in *workload.Instance
+}
+
+// NumProcesses returns the number of processes including padding.
+func (i *Instance) NumProcesses() int { return i.in.Batch.NumProcs() }
+
+// NumMachines returns how many machines the schedule will fill.
+func (i *Instance) NumMachines() int { return i.in.Batch.NumMachines() }
+
+// NumJobs returns the job count.
+func (i *Instance) NumJobs() int { return len(i.in.Batch.Jobs) }
+
+// JobNames lists the batch's job names in job order.
+func (i *Instance) JobNames() []string {
+	names := make([]string, len(i.in.Batch.Jobs))
+	for k := range i.in.Batch.Jobs {
+		names[k] = i.in.Batch.Jobs[k].Name
+	}
+	return names
+}
+
+// WriteGraphDOT renders the instance's co-scheduling graph (the paper's
+// Fig. 3 layout) as Graphviz DOT, optionally highlighting a schedule's
+// valid path. Only small graphs render (maxNodes caps the node count;
+// 0 means 512).
+func (i *Instance) WriteGraphDOT(w io.Writer, sched *Schedule, maxNodes int) error {
+	c := i.in.Cost(degradation.ModePC)
+	g := graph.New(c, i.in.Patterns)
+	var highlight [][]job.ProcID
+	if sched != nil {
+		highlight = sched.groups
+	}
+	return g.WriteDOT(w, highlight, maxNodes)
+}
+
+// Workload assembles an Instance job by job from the built-in benchmark
+// catalogue (the paper's NPB/SPEC/MPI/PE program set, synthesised as
+// described in DESIGN.md §3).
+type Workload struct {
+	spec *workload.Spec
+	errs []error
+}
+
+// NewWorkload returns an empty workload.
+func NewWorkload() *Workload { return &Workload{spec: workload.NewSpec()} }
+
+// AddSerial adds one serial job by catalogue name (e.g. "BT", "art").
+func (w *Workload) AddSerial(program string) *Workload {
+	if _, err := w.spec.AddSerialByName(program); err != nil {
+		w.errs = append(w.errs, err)
+	}
+	return w
+}
+
+// AddPE adds an embarrassingly-parallel job (e.g. "PI", "RA") with the
+// given process count.
+func (w *Workload) AddPE(program string, procs int) *Workload {
+	p, err := workload.PEProgram(program)
+	if err != nil {
+		w.errs = append(w.errs, err)
+		return w
+	}
+	w.spec.AddPE(p, procs)
+	return w
+}
+
+// AddPC adds a communicating MPI job (e.g. "MG-Par") with the given
+// process count; the decomposition defaults to a near-square 2D grid with
+// the program's halo volumes.
+func (w *Workload) AddPC(program string, procs int) *Workload {
+	p, err := workload.PCProgram(program)
+	if err != nil {
+		w.errs = append(w.errs, err)
+		return w
+	}
+	w.spec.AddPC(p, procs, nil)
+	return w
+}
+
+// Build binds the workload to a machine class. Any error from earlier Add
+// calls is reported here.
+func (w *Workload) Build(m MachineKind) (*Instance, error) {
+	if len(w.errs) > 0 {
+		return nil, w.errs[0]
+	}
+	mach, err := m.machine()
+	if err != nil {
+		return nil, err
+	}
+	in, err := w.spec.Build(mach)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{in: in}, nil
+}
+
+// SerialPrograms lists the serial catalogue names.
+func SerialPrograms() []string { return workload.SerialProgramNames() }
+
+// PEPrograms lists the embarrassingly-parallel catalogue names.
+func PEPrograms() []string { return workload.PEProgramNames() }
+
+// PCPrograms lists the MPI catalogue names.
+func PCPrograms() []string { return workload.PCProgramNames() }
+
+// SyntheticSerial builds an instance of n synthetic serial jobs whose
+// cache-miss ratios are drawn uniformly from [15%, 75%] (the paper's
+// synthetic recipe), driven by the full SDC cache model.
+func SyntheticSerial(n int, m MachineKind, seed int64) (*Instance, error) {
+	mach, err := m.machine()
+	if err != nil {
+		return nil, err
+	}
+	in, err := workload.SyntheticSerialInstance(n, mach, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{in: in}, nil
+}
+
+// SyntheticLarge builds a large synthetic serial instance backed by the
+// O(u)-per-query additive pairwise oracle, the configuration the paper's
+// large-scale HA*/PG studies use.
+func SyntheticLarge(n int, m MachineKind, seed int64) (*Instance, error) {
+	mach, err := m.machine()
+	if err != nil {
+		return nil, err
+	}
+	in, err := workload.SyntheticPairwiseInstance(n, mach, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{in: in}, nil
+}
+
+// SyntheticMixed builds an instance of totalProcs processes of which
+// parallelJobs PC jobs of procsPerJob processes each; the rest are serial.
+func SyntheticMixed(totalProcs, parallelJobs, procsPerJob int, m MachineKind, seed int64) (*Instance, error) {
+	mach, err := m.machine()
+	if err != nil {
+		return nil, err
+	}
+	in, err := workload.SyntheticMixedInstance(totalProcs, parallelJobs, procsPerJob, mach, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{in: in}, nil
+}
