@@ -36,6 +36,7 @@ func main() {
 		accounting  = flag.String("accounting", "pc", "objective accounting: se, pe, pc")
 		ipConfig    = flag.String("ipconfig", "", "IP branch-and-bound preset name")
 		timeLimit   = flag.Duration("timelimit", 0, "IP time limit (e.g. 30s)")
+		verbose     = flag.Bool("verbose", false, "also print solver allocation statistics (element pool, dismissal table)")
 		simulate    = flag.Bool("simulate", false, "execute the schedule and print wall-clock outcomes")
 		dotFile     = flag.String("dot", "", "write the co-scheduling graph (with the schedule highlighted) as Graphviz DOT to this file")
 		list        = flag.Bool("list", false, "list the benchmark catalogue and exit")
@@ -105,6 +106,14 @@ func main() {
 		fmt.Printf(", branch-and-bound nodes: %d", sched.Stats.BBNodes)
 	}
 	fmt.Println()
+	if *verbose && sched.Stats.ElemAllocated+sched.Stats.ElemReused > 0 {
+		st := sched.Stats
+		reusePct := 100 * float64(st.ElemReused) / float64(st.ElemAllocated+st.ElemReused)
+		fmt.Printf("allocation stats: %d elements allocated, %d reused (%.1f%% pool hit rate)\n",
+			st.ElemAllocated, st.ElemReused, reusePct)
+		fmt.Printf("dismissal table: %d distinct keys, %.1f%% slot occupancy\n",
+			st.KeyTableEntries, 100*st.KeyTableLoad)
+	}
 
 	if *dotFile != "" {
 		f, err := os.Create(*dotFile)

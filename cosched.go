@@ -254,9 +254,13 @@ func solveIP(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule, e
 
 func searchStats(r *astar.Result) Stats {
 	return Stats{
-		VisitedPaths: r.Stats.VisitedPaths,
-		Generated:    r.Stats.Generated,
-		Condensed:    r.Stats.Condensed,
-		Duration:     r.Stats.Duration,
+		VisitedPaths:    r.Stats.VisitedPaths,
+		Generated:       r.Stats.Generated,
+		Condensed:       r.Stats.Condensed,
+		Duration:        r.Stats.Duration,
+		ElemAllocated:   r.Stats.ElemAllocated,
+		ElemReused:      r.Stats.ElemReused,
+		KeyTableEntries: r.Stats.KeyTableEntries,
+		KeyTableLoad:    r.Stats.KeyTableLoad,
 	}
 }

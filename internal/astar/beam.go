@@ -5,7 +5,6 @@ import (
 	"sort"
 	"time"
 
-	"cosched/internal/bitset"
 	"cosched/internal/job"
 )
 
@@ -17,6 +16,13 @@ import (
 // the thousand-process HA* runs of Figs. 12-13 finish; the price is that
 // — unlike the priority-list search — a dropped sub-path can never be
 // revisited.
+//
+// Per-depth best-by-key dedup runs on the same word-packed gTable as the
+// priority-list search (reset between depths), with superseded and
+// beam-trimmed children — which have no descendants yet — recycled into
+// the element pool. The depth's survivors are ordered by (f, key) with
+// the key compared byte-lexicographically (compareKeyWords), preserving
+// the legacy string-key tie-break bit for bit.
 func (s *Solver) solveBeam() (*Result, error) {
 	start := time.Now()
 	var stats Stats
@@ -25,16 +31,14 @@ func (s *Solver) solveBeam() (*Result, error) {
 		hw = 1
 	}
 
-	root := &element{set: bitset.New(s.n), hSerial: s.hSerialAll}
-	if len(s.parJobs) > 0 {
-		root.jobMax = make([]float64, len(s.parJobs))
-	}
-	root.key = s.elementKey(root.set)
+	s.table = newGTable(s.keyStride)
+	root := s.rootElement()
 
 	frontier := []*element{root}
 	depths := s.n / s.u
 	for d := 0; d < depths; d++ {
-		bestByKey := make(map[string]*element)
+		t := s.table
+		t.reset()
 		for _, e := range frontier {
 			stats.VisitedPaths++
 			leader := e.set.SmallestAbsent(s.n)
@@ -43,30 +47,41 @@ func (s *Solver) solveBeam() (*Result, error) {
 			}
 			avail := s.available(e, job.ProcID(leader))
 			s.forEachCandidate(e, job.ProcID(leader), avail, &stats, func(node []job.ProcID) {
-				child := s.makeChild(e, node)
-				if prev, ok := bestByKey[child.key]; ok && prev.g <= child.g {
+				child := s.makeChildIn(s.pool, e, node)
+				ref := t.find(child.keyWords)
+				if ref >= 0 && t.gs[ref] <= child.g {
+					s.recycle(child)
 					return
 				}
 				child.h = s.heuristic(child)
-				bestByKey[child.key] = child
+				if ref >= 0 {
+					// The superseded same-key child was generated this
+					// depth and never expanded; recycle it.
+					s.recycle(t.elems[ref])
+					t.gs[ref] = child.g
+					t.elems[ref] = child
+				} else {
+					t.insert(child.keyWords, child.g, child)
+				}
 				stats.Generated++
 			})
 		}
-		if len(bestByKey) == 0 {
+		if t.count == 0 {
 			return nil, errors.New("astar: beam search produced no children (malformed batch)")
 		}
-		next := make([]*element, 0, len(bestByKey))
-		for _, e := range bestByKey {
-			next = append(next, e)
-		}
+		next := make([]*element, 0, t.count)
+		next = append(next, t.elems...)
 		sort.Slice(next, func(i, j int) bool {
 			fi, fj := next[i].g+hw*next[i].h, next[j].g+hw*next[j].h
 			if fi != fj {
 				return fi < fj
 			}
-			return next[i].key < next[j].key
+			return compareKeyWords(next[i].keyWords, next[j].keyWords) < 0
 		})
 		if len(next) > s.opts.BeamWidth {
+			for _, e := range next[s.opts.BeamWidth:] {
+				s.recycle(e) // trimmed before expansion: no descendants
+			}
 			next = next[:s.opts.BeamWidth]
 		}
 		if len(next) > stats.MaxQueue {
@@ -82,5 +97,6 @@ func (s *Solver) solveBeam() (*Result, error) {
 		}
 	}
 	stats.Duration = time.Since(start)
+	s.fillAllocStats(&stats)
 	return &Result{Groups: reconstruct(best), Cost: best.g, Stats: stats}, nil
 }

@@ -1,0 +1,184 @@
+package astar
+
+import (
+	"testing"
+
+	"cosched/internal/cache"
+	"cosched/internal/degradation"
+	"cosched/internal/graph"
+	"cosched/internal/job"
+	"cosched/internal/workload"
+)
+
+// syntheticGraphTB is syntheticGraph for benchmarks too (testing.TB).
+func syntheticGraphTB(tb testing.TB, n, u int, seed int64, mode degradation.Mode) *graph.Graph {
+	tb.Helper()
+	m, err := cache.MachineByCores(u)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	in, err := workload.SyntheticSerialInstance(n, &m, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return graph.New(in.Cost(mode), in.Patterns)
+}
+
+// This file is the micro-benchmark suite of the allocation-free hot path:
+// child construction + key packing + dismissal lookup in isolation, and
+// AllocsPerRun guards pinning the steady-state allocation count of a
+// dismissed child (the overwhelmingly common fate under Theorem-1
+// dismissal) at zero. Run with
+//
+//	go test ./internal/astar/ -bench HotPath -benchmem
+//
+// and compare against scripts/benchdiff.sh's end-to-end numbers
+// (BENCH_astar.json records the solver-level before/after).
+
+// hotPathSolver builds a prepared mid-size serial solver plus a root
+// element and one candidate node, without running a search. pairwise
+// selects the additive-pairwise oracle (the Fig. 9/13 regime, where the
+// child distance needs no memoized node-cost lookup and the hot path is
+// fully allocation-free).
+func hotPathSolver(tb testing.TB, n, u int, pairwise bool) (*Solver, *element, []job.ProcID) {
+	tb.Helper()
+	m, err := cache.MachineByCores(u)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var g *graph.Graph
+	if pairwise {
+		in, err := workload.SyntheticPairwiseInstance(n, &m, 17)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		g = graph.New(in.Cost(degradation.ModePC), in.Patterns)
+	} else {
+		g = syntheticGraphTB(tb, n, u, 17, degradation.ModePC)
+	}
+	sv, err := NewSolver(g, Options{H: HPerProc})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sv.table = newGTable(sv.keyStride)
+	root := sv.rootElement()
+	node := make([]job.ProcID, 0, u)
+	for p := 1; p <= u; p++ {
+		node = append(node, job.ProcID(p))
+	}
+	return sv, root, node
+}
+
+// BenchmarkHotPathMakeChild measures one pooled child construction
+// (set copy, Eq. 13 distance, key packing) plus its dismissal probe and
+// recycling — the per-candidate cost of the search inner loop.
+func BenchmarkHotPathMakeChild(b *testing.B) {
+	sv, root, node := hotPathSolver(b, 120, 4, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := sv.makeChildIn(sv.pool, root, node)
+		_ = sv.table.find(c.keyWords)
+		sv.recycle(c)
+	}
+}
+
+// BenchmarkHotPathPackKey measures dismissal-key packing alone.
+func BenchmarkHotPathPackKey(b *testing.B) {
+	sv, root, _ := hotPathSolver(b, 960, 4, true)
+	buf := make([]uint64, 0, sv.keyStride)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = sv.packKey(buf[:0], root.set, root.jobMax)
+	}
+}
+
+// BenchmarkHotPathTableInsert measures the open-addressing insert path,
+// growth included, against fresh tables.
+func BenchmarkHotPathTableInsert(b *testing.B) {
+	sv, root, node := hotPathSolver(b, 120, 4, true)
+	c := sv.makeChildIn(sv.pool, root, node)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := newGTable(sv.keyStride)
+		key := c.keyWords
+		kc := append([]uint64(nil), key...)
+		for j := 0; j < 256; j++ {
+			kc[0] = uint64(j) << 1 // distinct sets, bit 0 unused
+			if t.find(kc) < 0 {
+				t.insert(kc, float64(j), nil)
+			}
+		}
+	}
+}
+
+// BenchmarkHotPathSolveOAStar is the end-to-end anchor: a mid-size OA*
+// solve whose allocs/op the pooled hot path holds near-constant in n.
+func BenchmarkHotPathSolveOAStar(b *testing.B) {
+	sv, _, _ := hotPathSolver(b, 16, 4, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDismissedChildStaysAllocationFree is the hot-path allocation guard:
+// once the pool is warm, building a child, probing the dismissal table and
+// recycling the child must perform at most 2 allocations per candidate —
+// and in practice exactly 0 (the ISSUE budget of ≤ 2 leaves headroom for
+// map-internal rehash noise on other platforms).
+func TestDismissedChildStaysAllocationFree(t *testing.T) {
+	for _, cfg := range []struct {
+		name     string
+		n, u     int
+		pairwise bool
+		budget   float64
+	}{
+		// Additive-pairwise oracle (Fig. 9/13 regime): zero allocations.
+		{"pairwise-n120-u4", 120, 4, true, 0},
+		{"pairwise-n960-u4", 960, 4, true, 0},
+		// Memoized oracle: the node-cost cache key still costs its
+		// string; the ISSUE budget of ≤ 2 covers it.
+		{"memoized-n120-u4", 120, 4, false, 2},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			sv, root, node := hotPathSolver(t, cfg.n, cfg.u, cfg.pairwise)
+			// Warm the pool (and the node-cost cache): the first child
+			// allocates its backing storage, every later one reuses it.
+			warm := sv.makeChildIn(sv.pool, root, node)
+			sv.recycle(warm)
+			allocs := testing.AllocsPerRun(200, func() {
+				c := sv.makeChildIn(sv.pool, root, node)
+				_ = sv.table.find(c.keyWords)
+				sv.recycle(c)
+			})
+			if allocs > cfg.budget {
+				t.Fatalf("dismissed child costs %.1f allocs; budget is %.0f", allocs, cfg.budget)
+			}
+		})
+	}
+}
+
+// TestPoolReuseDominatesOnSolve checks the Stats surface: on a real solve
+// the pool must serve the bulk of elements from the free list and the key
+// table must stay under its 3/4 growth ceiling.
+func TestPoolReuseDominatesOnSolve(t *testing.T) {
+	g := syntheticGraphTB(t, 14, 2, 5, degradation.ModePC)
+	res := solveWith(t, g, Options{H: HPerProc, UseIncumbent: true})
+	st := res.Stats
+	if st.ElemAllocated == 0 || st.ElemReused == 0 {
+		t.Fatalf("alloc stats not populated: %+v", st)
+	}
+	if st.ElemReused < st.ElemAllocated {
+		t.Errorf("reuse (%d) should dominate fresh allocation (%d) on a dismissal-heavy solve",
+			st.ElemReused, st.ElemAllocated)
+	}
+	if st.KeyTableEntries <= 0 || st.KeyTableLoad <= 0 || st.KeyTableLoad >= 0.75 {
+		t.Errorf("key table stats out of range: entries=%d load=%.3f", st.KeyTableEntries, st.KeyTableLoad)
+	}
+}

@@ -84,6 +84,11 @@ func (s *Solver) forEachCandidate(e *element, leader job.ProcID, avail []job.Pro
 	// Fallback: enumerate the whole level restricted to avail, sort by
 	// weight, attempt the k cheapest. With an additive oracle the weight
 	// is a direct pair-cost sum, skipping the memoized-oracle overhead.
+	// The nodes live flat (u-stride) in solver scratch and the sort runs
+	// over a permutation, so a whole level costs zero steady-state
+	// allocations — this path fires on every late depth of the beam runs
+	// (once C(|avail|, u-1) drops under smallLevel) and used to dominate
+	// the Fig. 13 allocation profile with one node copy per candidate.
 	weight := s.cost.NodeWeight
 	if s.pairW != nil {
 		weight = func(node []job.ProcID) float64 {
@@ -97,30 +102,40 @@ func (s *Solver) forEachCandidate(e *element, leader job.ProcID, avail []job.Pro
 			return w
 		}
 	}
-	type cand struct {
-		node []job.ProcID
-		w    float64
-	}
-	var cands []cand
+	u := s.u
+	flat := s.candFlat[:0]
+	ws := s.candW[:0]
 	s.gr.ForEachNode(leader, avail, func(node []job.ProcID) bool {
-		cands = append(cands, cand{node: append([]job.ProcID(nil), node...), w: weight(node)})
+		flat = append(flat, node...)
+		ws = append(ws, weight(node))
 		return true
 	})
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].w != cands[j].w {
-			return cands[i].w < cands[j].w
+	s.candFlat, s.candW = flat, ws
+	nc := len(ws)
+	if cap(s.candIdx) < nc {
+		s.candIdx = make([]int32, nc)
+	}
+	idx := s.candIdx[:nc]
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if ws[ia] != ws[ib] {
+			return ws[ia] < ws[ib]
 		}
-		return lessNodes(cands[i].node, cands[j].node)
+		return lessNodes(flat[int(ia)*u:int(ia)*u+u], flat[int(ib)*u:int(ib)*u+u])
 	})
 	emitted := 0
-	for i := range cands {
+	for _, id := range idx {
 		if emitted >= k {
 			break
 		}
-		if condensed(cands[i].node) {
+		node := flat[int(id)*u : int(id)*u+u]
+		if condensed(node) {
 			continue
 		}
-		fn(cands[i].node)
+		fn(node)
 		emitted++
 	}
 }
@@ -141,7 +156,10 @@ const (
 // partner (by pair cost) and completes the node greedily, which yields k
 // diverse low-weight nodes in O(k·u·|avail|) — the HA* trimming spirit of
 // §IV without the paper's full level sort, which is infeasible at
-// C(n-1, u-1) nodes per level (documented in DESIGN.md §3).
+// C(n-1, u-1) nodes per level (documented in DESIGN.md §3). All working
+// storage (the leader-sorted availability, the membership mask, the node
+// under construction and the word-packed dedup set) is solver scratch,
+// reused across expansions.
 func (s *Solver) anchoredCandidates(leader job.ProcID, avail []job.ProcID, k int, emit func(node []job.ProcID) bool) {
 	r := s.u - 1
 	m := len(avail)
@@ -153,7 +171,8 @@ func (s *Solver) anchoredCandidates(leader job.ProcID, avail []job.ProcID, k int
 		return
 	}
 	li := int(leader) - 1
-	sorted := append([]job.ProcID(nil), avail...)
+	sorted := append(s.anchSorted[:0], avail...)
+	s.anchSorted = sorted
 	sort.Slice(sorted, func(a, b int) bool {
 		sa, sb := s.pairW[li][int(sorted[a])-1], s.pairW[li][int(sorted[b])-1]
 		if sa != sb {
@@ -161,9 +180,20 @@ func (s *Solver) anchoredCandidates(leader job.ProcID, avail []job.ProcID, k int
 		}
 		return sorted[a] < sorted[b]
 	})
-	inNode := make([]bool, s.n+1)
-	node := make([]job.ProcID, 0, s.u)
-	seen := make(map[string]bool, k)
+	if len(s.anchInNode) < s.n+1 {
+		s.anchInNode = make([]bool, s.n+1)
+	}
+	inNode := s.anchInNode
+	if cap(s.anchNode) < s.u {
+		s.anchNode = make([]job.ProcID, 0, s.u)
+	}
+	node := s.anchNode[:0]
+	if s.anchSeen == nil {
+		s.anchSeen = newWordSet(nodeKeyStride(s.u))
+		s.anchKeyBuf = make([]uint64, 0, s.anchSeen.stride)
+	}
+	seen := s.anchSeen
+	seen.reset()
 	for j := 0; j < m; j++ {
 		node = node[:0]
 		node = append(node, leader, sorted[j])
@@ -199,27 +229,40 @@ func (s *Solver) anchoredCandidates(leader job.ProcID, avail []job.ProcID, k int
 			continue
 		}
 		sortNode(node)
-		key := nodeKey(node)
-		if seen[key] {
+		if !seen.add(packNodeWords(s.anchKeyBuf[:0], node)) {
 			continue
 		}
-		seen[key] = true
 		if !emit(node) {
 			return
 		}
-		if len(seen) >= k {
+		if seen.count >= k {
 			return
 		}
 	}
 }
 
-// nodeKey builds a compact dedup key for a sorted node.
-func nodeKey(node []job.ProcID) string {
-	b := make([]byte, 0, len(node)*2)
-	for _, p := range node {
-		b = append(b, byte(p), byte(int(p)>>8))
+// nodeKeyStride is the wordSet stride for nodes of u processes packed 16
+// bits each.
+func nodeKeyStride(u int) int {
+	return (u*2 + 7) / 8
+}
+
+// packNodeWords packs a sorted node into dst, 16 bits per process
+// (little-endian within each word) — the same information content as the
+// former nodeKey string, without the allocation.
+func packNodeWords(dst []uint64, node []job.ProcID) []uint64 {
+	var w uint64
+	for i, p := range node {
+		w |= uint64(uint16(p)) << (16 * uint(i&3))
+		if i&3 == 3 {
+			dst = append(dst, w)
+			w = 0
+		}
 	}
-	return string(b)
+	if len(node)&3 != 0 {
+		dst = append(dst, w)
+	}
+	return dst
 }
 
 // lessNodes orders nodes lexicographically for deterministic tie-breaks.

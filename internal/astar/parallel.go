@@ -21,46 +21,114 @@ func (s *Solver) validateWorkers() error {
 	}
 }
 
-// expandParallel evaluates one expansion's candidate children across
-// worker goroutines: the oracle queries of makeChild and the O(1)
+// workerPool is the persistent expansion crew: Workers goroutines started
+// once per solve (startWorkers in Solve, stopped by the deferred stop),
+// fed one chunk of candidate nodes per request. The old implementation
+// spawned fresh goroutines for every expansion — hundreds of thousands of
+// spawns on Fig. 9-scale searches; here the goroutines park on a channel
+// between expansions.
+//
+// Each chunk carries its own element free list (pools[i]): chunks are
+// disjoint and a chunk is processed by exactly one worker at a time, so
+// makeChildIn never contends, and the solver goroutine may recycle
+// dismissed children into those lists between requests (the workers are
+// parked then; the channel send/receive orders the accesses).
+type workerPool struct {
+	s     *Solver
+	reqs  chan workerReq
+	pools []*elemPool
+	done  sync.WaitGroup
+}
+
+// workerReq asks for children [lo,hi) of one expansion: node i lives at
+// flat[i*u:(i+1)*u], its finished child goes to children[i].
+type workerReq struct {
+	e        *element
+	flat     []job.ProcID
+	children []*element
+	lo, hi   int
+	pool     *elemPool
+	wg       *sync.WaitGroup
+}
+
+// startWorkers launches the crew. Solve defers stop(), so the goroutines
+// never outlive the search.
+func (s *Solver) startWorkers() *workerPool {
+	wp := &workerPool{s: s, reqs: make(chan workerReq, s.opts.Workers)}
+	if s.workerPools == nil {
+		// The per-chunk free lists outlive any single crew: a repeated
+		// Solve on the same solver starts a fresh crew (goroutines are
+		// Solve-scoped) but inherits the warm pools.
+		s.workerPools = make([]*elemPool, s.opts.Workers)
+		for i := range s.workerPools {
+			s.workerPools[i] = s.newPool()
+		}
+	}
+	wp.pools = s.workerPools
+	for w := 0; w < s.opts.Workers; w++ {
+		wp.done.Add(1)
+		go func() {
+			defer wp.done.Done()
+			u := s.u
+			for req := range wp.reqs {
+				for i := req.lo; i < req.hi; i++ {
+					c := s.makeChildIn(req.pool, req.e, req.flat[i*u:(i+1)*u])
+					c.h = s.heuristic(c)
+					req.children[i] = c
+				}
+				req.wg.Done()
+			}
+		}()
+	}
+	return wp
+}
+
+// stop drains and joins the crew.
+func (wp *workerPool) stop() {
+	close(wp.reqs)
+	wp.done.Wait()
+}
+
+// expandParallel evaluates one expansion's candidate children across the
+// persistent workers: the oracle queries of makeChildIn and the O(1)
 // heuristics run concurrently, then the children are handed to sink in
 // candidate order so dismissal and heap behaviour stay deterministic.
-func (s *Solver) expandParallel(e *element, leader job.ProcID, avail []job.ProcID, stats *Stats, sink func(child *element)) {
-	var nodes [][]job.ProcID
+func (s *Solver) expandParallel(wp *workerPool, e *element, leader job.ProcID, avail []job.ProcID, stats *Stats, sink func(child *element)) {
+	u := s.u
+	flat := s.nodeFlat[:0]
 	s.forEachCandidate(e, leader, avail, stats, func(node []job.ProcID) {
-		nodes = append(nodes, append([]job.ProcID(nil), node...))
+		flat = append(flat, node...)
 	})
-	if len(nodes) == 0 {
+	s.nodeFlat = flat
+	n := len(flat) / u
+	if n == 0 {
 		return
 	}
-	workers := s.opts.Workers
-	if workers > len(nodes) {
-		workers = len(nodes)
+	workers := len(wp.pools)
+	if workers > n {
+		workers = n
 	}
-	children := make([]*element, len(nodes))
+	if cap(s.childBuf) < n {
+		s.childBuf = make([]*element, n)
+	}
+	children := s.childBuf[:n]
 	var wg sync.WaitGroup
-	chunk := (len(nodes) + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > len(nodes) {
-			hi = len(nodes)
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				c := s.makeChild(e, nodes[i])
-				c.h = s.heuristic(c)
-				children[i] = c
-			}
-		}(lo, hi)
+		wp.reqs <- workerReq{e: e, flat: flat, children: children, lo: lo, hi: hi, pool: wp.pools[w], wg: &wg}
 	}
 	wg.Wait()
-	for _, c := range children {
+	for i, c := range children {
 		sink(c)
+		children[i] = nil
 	}
 }

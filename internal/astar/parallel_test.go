@@ -31,6 +31,47 @@ func TestParallelWorkersMixedBatch(t *testing.T) {
 	}
 }
 
+// TestWorkerPoolSolveRepeatable runs the same worker-parallel solver
+// twice: the crew is Solve-scoped (started and joined inside each call)
+// while the per-chunk element pools persist, so the second solve must
+// reproduce the first bit for bit and draw mostly on recycled elements.
+func TestWorkerPoolSolveRepeatable(t *testing.T) {
+	g := syntheticGraph(t, 12, 4, 2, degradation.ModePC)
+	sv, err := NewSolver(g, Options{H: HPerProc, UseIncumbent: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sv.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sv.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(first.Cost-second.Cost) > eps {
+		t.Errorf("repeat solve changed the optimum: %v vs %v", first.Cost, second.Cost)
+	}
+	if first.Stats.VisitedPaths != second.Stats.VisitedPaths {
+		t.Errorf("repeat solve visited %d paths vs %d (determinism lost)",
+			second.Stats.VisitedPaths, first.Stats.VisitedPaths)
+	}
+	// Pool counters are cumulative across solves: the second solve's
+	// fresh allocations should be near zero, so reuse must dominate.
+	if second.Stats.ElemReused <= first.Stats.ElemReused {
+		t.Errorf("second solve reused no elements: %d then %d",
+			first.Stats.ElemReused, second.Stats.ElemReused)
+	}
+	// Admitted elements are never recycled (they may sit on the winning
+	// path), so a repeat solve re-allocates that fraction — but the
+	// dismissed majority must come from the warm free lists.
+	delta := second.Stats.ElemAllocated - first.Stats.ElemAllocated
+	if delta > first.Stats.ElemAllocated/2 {
+		t.Errorf("second solve allocated %d fresh elements (first: %d); warm pools should cover most",
+			delta, first.Stats.ElemAllocated)
+	}
+}
+
 func TestWorkersRejectedForTableStrategies(t *testing.T) {
 	g := syntheticGraph(t, 8, 2, 1, degradation.ModePC)
 	for _, h := range []HStrategy{HStrategy1, HStrategy2} {

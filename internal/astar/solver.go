@@ -1,7 +1,6 @@
 package astar
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -57,21 +56,58 @@ type Solver struct {
 	peAll     *bitset.Set
 	peJobMask []*bitset.Set
 
+	// Word-packed dismissal-key geometry (see keytable.go): the key is
+	// keyStride uint64 words — the (masked) set words, the packed PE
+	// counts, and, under ExactParallel, one word per parallel job.
+	keySetWords   int
+	keyCountWords int
+	keyJobWords   int
+	keyStride     int
+
+	// Hot-path storage, reused across expansions within one solve: the
+	// best-g table, the element free lists (one per producing goroutine),
+	// and the scratch buffers of available / candidate gathering.
+	table       *gTable
+	pool        *elemPool
+	allPools    []*elemPool
+	workerPools []*elemPool // per-chunk free lists, reused by every crew
+	availBuf    []job.ProcID
+	nodeFlat    []job.ProcID // gathered candidate nodes, u entries each
+	childBuf    []*element   // per-expansion children, candidate order
+	greedyNd    []job.ProcID // greedySchedule's node under construction
+	greedyCd    []job.ProcID // greedySchedule's candidate scratch (never aliases greedyNd)
+
+	// Candidate-enumeration scratch (expand.go): the full-enumeration
+	// fallback's flat node store + weights + sort permutation, and the
+	// anchored generator's sorted availability, membership mask, node
+	// under construction and word-packed dedup set.
+	candFlat   []job.ProcID
+	candW      []float64
+	candIdx    []int32
+	anchSorted []job.ProcID
+	anchInNode []bool
+	anchNode   []job.ProcID
+	anchSeen   *wordSet
+	anchKeyBuf []uint64
+
 	nodeCostState
 }
 
 // element is one priority-list entry: a sub-path recorded as the set of
-// processes it contains (§III-C1).
+// processes it contains (§III-C1). Elements come from elemPool free lists
+// (pool.go) with all backing storage preallocated at solver capacities.
 type element struct {
-	set     *bitset.Set
-	key     string
-	q       int     // processes scheduled
-	g       float64 // Eq. 13 distance of the sub-path
-	h       float64
-	hSerial float64   // remaining per-process serial bound (HPerProc)
-	jobMax  []float64 // per parallel job: running max degradation
-	parent  *element
-	node    []job.ProcID // the node whose addition created this element
+	set      *bitset.Set
+	keyWords []uint64 // word-packed dismissal key (keytable.go layout)
+	keyRef   int32    // gTable entry index once admitted; -1 before
+	q        int      // processes scheduled
+	g        float64  // Eq. 13 distance of the sub-path
+	h        float64
+	hSerial  float64   // remaining per-process serial bound (HPerProc)
+	jobMax   []float64 // per parallel job: running max degradation
+	parent   *element
+	node     []job.ProcID // the node whose addition created this element
+	home     *elemPool    // owning free list
 }
 
 type heapEntry struct {
@@ -80,10 +116,13 @@ type heapEntry struct {
 	e    *element
 }
 
+// pqueue is a hand-rolled binary min-heap over heapEntry. container/heap
+// boxes every Push/Pop through interface{}, heap-allocating one 48-byte
+// entry per generated child; inlining the sift loops keeps the priority
+// list entirely inside one growing slice.
 type pqueue []heapEntry
 
-func (q pqueue) Len() int { return len(q) }
-func (q pqueue) Less(i, j int) bool {
+func (q pqueue) less(i, j int) bool {
 	if q[i].f != q[j].f {
 		return q[i].f < q[j].f
 	}
@@ -92,14 +131,46 @@ func (q pqueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q pqueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pqueue) Push(x interface{}) { *q = append(*q, x.(heapEntry)) }
-func (q *pqueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+
+func (q *pqueue) push(e heapEntry) {
+	*q = append(*q, e)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *pqueue) pop() heapEntry {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = heapEntry{} // release the element pointer
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && h.less(r, l) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
 }
 
 // NewSolver builds a solver for the given graph and options.
@@ -208,6 +279,13 @@ func (s *Solver) prepare() error {
 			s.peJobMask = append(s.peJobMask, im)
 		}
 	}
+	s.keySetWords = (s.n + 64) / 64
+	s.keyCountWords = (len(s.peJobMask) + 7) / 8
+	if s.opts.ExactParallel && len(s.parJobs) > 0 {
+		s.keyJobWords = len(s.parJobs)
+	}
+	s.keyStride = s.keySetWords + s.keyCountWords + s.keyJobWords
+	s.pool = s.newPool()
 	return nil
 }
 
@@ -223,10 +301,15 @@ func (s *Solver) symmetricJob(k job.Kind) bool {
 	return k == job.PC && s.cost.Mode != degradation.ModePC
 }
 
-// elementKey builds the dismissal key for a process set: the raw set, or
-// — when PE symmetry canonicalisation is active — the set with PE
-// processes replaced by per-job counts, collapsing equivalent rank
-// permutations into one sub-path family.
+// elementKey builds the legacy string dismissal key for a process set:
+// the raw set, or — when PE symmetry canonicalisation is active — the set
+// with PE processes replaced by per-job counts, collapsing equivalent
+// rank permutations into one sub-path family.
+//
+// The hot path no longer uses strings: packKey (keytable.go) produces the
+// word-packed equivalent. This function is kept as the readable reference
+// semantics; the property test in keytable_test.go pins the two to
+// collide and order identically.
 func (s *Solver) elementKey(set *bitset.Set) string {
 	if s.peAll == nil {
 		return set.Key()
@@ -308,31 +391,38 @@ func (s *Solver) Solve() (*Result, error) {
 	pruneExact := s.opts.H != HPerProcAvg && s.opts.HWeight <= 1
 	var bestComplete *element
 
-	root := &element{set: bitset.New(s.n), hSerial: s.hSerialAll}
-	if len(s.parJobs) > 0 {
-		root.jobMax = make([]float64, len(s.parJobs))
+	s.table = newGTable(s.keyStride)
+	root := s.rootElement()
+	var wp *workerPool
+	if s.opts.Workers > 1 {
+		wp = s.startWorkers()
+		defer wp.stop()
 	}
-	root.key = s.elementKey(root.set)
 
 	hw := s.opts.HWeight
 	if hw < 1 {
 		hw = 1
 	}
-	bestG := map[string]float64{root.key: 0}
+	root.keyRef = s.table.insert(root.keyWords, 0, nil)
 	var pq pqueue
-	heap.Init(&pq)
 	var seq int64
-	heap.Push(&pq, heapEntry{f: 0, g: 0, seq: seq, e: root})
+	pq.push(heapEntry{f: 0, g: 0, seq: seq, e: root})
 	seq++
 
-	for pq.Len() > 0 {
-		if pq.Len() > stats.MaxQueue {
-			stats.MaxQueue = pq.Len()
+	for len(pq) > 0 {
+		if len(pq) > stats.MaxQueue {
+			stats.MaxQueue = len(pq)
 		}
-		ent := heap.Pop(&pq).(heapEntry)
+		ent := pq.pop()
 		e := ent.e
-		if g, ok := bestG[e.key]; !ok || e.g > g {
-			continue // stale entry superseded by a shorter same-set sub-path
+		if s.table.gs[e.keyRef] < e.g {
+			// Stale entry superseded by a shorter same-set sub-path. It
+			// was never expanded, so nothing references it and it can be
+			// recycled — unless it is the incumbent complete schedule.
+			if e != bestComplete {
+				s.recycle(e)
+			}
+			continue
 		}
 		stats.VisitedPaths++
 		if s.opts.MaxExpansions > 0 && stats.VisitedPaths > s.opts.MaxExpansions {
@@ -350,6 +440,7 @@ func (s *Solver) Solve() (*Result, error) {
 				e = bestComplete
 			}
 			stats.Duration = time.Since(start)
+			s.fillAllocStats(&stats)
 			groups := reconstruct(e)
 			if s.opts.Tracer != nil {
 				s.opts.Tracer.Solution(e.g, groups)
@@ -359,18 +450,22 @@ func (s *Solver) Solve() (*Result, error) {
 		avail := s.available(e, job.ProcID(leader))
 
 		admit := func(child *element) {
-			if prev, ok := bestG[child.key]; ok && prev <= child.g {
+			ref := s.table.find(child.keyWords)
+			if ref >= 0 && s.table.gs[ref] <= child.g {
+				s.recycle(child)
 				return
 			}
 			f := child.g + hw*child.h
 			if pruneExact && f > ub {
 				stats.Pruned++
+				s.recycle(child)
 				return
 			}
 			// With a concrete schedule achieving ub in hand, ties are
 			// prunable too: a path with f == ub cannot beat it.
 			if pruneExact && f >= ub-1e-12 && (bestComplete != nil || greedyGroups != nil) && child.q < s.n {
 				stats.Pruned++
+				s.recycle(child)
 				return
 			}
 			if child.q == s.n {
@@ -381,17 +476,23 @@ func (s *Solver) Solve() (*Result, error) {
 					bestComplete = child
 				}
 			}
-			bestG[child.key] = child.g
-			heap.Push(&pq, heapEntry{f: f, g: child.g, seq: seq, e: child})
+			if ref >= 0 {
+				s.table.gs[ref] = child.g
+			} else {
+				ref = s.table.insert(child.keyWords, child.g, nil)
+			}
+			child.keyRef = ref
+			pq.push(heapEntry{f: f, g: child.g, seq: seq, e: child})
 			seq++
 			stats.Generated++
 		}
-		if s.opts.Workers > 1 {
-			s.expandParallel(e, job.ProcID(leader), avail, &stats, admit)
+		if wp != nil {
+			s.expandParallel(wp, e, job.ProcID(leader), avail, &stats, admit)
 		} else {
 			s.forEachCandidate(e, job.ProcID(leader), avail, &stats, func(node []job.ProcID) {
-				child := s.makeChild(e, node)
-				if prev, ok := bestG[child.key]; ok && prev <= child.g {
+				child := s.makeChildIn(s.pool, e, node)
+				if ref := s.table.find(child.keyWords); ref >= 0 && s.table.gs[ref] <= child.g {
+					s.recycle(child)
 					return // dismissed before spending h work
 				}
 				child.h = s.heuristic(child)
@@ -401,6 +502,7 @@ func (s *Solver) Solve() (*Result, error) {
 	}
 	// Exhausted queue: fall back to the best complete schedule seen.
 	stats.Duration = time.Since(start)
+	s.fillAllocStats(&stats)
 	if bestComplete != nil {
 		return &Result{Groups: reconstruct(bestComplete), Cost: bestComplete.g, Stats: stats}, nil
 	}
@@ -410,31 +512,57 @@ func (s *Solver) Solve() (*Result, error) {
 	return nil, errors.New("astar: priority list exhausted without a complete schedule")
 }
 
-// available lists the unscheduled processes excluding the leader.
+// rootElement builds the empty sub-path from the solver's pool.
+func (s *Solver) rootElement() *element {
+	root := s.pool.get()
+	root.set.Clear()
+	root.hSerial = s.hSerialAll
+	root.node = root.node[:0]
+	if len(s.parJobs) > 0 {
+		root.jobMax = root.jobMax[:0]
+		for range s.parJobs {
+			root.jobMax = append(root.jobMax, 0)
+		}
+	} else {
+		root.jobMax = nil
+	}
+	root.keyWords = s.packKey(root.keyWords[:0], root.set, root.jobMax)
+	return root
+}
+
+// available lists the unscheduled processes excluding the leader. The
+// returned slice is the solver's scratch buffer, valid until the next
+// call (each expansion consumes it before the next begins).
 func (s *Solver) available(e *element, leader job.ProcID) []job.ProcID {
-	avail := make([]job.ProcID, 0, s.n-e.q-1)
+	avail := s.availBuf[:0]
 	e.set.ForEachAbsent(s.n, func(v int) bool {
 		if job.ProcID(v) != leader {
 			avail = append(avail, job.ProcID(v))
 		}
 		return true
 	})
+	s.availBuf = avail
 	return avail
 }
 
-// makeChild extends a sub-path with one node, maintaining the Eq. 13
-// distance and the per-parallel-job maxima incrementally.
-func (s *Solver) makeChild(e *element, node []job.ProcID) *element {
-	child := &element{
-		set:     e.set.Clone(),
-		q:       e.q + len(node),
-		g:       e.g,
-		hSerial: e.hSerial,
-		jobMax:  e.jobMax,
-		parent:  e,
-		node:    append([]job.ProcID(nil), node...),
+// makeChildIn extends a sub-path with one node, maintaining the Eq. 13
+// distance and the per-parallel-job maxima incrementally. The child comes
+// from the given free list (the solver's own on the serial path, a
+// per-chunk one under worker parallelism) and touches no heap once the
+// list is warm.
+func (s *Solver) makeChildIn(pl *elemPool, e *element, node []job.ProcID) *element {
+	child := pl.get()
+	child.set.CopyFrom(e.set)
+	child.q = e.q + len(node)
+	child.g = e.g
+	child.hSerial = e.hSerial
+	child.parent = e
+	child.node = append(child.node[:0], node...)
+	if len(s.parJobs) > 0 {
+		child.jobMax = append(child.jobMax[:0], e.jobMax...)
+	} else {
+		child.jobMax = nil
 	}
-	jobMaxCopied := false
 	var costs []float64
 	if s.pairM == nil {
 		costs = s.nodeCosts(node)
@@ -461,23 +589,17 @@ func (s *Solver) makeChild(e *element, node []job.ProcID) *element {
 			continue
 		}
 		if d > child.jobMax[pi] {
-			if !jobMaxCopied {
-				child.jobMax = append([]float64(nil), child.jobMax...)
-				jobMaxCopied = true
-			}
 			child.g += d - child.jobMax[pi]
 			child.jobMax[pi] = d
 		}
 	}
-	child.key = s.elementKey(child.set)
-	if s.opts.ExactParallel && len(child.jobMax) > 0 {
-		child.key += jobMaxKey(child.jobMax)
-	}
+	child.keyWords = s.packKey(child.keyWords[:0], child.set, child.jobMax)
 	return child
 }
 
-// jobMaxKey encodes the per-job maxima into the dismissal key for
-// ExactParallel mode.
+// jobMaxKey encodes the per-job maxima into the legacy string dismissal
+// key for ExactParallel mode. Like elementKey it survives only as the
+// reference semantics the word-packed keys are property-tested against.
 func jobMaxKey(jm []float64) string {
 	b := make([]byte, 0, 8*len(jm))
 	for _, v := range jm {
@@ -488,11 +610,13 @@ func jobMaxKey(jm []float64) string {
 	return string(b)
 }
 
-// reconstruct walks parent pointers back to the root.
+// reconstruct walks parent pointers back to the root, copying each node
+// out of its pool-owned element so the returned schedule owns its memory
+// (the winning path is the only storage a solve pins).
 func reconstruct(e *element) [][]job.ProcID {
 	var rev [][]job.ProcID
-	for cur := e; cur != nil && cur.node != nil; cur = cur.parent {
-		rev = append(rev, cur.node)
+	for cur := e; cur != nil && len(cur.node) > 0; cur = cur.parent {
+		rev = append(rev, append([]job.ProcID(nil), cur.node...))
 	}
 	groups := make([][]job.ProcID, len(rev))
 	for i := range rev {
@@ -504,26 +628,37 @@ func reconstruct(e *element) [][]job.ProcID {
 // greedySchedule builds a quick feasible schedule for the incumbent
 // bound: repeatedly fill the machine led by the smallest unscheduled
 // process with the locally cheapest companions.
+//
+// Candidate nodes are assembled in a dedicated scratch buffer (greedyCd)
+// that is copied from — never append-extended off — the node under
+// construction: the previous `cand := append(node, …)` formulation let
+// cand share node's backing array between NodeWeight calls, so any callee
+// retaining or the surrounding loop growing the node would silently
+// corrupt earlier candidates (regression-tested in
+// TestGreedyScheduleScratchIsolation).
 func (s *Solver) greedySchedule() [][]job.ProcID {
 	set := bitset.New(s.n)
+	if cap(s.greedyNd) < s.u {
+		s.greedyNd = make([]job.ProcID, 0, s.u)
+		s.greedyCd = make([]job.ProcID, 0, s.u)
+	}
 	var groups [][]job.ProcID
 	for {
 		leader := set.SmallestAbsent(s.n)
 		if leader == 0 {
 			return groups
 		}
-		node := []job.ProcID{job.ProcID(leader)}
+		node := append(s.greedyNd[:0], job.ProcID(leader))
 		set.Add(leader)
 		for len(node) < s.u {
 			bestP := 0
 			bestW := math.Inf(1)
 			set.ForEachAbsent(s.n, func(v int) bool {
-				cand := append(node, job.ProcID(v))
-				w := s.cost.NodeWeight(cand)
-				if w < bestW {
+				cand := append(s.greedyCd[:0], node...)
+				cand = append(cand, job.ProcID(v))
+				if w := s.cost.NodeWeight(cand); w < bestW {
 					bestW, bestP = w, v
 				}
-				node = cand[:len(node)]
 				return true
 			})
 			if bestP == 0 {

@@ -44,6 +44,38 @@ func (s *Set) Clone() *Set {
 	return &Set{words: append([]uint64(nil), s.words...)}
 }
 
+// CopyFrom overwrites s with src's contents. The two sets must have the
+// same capacity; this is the allocation-free alternative to Clone the
+// search's element pool relies on.
+func (s *Set) CopyFrom(src *Set) {
+	copy(s.words, src.words)
+}
+
+// Clear empties the set in place.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// AppendWords appends the set's raw words to dst and returns the extended
+// slice. When mask is non-nil, the bits of mask are cleared from each word
+// first. This is the word-packed counterpart of Key/KeyMasked: two sets of
+// the same capacity append equal word sequences exactly when their
+// (masked) contents are equal.
+func (s *Set) AppendWords(dst []uint64, mask *Set) []uint64 {
+	if mask == nil {
+		return append(dst, s.words...)
+	}
+	for i, w := range s.words {
+		if i < len(mask.words) {
+			w &^= mask.words[i]
+		}
+		dst = append(dst, w)
+	}
+	return dst
+}
+
 // Key returns a map key uniquely identifying the set's contents among sets
 // of the same capacity. The underlying bytes are copied into the string.
 func (s *Set) Key() string {
@@ -108,23 +140,48 @@ func (s *Set) SmallestAbsent(capacity int) int {
 }
 
 // ForEachAbsent calls fn for every value in [1, capacity] not in the set,
-// in ascending order. fn returning false stops the iteration.
+// in ascending order. fn returning false stops the iteration. Runs of
+// present values are skipped word-wise (TrailingZeros64 over the inverted
+// word), so dense sets — the common case late in a search — cost
+// O(words + absences) rather than O(capacity).
 func (s *Set) ForEachAbsent(capacity int, fn func(v int) bool) {
-	for v := 1; v <= capacity; v++ {
-		if !s.Has(v) {
+	for wi, w := range s.words {
+		inv := ^w
+		if wi == 0 {
+			inv &^= 1 // value 0 is not a member of the domain
+		}
+		base := wi << 6
+		for inv != 0 {
+			v := base + bits.TrailingZeros64(inv)
+			if v > capacity {
+				return
+			}
 			if !fn(v) {
 				return
 			}
+			inv &= inv - 1 // clear the lowest set bit
 		}
 	}
 }
 
 // AppendAbsent appends every value in [1, capacity] not in the set to dst
-// in ascending order and returns the extended slice.
+// in ascending order and returns the extended slice. Like ForEachAbsent it
+// skips present runs word-wise.
 func (s *Set) AppendAbsent(capacity int, dst []int) []int {
-	s.ForEachAbsent(capacity, func(v int) bool {
-		dst = append(dst, v)
-		return true
-	})
+	for wi, w := range s.words {
+		inv := ^w
+		if wi == 0 {
+			inv &^= 1
+		}
+		base := wi << 6
+		for inv != 0 {
+			v := base + bits.TrailingZeros64(inv)
+			if v > capacity {
+				return dst
+			}
+			dst = append(dst, v)
+			inv &= inv - 1
+		}
+	}
 	return dst
 }

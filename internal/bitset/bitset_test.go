@@ -215,6 +215,156 @@ func TestKeyMaskedAndIntersectCount(t *testing.T) {
 	}
 }
 
+// TestForEachAbsentWordBoundaries pins the word-wise iteration (and its
+// AppendAbsent twin) at the 64-bit seams, where the TrailingZeros64 walk
+// switches words: capacities and members at 63, 64, 65 and 128.
+func TestForEachAbsentWordBoundaries(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		members  []int
+	}{
+		{"cap63-empty", 63, nil},
+		{"cap63-edges", 63, []int{1, 63}},
+		{"cap64-boundary", 64, []int{63, 64}},
+		{"cap64-full", 64, nil}, // filled below
+		{"cap65-straddle", 65, []int{64, 65}},
+		{"cap65-second-word-only", 65, []int{65}},
+		{"cap128-word-ends", 128, []int{1, 63, 64, 65, 127, 128}},
+		{"cap128-dense", 128, nil}, // filled below
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(tc.capacity)
+			members := tc.members
+			switch tc.name {
+			case "cap64-full":
+				for v := 1; v <= 64; v++ {
+					members = append(members, v)
+				}
+			case "cap128-dense":
+				for v := 1; v <= 128; v++ {
+					if v != 64 && v != 65 {
+						members = append(members, v)
+					}
+				}
+			}
+			inSet := map[int]bool{}
+			for _, v := range members {
+				s.Add(v)
+				inSet[v] = true
+			}
+			var want []int
+			for v := 1; v <= tc.capacity; v++ {
+				if !inSet[v] {
+					want = append(want, v)
+				}
+			}
+			var got []int
+			s.ForEachAbsent(tc.capacity, func(v int) bool {
+				got = append(got, v)
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("ForEachAbsent = %v; want %v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("ForEachAbsent = %v; want %v", got, want)
+				}
+			}
+			app := s.AppendAbsent(tc.capacity, nil)
+			if len(app) != len(want) {
+				t.Fatalf("AppendAbsent = %v; want %v", app, want)
+			}
+			for i := range app {
+				if app[i] != want[i] {
+					t.Fatalf("AppendAbsent = %v; want %v", app, want)
+				}
+			}
+			wantSmallest := 0
+			if len(want) > 0 {
+				wantSmallest = want[0]
+			}
+			if got := s.SmallestAbsent(tc.capacity); got != wantSmallest {
+				t.Errorf("SmallestAbsent = %d; want %d", got, wantSmallest)
+			}
+		})
+	}
+}
+
+// TestForEachAbsentEarlyStopAcrossWords stops the iteration mid-way in the
+// second word, proving the early-out fires inside the inner bit loop after
+// a word transition.
+func TestForEachAbsentEarlyStopAcrossWords(t *testing.T) {
+	s := New(128)
+	// Absences: 62, 63, 64 (word 0) then 66, 67, ... (word 1).
+	for v := 1; v <= 128; v++ {
+		if v != 62 && v != 63 && v != 64 && v < 66 {
+			s.Add(v)
+		}
+	}
+	var got []int
+	s.ForEachAbsent(128, func(v int) bool {
+		got = append(got, v)
+		return len(got) < 5
+	})
+	want := []int{62, 63, 64, 66, 67}
+	if len(got) != len(want) {
+		t.Fatalf("early-stopped ForEachAbsent = %v; want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("early-stopped ForEachAbsent = %v; want %v", got, want)
+		}
+	}
+}
+
+// TestAppendWordsMatchesKeys ties the word-level key primitives to the
+// legacy string keys: equal AppendWords output iff equal Key/KeyMasked.
+func TestAppendWordsMatchesKeys(t *testing.T) {
+	s := New(130)
+	for _, v := range []int{1, 64, 65, 100, 129} {
+		s.Add(v)
+	}
+	mask := New(130)
+	mask.Add(100)
+
+	words := s.AppendWords(nil, nil)
+	if len(words) != (130+64)/64 {
+		t.Fatalf("AppendWords length = %d; want %d", len(words), (130+64)/64)
+	}
+	c := s.Clone()
+	cw := c.AppendWords(nil, nil)
+	for i := range words {
+		if words[i] != cw[i] {
+			t.Fatal("AppendWords differs between a set and its clone")
+		}
+	}
+	masked := s.AppendWords(nil, mask)
+	diff := s.Clone()
+	diff.Remove(100)
+	dw := diff.AppendWords(nil, nil)
+	for i := range masked {
+		if masked[i] != dw[i] {
+			t.Fatal("masked AppendWords differs from words of the difference set")
+		}
+	}
+
+	var other Set
+	other.CopyFrom(s) // zero-word destination: no-op by contract shape
+	dst := New(130)
+	dst.Add(7) // stale content must be overwritten
+	dst.CopyFrom(s)
+	if dst.Has(7) || !dst.Has(129) || dst.Len() != s.Len() {
+		t.Error("CopyFrom did not reproduce the source set")
+	}
+	dst.Clear()
+	if dst.Len() != 0 || dst.SmallestAbsent(130) != 1 {
+		t.Error("Clear left members behind")
+	}
+}
+
 func TestKeyZeroCapacity(t *testing.T) {
 	s := New(0)
 	if s.Key() != "" && len(s.Key()) == 0 {

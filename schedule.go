@@ -26,6 +26,17 @@ type Stats struct {
 	Duration time.Duration
 	// TimedOut reports whether an IP solve hit its time limit.
 	TimedOut bool
+	// ElemAllocated / ElemReused report the search's element-pool
+	// behaviour (graph searches only): elements freshly allocated vs
+	// served from a free list. Reuse dominating allocation by orders of
+	// magnitude is the expected shape on dismissal-heavy searches.
+	ElemAllocated int64
+	ElemReused    int64
+	// KeyTableEntries is the number of distinct dismissal keys the
+	// search recorded; KeyTableLoad the final occupancy of its
+	// open-addressing table in [0,1].
+	KeyTableEntries int
+	KeyTableLoad    float64
 }
 
 // Placement is one process pinned to one core.

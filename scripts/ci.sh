@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# ci.sh — the full local gate: formatting, build, vet, tests, and a race
+# pass over the concurrent search paths (worker pool + parallel solver).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+    echo "ci: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/astar/ -run 'Parallel|Worker'
+
+echo "ci: all green" >&2
