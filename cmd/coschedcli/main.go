@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"cosched"
+	"cosched/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +38,9 @@ func main() {
 		ipConfig    = flag.String("ipconfig", "", "IP branch-and-bound preset name")
 		timeLimit   = flag.Duration("timelimit", 0, "IP time limit (e.g. 30s)")
 		verbose     = flag.Bool("verbose", false, "also print solver allocation statistics (element pool, dismissal table)")
+		traceFile   = flag.String("trace", "", "write the solver's JSONL event trace to this file")
+		progress    = flag.Bool("progress", false, "print rate-limited progress lines during long solves")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/vars (solver metrics) and /debug/pprof on this address, e.g. localhost:6060")
 		simulate    = flag.Bool("simulate", false, "execute the schedule and print wall-clock outcomes")
 		dotFile     = flag.String("dot", "", "write the co-scheduling graph (with the schedule highlighted) as Graphviz DOT to this file")
 		list        = flag.Bool("list", false, "list the benchmark catalogue and exit")
@@ -91,6 +95,23 @@ func main() {
 		IPConfig:   *ipConfig,
 		TimeLimit:  *timeLimit,
 	}
+	if *debugAddr != "" {
+		opts.Metrics = telemetry.Default
+		telemetry.PublishExpvar("cosched", telemetry.Default)
+		addr, closeDebug, err := telemetry.ServeDebug(*debugAddr, telemetry.Default)
+		check(err)
+		defer closeDebug() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		check(err)
+		defer f.Close() //nolint:errcheck
+		opts.EventTraceWriter = f
+	}
+	if *progress {
+		opts.ProgressWriter = os.Stderr
+	}
 	start := time.Now()
 	sched, err := cosched.Solve(inst, opts)
 	check(err)
@@ -106,13 +127,25 @@ func main() {
 		fmt.Printf(", branch-and-bound nodes: %d", sched.Stats.BBNodes)
 	}
 	fmt.Println()
-	if *verbose && sched.Stats.ElemAllocated+sched.Stats.ElemReused > 0 {
+	if *verbose {
 		st := sched.Stats
-		reusePct := 100 * float64(st.ElemReused) / float64(st.ElemAllocated+st.ElemReused)
-		fmt.Printf("allocation stats: %d elements allocated, %d reused (%.1f%% pool hit rate)\n",
-			st.ElemAllocated, st.ElemReused, reusePct)
-		fmt.Printf("dismissal table: %d distinct keys, %.1f%% slot occupancy\n",
-			st.KeyTableEntries, 100*st.KeyTableLoad)
+		if st.Generated > 0 {
+			fmt.Printf("search breakdown: %d generated = %d expanded + %d superseded + %d beam-trimmed + %d left in frontier\n",
+				st.Generated, st.Expanded, st.Dismissed, st.BeamTrimmed, st.InFrontier)
+			fmt.Printf("dismissed before admission: %d worse-key, %d pruned, %d condensed away; peak frontier %d\n",
+				st.DismissedWorse, st.Pruned, st.Condensed, st.MaxQueue)
+		}
+		if st.BBNodes > 0 {
+			fmt.Printf("branch-and-bound: %d LP pivots, %d incumbent improvements\n",
+				st.LPIters, st.BoundImprovements)
+		}
+		if st.ElemAllocated+st.ElemReused > 0 {
+			reusePct := 100 * float64(st.ElemReused) / float64(st.ElemAllocated+st.ElemReused)
+			fmt.Printf("allocation stats: %d elements allocated, %d reused (%.1f%% pool hit rate)\n",
+				st.ElemAllocated, st.ElemReused, reusePct)
+			fmt.Printf("dismissal table: %d distinct keys, %.1f%% slot occupancy\n",
+				st.KeyTableEntries, 100*st.KeyTableLoad)
+		}
 	}
 
 	if *dotFile != "" {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"cosched/internal/experiments"
+	"cosched/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +28,22 @@ func main() {
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		jsonFlag = flag.Bool("json", false, "emit reports as JSON instead of text tables")
 		outDir   = flag.String("out", "", "also write each report to <out>/<id>.txt (and .json)")
+		debug    = flag.String("debug-addr", "", "serve /debug/vars (solver metrics) and /debug/pprof on this address while experiments run")
 	)
 	flag.Parse()
+
+	runOpts := experiments.RunOptions{Quick: *quick, Seed: *seed}
+	if *debug != "" {
+		runOpts.Metrics = telemetry.Default
+		telemetry.PublishExpvar("cosched", telemetry.Default)
+		addr, closeDebug, err := telemetry.ServeDebug(*debug, telemetry.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer closeDebug() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -41,7 +56,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.RunOptions{Quick: *quick, Seed: *seed}
+	opts := runOpts
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

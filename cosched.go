@@ -37,6 +37,7 @@ import (
 	"cosched/internal/ip"
 	"cosched/internal/osvp"
 	"cosched/internal/pg"
+	"cosched/internal/telemetry"
 )
 
 // Method selects the co-scheduling algorithm.
@@ -139,6 +140,22 @@ type Options struct {
 	// TraceWriter, when non-nil, receives a text trace of the graph
 	// search (sampled expansions plus the final solution).
 	TraceWriter io.Writer
+	// EventTraceWriter, when non-nil, receives the machine-readable JSONL
+	// event stream of the graph search (telemetry.Event per line:
+	// solve_start, expansions, dismissals with reason, progress spans,
+	// solution; see DESIGN.md §6). Takes precedence over TraceWriter when
+	// both are set.
+	EventTraceWriter io.Writer
+	// Metrics, when non-nil, receives live solver telemetry: the method's
+	// counter/gauge family ("astar.*", "ip.*", "osvp.*", "pg.*") as
+	// catalogued in DESIGN.md §6. Pass telemetry.Default to feed the
+	// registry the CLIs publish over expvar.
+	Metrics *telemetry.Registry
+	// ProgressWriter, when non-nil, receives rate-limited human-readable
+	// progress lines (pops, pops/sec, frontier size, ETA) during long
+	// graph searches. ProgressEvery sets the line interval (0 = 2s).
+	ProgressWriter io.Writer
+	ProgressEvery  time.Duration
 }
 
 // Solve schedules the instance's batch and returns the schedule.
@@ -153,7 +170,7 @@ func Solve(inst *Instance, opts Options) (*Schedule, error) {
 	case MethodIP:
 		return solveIP(inst, cost, opts)
 	case MethodPG:
-		res := pg.Solve(cost)
+		res := pg.SolveObserved(cost, opts.Metrics)
 		return newSchedule(inst, cost, res.Groups, res.Cost, Stats{}), nil
 	case MethodBruteForce:
 		res, err := bruteforce.Solve(cost)
@@ -173,9 +190,16 @@ func solveGraph(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule
 		Condense:      !opts.DisableCondensation,
 		ExactParallel: opts.ExactParallel,
 		MaxExpansions: opts.MaxExpansions,
+		Metrics:       opts.Metrics,
 	}
 	if opts.TraceWriter != nil {
 		aopts.Tracer = &astar.WriterTracer{W: opts.TraceWriter, Every: 100}
+	}
+	if opts.EventTraceWriter != nil {
+		aopts.Tracer = astar.NewJSONLTracer(opts.EventTraceWriter)
+	}
+	if opts.ProgressWriter != nil {
+		aopts.Progress = &telemetry.ProgressReporter{W: opts.ProgressWriter, Every: opts.ProgressEvery}
 	}
 	switch opts.HStrategy {
 	case 1:
@@ -193,8 +217,12 @@ func solveGraph(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule
 	}
 	switch opts.Method {
 	case MethodOSVP:
-		aopts = astar.Options{H: astar.HNone, MaxExpansions: opts.MaxExpansions}
-		res, err := osvp.SolveWithLimit(g, opts.MaxExpansions)
+		res, err := osvp.SolveOpts(g, osvp.Options{
+			MaxExpansions: opts.MaxExpansions,
+			Metrics:       opts.Metrics,
+			Tracer:        aopts.Tracer,
+			Progress:      aopts.Progress,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -244,20 +272,35 @@ func solveIP(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule, e
 		}
 	}
 	cfg.TimeLimit = opts.TimeLimit
+	cfg.Metrics = opts.Metrics
 	res, err := ip.Solve(model, cfg)
 	if err != nil {
 		return nil, err
 	}
-	st := Stats{BBNodes: res.Stats.Nodes, Duration: res.Stats.Duration, TimedOut: res.Stats.TimedOut}
+	st := Stats{
+		BBNodes:           res.Stats.Nodes,
+		LPIters:           res.Stats.LPIters,
+		BoundImprovements: res.Stats.BoundImprovements,
+		Duration:          res.Stats.Duration,
+		TimedOut:          res.Stats.TimedOut,
+	}
 	return newSchedule(inst, cost, res.Groups, res.Cost, st), nil
 }
 
 func searchStats(r *astar.Result) Stats {
 	return Stats{
 		VisitedPaths:    r.Stats.VisitedPaths,
+		Expanded:        r.Stats.Expanded,
 		Generated:       r.Stats.Generated,
+		Dismissed:       r.Stats.Dismissed,
+		DismissedWorse:  r.Stats.DismissedWorse,
 		Condensed:       r.Stats.Condensed,
+		Pruned:          r.Stats.Pruned,
+		BeamTrimmed:     r.Stats.BeamTrimmed,
+		InFrontier:      r.Stats.InFrontier,
+		MaxQueue:        r.Stats.MaxQueue,
 		Duration:        r.Stats.Duration,
+		PrepareDuration: r.Stats.PrepareDuration,
 		ElemAllocated:   r.Stats.ElemAllocated,
 		ElemReused:      r.Stats.ElemReused,
 		KeyTableEntries: r.Stats.KeyTableEntries,

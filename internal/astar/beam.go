@@ -26,6 +26,21 @@ import (
 func (s *Solver) solveBeam() (*Result, error) {
 	start := time.Now()
 	var stats Stats
+	var frontier []*element
+	qMax := 0
+	hooks := newTracerHooks(s.opts.Tracer)
+	met := newSolverMetrics(s.opts.Metrics)
+	prog := s.progressReporter(&hooks)
+	met.begin(s)
+	stats.PrepareDuration = s.prepDur
+	s.prepDur = 0
+	if hooks.start != nil {
+		hooks.start.SolveStart(s.n, s.u, s.searchMethod())
+	}
+	defer func() {
+		met.flush(&stats, len(frontier), qMax/s.u, s.table, time.Since(start))
+		met.finish(&stats)
+	}()
 	hw := s.opts.HWeight
 	if hw < 1 {
 		hw = 1
@@ -34,14 +49,23 @@ func (s *Solver) solveBeam() (*Result, error) {
 	s.table = newGTable(s.keyStride)
 	root := s.rootElement()
 
-	frontier := []*element{root}
+	frontier = []*element{root}
 	depths := s.n / s.u
 	for d := 0; d < depths; d++ {
 		t := s.table
 		t.reset()
 		for _, e := range frontier {
 			stats.VisitedPaths++
+			if e.q > 0 {
+				stats.Expanded++
+				if e.q > qMax {
+					qMax = e.q
+				}
+			}
 			leader := e.set.SmallestAbsent(s.n)
+			if hooks.base != nil {
+				hooks.base.Expand(stats.VisitedPaths, e.q/s.u, e.g, e.h, job.ProcID(leader))
+			}
 			if leader == 0 {
 				continue
 			}
@@ -50,6 +74,10 @@ func (s *Solver) solveBeam() (*Result, error) {
 				child := s.makeChildIn(s.pool, e, node)
 				ref := t.find(child.keyWords)
 				if ref >= 0 && t.gs[ref] <= child.g {
+					stats.DismissedWorse++
+					if hooks.dismiss != nil {
+						hooks.dismiss.Dismiss(stats.VisitedPaths, child.q, child.g, DismissWorse)
+					}
 					s.recycle(child)
 					return
 				}
@@ -57,6 +85,10 @@ func (s *Solver) solveBeam() (*Result, error) {
 				if ref >= 0 {
 					// The superseded same-key child was generated this
 					// depth and never expanded; recycle it.
+					stats.Dismissed++
+					if hooks.dismiss != nil {
+						hooks.dismiss.Dismiss(stats.VisitedPaths, t.elems[ref].q, t.gs[ref], DismissStale)
+					}
 					s.recycle(t.elems[ref])
 					t.gs[ref] = child.g
 					t.elems[ref] = child
@@ -80,6 +112,10 @@ func (s *Solver) solveBeam() (*Result, error) {
 		})
 		if len(next) > s.opts.BeamWidth {
 			for _, e := range next[s.opts.BeamWidth:] {
+				stats.BeamTrimmed++
+				if hooks.dismiss != nil {
+					hooks.dismiss.Dismiss(stats.VisitedPaths, e.q, e.g, DismissBeamTrim)
+				}
 				s.recycle(e) // trimmed before expansion: no descendants
 			}
 			next = next[:s.opts.BeamWidth]
@@ -88,6 +124,8 @@ func (s *Solver) solveBeam() (*Result, error) {
 			stats.MaxQueue = len(next)
 		}
 		frontier = next
+		s.maybeProgress(prog, &hooks, &stats, len(frontier), (d+1)*s.u, start)
+		met.flush(&stats, len(frontier), d+1, s.table, time.Since(start))
 	}
 
 	best := frontier[0]
@@ -96,7 +134,12 @@ func (s *Solver) solveBeam() (*Result, error) {
 			best = e
 		}
 	}
+	stats.InFrontier = int64(len(frontier))
 	stats.Duration = time.Since(start)
 	s.fillAllocStats(&stats)
-	return &Result{Groups: reconstruct(best), Cost: best.g, Stats: stats}, nil
+	groups := reconstruct(best)
+	if hooks.base != nil {
+		hooks.base.Solution(best.g, groups)
+	}
+	return &Result{Groups: groups, Cost: best.g, Stats: stats}, nil
 }

@@ -1,20 +1,3 @@
-// Package astar implements the paper's primary contribution: the Optimal
-// A*-search (OA*) and Heuristic A*-search (HA*) algorithms over the
-// co-scheduling graph (§III, §IV).
-//
-// The search extends textbook A* in the two ways §III-C describes:
-//
-//  1. Valid paths. The priority list holds *process sets* (sub-paths keyed
-//     by the set of processes they contain), and a sub-path is dismissed
-//     only when a recorded sub-path over exactly the same process set has
-//     a shorter distance (Theorem 1). Plain per-node dismissal would lose
-//     optimal valid paths.
-//  2. Parallel-aware distances. The distance of a sub-path follows Eq. 13:
-//     serial degradations add up, while each parallel job contributes the
-//     running maximum over its scheduled processes.
-//
-// HA* is OA* with each level's candidate nodes capped to the first
-// MER = n/u valid nodes in ascending weight order (§IV).
 package astar
 
 import (
@@ -22,6 +5,7 @@ import (
 	"time"
 
 	"cosched/internal/job"
+	"cosched/internal/telemetry"
 )
 
 // HStrategy selects the h(v) estimator (§III-D).
@@ -115,9 +99,26 @@ type Options struct {
 	// MaxExpansions it also bounds searches whose per-expansion work is
 	// huge (wide levels).
 	TimeLimit time.Duration
-	// Tracer, when non-nil, receives search events (expansions and the
-	// final solution); see WriterTracer for a text renderer.
+	// Tracer, when non-nil, receives search events: Expand for every pop
+	// and Solution once at the end. Tracers additionally implementing the
+	// optional DismissTracer, ProgressTracer or StartTracer extensions
+	// (trace.go) also receive dismissal, progress and solve-start events.
+	// See WriterTracer for a text renderer and JSONLTracer for the
+	// machine-readable JSONL stream. The zero-overhead default is nil.
 	Tracer Tracer
+	// Metrics, when non-nil, receives live solver telemetry: the
+	// "astar.*" counters and gauges catalogued in DESIGN.md §6 (pops,
+	// expansions, dismissals by reason, condensations, beam trims,
+	// frontier size, key-table load, pops/sec). Handles are resolved once
+	// per solve and the hot loop flushes deltas every few thousand pops,
+	// so a nil registry leaves the allocation-free child path untouched
+	// and a non-nil one adds only periodic atomic writes.
+	Metrics *telemetry.Registry
+	// Progress, when non-nil, receives rate-limited human-readable
+	// progress lines for long searches: pops, pops/sec, frontier size,
+	// path depth and a depth-extrapolated ETA. The solver polls it every
+	// 256 pops; the reporter's Every field controls line frequency.
+	Progress *telemetry.ProgressReporter
 	// Workers parallelises child evaluation within each expansion (the
 	// paper's §VII future-work direction). Values above 1 spread the
 	// degradation-oracle queries of one expansion across goroutines;
@@ -127,21 +128,55 @@ type Options struct {
 	Workers int
 }
 
-// Stats reports the work a search performed.
+// Stats reports the work a search performed. All counters are populated
+// by every search mode (OA*, HA*, beam) unless noted; they reconcile by
+// the admission invariant
+//
+//	Generated == Expanded + Dismissed + BeamTrimmed + InFrontier
+//
+// — every admitted sub-path is eventually expanded, superseded, trimmed
+// by the beam, or still awaiting expansion when the solve returns (the
+// invariant test in telemetry_test.go pins this across modes).
 type Stats struct {
 	// VisitedPaths counts popped (expanded) priority-list elements, the
-	// paper's Table IV metric.
+	// paper's Table IV metric. It includes the root element, so it
+	// exceeds Expanded by exactly one on a completed solve.
 	VisitedPaths int64
-	// Generated counts child sub-paths pushed into the priority list.
+	// Expanded counts admitted (non-root) elements that were popped and
+	// processed, including the goal pop that ends an OA*/HA* solve.
+	Expanded int64
+	// Generated counts child sub-paths admitted into the priority list
+	// (or, for the beam search, into a depth's survivor table). Children
+	// dismissed before admission appear in DismissedWorse/Pruned instead.
 	Generated int64
+	// Dismissed counts admitted sub-paths later superseded by a cheaper
+	// same-key sub-path: stale priority-list pops, and beam-depth
+	// survivors replaced within their depth.
+	Dismissed int64
+	// DismissedWorse counts children dismissed *before* admission because
+	// the best-g table already held a same-key sub-path at least as cheap
+	// (the Theorem 1 dismissal, by far the most common child fate).
+	DismissedWorse int64
 	// Condensed counts candidate nodes skipped by condensation.
 	Condensed int64
-	// Pruned counts children discarded against the incumbent bound.
+	// Pruned counts children discarded against the incumbent bound
+	// (OA*/HA* with UseIncumbent only; zero otherwise).
 	Pruned int64
-	// MaxQueue is the high-water mark of the priority list.
+	// BeamTrimmed counts admitted sub-paths dropped by the beam's
+	// per-depth width cap (beam search only; zero otherwise).
+	BeamTrimmed int64
+	// InFrontier is the number of admitted sub-paths still awaiting
+	// expansion when the solve returned: the final priority-list length,
+	// or the beam's last frontier.
+	InFrontier int64
+	// MaxQueue is the high-water mark of the priority list (elements),
+	// or of the beam frontier after trimming.
 	MaxQueue int
-	// Duration is the wall-clock solving time.
-	Duration time.Duration
+	// Duration is the wall-clock solving time. PrepareDuration is the
+	// one-off heuristic-table precomputation inside NewSolver, reported
+	// by the solver's first Solve call only.
+	Duration        time.Duration
+	PrepareDuration time.Duration
 	// ElemAllocated counts search elements newly allocated by the pools;
 	// ElemReused counts elements served from a free list instead. Their
 	// ratio is the headline of the pooled hot path: on large searches
@@ -161,8 +196,11 @@ type Result struct {
 	// order (ascending leaders).
 	Groups [][]job.ProcID
 	// Cost is the Eq. 13 objective of the schedule under the search's
-	// cost model.
+	// cost model, in degradation units (a dimensionless slowdown sum).
 	Cost float64
-	// Stats describes the search effort.
+	// Stats describes the search effort. It is populated on every
+	// successful Solve; searches aborted by MaxExpansions or TimeLimit
+	// return an error and no Result (their partial counters still reach
+	// Options.Metrics, which flushes periodically during the solve).
 	Stats Stats
 }

@@ -90,6 +90,10 @@ type Solver struct {
 	anchSeen   *wordSet
 	anchKeyBuf []uint64
 
+	// prepDur is the NewSolver heuristic-precomputation time, consumed
+	// (reported and zeroed) by the first Solve call's telemetry.
+	prepDur time.Duration
+
 	nodeCostState
 }
 
@@ -198,9 +202,11 @@ func NewSolver(g *graph.Graph, opts Options) (*Solver, error) {
 			s.procPar[int(p)-1] = idx
 		}
 	}
+	prepStart := time.Now()
 	if err := s.prepare(); err != nil {
 		return nil, err
 	}
+	s.prepDur = time.Since(prepStart)
 	return s, nil
 }
 
@@ -378,6 +384,23 @@ func (s *Solver) Solve() (*Result, error) {
 	}
 	start := time.Now()
 	var stats Stats
+	var pq pqueue
+	qMax := 0
+	hooks := newTracerHooks(s.opts.Tracer)
+	met := newSolverMetrics(s.opts.Metrics)
+	prog := s.progressReporter(&hooks)
+	met.begin(s)
+	stats.PrepareDuration = s.prepDur
+	s.prepDur = 0
+	if hooks.start != nil {
+		hooks.start.SolveStart(s.n, s.u, s.searchMethod())
+	}
+	// The deferred flush publishes final (or, on aborted solves, partial)
+	// counters whatever the return path.
+	defer func() {
+		met.flush(&stats, len(pq), qMax/s.u, s.table, time.Since(start))
+		met.finish(&stats)
+	}()
 	ub := math.Inf(1)
 	var greedyGroups [][]job.ProcID
 	if s.opts.UseIncumbent {
@@ -404,7 +427,6 @@ func (s *Solver) Solve() (*Result, error) {
 		hw = 1
 	}
 	root.keyRef = s.table.insert(root.keyWords, 0, nil)
-	var pq pqueue
 	var seq int64
 	pq.push(heapEntry{f: 0, g: 0, seq: seq, e: root})
 	seq++
@@ -419,12 +441,28 @@ func (s *Solver) Solve() (*Result, error) {
 			// Stale entry superseded by a shorter same-set sub-path. It
 			// was never expanded, so nothing references it and it can be
 			// recycled — unless it is the incumbent complete schedule.
+			stats.Dismissed++
+			if hooks.dismiss != nil {
+				hooks.dismiss.Dismiss(stats.VisitedPaths, e.q, e.g, DismissStale)
+			}
 			if e != bestComplete {
 				s.recycle(e)
 			}
 			continue
 		}
 		stats.VisitedPaths++
+		if e.q > 0 {
+			stats.Expanded++
+			if e.q > qMax {
+				qMax = e.q
+			}
+		}
+		if stats.VisitedPaths&255 == 0 {
+			s.maybeProgress(prog, &hooks, &stats, len(pq), qMax, start)
+			if stats.VisitedPaths&(flushEvery-1) == 0 {
+				met.flush(&stats, len(pq), qMax/s.u, s.table, time.Since(start))
+			}
+		}
 		if s.opts.MaxExpansions > 0 && stats.VisitedPaths > s.opts.MaxExpansions {
 			return nil, fmt.Errorf("astar: expansion limit %d exceeded", s.opts.MaxExpansions)
 		}
@@ -432,18 +470,19 @@ func (s *Solver) Solve() (*Result, error) {
 			return nil, fmt.Errorf("astar: time limit %v exceeded", s.opts.TimeLimit)
 		}
 		leader := e.set.SmallestAbsent(s.n)
-		if s.opts.Tracer != nil {
-			s.opts.Tracer.Expand(stats.VisitedPaths, e.q/s.u, e.g, e.h, job.ProcID(leader))
+		if hooks.base != nil {
+			hooks.base.Expand(stats.VisitedPaths, e.q/s.u, e.g, e.h, job.ProcID(leader))
 		}
 		if leader == 0 {
 			if bestComplete != nil && bestComplete.g < e.g {
 				e = bestComplete
 			}
+			stats.InFrontier = int64(len(pq))
 			stats.Duration = time.Since(start)
 			s.fillAllocStats(&stats)
 			groups := reconstruct(e)
-			if s.opts.Tracer != nil {
-				s.opts.Tracer.Solution(e.g, groups)
+			if hooks.base != nil {
+				hooks.base.Solution(e.g, groups)
 			}
 			return &Result{Groups: groups, Cost: e.g, Stats: stats}, nil
 		}
@@ -452,12 +491,19 @@ func (s *Solver) Solve() (*Result, error) {
 		admit := func(child *element) {
 			ref := s.table.find(child.keyWords)
 			if ref >= 0 && s.table.gs[ref] <= child.g {
+				stats.DismissedWorse++
+				if hooks.dismiss != nil {
+					hooks.dismiss.Dismiss(stats.VisitedPaths, child.q, child.g, DismissWorse)
+				}
 				s.recycle(child)
 				return
 			}
 			f := child.g + hw*child.h
 			if pruneExact && f > ub {
 				stats.Pruned++
+				if hooks.dismiss != nil {
+					hooks.dismiss.Dismiss(stats.VisitedPaths, child.q, child.g, DismissPruned)
+				}
 				s.recycle(child)
 				return
 			}
@@ -465,6 +511,9 @@ func (s *Solver) Solve() (*Result, error) {
 			// prunable too: a path with f == ub cannot beat it.
 			if pruneExact && f >= ub-1e-12 && (bestComplete != nil || greedyGroups != nil) && child.q < s.n {
 				stats.Pruned++
+				if hooks.dismiss != nil {
+					hooks.dismiss.Dismiss(stats.VisitedPaths, child.q, child.g, DismissPruned)
+				}
 				s.recycle(child)
 				return
 			}
@@ -492,6 +541,10 @@ func (s *Solver) Solve() (*Result, error) {
 			s.forEachCandidate(e, job.ProcID(leader), avail, &stats, func(node []job.ProcID) {
 				child := s.makeChildIn(s.pool, e, node)
 				if ref := s.table.find(child.keyWords); ref >= 0 && s.table.gs[ref] <= child.g {
+					stats.DismissedWorse++
+					if hooks.dismiss != nil {
+						hooks.dismiss.Dismiss(stats.VisitedPaths, child.q, child.g, DismissWorse)
+					}
 					s.recycle(child)
 					return // dismissed before spending h work
 				}

@@ -1,0 +1,264 @@
+package astar
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cosched/internal/job"
+	"cosched/internal/telemetry"
+)
+
+// This file is the solver side of the telemetry layer (see
+// internal/telemetry and DESIGN.md §6): the JSONL event tracer, the
+// registry flush, and the progress/ETA reports. Nothing here runs per
+// generated child — per-child accounting stays in the stack-local Stats
+// struct and is folded into the registry every flushEvery pops, which is
+// what preserves the 0-alloc dismissed-child guarantee of
+// bench_hotpath_test.go when telemetry is enabled.
+
+// flushEvery is the pop interval between registry flushes (and progress
+// polls, at a finer 256-pop cadence). Chosen so that even million-pop
+// searches pay a few hundred atomic writes total.
+const flushEvery = 4096
+
+// JSONLTracer renders the full search event stream as JSON Lines
+// (telemetry.Event, one per line): solve_start, sampled expansions,
+// dismissals with reason, progress spans and the final solution. It
+// implements Tracer plus all three optional extensions.
+type JSONLTracer struct {
+	ew *telemetry.EventWriter
+	// Every samples expand events: only each Every-th expansion is
+	// emitted (0 or 1 means all). Dismiss events follow DismissEvery the
+	// same way. solve_start, progress and solution events are always
+	// emitted.
+	Every        int64
+	DismissEvery int64
+	u            int
+}
+
+// NewJSONLTracer returns a tracer writing JSONL events to w. The stream
+// is buffered; Solution flushes it, and Flush forces it at any time.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{ew: telemetry.NewEventWriter(w)}
+}
+
+// SolveStart implements StartTracer.
+func (t *JSONLTracer) SolveStart(n, u int, method string) {
+	t.u = u
+	t.ew.Emit(telemetry.Event{Ev: "solve_start", N: n, U: u, Method: method}) //nolint:errcheck
+}
+
+// Expand implements Tracer.
+func (t *JSONLTracer) Expand(popIndex int64, depth int, g, h float64, leader job.ProcID) {
+	if t.Every > 1 && popIndex%t.Every != 0 {
+		return
+	}
+	t.ew.Emit(telemetry.Event{ //nolint:errcheck
+		Ev: "expand", Pop: popIndex, Depth: depth, Q: depth * t.u,
+		G: g, H: h, Leader: int(leader),
+	})
+}
+
+// Dismiss implements DismissTracer.
+func (t *JSONLTracer) Dismiss(popIndex int64, q int, g float64, reason DismissReason) {
+	if t.DismissEvery > 1 && popIndex%t.DismissEvery != 0 {
+		return
+	}
+	t.ew.Emit(telemetry.Event{Ev: "dismiss", Pop: popIndex, Q: q, G: g, Reason: reason.String()}) //nolint:errcheck
+}
+
+// Progress implements ProgressTracer.
+func (t *JSONLTracer) Progress(popIndex int64, frontier int, popsPerSec, etaSec, elapsedSec float64) {
+	ev := telemetry.Event{
+		Ev: "progress", Pop: popIndex, Frontier: frontier,
+		PopsPerSec: popsPerSec, ElapsedSec: elapsedSec,
+	}
+	if etaSec >= 0 {
+		ev.ETASec = etaSec
+	}
+	t.ew.Emit(ev) //nolint:errcheck
+}
+
+// Solution implements Tracer and flushes the stream.
+func (t *JSONLTracer) Solution(cost float64, groups [][]job.ProcID) {
+	ints := make([][]int, len(groups))
+	for i, g := range groups {
+		ints[i] = make([]int, len(g))
+		for j, p := range g {
+			ints[i][j] = int(p)
+		}
+	}
+	t.ew.Emit(telemetry.Event{Ev: "solution", Cost: cost, Groups: ints}) //nolint:errcheck
+	t.ew.Flush()                                                         //nolint:errcheck
+}
+
+// Flush forces buffered events to the underlying writer (useful when a
+// solve aborts before its solution event).
+func (t *JSONLTracer) Flush() error { return t.ew.Flush() }
+
+// solverMetrics caches the registry handles of the astar.* metric
+// family, resolved once per solve. All methods are nil-receiver-safe, so
+// the solver calls them unconditionally; with a nil Options.Metrics the
+// whole layer reduces to a handful of predictable nil checks.
+type solverMetrics struct {
+	solves, pops, expanded, generated   *telemetry.Counter
+	dismissedWorse, dismissedStale      *telemetry.Counter
+	pruned, condensed, beamTrimmed      *telemetry.Counter
+	elemAllocated, elemReused           *telemetry.Counter
+	prepareNS, solveNS                  *telemetry.Counter
+	frontier, heapMax, ktEntries, depth *telemetry.Gauge
+	ktLoad, popsPerSec                  *telemetry.FloatGauge
+	last                                Stats // state at the previous flush, for delta accumulation
+}
+
+// newSolverMetrics resolves the handle set, or returns nil when
+// telemetry is disabled.
+func newSolverMetrics(r *telemetry.Registry) *solverMetrics {
+	if r == nil {
+		return nil
+	}
+	return &solverMetrics{
+		solves:         r.Counter("astar.solves"),
+		pops:           r.Counter("astar.pops"),
+		expanded:       r.Counter("astar.expanded"),
+		generated:      r.Counter("astar.generated"),
+		dismissedWorse: r.Counter("astar.dismissed.worse"),
+		dismissedStale: r.Counter("astar.dismissed.stale"),
+		pruned:         r.Counter("astar.dismissed.pruned"),
+		condensed:      r.Counter("astar.condensed"),
+		beamTrimmed:    r.Counter("astar.beam.trimmed"),
+		elemAllocated:  r.Counter("astar.pool.allocated"),
+		elemReused:     r.Counter("astar.pool.reused"),
+		prepareNS:      r.Counter("astar.prepare_ns"),
+		solveNS:        r.Counter("astar.solve_ns"),
+		frontier:       r.Gauge("astar.frontier"),
+		heapMax:        r.Gauge("astar.frontier.max"),
+		ktEntries:      r.Gauge("astar.keytable.entries"),
+		depth:          r.Gauge("astar.depth"),
+		ktLoad:         r.FloatGauge("astar.keytable.load"),
+		popsPerSec:     r.FloatGauge("astar.pops_per_sec"),
+	}
+}
+
+// begin records the solve start: the solves counter, the one-off
+// preparation timing (charged to the solver's first solve only) and the
+// pool baseline (pool counters are cumulative per solver, so finish must
+// publish this solve's delta only).
+func (m *solverMetrics) begin(s *Solver) {
+	if m == nil {
+		return
+	}
+	m.solves.Add(1)
+	if s.prepDur > 0 {
+		m.prepareNS.Add(s.prepDur.Nanoseconds())
+	}
+	for _, p := range s.allPools {
+		m.last.ElemAllocated += p.gets - p.reuse
+		m.last.ElemReused += p.reuse
+	}
+}
+
+// flush folds the counter deltas since the previous flush into the
+// registry and refreshes the gauges. frontierLen is the current
+// priority-list (or beam frontier) length; depth the deepest path depth
+// reached, in machines.
+func (m *solverMetrics) flush(st *Stats, frontierLen, depth int, t *gTable, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.pops.Add(st.VisitedPaths - m.last.VisitedPaths)
+	m.expanded.Add(st.Expanded - m.last.Expanded)
+	m.generated.Add(st.Generated - m.last.Generated)
+	m.dismissedWorse.Add(st.DismissedWorse - m.last.DismissedWorse)
+	m.dismissedStale.Add(st.Dismissed - m.last.Dismissed)
+	m.pruned.Add(st.Pruned - m.last.Pruned)
+	m.condensed.Add(st.Condensed - m.last.Condensed)
+	m.beamTrimmed.Add(st.BeamTrimmed - m.last.BeamTrimmed)
+	// Preserve the pool baseline: those fields are only populated at the
+	// end of the solve (fillAllocStats) and belong to finish.
+	ea, er := m.last.ElemAllocated, m.last.ElemReused
+	m.last = *st
+	m.last.ElemAllocated, m.last.ElemReused = ea, er
+	m.frontier.Set(int64(frontierLen))
+	m.heapMax.Set(int64(st.MaxQueue))
+	m.depth.Set(int64(depth))
+	if t != nil {
+		m.ktEntries.Set(int64(t.count))
+		m.ktLoad.Set(t.load())
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		m.popsPerSec.Set(float64(st.VisitedPaths) / s)
+	}
+}
+
+// finish adds the end-of-solve aggregates (pool behaviour, solve time)
+// after fillAllocStats has populated them.
+func (m *solverMetrics) finish(st *Stats) {
+	if m == nil {
+		return
+	}
+	m.elemAllocated.Add(st.ElemAllocated - m.last.ElemAllocated)
+	m.elemReused.Add(st.ElemReused - m.last.ElemReused)
+	m.last.ElemAllocated = st.ElemAllocated
+	m.last.ElemReused = st.ElemReused
+	m.solveNS.Add(st.Duration.Nanoseconds())
+}
+
+// searchMethod names the active search mode for the solve_start event.
+func (s *Solver) searchMethod() string {
+	switch {
+	case s.opts.BeamWidth > 0:
+		return "beam"
+	case s.opts.KPerLevel > 0:
+		return "HA*"
+	default:
+		return "OA*"
+	}
+}
+
+// progressReporter picks the active reporter for this solve:
+// Options.Progress when set, a default-cadence internal one when only the
+// tracer wants progress events, nil when nobody does.
+func (s *Solver) progressReporter(hooks *tracerHooks) *telemetry.ProgressReporter {
+	if s.opts.Progress != nil {
+		return s.opts.Progress
+	}
+	if hooks.progress != nil {
+		return &telemetry.ProgressReporter{}
+	}
+	return nil
+}
+
+// maybeProgress emits a progress report (to the reporter's writer and,
+// when the tracer implements ProgressTracer, into the trace) if one is
+// due. qMax is the deepest scheduled-process count reached; the ETA
+// extrapolates elapsed time linearly over remaining depth, a deliberately
+// coarse estimate that is primarily useful for beam/HA* searches whose
+// work per depth is bounded.
+func (s *Solver) maybeProgress(p *telemetry.ProgressReporter, hooks *tracerHooks, st *Stats, frontierLen, qMax int, start time.Time) {
+	if p == nil {
+		return
+	}
+	now := time.Now()
+	if !p.Due(now) {
+		return
+	}
+	elapsed := now.Sub(start)
+	rate := float64(st.VisitedPaths) / elapsed.Seconds()
+	eta := -1.0
+	if qMax > 0 && qMax < s.n {
+		eta = elapsed.Seconds() * float64(s.n-qMax) / float64(qMax)
+	}
+	if p.W != nil {
+		line := fmt.Sprintf("astar: pop %d depth %d/%d frontier %d %.0f pops/s elapsed %s",
+			st.VisitedPaths, qMax/s.u, s.n/s.u, frontierLen, rate, elapsed.Round(time.Second))
+		if eta >= 0 {
+			line += fmt.Sprintf(" eta ~%s", (time.Duration(eta * float64(time.Second))).Round(time.Second))
+		}
+		fmt.Fprintln(p.W, line) //nolint:errcheck
+	}
+	if hooks.progress != nil {
+		hooks.progress.Progress(st.VisitedPaths, frontierLen, rate, eta, elapsed.Seconds())
+	}
+}

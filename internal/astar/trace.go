@@ -11,11 +11,93 @@ import (
 // Tracer receives search events; attach one through Options.Tracer to
 // watch OA*/HA* work (teaching, debugging h strategies, understanding why
 // a sub-path was dismissed). The zero-overhead default is no tracer.
+//
+// Tracer carries the two events every renderer needs; the optional
+// extension interfaces below (StartTracer, DismissTracer, ProgressTracer)
+// add the rest of the machine-readable stream. The solver type-asserts
+// the extensions once per solve, so implementing only Tracer costs
+// nothing extra.
 type Tracer interface {
 	// Expand is called when an element is popped for expansion.
 	Expand(popIndex int64, depth int, g, h float64, leader job.ProcID)
 	// Solution is called once with the final schedule.
 	Solution(cost float64, groups [][]job.ProcID)
+}
+
+// DismissReason classifies why a sub-path left the search without being
+// expanded; it is the per-reason breakdown behind Stats.DismissedWorse,
+// Stats.Dismissed, Stats.Pruned and Stats.BeamTrimmed.
+type DismissReason uint8
+
+const (
+	// DismissWorse: a same-key sub-path at least as cheap was already
+	// recorded (Theorem 1 dismissal before admission).
+	DismissWorse DismissReason = iota
+	// DismissStale: the sub-path was admitted but superseded by a cheaper
+	// same-key one before its expansion (stale pop / beam supersede).
+	DismissStale
+	// DismissPruned: the sub-path's f exceeded the incumbent bound.
+	DismissPruned
+	// DismissBeamTrim: the beam's per-depth width cap dropped it.
+	DismissBeamTrim
+)
+
+// String implements fmt.Stringer with the stable names the JSONL event
+// schema uses.
+func (r DismissReason) String() string {
+	switch r {
+	case DismissWorse:
+		return "worse"
+	case DismissStale:
+		return "stale"
+	case DismissPruned:
+		return "pruned"
+	case DismissBeamTrim:
+		return "beam_trim"
+	default:
+		return fmt.Sprintf("DismissReason(%d)", uint8(r))
+	}
+}
+
+// StartTracer is an optional Tracer extension: SolveStart is called once
+// at the beginning of each solve with the batch geometry and the search
+// mode ("OA*", "HA*" or "beam").
+type StartTracer interface {
+	SolveStart(n, u int, method string)
+}
+
+// DismissTracer is an optional Tracer extension receiving one event per
+// dismissed sub-path: popIndex is the expansion that generated it (the
+// current pop for pre-admission dismissals), q its scheduled-process
+// count and g its Eq. 13 distance.
+type DismissTracer interface {
+	Dismiss(popIndex int64, q int, g float64, reason DismissReason)
+}
+
+// ProgressTracer is an optional Tracer extension mirroring the
+// rate-limited progress reports of Options.Progress into the trace
+// stream (etaSec < 0 means no estimate yet).
+type ProgressTracer interface {
+	Progress(popIndex int64, frontier int, popsPerSec, etaSec, elapsedSec float64)
+}
+
+// tracerHooks caches the per-solve type assertions of the optional
+// tracer extensions, so the hot loop pays one nil check per event kind.
+type tracerHooks struct {
+	base     Tracer
+	start    StartTracer
+	dismiss  DismissTracer
+	progress ProgressTracer
+}
+
+func newTracerHooks(t Tracer) tracerHooks {
+	h := tracerHooks{base: t}
+	if t != nil {
+		h.start, _ = t.(StartTracer)
+		h.dismiss, _ = t.(DismissTracer)
+		h.progress, _ = t.(ProgressTracer)
+	}
+	return h
 }
 
 // WriterTracer renders search events as text lines, one per expansion.

@@ -1,0 +1,17 @@
+// Package cache models the shared last-level cache of a multicore machine
+// and predicts co-run cache misses with the Stack Distance Competition
+// (SDC) model of Chandra et al. [14], exactly the prediction pipeline the
+// paper uses to obtain co-run degradations (§V, Eq. 14-15).
+//
+// The pipeline is:
+//
+//	per-program stack distance profile (SDP)
+//	  --SDC merge-->  effective cache share per co-runner
+//	  --Eq. 15---->   memory stall cycles
+//	  --Eq. 14---->   co-run CPU time
+//	  --Eq. 1----->   degradation
+//
+// The paper obtains SDPs from the gcc-slo compiler suite and single-run
+// counters from perf; this package replaces both with parametric profiles
+// (see internal/workload) while keeping the published equations intact.
+package cache

@@ -159,15 +159,17 @@ func (pt *Pattern) Property(ranksInNode []int) []int {
 	return counts
 }
 
-// Grid1D, Grid2D and Grid3D build patterns for the common decompositions.
+// Grid1D builds the pattern of a 1D (slab) domain decomposition.
 func Grid1D(n int, halo float64) *Pattern {
 	return &Pattern{Dims: []int{n}, HaloBytes: []float64{halo}}
 }
 
+// Grid2D builds the pattern of a 2D (pencil) domain decomposition.
 func Grid2D(nx, ny int, haloX, haloY float64) *Pattern {
 	return &Pattern{Dims: []int{nx, ny}, HaloBytes: []float64{haloX, haloY}}
 }
 
+// Grid3D builds the pattern of a 3D (block) domain decomposition.
 func Grid3D(nx, ny, nz int, haloX, haloY, haloZ float64) *Pattern {
 	return &Pattern{Dims: []int{nx, ny, nz}, HaloBytes: []float64{haloX, haloY, haloZ}}
 }

@@ -17,6 +17,7 @@ import (
 //     degradations (Eq. 9). This is OA*-PC, the full model.
 type Mode int
 
+// The three accounting modes of the paper's evaluation (Figs. 6-7).
 const (
 	ModeSE Mode = iota
 	ModePE

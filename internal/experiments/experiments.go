@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"cosched/internal/telemetry"
 )
 
 // RunOptions scales an experiment run.
@@ -24,7 +26,19 @@ type RunOptions struct {
 	Seed int64
 	// Verbose adds per-iteration detail rows where applicable.
 	Verbose bool
+	// Metrics, when non-nil, receives live solver telemetry (the
+	// "astar.*" and "ip.*" families of DESIGN.md §6) from the searches
+	// and branch-and-bound solves the experiment performs. Intended for
+	// cmd/experiments' -debug-addr endpoint; experiments sharing one
+	// registry accumulate into the same counters.
+	Metrics *telemetry.Registry
 }
+
+// activeMetrics is the registry of the currently running experiment; Run
+// installs it so the solve helpers can attach telemetry without every
+// runner threading it explicitly. Experiments run one at a time per
+// process (cmd/experiments), so a plain package variable suffices.
+var activeMetrics *telemetry.Registry
 
 // Report is the regenerated table/figure.
 type Report struct {
@@ -129,6 +143,8 @@ func Run(id string, opts RunOptions) (*Report, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
 	}
+	activeMetrics = opts.Metrics
+	defer func() { activeMetrics = nil }()
 	return r(opts)
 }
 

@@ -26,6 +26,7 @@ func haLargeOptions(n, u int) astar.Options {
 		HWeight:   1.2,
 		KPerLevel: n / u,
 		BeamWidth: 16,
+		Metrics:   activeMetrics,
 	}
 }
 

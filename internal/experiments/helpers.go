@@ -27,6 +27,9 @@ func solveOA(in *workload.Instance, mode degradation.Mode) (*astar.Result, error
 func solveOAOpt(in *workload.Instance, mode degradation.Mode, opts astar.Options) (*astar.Result, error) {
 	c := in.Cost(mode)
 	g := graph.New(c, in.Patterns)
+	if opts.Metrics == nil {
+		opts.Metrics = activeMetrics
+	}
 	if opts.H == astar.HNone && opts.KPerLevel == 0 && !opts.UseIncumbent {
 		// caller asked for raw defaults; leave as-is (O-SVP style)
 	} else if opts.H == astar.HNone {
@@ -67,7 +70,7 @@ func solveHA(in *workload.Instance, mode degradation.Mode) (*astar.Result, error
 	c := in.Cost(mode)
 	g := graph.New(c, in.Patterns)
 	n, u := g.N(), g.U()
-	opts := astar.Options{KPerLevel: n / u, Condense: true, UseIncumbent: true}
+	opts := astar.Options{KPerLevel: n / u, Condense: true, UseIncumbent: true, Metrics: activeMetrics}
 	if n > 40 {
 		opts.H = astar.HPerProcAvg
 		opts.HWeight = 1.2
@@ -106,6 +109,7 @@ func solveIPBest(in *workload.Instance, mode degradation.Mode, limit time.Durati
 	}
 	cfg := ip.ConfigA
 	cfg.TimeLimit = limit
+	cfg.Metrics = activeMetrics
 	return ip.Solve(model, cfg)
 }
 

@@ -1,6 +1,10 @@
 package ip
 
-import "time"
+import (
+	"time"
+
+	"cosched/internal/telemetry"
+)
 
 // Config selects the branch-and-bound behaviour. The four presets below
 // stand in for the four IP solvers the paper benchmarks in Table III
@@ -27,6 +31,12 @@ type Config struct {
 	MaxNodes int64
 	// LPIterLimit caps simplex pivots per relaxation (0 = default).
 	LPIterLimit int
+	// Metrics, when non-nil, receives live branch-and-bound telemetry:
+	// the "ip.*" counters and gauges catalogued in DESIGN.md §6 (nodes,
+	// LP pivots, bound improvements, incumbent value). Deltas are
+	// flushed every few hundred nodes, so the per-node cost is nil
+	// checks only.
+	Metrics *telemetry.Registry
 }
 
 // The four preset configurations, strongest first.

@@ -1,21 +1,3 @@
-// Package ip implements the paper's Integer-Programming method (§II): the
-// co-scheduling problem is modelled as a 0-1 program and solved exactly by
-// branch-and-bound over LP relaxations.
-//
-// The formulation is the set-partitioning equivalent of Eq. 2-8: one
-// binary variable z_T per u-cardinality process set T (one candidate
-// machine assignment), partition constraints Σ_{T∋i} z_T = 1 for every
-// process i, and — for a mix of serial and parallel jobs — one continuous
-// auxiliary variable y_j per parallel job that linearises the max of
-// Eq. 5/6 via y_j ≥ Σ_{T∋i} d(i,T\{i})·z_T for each of the job's
-// processes i (Eq. 7-8). Serial degradations are charged on the columns,
-// parallel ones through the y variables; at the optimum each y_j equals
-// the job's largest degradation, exactly Eq. 6.
-//
-// The paper benchmarks CPLEX, CBC, SCIP and GLPK on this model (§V-D);
-// this package provides one pure-Go branch-and-bound core with four
-// configurations spanning the same sophistication range (see configs.go
-// and DESIGN.md §3).
 package ip
 
 import (

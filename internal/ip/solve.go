@@ -9,14 +9,73 @@ import (
 
 	"cosched/internal/job"
 	"cosched/internal/lp"
+	"cosched/internal/telemetry"
 )
 
 // Stats reports branch-and-bound effort.
 type Stats struct {
-	Nodes    int64
-	LPIters  int64
+	// Nodes counts branch-and-bound nodes whose LP relaxation was
+	// solved (nodes pruned against the incumbent before relaxation are
+	// not counted).
+	Nodes int64
+	// LPIters is the total simplex pivots across all relaxations.
+	LPIters int64
+	// BoundImprovements counts incumbent updates: integral LP solutions
+	// and rounding-heuristic schedules that beat the previous best.
+	BoundImprovements int64
+	// Duration is the wall-clock solving time.
 	Duration time.Duration
+	// TimedOut reports whether TimeLimit or MaxNodes cut the search
+	// short (the Result then carries the best incumbent, not a proven
+	// optimum).
 	TimedOut bool
+}
+
+// ipMetrics caches the registry handles of the ip.* metric family.
+type ipMetrics struct {
+	solves, nodes, lpIters, improvements, solveNS *telemetry.Counter
+	incumbent                                     *telemetry.FloatGauge
+	last                                          Stats
+}
+
+// ipFlushEvery is the node interval between registry flushes.
+const ipFlushEvery = 128
+
+func newIPMetrics(r *telemetry.Registry) *ipMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &ipMetrics{
+		solves:       r.Counter("ip.solves"),
+		nodes:        r.Counter("ip.nodes"),
+		lpIters:      r.Counter("ip.lp_iters"),
+		improvements: r.Counter("ip.bound_improvements"),
+		solveNS:      r.Counter("ip.solve_ns"),
+		incumbent:    r.FloatGauge("ip.incumbent"),
+	}
+	m.solves.Add(1)
+	return m
+}
+
+func (m *ipMetrics) flush(st *Stats, incumbent float64) {
+	if m == nil {
+		return
+	}
+	m.nodes.Add(st.Nodes - m.last.Nodes)
+	m.lpIters.Add(st.LPIters - m.last.LPIters)
+	m.improvements.Add(st.BoundImprovements - m.last.BoundImprovements)
+	m.last = *st
+	if !math.IsInf(incumbent, 1) {
+		m.incumbent.Set(incumbent)
+	}
+}
+
+func (m *ipMetrics) finish(st *Stats, incumbent float64) {
+	if m == nil {
+		return
+	}
+	m.flush(st, incumbent)
+	m.solveNS.Add(st.Duration.Nanoseconds())
 }
 
 // Result is an exact (or best-found, if timed out) IP solution.
@@ -68,6 +127,7 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 
 	incumbent := math.Inf(1)
 	var incumbentSel []int
+	met := newIPMetrics(cfg.Metrics)
 
 	var best nodeHeap // best-first frontier
 	var stack []*bbNode
@@ -114,6 +174,9 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 			break
 		}
 		stats.Nodes++
+		if stats.Nodes%ipFlushEvery == 0 {
+			met.flush(&stats, incumbent)
+		}
 
 		sol, err := m.solveRelaxation(nd, cfg)
 		if err != nil {
@@ -140,6 +203,7 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 				if sol.Objective < incumbent {
 					incumbent = sol.Objective
 					incumbentSel = sel
+					stats.BoundImprovements++
 				}
 				continue
 			}
@@ -147,6 +211,7 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 				if cost, sel := m.roundingHeuristic(sol.X); cost < incumbent {
 					incumbent = cost
 					incumbentSel = sel
+					stats.BoundImprovements++
 				}
 			}
 			// Branch on the fractional column.
@@ -164,6 +229,7 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 	}
 
 	stats.Duration = time.Since(start)
+	met.finish(&stats, incumbent)
 	if incumbentSel == nil {
 		if stats.TimedOut {
 			return &Result{Stats: stats}, fmt.Errorf("ip: %s: no feasible solution before limit", cfg.Name)

@@ -20,6 +20,7 @@ import (
 // Relation is the sense of one constraint.
 type Relation int
 
+// The three constraint senses.
 const (
 	LE Relation = iota // ≤
 	GE                 // ≥
@@ -29,6 +30,7 @@ const (
 // Status classifies the outcome of a solve.
 type Status int
 
+// The solve outcomes, in decreasing order of usefulness.
 const (
 	Optimal Status = iota
 	Infeasible

@@ -1,0 +1,17 @@
+// Package online simulates *online* contention-aware co-scheduling: jobs
+// arrive over time and a placement policy must assign their processes to
+// cores immediately, while co-runner sets — and therefore every process's
+// execution speed — keep changing as jobs start and finish.
+//
+// This is the paper's first category of co-scheduling work (§I): practical
+// runtime schedulers. The paper's own contribution, the offline optimum,
+// is "the performance target other co-scheduling systems" are measured
+// against — and that is exactly how this package is used: run an online
+// policy, compare its outcome with the OA* bound on the same batch
+// (see examples/onlinesim and the tests).
+//
+// Execution model: a process's instantaneous speed is 1/(1+d(p,S)) where
+// S is its machine's current co-runner set (Eq. 1/9 degradations from the
+// same oracle the offline solvers use); work is measured in solo-seconds;
+// speeds change at every placement/completion event.
+package online

@@ -1,19 +1,3 @@
-// Package online simulates *online* contention-aware co-scheduling: jobs
-// arrive over time and a placement policy must assign their processes to
-// cores immediately, while co-runner sets — and therefore every process's
-// execution speed — keep changing as jobs start and finish.
-//
-// This is the paper's first category of co-scheduling work (§I): practical
-// runtime schedulers. The paper's own contribution, the offline optimum,
-// is "the performance target other co-scheduling systems" are measured
-// against — and that is exactly how this package is used: run an online
-// policy, compare its outcome with the OA* bound on the same batch
-// (see examples/onlinesim and the tests).
-//
-// Execution model: a process's instantaneous speed is 1/(1+d(p,S)) where
-// S is its machine's current co-runner set (Eq. 1/9 degradations from the
-// same oracle the offline solvers use); work is measured in solo-seconds;
-// speeds change at every placement/completion event.
 package online
 
 import (
@@ -23,6 +7,7 @@ import (
 
 	"cosched/internal/degradation"
 	"cosched/internal/job"
+	"cosched/internal/telemetry"
 )
 
 // Arrival is one job entering the system.
@@ -58,6 +43,41 @@ type System struct {
 
 	queue    []job.JobID
 	finished map[job.JobID]float64
+
+	// arrivedAt mirrors the arrival times during a simulation so the
+	// telemetry layer can compute placement delays.
+	arrivedAt map[job.JobID]float64
+	met       *onlineMetrics
+}
+
+// onlineMetrics caches the registry handles of the online.* metric
+// family. All uses are guarded by s.met != nil, so a simulation without
+// telemetry pays nil checks only.
+type onlineMetrics struct {
+	sims, placements, queued, events *telemetry.Counter
+	speedUpdates                     *telemetry.Counter
+	queueLen                         *telemetry.Gauge
+	placementDelay                   *telemetry.Histogram
+}
+
+func newOnlineMetrics(r *telemetry.Registry) *onlineMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &onlineMetrics{
+		sims:         r.Counter("online.simulations"),
+		placements:   r.Counter("online.placements"),
+		queued:       r.Counter("online.queued_jobs"),
+		events:       r.Counter("online.events"),
+		speedUpdates: r.Counter("online.speed_updates"),
+		queueLen:     r.Gauge("online.queue"),
+		// Placement delay in simulated time units; the buckets cover
+		// immediate placement through long head-of-line blocking.
+		placementDelay: r.Histogram("online.placement_delay",
+			[]float64{0, 0.1, 0.5, 1, 2, 5, 10, 30, 100}),
+	}
+	m.sims.Add(1)
+	return m
 }
 
 // Result summarises one simulation.
@@ -104,7 +124,17 @@ func (s *System) Now() float64 { return s.now }
 // time-sorted; every job of the batch must appear exactly once.
 func Simulate(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
 	arrivals []Arrival, p Policy) (*Result, error) {
+	return SimulateObserved(c, solo, machines, arrivals, p, nil)
+}
+
+// SimulateObserved is Simulate with telemetry: a non-nil registry
+// receives the "online.*" family (simulations, placements, simulation
+// events, speed recomputations, queue length, and a placement-delay
+// histogram in simulated time units; DESIGN.md §6).
+func SimulateObserved(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
+	arrivals []Arrival, p Policy, reg *telemetry.Registry) (*Result, error) {
 	s := NewSystem(c, solo, machines)
+	s.met = newOnlineMetrics(reg)
 	b := c.Batch
 	arrivalTime := make(map[job.JobID]float64, len(arrivals))
 	for i, a := range arrivals {
@@ -119,6 +149,7 @@ func Simulate(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
 	if len(arrivalTime) != len(b.Jobs) {
 		return nil, fmt.Errorf("online: %d arrivals for %d jobs", len(arrivalTime), len(b.Jobs))
 	}
+	s.arrivedAt = arrivalTime
 
 	next := 0
 	for len(s.finished) < len(b.Jobs) {
@@ -135,6 +166,9 @@ func Simulate(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
 			s.progress(arrivals[next].Time - s.now)
 			s.now = arrivals[next].Time
 			s.queue = append(s.queue, arrivals[next].Job)
+			if s.met != nil {
+				s.met.queued.Add(1)
+			}
 			next++
 		} else {
 			if !anyRunning {
@@ -143,6 +177,9 @@ func Simulate(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
 			s.progress(dt)
 			s.now = eventTime
 			s.reap(arrivalTime)
+		}
+		if s.met != nil {
+			s.met.events.Add(1)
 		}
 		s.drainQueue(p)
 	}
@@ -188,7 +225,16 @@ func (s *System) drainQueue(p Policy) {
 			s.machineOf[int(pid)-1] = m
 			s.remaining[int(pid)-1] = s.Solo(pid)
 		}
+		if s.met != nil {
+			s.met.placements.Add(1)
+			if at, ok := s.arrivedAt[j]; ok {
+				s.met.placementDelay.Observe(s.now - at)
+			}
+		}
 		s.queue = s.queue[1:]
+	}
+	if s.met != nil {
+		s.met.queueLen.Set(int64(len(s.queue)))
 	}
 }
 
@@ -228,10 +274,17 @@ func (s *System) progress(dt float64) {
 	if dt <= 0 {
 		return
 	}
+	updates := int64(0)
 	for m := range s.perMachine {
 		for _, pid := range s.perMachine[m] {
 			s.remaining[int(pid)-1] -= dt * s.speed(pid)
+			updates++
 		}
+	}
+	if s.met != nil {
+		// Each running process had its instantaneous speed recomputed for
+		// this event interval: the churn Eq. 1/9 imposes on the simulator.
+		s.met.speedUpdates.Add(updates)
 	}
 }
 

@@ -10,21 +10,49 @@ package osvp
 import (
 	"cosched/internal/astar"
 	"cosched/internal/graph"
+	"cosched/internal/telemetry"
 )
+
+// Options configures one O-SVP solve. The zero value runs an unbounded,
+// untraced search.
+type Options struct {
+	// MaxExpansions aborts the search after this many pops (0 = no
+	// limit); the search then returns an error.
+	MaxExpansions int64
+	// Metrics, when non-nil, receives the underlying search telemetry
+	// ("astar.*" family, method "OA*" with h = 0) plus the
+	// "osvp.solves" counter (DESIGN.md §6).
+	Metrics *telemetry.Registry
+	// Tracer receives search events exactly as astar.Options.Tracer
+	// does, including the JSONL stream extensions.
+	Tracer astar.Tracer
+	// Progress receives rate-limited progress lines for long searches.
+	Progress *telemetry.ProgressReporter
+}
 
 // Solve finds the optimal co-schedule by uniform-cost search.
 func Solve(g *graph.Graph) (*astar.Result, error) {
-	s, err := astar.NewSolver(g, astar.Options{H: astar.HNone})
-	if err != nil {
-		return nil, err
-	}
-	return s.Solve()
+	return SolveOpts(g, Options{})
 }
 
 // SolveWithLimit aborts after maxExpansions pops, for bounded experiment
 // runs on instances O-SVP cannot finish in reasonable time.
 func SolveWithLimit(g *graph.Graph, maxExpansions int64) (*astar.Result, error) {
-	s, err := astar.NewSolver(g, astar.Options{H: astar.HNone, MaxExpansions: maxExpansions})
+	return SolveOpts(g, Options{MaxExpansions: maxExpansions})
+}
+
+// SolveOpts runs the uniform-cost search with telemetry attached.
+func SolveOpts(g *graph.Graph, opts Options) (*astar.Result, error) {
+	if opts.Metrics != nil {
+		opts.Metrics.Counter("osvp.solves").Add(1)
+	}
+	s, err := astar.NewSolver(g, astar.Options{
+		H:             astar.HNone,
+		MaxExpansions: opts.MaxExpansions,
+		Metrics:       opts.Metrics,
+		Tracer:        opts.Tracer,
+		Progress:      opts.Progress,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -7,9 +7,11 @@ package pg
 
 import (
 	"sort"
+	"time"
 
 	"cosched/internal/degradation"
 	"cosched/internal/job"
+	"cosched/internal/telemetry"
 )
 
 // Result is the schedule PG produced.
@@ -48,10 +50,31 @@ func Politeness(c *degradation.Cost) []float64 {
 // Solve runs the politeness-greedy co-scheduler and evaluates the
 // schedule under the given cost model.
 func Solve(c *degradation.Cost) *Result {
+	return SolveObserved(c, nil)
+}
+
+// SolveObserved is Solve with telemetry: a non-nil registry receives the
+// "pg.*" family (solves, machines produced, politeness-scoring and total
+// wall time; DESIGN.md §6).
+func SolveObserved(c *degradation.Cost, reg *telemetry.Registry) *Result {
+	start := time.Now()
+	res, scoreDur := solve(c)
+	if reg != nil {
+		reg.Counter("pg.solves").Add(1)
+		reg.Counter("pg.machines").Add(int64(len(res.Groups)))
+		reg.Counter("pg.politeness_ns").Add(scoreDur.Nanoseconds())
+		reg.Counter("pg.solve_ns").Add(time.Since(start).Nanoseconds())
+	}
+	return res
+}
+
+func solve(c *degradation.Cost) (*Result, time.Duration) {
 	b := c.Batch
 	n := b.NumProcs()
 	u := b.Cores
+	scoreStart := time.Now()
 	caused := Politeness(c)
+	scoreDur := time.Since(scoreStart)
 
 	// Order processes from most impolite to most polite.
 	order := make([]int, n)
@@ -79,5 +102,5 @@ func Solve(c *degradation.Cost) *Result {
 		}
 		groups = append(groups, job.SortedProcIDs(node))
 	}
-	return &Result{Groups: groups, Cost: c.PartitionCost(groups)}
+	return &Result{Groups: groups, Cost: c.PartitionCost(groups)}, scoreDur
 }

@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one line of the structured JSONL solver trace. Ev identifies
+// the event type; the other fields are populated per type (zero-valued
+// fields are omitted from the encoding):
+//
+//	solve_start  n, u, method          — one per solve, first line
+//	expand       pop, depth, q, g, h, leader
+//	dismiss      pop, q, g, reason     — reason: worse|stale|pruned|beam_trim
+//	progress     pop, frontier, pops_per_sec, eta_sec, elapsed_sec
+//	solution     cost, groups, pop     — one per solve, last line
+//
+// pop is the 1-based expansion index at which the event happened (for
+// dismiss events, the expansion that generated the child), depth the path
+// depth in machines, q the number of scheduled processes, g/h the Eq. 13
+// distance and heuristic estimate of the sub-path in degradation units.
+// The schema is append-only: decoders must ignore unknown fields.
+type Event struct {
+	Ev string `json:"ev"`
+
+	// Solve identification (solve_start).
+	N      int    `json:"n,omitempty"`
+	U      int    `json:"u,omitempty"`
+	Method string `json:"method,omitempty"`
+
+	// Search-span fields (expand, dismiss, progress, solution).
+	Pop    int64   `json:"pop,omitempty"`
+	Depth  int     `json:"depth,omitempty"`
+	Q      int     `json:"q,omitempty"`
+	G      float64 `json:"g,omitempty"`
+	H      float64 `json:"h,omitempty"`
+	Leader int     `json:"leader,omitempty"`
+	Reason string  `json:"reason,omitempty"`
+
+	// Progress fields.
+	Frontier   int     `json:"frontier,omitempty"`
+	PopsPerSec float64 `json:"pops_per_sec,omitempty"`
+	ETASec     float64 `json:"eta_sec,omitempty"`
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+
+	// Solution fields.
+	Cost   float64 `json:"cost,omitempty"`
+	Groups [][]int `json:"groups,omitempty"`
+}
+
+// EventWriter encodes Events as JSON Lines. It buffers internally; call
+// Flush (or Close the underlying writer after Flush) when the trace must
+// be durable — the astar JSONLTracer flushes on every solution event.
+// Emit is safe for concurrent use.
+type EventWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewEventWriter returns an EventWriter emitting to w.
+func NewEventWriter(w io.Writer) *EventWriter {
+	bw := bufio.NewWriter(w)
+	return &EventWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes one event as a single JSON line. The first encoding error
+// is sticky and returned by this and every later call.
+func (ew *EventWriter) Emit(ev Event) error {
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	if ew.err != nil {
+		return ew.err
+	}
+	ew.err = ew.enc.Encode(&ev)
+	return ew.err
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (ew *EventWriter) Flush() error {
+	ew.mu.Lock()
+	defer ew.mu.Unlock()
+	if ew.err != nil {
+		return ew.err
+	}
+	ew.err = ew.bw.Flush()
+	return ew.err
+}
+
+// ReadEvents decodes a JSONL event stream produced by EventWriter,
+// returning the events in order. Blank lines are skipped; a malformed
+// line aborts with an error naming its line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

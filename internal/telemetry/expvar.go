@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the registry's Snapshot under the given expvar
+// name (conventionally "cosched"). Publishing the same name twice is a
+// no-op rather than the expvar.Publish panic, so CLIs can call it
+// unconditionally.
+func PublishExpvar(name string, r *Registry) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// ServeDebug starts an HTTP debug endpoint on addr serving
+//
+//	/debug/vars    — expvar (Go runtime vars plus the registry under
+//	                 the "cosched" key)
+//	/debug/pprof/  — the standard net/http/pprof profile handlers
+//
+// It binds synchronously (so address errors surface to the caller) and
+// serves in a background goroutine. The returned closer shuts the
+// listener down; CLIs typically defer it and otherwise let process exit
+// clean up. This is the -debug-addr flag of cmd/coschedcli and
+// cmd/experiments.
+func ServeDebug(addr string, r *Registry) (string, func() error, error) {
+	PublishExpvar("cosched", r)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric. The zero value is
+// ready to use; updates are single atomic adds.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0 to keep the counter
+// monotone; this is not enforced, producers flush non-negative deltas).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 metric (frontier size, table entries).
+// The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// FloatGauge is an instantaneous float64 metric (rates, load factors),
+// stored as atomic bits. The zero value is ready to use and reads as 0.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last recorded value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets defined by ascending
+// upper bounds (the last bucket is +Inf and always implicit). Observe is
+// a binary search plus two atomic adds; bounds are fixed at registration
+// so observation never allocates.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, excluding +Inf
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 sum, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot returns the histogram state as a plain map: count, sum, and
+// one cumulative-free "le_<bound>" entry per bucket (the +Inf bucket is
+// "le_inf").
+func (h *Histogram) Snapshot() map[string]any {
+	out := map[string]any{"count": h.Count(), "sum": h.Sum()}
+	buckets := make(map[string]int64, len(h.buckets))
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if i < len(h.bounds) {
+			buckets[formatBound(h.bounds[i])] = n
+		} else {
+			buckets["inf"] = n
+		}
+	}
+	if len(buckets) > 0 {
+		out["buckets"] = buckets
+	}
+	return out
+}
+
+func formatBound(b float64) string {
+	// Bounds are registration-time constants, so formatting cost is
+	// snapshot-only.
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Registry is a named collection of metrics. Lookups get-or-create under
+// a mutex and return stable pointers, so producers resolve their handles
+// once (at solve start) and update lock-free afterwards. A nil *Registry
+// is the disabled state: callers must guard, the methods do not accept
+// nil receivers.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	metrics map[string]any
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// Default is the process-wide registry the CLIs publish over expvar.
+// Library code takes an explicit *Registry instead of using this.
+var Default = New()
+
+func lookup[T any](r *Registry, name string, mk func() *T) *T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if t, ok := m.(*T); ok {
+			return t
+		}
+		// Name collision across kinds: a programming error; return a
+		// detached metric rather than panic in production solves.
+		return mk()
+	}
+	t := mk()
+	r.metrics[name] = t
+	r.order = append(r.order, name)
+	return t
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the int gauge registered under name, creating it if
+// needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// FloatGauge returns the float gauge registered under name, creating it
+// if needed.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	return lookup(r, name, func() *FloatGauge { return &FloatGauge{} })
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket upper bounds if needed (bounds are ignored
+// on later calls for the same name).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return lookup(r, name, func() *Histogram { return newHistogram(bounds) })
+}
+
+// Snapshot returns every metric's current value keyed by name: int64 for
+// counters and gauges, float64 for float gauges, a nested map for
+// histograms. The result is JSON-encodable, which is what expvar serves.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.order))
+	for _, name := range r.order {
+		switch m := r.metrics[name].(type) {
+		case *Counter:
+			out[name] = m.Value()
+		case *Gauge:
+			out[name] = m.Value()
+		case *FloatGauge:
+			out[name] = m.Value()
+		case *Histogram:
+			out[name] = m.Snapshot()
+		}
+	}
+	return out
+}
+
+// Names returns the registered metric names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}

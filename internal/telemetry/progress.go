@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// ProgressReporter rate-limits progress output for long solves: the
+// producer calls Due on a coarse cadence (every few hundred pops) and
+// formats a report only when the configured interval has elapsed. The
+// zero Every defaults to two seconds. A ProgressReporter is safe for
+// concurrent use, though solvers drive it from one goroutine.
+type ProgressReporter struct {
+	// W receives the report lines.
+	W io.Writer
+	// Every is the minimum interval between reports (default 2s).
+	Every time.Duration
+
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+}
+
+// Due reports whether a progress line should be written now, stamping
+// the report time when it returns true. The first call starts the
+// elapsed clock and is never due (rates need a baseline interval).
+func (p *ProgressReporter) Due(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		p.start = now
+		p.last = now
+		return false
+	}
+	every := p.Every
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	if now.Sub(p.last) < every {
+		return false
+	}
+	p.last = now
+	return true
+}
+
+// Elapsed returns the time since the first Due call (zero before it).
+func (p *ProgressReporter) Elapsed(now time.Time) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.start.IsZero() {
+		return 0
+	}
+	return now.Sub(p.start)
+}

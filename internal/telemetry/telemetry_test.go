@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryHandlesAreStable(t *testing.T) {
+	r := New()
+	c := r.Counter("a.pops")
+	if r.Counter("a.pops") != c {
+		t.Fatal("Counter lookup not stable")
+	}
+	c.Add(3)
+	c.Add(4)
+	if got := r.Counter("a.pops").Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	g := r.Gauge("a.frontier")
+	g.Set(41)
+	g.Set(42)
+	fg := r.FloatGauge("a.load")
+	fg.Set(0.5)
+	h := r.Histogram("a.delay", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	snap := r.Snapshot()
+	if snap["a.pops"] != int64(7) || snap["a.frontier"] != int64(42) || snap["a.load"] != 0.5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	hs := snap["a.delay"].(map[string]any)
+	if hs["count"] != int64(3) || math.Abs(hs["sum"].(float64)-55.5) > 1e-9 {
+		t.Fatalf("histogram snapshot = %v", hs)
+	}
+	if names := r.Names(); len(names) != 4 || names[0] != "a.pops" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+}
+
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c")
+			h := r.Histogram("h", []float64{10})
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Sum(); got != 8000 {
+		t.Fatalf("histogram sum = %g, want 8000", got)
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	ew := NewEventWriter(&sb)
+	in := []Event{
+		{Ev: "solve_start", N: 12, U: 4, Method: "OA*"},
+		{Ev: "expand", Pop: 1, Depth: 0, Q: 4, G: 1.25, H: 0.5, Leader: 5},
+		{Ev: "dismiss", Pop: 1, Q: 8, G: 2.5, Reason: "worse"},
+		{Ev: "progress", Pop: 1000, Frontier: 64, PopsPerSec: 1234.5, ETASec: 3.25, ElapsedSec: 1.5},
+		{Ev: "solution", Cost: 4.75, Groups: [][]int{{1, 2}, {3, 4}}, Pop: 1000},
+	}
+	for _, ev := range in {
+		if err := ew.Emit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ew.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEvents(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		a, _ := json.Marshal(in[i])
+		b, _ := json.Marshal(out[i])
+		if string(a) != string(b) {
+			t.Errorf("event %d round-trip mismatch:\n in: %s\nout: %s", i, a, b)
+		}
+	}
+}
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	_, err := ReadEvents(strings.NewReader("{\"ev\":\"expand\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-2 error, got %v", err)
+	}
+}
+
+func TestProgressReporterRateLimits(t *testing.T) {
+	p := &ProgressReporter{W: io.Discard, Every: 100 * time.Millisecond}
+	t0 := time.Now()
+	if p.Due(t0) {
+		t.Fatal("first call must not be due (it sets the baseline)")
+	}
+	if p.Due(t0.Add(50 * time.Millisecond)) {
+		t.Fatal("due before the interval elapsed")
+	}
+	if !p.Due(t0.Add(150 * time.Millisecond)) {
+		t.Fatal("not due after the interval elapsed")
+	}
+	if p.Due(t0.Add(160 * time.Millisecond)) {
+		t.Fatal("due again immediately after a report")
+	}
+	if got := p.Elapsed(t0.Add(time.Second)); got != time.Second {
+		t.Fatalf("elapsed = %v, want 1s", got)
+	}
+}
+
+func TestServeDebugExposesVarsAndPprof(t *testing.T) {
+	r := New()
+	r.Counter("astar.pops").Add(99)
+	addr, closeFn, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn() //nolint:errcheck
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	vars := get("/debug/vars")
+	if !strings.Contains(vars, "\"cosched\"") || !strings.Contains(vars, "astar.pops") {
+		t.Errorf("expvar output missing cosched metrics: %.200s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("pprof index unexpected: %.200s", idx)
+	}
+}

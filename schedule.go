@@ -11,19 +11,55 @@ import (
 	"cosched/internal/sim"
 )
 
-// Stats summarises the solver effort behind a schedule.
+// Stats summarises the solver effort behind a schedule. Graph-search
+// fields (everything except the BB*/LP* block) are populated by the
+// OA*, HA* and O-SVP methods and zero for IP/PG/brute-force; they
+// reconcile by the admission invariant
+//
+//	Generated == Expanded + Dismissed + BeamTrimmed + InFrontier
+//
+// (see internal/astar.Stats for the per-field accounting rules).
 type Stats struct {
-	// VisitedPaths counts expanded priority-list elements (graph
-	// searches), the paper's Table IV metric.
+	// VisitedPaths counts popped (expanded) priority-list elements
+	// including the root (graph searches), the paper's Table IV metric.
 	VisitedPaths int64
-	// Generated counts sub-paths pushed into the priority list.
+	// Expanded counts admitted (non-root) elements that were popped and
+	// processed; VisitedPaths minus one on a completed solve.
+	Expanded int64
+	// Generated counts sub-paths admitted into the priority list (or a
+	// beam depth's survivor table).
 	Generated int64
+	// Dismissed counts admitted sub-paths later superseded by a cheaper
+	// same-process-set sub-path (stale pops, beam supersedes).
+	Dismissed int64
+	// DismissedWorse counts children dismissed before admission because
+	// an equal-or-cheaper same-set sub-path was already recorded (the
+	// Theorem 1 dismissal).
+	DismissedWorse int64
 	// Condensed counts candidate nodes skipped by process condensation.
 	Condensed int64
-	// BBNodes counts branch-and-bound nodes (IP method).
-	BBNodes int64
-	// Duration is the solver wall-clock time.
-	Duration time.Duration
+	// Pruned counts children discarded against the incumbent bound.
+	Pruned int64
+	// BeamTrimmed counts sub-paths dropped by the beam's per-depth width
+	// cap (large-batch HA* only).
+	BeamTrimmed int64
+	// InFrontier is the number of admitted sub-paths still awaiting
+	// expansion when the solve returned.
+	InFrontier int64
+	// MaxQueue is the priority list's (or beam frontier's) high-water
+	// mark, in elements.
+	MaxQueue int
+	// BBNodes counts branch-and-bound nodes whose LP relaxation was
+	// solved; LPIters the total simplex pivots across relaxations;
+	// BoundImprovements the incumbent updates (IP method only).
+	BBNodes           int64
+	LPIters           int64
+	BoundImprovements int64
+	// Duration is the solver wall-clock time. PrepareDuration is the
+	// one-off heuristic-table precomputation before the search proper
+	// (graph searches; zero elsewhere).
+	Duration        time.Duration
+	PrepareDuration time.Duration
 	// TimedOut reports whether an IP solve hit its time limit.
 	TimedOut bool
 	// ElemAllocated / ElemReused report the search's element-pool

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# ci.sh — the full local gate: formatting, build, vet, tests, and a race
-# pass over the concurrent search paths (worker pool + parallel solver).
+# ci.sh — the full local gate: formatting, build, vet, doc coverage,
+# tests, the allocation-budget guards (with telemetry off AND on), and a
+# race pass over the concurrent search paths (worker pool + parallel
+# solver).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +15,19 @@ fi
 
 go build ./...
 go vet ./...
+
+# Doc-coverage gate: every package needs a package comment, every
+# exported identifier a doc comment (scripts/doccheck).
+go run ./scripts/doccheck .
+
 go test ./...
+
+# The DESIGN.md §5c/§6 allocation budget: a dismissed child must stay
+# allocation-free both without telemetry and with a live registry being
+# flushed (run explicitly so a -run filter in the main suite can never
+# silently drop the gate).
+go test ./internal/astar/ -run 'TestDismissedChildStaysAllocationFree|TestDismissedChildAllocFreeWithTelemetry' -count=1
+
 go test -race ./internal/astar/ -run 'Parallel|Worker'
 
 echo "ci: all green" >&2

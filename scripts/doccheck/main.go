@@ -1,0 +1,182 @@
+// Command doccheck is the repository's documentation-coverage gate
+// (wired into scripts/ci.sh). It walks every non-test Go file under the
+// given roots and fails when
+//
+//   - a package has no package doc comment in any of its files, or
+//   - an exported top-level identifier (type, function, method, or the
+//     first name of a const/var group) has no doc comment.
+//
+// A doc comment on the enclosing GenDecl covers every name in the
+// group, matching godoc's rendering. main packages are exempt from the
+// exported-identifier rule (their exports are not part of any API) but
+// still need a package comment.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	dirs := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "results") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+				dirs[filepath.Dir(path)] = true
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var problems []string
+	for _, dir := range sorted {
+		problems = append(problems, checkDir(dir)...)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+func checkDir(dir string) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("doccheck: %s: %v", dir, err)}
+	}
+
+	var problems []string
+	for name, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasPkgDoc = true
+				break
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems,
+				fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
+		}
+		if name == "main" {
+			continue
+		}
+		files := make([]string, 0, len(pkg.Files))
+		for fname := range pkg.Files {
+			files = append(files, fname)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			problems = append(problems, checkFile(fset, pkg.Files[fname])...)
+		}
+	}
+	return problems
+}
+
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	undocumented := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems,
+			fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			// Exported methods count only on exported receivers.
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			kind := "function"
+			if d.Recv != nil {
+				kind = "method"
+			}
+			undocumented(d.Name.Pos(), kind, d.Name.Name)
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				continue // group doc covers every spec
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil {
+						undocumented(s.Name.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if s.Doc != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							undocumented(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+							break // one report per spec line
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// exportedReceiver reports whether the method receiver's base type name
+// is exported.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
