@@ -16,13 +16,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"cosched"
 	"cosched/internal/telemetry"
 )
+
+// flightRecorderSize is the in-memory event window kept for post-hoc
+// dumps (SIGQUIT and /debug/trace). Emitting into the ring is
+// allocation-free, so the recorder is always on.
+const flightRecorderSize = 4096
 
 func main() {
 	var (
@@ -95,13 +102,25 @@ func main() {
 		IPConfig:   *ipConfig,
 		TimeLimit:  *timeLimit,
 	}
+	// The flight recorder is always on: SIGQUIT dumps the last events to
+	// stderr even when no trace file or debug endpoint was configured.
+	recorder := telemetry.NewFlightRecorder(flightRecorderSize)
+	opts.EventSink = recorder
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGQUIT)
+	go func() {
+		for range sigc {
+			fmt.Fprintf(os.Stderr, "coschedcli: SIGQUIT — dumping last %d trace events\n", recorder.Len())
+			recorder.Dump(os.Stderr) //nolint:errcheck
+		}
+	}()
 	if *debugAddr != "" {
 		opts.Metrics = telemetry.Default
 		telemetry.PublishExpvar("cosched", telemetry.Default)
-		addr, closeDebug, err := telemetry.ServeDebug(*debugAddr, telemetry.Default)
+		addr, closeDebug, err := telemetry.ServeDebugWith(*debugAddr, telemetry.Default, recorder)
 		check(err)
 		defer closeDebug() //nolint:errcheck
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars (pprof under /debug/pprof/, Prometheus under /metrics, recent events under /debug/trace)\n", addr)
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -129,6 +148,13 @@ func main() {
 	fmt.Println()
 	if *verbose {
 		st := sched.Stats
+		if len(st.Phases) > 0 {
+			parts := make([]string, len(st.Phases))
+			for i, ph := range st.Phases {
+				parts[i] = fmt.Sprintf("%s %v", ph.Name, ph.Duration.Round(time.Microsecond))
+			}
+			fmt.Printf("phase breakdown: %s\n", strings.Join(parts, ", "))
+		}
 		if st.Generated > 0 {
 			fmt.Printf("search breakdown: %d generated = %d expanded + %d superseded + %d beam-trimmed + %d left in frontier\n",
 				st.Generated, st.Expanded, st.Dismissed, st.BeamTrimmed, st.InFrontier)

@@ -29,10 +29,20 @@ func main() {
 		jsonFlag = flag.Bool("json", false, "emit reports as JSON instead of text tables")
 		outDir   = flag.String("out", "", "also write each report to <out>/<id>.txt (and .json)")
 		debug    = flag.String("debug-addr", "", "serve /debug/vars (solver metrics) and /debug/pprof on this address while experiments run")
+		trace    = flag.String("trace", "", "append every solve's JSONL event trace to this file (split per solve with coschedtrace)")
 	)
 	flag.Parse()
 
 	runOpts := experiments.RunOptions{Quick: *quick, Seed: *seed}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close() //nolint:errcheck
+		runOpts.Events = telemetry.NewEventWriter(f)
+	}
 	if *debug != "" {
 		runOpts.Metrics = telemetry.Default
 		telemetry.PublishExpvar("cosched", telemetry.Default)

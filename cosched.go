@@ -141,11 +141,17 @@ type Options struct {
 	// search (sampled expansions plus the final solution).
 	TraceWriter io.Writer
 	// EventTraceWriter, when non-nil, receives the machine-readable JSONL
-	// event stream of the graph search (telemetry.Event per line:
-	// solve_start, expansions, dismissals with reason, progress spans,
-	// solution; see DESIGN.md §6). Takes precedence over TraceWriter when
-	// both are set.
+	// event stream of the solve (telemetry.Event per line: solve_start,
+	// expansions, dismissals with reason, progress, phase spans, final
+	// stats, solution; see DESIGN.md §6). Takes precedence over
+	// TraceWriter when both are set. The stream is what cmd/coschedtrace
+	// analyses offline.
 	EventTraceWriter io.Writer
+	// EventSink, when non-nil, receives the same event stream through the
+	// telemetry.EventSink interface — typically a FlightRecorder keeping
+	// the last N events in memory for post-hoc dumps. When both
+	// EventTraceWriter and EventSink are set, events fan out to both.
+	EventSink telemetry.EventSink
 	// Metrics, when non-nil, receives live solver telemetry: the method's
 	// counter/gauge family ("astar.*", "ip.*", "osvp.*", "pg.*") as
 	// catalogued in DESIGN.md §6. Pass telemetry.Default to feed the
@@ -158,33 +164,89 @@ type Options struct {
 	ProgressEvery  time.Duration
 }
 
+// solveObs bundles the per-call observation state every Solve carries:
+// one solve id shared by every producer of the call, the phase-span
+// recorder (always on — four clock reads per solve — so Stats.Phases is
+// populated even without telemetry), and the optional event sink.
+type solveObs struct {
+	sink    telemetry.EventSink
+	spans   *telemetry.SpanRecorder
+	solveID uint64
+}
+
+func newSolveObs(opts *Options) *solveObs {
+	sink := opts.EventSink
+	if opts.EventTraceWriter != nil {
+		sink = telemetry.MultiSink(telemetry.NewEventWriter(opts.EventTraceWriter), sink)
+	}
+	id := telemetry.NextSolveID()
+	return &solveObs{
+		sink:    sink,
+		spans:   telemetry.NewSpanRecorder(opts.Metrics, sink, id),
+		solveID: id,
+	}
+}
+
+// phases converts the completed spans into the Stats breakdown.
+func (o *solveObs) phases() []Phase {
+	res := o.spans.Results()
+	if len(res) == 0 {
+		return nil
+	}
+	out := make([]Phase, len(res))
+	for i, r := range res {
+		out[i] = Phase{Name: r.Name, Duration: time.Duration(r.DurMS * float64(time.Millisecond))}
+	}
+	return out
+}
+
 // Solve schedules the instance's batch and returns the schedule.
 func Solve(inst *Instance, opts Options) (*Schedule, error) {
 	if inst == nil || inst.in == nil {
 		return nil, fmt.Errorf("cosched: nil instance")
 	}
+	obs := newSolveObs(&opts)
+	sp := obs.spans.Start("oracle")
 	cost := inst.in.Cost(opts.Accounting.mode())
+	sp.End()
+	var (
+		sched *Schedule
+		err   error
+	)
 	switch opts.Method {
 	case MethodOAStar, MethodHAStar, MethodOSVP:
-		return solveGraph(inst, cost, opts)
+		sched, err = solveGraph(inst, cost, opts, obs)
 	case MethodIP:
-		return solveIP(inst, cost, opts)
+		sched, err = solveIP(inst, cost, opts, obs)
 	case MethodPG:
+		sp = obs.spans.Start("search")
 		res := pg.SolveObserved(cost, opts.Metrics)
-		return newSchedule(inst, cost, res.Groups, res.Cost, Stats{}), nil
+		sp.End()
+		sched = newSchedule(inst, cost, res.Groups, res.Cost, Stats{})
 	case MethodBruteForce:
-		res, err := bruteforce.Solve(cost)
-		if err != nil {
-			return nil, err
+		sp = obs.spans.Start("search")
+		res, bfErr := bruteforce.Solve(cost)
+		sp.End()
+		if bfErr != nil {
+			return nil, bfErr
 		}
-		return newSchedule(inst, cost, res.Groups, res.Cost, Stats{}), nil
+		sched = newSchedule(inst, cost, res.Groups, res.Cost, Stats{})
 	default:
 		return nil, fmt.Errorf("cosched: unknown method %v", opts.Method)
 	}
+	if err != nil {
+		telemetry.FlushSink(obs.sink) //nolint:errcheck // keep the partial trace
+		return nil, err
+	}
+	sched.Stats.Phases = obs.phases()
+	telemetry.FlushSink(obs.sink) //nolint:errcheck // span events after the solution
+	return sched, nil
 }
 
-func solveGraph(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule, error) {
+func solveGraph(inst *Instance, cost *degradation.Cost, opts Options, obs *solveObs) (*Schedule, error) {
+	sp := obs.spans.Start("graph")
 	g := graph.New(cost, inst.in.Patterns)
+	sp.End()
 	n, u := g.N(), g.U()
 	aopts := astar.Options{
 		Condense:      !opts.DisableCondensation,
@@ -192,11 +254,15 @@ func solveGraph(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule
 		MaxExpansions: opts.MaxExpansions,
 		Metrics:       opts.Metrics,
 	}
+	var tr *astar.EventTracer
 	if opts.TraceWriter != nil {
 		aopts.Tracer = &astar.WriterTracer{W: opts.TraceWriter, Every: 100}
 	}
-	if opts.EventTraceWriter != nil {
-		aopts.Tracer = astar.NewJSONLTracer(opts.EventTraceWriter)
+	if obs.sink != nil {
+		tr = astar.NewEventTracer(obs.sink)
+		tr.SolveID = obs.solveID
+		tr.Epoch = obs.spans.Epoch()
+		aopts.Tracer = tr
 	}
 	if opts.ProgressWriter != nil {
 		aopts.Progress = &telemetry.ProgressReporter{W: opts.ProgressWriter, Every: opts.ProgressEvery}
@@ -217,12 +283,14 @@ func solveGraph(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule
 	}
 	switch opts.Method {
 	case MethodOSVP:
+		sp = obs.spans.Start("search")
 		res, err := osvp.SolveOpts(g, osvp.Options{
 			MaxExpansions: opts.MaxExpansions,
 			Metrics:       opts.Metrics,
 			Tracer:        aopts.Tracer,
 			Progress:      aopts.Progress,
 		})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -242,19 +310,28 @@ func solveGraph(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule
 			aopts.UseIncumbent = false
 		}
 	}
+	if tr != nil {
+		tr.HName = aopts.H.String()
+	}
+	sp = obs.spans.Start("prepare")
 	s, err := astar.NewSolver(g, aopts)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.spans.Start("search")
 	res, err := s.Solve()
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	return newSchedule(inst, cost, res.Groups, res.Cost, searchStats(res)), nil
 }
 
-func solveIP(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule, error) {
+func solveIP(inst *Instance, cost *degradation.Cost, opts Options, obs *solveObs) (*Schedule, error) {
+	sp := obs.spans.Start("model")
 	model, err := ip.BuildModel(cost)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +350,12 @@ func solveIP(inst *Instance, cost *degradation.Cost, opts Options) (*Schedule, e
 	}
 	cfg.TimeLimit = opts.TimeLimit
 	cfg.Metrics = opts.Metrics
+	cfg.Events = obs.sink
+	cfg.SolveID = obs.solveID
+	cfg.Epoch = obs.spans.Epoch()
+	sp = obs.spans.Start("search")
 	res, err := ip.Solve(model, cfg)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

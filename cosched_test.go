@@ -1,9 +1,12 @@
 package cosched
 
 import (
+	"bytes"
 	"math"
 	"strings"
 	"testing"
+
+	"cosched/internal/telemetry"
 )
 
 func buildSmallInstance(t *testing.T) *Instance {
@@ -362,5 +365,108 @@ func TestWriteGraphDOT(t *testing.T) {
 	}
 	if err := big.WriteGraphDOT(&sb, nil, 100); err == nil {
 		t.Error("oversized graph rendered")
+	}
+}
+
+// TestSolvePhasesAndEventSink pins the observability contract of Solve:
+// every call reports a per-phase wall-clock breakdown, and a configured
+// EventSink receives the full trace stream (fanned out with
+// EventTraceWriter when both are set) under one shared solve id.
+func TestSolvePhasesAndEventSink(t *testing.T) {
+	inst := buildSmallInstance(t)
+	var buf bytes.Buffer
+	fr := telemetry.NewFlightRecorder(64)
+	sched, err := Solve(inst, Options{
+		Method:           MethodOAStar,
+		EventTraceWriter: &buf,
+		EventSink:        fr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	phases := map[string]bool{}
+	for _, ph := range sched.Stats.Phases {
+		if ph.Duration < 0 {
+			t.Errorf("phase %q has negative duration %v", ph.Name, ph.Duration)
+		}
+		phases[ph.Name] = true
+	}
+	for _, want := range []string{"oracle", "graph", "prepare", "search"} {
+		if !phases[want] {
+			t.Errorf("Stats.Phases missing %q (got %+v)", want, sched.Stats.Phases)
+		}
+	}
+
+	events, err := telemetry.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("EventTraceWriter got no events")
+	}
+	id := events[0].SolveID
+	if id == 0 {
+		t.Error("solve_id not stamped")
+	}
+	var sawSolution bool
+	for i, ev := range events {
+		if ev.SolveID != id {
+			t.Fatalf("event %d solve_id %d != %d", i, ev.SolveID, id)
+		}
+		if ev.Ev == "solution" {
+			sawSolution = true
+			if math.Abs(ev.Cost-sched.TotalDegradation) > 1e-9 {
+				t.Errorf("solution event cost %v != schedule cost %v", ev.Cost, sched.TotalDegradation)
+			}
+		}
+	}
+	if !sawSolution {
+		t.Error("trace has no solution event")
+	}
+	if got := fr.Len(); got == 0 {
+		t.Error("EventSink leg of the fan-out received nothing")
+	}
+
+	// The IP pipeline reports its own phase split and shares the sink.
+	var ipBuf bytes.Buffer
+	ipSched, err := Solve(inst, Options{Method: MethodIP, EventTraceWriter: &ipBuf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipPhases := map[string]bool{}
+	for _, ph := range ipSched.Stats.Phases {
+		ipPhases[ph.Name] = true
+	}
+	for _, want := range []string{"oracle", "model", "search"} {
+		if !ipPhases[want] {
+			t.Errorf("IP Stats.Phases missing %q (got %+v)", want, ipSched.Stats.Phases)
+		}
+	}
+	ipEvents, err := telemetry.ReadEvents(&ipBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ipStart *telemetry.Event
+	for i, ev := range ipEvents {
+		if ev.Ev == "solve_start" {
+			ipStart = &ipEvents[i]
+			break
+		}
+	}
+	if ipStart == nil || ipStart.Method != "ip:bnb-best+round" {
+		t.Fatalf("IP trace has no ip solve_start: %+v", ipEvents)
+	}
+	if ipStart.SolveID == id {
+		t.Error("distinct Solve calls shared a solve_id")
+	}
+
+	// Phases come for free: no trace configured still yields a breakdown.
+	plain, err := Solve(inst, Options{Method: MethodHAStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Stats.Phases) == 0 {
+		t.Error("Stats.Phases empty without telemetry configured")
 	}
 }

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 
 	"cosched/internal/astar"
 	"cosched/internal/cache"
@@ -23,10 +25,13 @@ import (
 	"cosched/internal/job"
 	"cosched/internal/online"
 	"cosched/internal/sim"
+	"cosched/internal/telemetry"
 	"cosched/internal/workload"
 )
 
 func main() {
+	traceFile := flag.String("trace", "", "write each policy run's JSONL event trace to this file")
+	flag.Parse()
 	const nJobs = 16
 	m := cache.QuadCore
 	in, err := workload.SyntheticSerialInstance(nJobs, &m, 7)
@@ -42,6 +47,19 @@ func main() {
 		arrivals[i] = online.Arrival{Job: job.JobID(i), Time: float64(i) * 5}
 	}
 
+	// -trace captures every policy run's event stream into one file;
+	// the runs stay separable by their solve ids (coschedtrace splits
+	// them).
+	var obs online.Observer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close() //nolint:errcheck
+		obs.Events = telemetry.NewEventWriter(f)
+	}
+
 	fmt.Printf("%d jobs arriving every 5s onto %d quad-core machines\n\n", nJobs, machines)
 	fmt.Printf("%-18s %-16s %s\n", "policy", "mean turnaround", "makespan")
 	policies := []online.Policy{
@@ -51,7 +69,9 @@ func main() {
 		online.Random{Rng: rand.New(rand.NewSource(1))},
 	}
 	for _, p := range policies {
-		res, err := online.Simulate(c, in.SoloTime, machines, arrivals, p)
+		o := obs
+		o.SolveID = 0 // each run self-assigns a fresh solve id
+		res, err := online.SimulateTraced(c, in.SoloTime, machines, arrivals, p, o)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,12 +1,14 @@
 // Solver telemetry end to end: run a Fig. 9-sized OA* search with every
 // observation surface enabled — a live single-line progress bar driven
 // by the rate-limited progress reports, the machine-readable JSONL event
-// stream, and the metrics registry — then decode the trace and summarise
-// what the search did (DESIGN.md §6).
+// stream, the in-memory flight recorder, the metrics registry and its
+// Prometheus rendering — then decode the trace and summarise what the
+// search did (DESIGN.md §6).
 //
 // The same surfaces are available from the CLI:
 //
 //	go run ./cmd/coschedcli ... -progress -trace out.jsonl -debug-addr localhost:6060
+//	go run ./cmd/coschedtrace summary out.jsonl
 package main
 
 import (
@@ -68,12 +70,14 @@ func main() {
 	defer os.Remove(trace.Name())
 
 	reg := telemetry.New()
+	recorder := telemetry.NewFlightRecorder(64)
 	bar := &progressBar{depthRe: regexp.MustCompile(`depth (\d+)/(\d+)`)}
 	fmt.Printf("solving a %d-process batch with OA* on the quad-core machine...\n", n)
 	sched, err := cosched.Solve(inst, cosched.Options{
 		Method:           cosched.MethodOAStar,
 		Metrics:          reg,
 		EventTraceWriter: trace,
+		EventSink:        recorder,
 		ProgressWriter:   bar,
 		ProgressEvery:    250 * time.Millisecond,
 	})
@@ -81,8 +85,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("solved: total degradation %.4f in %v\n\n",
+	fmt.Printf("solved: total degradation %.4f in %v\n",
 		sched.TotalDegradation, sched.Stats.Duration.Round(time.Millisecond))
+	fmt.Print("phase breakdown:")
+	for _, ph := range sched.Stats.Phases {
+		fmt.Printf(" %s %v", ph.Name, ph.Duration.Round(time.Microsecond))
+	}
+	fmt.Print("\n\n")
 
 	// Surface 1: the metrics registry (what -debug-addr serves as expvar).
 	fmt.Println("metrics registry (the expvar surface):")
@@ -131,4 +140,23 @@ func main() {
 		st.Generated, st.Expanded, st.Dismissed, st.BeamTrimmed, st.InFrontier)
 	fmt.Printf("dismissed before admission: %d worse (Theorem 1), %d pruned (incumbent bound)\n",
 		st.DismissedWorse, st.Pruned)
+
+	// Surface 3: the flight recorder keeps the last events in memory even
+	// when no trace file is configured (coschedcli dumps it on SIGQUIT
+	// and serves it at /debug/trace).
+	tail := recorder.Events()
+	fmt.Printf("\nflight recorder: last %d of the stream retained in memory, ending with %q\n",
+		len(tail), tail[len(tail)-1].Ev)
+
+	// Surface 4: the same registry rendered as Prometheus text (what
+	// -debug-addr serves at /metrics).
+	var prom strings.Builder
+	if err := telemetry.WritePrometheus(&prom, reg); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(prom.String(), "\n"), "\n")
+	fmt.Printf("\nPrometheus exposition (%d lines; first 6):\n", len(lines))
+	for _, l := range lines[:6] {
+		fmt.Println(" ", l)
+	}
 }

@@ -138,6 +138,9 @@ func (s *Solver) solveBeam() (*Result, error) {
 	stats.Duration = time.Since(start)
 	s.fillAllocStats(&stats)
 	groups := reconstruct(best)
+	if hooks.stats != nil {
+		hooks.stats.SolveStats(&stats)
+	}
 	if hooks.base != nil {
 		hooks.base.Solution(best.g, groups)
 	}

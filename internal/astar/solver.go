@@ -481,6 +481,9 @@ func (s *Solver) Solve() (*Result, error) {
 			stats.Duration = time.Since(start)
 			s.fillAllocStats(&stats)
 			groups := reconstruct(e)
+			if hooks.stats != nil {
+				hooks.stats.SolveStats(&stats)
+			}
 			if hooks.base != nil {
 				hooks.base.Solution(e.g, groups)
 			}
@@ -553,14 +556,27 @@ func (s *Solver) Solve() (*Result, error) {
 			})
 		}
 	}
-	// Exhausted queue: fall back to the best complete schedule seen.
+	// Exhausted queue: fall back to the best complete schedule seen. The
+	// trace still ends with stats + solution events so offline analysis
+	// (coschedtrace check) can account for fully-drained searches too.
 	stats.Duration = time.Since(start)
 	s.fillAllocStats(&stats)
+	if hooks.stats != nil {
+		hooks.stats.SolveStats(&stats)
+	}
 	if bestComplete != nil {
-		return &Result{Groups: reconstruct(bestComplete), Cost: bestComplete.g, Stats: stats}, nil
+		groups := reconstruct(bestComplete)
+		if hooks.base != nil {
+			hooks.base.Solution(bestComplete.g, groups)
+		}
+		return &Result{Groups: groups, Cost: bestComplete.g, Stats: stats}, nil
 	}
 	if greedyGroups != nil {
-		return &Result{Groups: greedyGroups, Cost: s.cost.PartitionCost(greedyGroups), Stats: stats}, nil
+		cost := s.cost.PartitionCost(greedyGroups)
+		if hooks.base != nil {
+			hooks.base.Solution(cost, greedyGroups)
+		}
+		return &Result{Groups: greedyGroups, Cost: cost, Stats: stats}, nil
 	}
 	return nil, errors.New("astar: priority list exhausted without a complete schedule")
 }

@@ -22,54 +22,113 @@ import (
 // searches pay a few hundred atomic writes total.
 const flushEvery = 4096
 
-// JSONLTracer renders the full search event stream as JSON Lines
-// (telemetry.Event, one per line): solve_start, sampled expansions,
-// dismissals with reason, progress spans and the final solution. It
-// implements Tracer plus all three optional extensions.
-type JSONLTracer struct {
-	ew *telemetry.EventWriter
+// EventTracer renders the full search event stream into a
+// telemetry.EventSink (telemetry.Event, one per event): solve_start,
+// sampled expansions, dismissals with reason, progress spans, the final
+// stats accounting, and the solution. It implements Tracer plus all four
+// optional extensions. The sink decides durability: a
+// telemetry.EventWriter gives the JSONL trace file, a FlightRecorder the
+// in-memory last-N window, MultiSink both.
+//
+// JSONLTracer is the historical name for the EventWriter-backed use; it
+// remains as an alias.
+type EventTracer struct {
+	sink telemetry.EventSink
 	// Every samples expand events: only each Every-th expansion is
 	// emitted (0 or 1 means all). Dismiss events follow DismissEvery the
-	// same way. solve_start, progress and solution events are always
-	// emitted.
+	// same way. solve_start, progress, stats and solution events are
+	// always emitted.
 	Every        int64
 	DismissEvery int64
-	u            int
+	// SolveID tags every event of this solve
+	// (telemetry.Event.SolveID); when zero the tracer assigns itself one
+	// from telemetry.NextSolveID at SolveStart, so multi-solve traces
+	// stay separable. Callers coordinating several producers (cosched
+	// threading one id through search and IP) set it explicitly.
+	SolveID uint64
+	// HName names the heuristic strategy for the solve_start event
+	// (Options.H.String(); empty omits the field).
+	HName string
+	// Epoch is the monotonic origin for the t_ms stamps. When zero the
+	// tracer starts its own clock at SolveStart; cosched passes its
+	// SpanRecorder epoch so search events and phase spans share one
+	// timeline.
+	Epoch time.Time
+	u     int
 }
+
+// JSONLTracer is the original name of EventTracer, kept as an alias for
+// the PR-2 API surface.
+type JSONLTracer = EventTracer
 
 // NewJSONLTracer returns a tracer writing JSONL events to w. The stream
 // is buffered; Solution flushes it, and Flush forces it at any time.
-func NewJSONLTracer(w io.Writer) *JSONLTracer {
-	return &JSONLTracer{ew: telemetry.NewEventWriter(w)}
+func NewJSONLTracer(w io.Writer) *EventTracer {
+	return NewEventTracer(telemetry.NewEventWriter(w))
+}
+
+// NewEventTracer returns a tracer emitting into sink.
+func NewEventTracer(sink telemetry.EventSink) *EventTracer {
+	return &EventTracer{sink: sink}
+}
+
+// stamp fills the cross-cutting fields every event carries: the shared
+// monotonic clock and the solve tag. It runs on the dismissal hot path,
+// so it must stay allocation-free (time.Since and two field writes).
+func (t *EventTracer) stamp(ev *telemetry.Event) {
+	if !t.Epoch.IsZero() {
+		ev.TMS = float64(time.Since(t.Epoch)) / float64(time.Millisecond)
+	}
+	ev.SolveID = t.SolveID
 }
 
 // SolveStart implements StartTracer.
-func (t *JSONLTracer) SolveStart(n, u int, method string) {
+func (t *EventTracer) SolveStart(n, u int, method string) {
 	t.u = u
-	t.ew.Emit(telemetry.Event{Ev: "solve_start", N: n, U: u, Method: method}) //nolint:errcheck
+	if t.SolveID == 0 {
+		t.SolveID = telemetry.NextSolveID()
+	}
+	if t.Epoch.IsZero() {
+		t.Epoch = time.Now()
+	}
+	ev := telemetry.Event{
+		Ev: "solve_start", N: n, U: u, Method: method, HName: t.HName,
+	}
+	if t.Every > 1 {
+		ev.Sample = t.Every
+	}
+	if t.DismissEvery > 1 {
+		ev.DismissSample = t.DismissEvery
+	}
+	t.stamp(&ev)
+	t.sink.Emit(ev) //nolint:errcheck
 }
 
 // Expand implements Tracer.
-func (t *JSONLTracer) Expand(popIndex int64, depth int, g, h float64, leader job.ProcID) {
+func (t *EventTracer) Expand(popIndex int64, depth int, g, h float64, leader job.ProcID) {
 	if t.Every > 1 && popIndex%t.Every != 0 {
 		return
 	}
-	t.ew.Emit(telemetry.Event{ //nolint:errcheck
+	ev := telemetry.Event{
 		Ev: "expand", Pop: popIndex, Depth: depth, Q: depth * t.u,
 		G: g, H: h, Leader: int(leader),
-	})
+	}
+	t.stamp(&ev)
+	t.sink.Emit(ev) //nolint:errcheck
 }
 
 // Dismiss implements DismissTracer.
-func (t *JSONLTracer) Dismiss(popIndex int64, q int, g float64, reason DismissReason) {
+func (t *EventTracer) Dismiss(popIndex int64, q int, g float64, reason DismissReason) {
 	if t.DismissEvery > 1 && popIndex%t.DismissEvery != 0 {
 		return
 	}
-	t.ew.Emit(telemetry.Event{Ev: "dismiss", Pop: popIndex, Q: q, G: g, Reason: reason.String()}) //nolint:errcheck
+	ev := telemetry.Event{Ev: "dismiss", Pop: popIndex, Q: q, G: g, Reason: reason.String()}
+	t.stamp(&ev)
+	t.sink.Emit(ev) //nolint:errcheck
 }
 
 // Progress implements ProgressTracer.
-func (t *JSONLTracer) Progress(popIndex int64, frontier int, popsPerSec, etaSec, elapsedSec float64) {
+func (t *EventTracer) Progress(popIndex int64, frontier int, popsPerSec, etaSec, elapsedSec float64) {
 	ev := telemetry.Event{
 		Ev: "progress", Pop: popIndex, Frontier: frontier,
 		PopsPerSec: popsPerSec, ElapsedSec: elapsedSec,
@@ -77,11 +136,32 @@ func (t *JSONLTracer) Progress(popIndex int64, frontier int, popsPerSec, etaSec,
 	if etaSec >= 0 {
 		ev.ETASec = etaSec
 	}
-	t.ew.Emit(ev) //nolint:errcheck
+	t.stamp(&ev)
+	t.sink.Emit(ev) //nolint:errcheck
 }
 
-// Solution implements Tracer and flushes the stream.
-func (t *JSONLTracer) Solution(cost float64, groups [][]job.ProcID) {
+// SolveStats implements StatsTracer: the final search accounting as one
+// "stats" event, which makes the trace self-verifying (coschedtrace
+// check reconciles the event stream against these counters).
+func (t *EventTracer) SolveStats(st *Stats) {
+	ev := telemetry.Event{
+		Ev:             "stats",
+		Visited:        st.VisitedPaths,
+		Expanded:       st.Expanded,
+		Generated:      st.Generated,
+		DismissedStale: st.Dismissed,
+		DismissedWorse: st.DismissedWorse,
+		Pruned:         st.Pruned,
+		BeamTrimmed:    st.BeamTrimmed,
+		InFrontier:     st.InFrontier,
+		Condensed:      st.Condensed,
+	}
+	t.stamp(&ev)
+	t.sink.Emit(ev) //nolint:errcheck
+}
+
+// Solution implements Tracer and flushes the sink.
+func (t *EventTracer) Solution(cost float64, groups [][]job.ProcID) {
 	ints := make([][]int, len(groups))
 	for i, g := range groups {
 		ints[i] = make([]int, len(g))
@@ -89,13 +169,15 @@ func (t *JSONLTracer) Solution(cost float64, groups [][]job.ProcID) {
 			ints[i][j] = int(p)
 		}
 	}
-	t.ew.Emit(telemetry.Event{Ev: "solution", Cost: cost, Groups: ints}) //nolint:errcheck
-	t.ew.Flush()                                                         //nolint:errcheck
+	ev := telemetry.Event{Ev: "solution", Cost: cost, Groups: ints}
+	t.stamp(&ev)
+	t.sink.Emit(ev)             //nolint:errcheck
+	telemetry.FlushSink(t.sink) //nolint:errcheck
 }
 
-// Flush forces buffered events to the underlying writer (useful when a
+// Flush forces buffered events to the underlying sink (useful when a
 // solve aborts before its solution event).
-func (t *JSONLTracer) Flush() error { return t.ew.Flush() }
+func (t *EventTracer) Flush() error { return telemetry.FlushSink(t.sink) }
 
 // solverMetrics caches the registry handles of the astar.* metric
 // family, resolved once per solve. All methods are nil-receiver-safe, so

@@ -119,6 +119,14 @@ func TestJSONLTraceRoundTrip(t *testing.T) {
 	if first.Ev != "solve_start" || first.N != 16 || first.U != 4 || first.Method != "OA*" {
 		t.Errorf("bad solve_start event: %+v", first)
 	}
+	if first.SolveID == 0 {
+		t.Error("tracer did not self-assign a solve_id")
+	}
+	for i, ev := range events {
+		if ev.SolveID != first.SolveID {
+			t.Fatalf("event %d solve_id = %d, want %d (one solve, one id)", i, ev.SolveID, first.SolveID)
+		}
+	}
 	if last.Ev != "solution" || math.Abs(last.Cost-res.Cost) > 1e-12 {
 		t.Errorf("bad solution event: %+v (want cost %v)", last, res.Cost)
 	}
@@ -131,8 +139,9 @@ func TestJSONLTraceRoundTrip(t *testing.T) {
 	}
 
 	var expands, dismissals int64
+	var statsEv *telemetry.Event
 	reasons := map[string]int64{}
-	for _, ev := range events[1 : len(events)-1] {
+	for i, ev := range events[1 : len(events)-1] {
 		switch ev.Ev {
 		case "expand":
 			expands++
@@ -144,9 +153,18 @@ func TestJSONLTraceRoundTrip(t *testing.T) {
 			reasons[ev.Reason]++
 		case "progress":
 			// Rate-limited; absent on fast solves.
+		case "stats":
+			statsEv = &events[1+i]
 		default:
 			t.Fatalf("unexpected event type %q", ev.Ev)
 		}
+	}
+	if statsEv == nil {
+		t.Fatal("trace missing the final stats event")
+	}
+	if statsEv.Generated != res.Stats.Generated || statsEv.Expanded != res.Stats.Expanded ||
+		statsEv.InFrontier != res.Stats.InFrontier {
+		t.Errorf("stats event %+v disagrees with Stats %+v", statsEv, res.Stats)
 	}
 	if expands != res.Stats.VisitedPaths {
 		t.Errorf("trace has %d expand events, Stats counted %d pops", expands, res.Stats.VisitedPaths)
@@ -193,6 +211,64 @@ func TestDismissedChildAllocFreeWithTelemetry(t *testing.T) {
 	})
 	if allocs > 0 {
 		t.Fatalf("dismissed child with telemetry enabled costs %.1f allocs; want 0", allocs)
+	}
+}
+
+// TestDismissedChildAllocFreeWithTracing tightens the guard further:
+// metrics, an open phase span, and a live event tracer emitting every
+// dismiss event (t_ms-stamped, into a FlightRecorder ring) must together
+// keep the dismissed-child path at 0 allocations. This is the acceptance
+// bar for always-on flight recording — the durable JSONL writer allocates
+// in encoding/json, so "tracing without allocation" specifically means a
+// struct-copy sink.
+func TestDismissedChildAllocFreeWithTracing(t *testing.T) {
+	sv, root, node := hotPathSolver(t, 120, 4, true)
+	sv.opts.Metrics = telemetry.New()
+	met := newSolverMetrics(sv.opts.Metrics)
+	met.begin(sv)
+
+	rec := telemetry.NewFlightRecorder(256)
+	spans := telemetry.NewSpanRecorder(sv.opts.Metrics, rec, 7)
+	tr := NewEventTracer(rec)
+	tr.SolveID = 7
+	tr.Epoch = spans.Epoch()
+	tr.SolveStart(120, 4, "OA*")
+	search := spans.Start("search")
+	hooks := newTracerHooks(tr)
+	if hooks.dismiss == nil {
+		t.Fatal("EventTracer must implement DismissTracer")
+	}
+
+	var stats Stats
+	warm := sv.makeChildIn(sv.pool, root, node)
+	sv.recycle(warm)
+	allocs := testing.AllocsPerRun(200, func() {
+		c := sv.makeChildIn(sv.pool, root, node)
+		if ref := sv.table.find(c.keyWords); ref < 0 {
+			stats.DismissedWorse++
+		}
+		hooks.dismiss.Dismiss(stats.VisitedPaths, c.q, c.g, DismissWorse)
+		sv.recycle(c)
+		met.flush(&stats, 1, 1, sv.table, time.Millisecond)
+	})
+	search.End()
+	if allocs > 0 {
+		t.Fatalf("dismissed child with tracing+spans enabled costs %.1f allocs; want 0", allocs)
+	}
+	dismissed := 0
+	for _, ev := range rec.Events() {
+		if ev.SolveID != 7 || ev.TMS <= 0 {
+			t.Fatalf("recorded event not stamped: %+v", ev)
+		}
+		if ev.Ev == "dismiss" {
+			dismissed++
+		}
+	}
+	if dismissed < 200 {
+		t.Fatalf("flight recorder retained %d dismiss events, want >= 200", dismissed)
+	}
+	if res := spans.Results(); len(res) != 1 || res[0].Name != "search" {
+		t.Fatalf("span results = %v", res)
 	}
 }
 

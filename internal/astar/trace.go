@@ -81,6 +81,15 @@ type ProgressTracer interface {
 	Progress(popIndex int64, frontier int, popsPerSec, etaSec, elapsedSec float64)
 }
 
+// StatsTracer is an optional Tracer extension: SolveStats is called once
+// per solve, after the search ends and before Solution, with the final
+// counters. A trace carrying it is self-verifying — cmd/coschedtrace
+// replays the event stream and reconciles it against these counts (the
+// admission identity, dismissal totals, expansion totals).
+type StatsTracer interface {
+	SolveStats(st *Stats)
+}
+
 // tracerHooks caches the per-solve type assertions of the optional
 // tracer extensions, so the hot loop pays one nil check per event kind.
 type tracerHooks struct {
@@ -88,6 +97,7 @@ type tracerHooks struct {
 	start    StartTracer
 	dismiss  DismissTracer
 	progress ProgressTracer
+	stats    StatsTracer
 }
 
 func newTracerHooks(t Tracer) tracerHooks {
@@ -96,6 +106,7 @@ func newTracerHooks(t Tracer) tracerHooks {
 		h.start, _ = t.(StartTracer)
 		h.dismiss, _ = t.(DismissTracer)
 		h.progress, _ = t.(ProgressTracer)
+		h.stats, _ = t.(StatsTracer)
 	}
 	return h
 }

@@ -32,13 +32,22 @@ type RunOptions struct {
 	// cmd/experiments' -debug-addr endpoint; experiments sharing one
 	// registry accumulate into the same counters.
 	Metrics *telemetry.Registry
+	// Events, when non-nil, receives the JSONL event trace of every
+	// solve the experiment performs (cmd/experiments' -trace flag).
+	// Solves are distinguished by their self-assigned solve_id, so one
+	// sink may span many experiments; split with coschedtrace.
+	Events telemetry.EventSink
 }
 
-// activeMetrics is the registry of the currently running experiment; Run
-// installs it so the solve helpers can attach telemetry without every
-// runner threading it explicitly. Experiments run one at a time per
-// process (cmd/experiments), so a plain package variable suffices.
-var activeMetrics *telemetry.Registry
+// activeMetrics / activeSink carry the currently running experiment's
+// observation hooks; Run installs them so the solve helpers can attach
+// telemetry without every runner threading them explicitly. Experiments
+// run one at a time per process (cmd/experiments), so plain package
+// variables suffice.
+var (
+	activeMetrics *telemetry.Registry
+	activeSink    telemetry.EventSink
+)
 
 // Report is the regenerated table/figure.
 type Report struct {
@@ -144,8 +153,13 @@ func Run(id string, opts RunOptions) (*Report, error) {
 		opts.Seed = 1
 	}
 	activeMetrics = opts.Metrics
-	defer func() { activeMetrics = nil }()
-	return r(opts)
+	activeSink = opts.Events
+	defer func() { activeMetrics, activeSink = nil, nil }()
+	rep, err := r(opts)
+	if ferr := telemetry.FlushSink(opts.Events); err == nil && ferr != nil {
+		return rep, fmt.Errorf("experiments: flushing event trace: %w", ferr)
+	}
+	return rep, err
 }
 
 // fmtSec renders seconds with adaptive precision.

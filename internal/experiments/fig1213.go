@@ -21,13 +21,17 @@ func init() {
 // and a bounded beam (DESIGN.md §3 records why the thousand-process runs
 // need the estimator/beam instead of the priority-list search).
 func haLargeOptions(n, u int) astar.Options {
-	return astar.Options{
+	opts := astar.Options{
 		H:         astar.HPerProcAvg,
 		HWeight:   1.2,
 		KPerLevel: n / u,
 		BeamWidth: 16,
 		Metrics:   activeMetrics,
 	}
+	if activeSink != nil {
+		opts.Tracer = astar.NewEventTracer(activeSink)
+	}
+	return opts
 }
 
 // fig12 reproduces Figure 12: average degradation of HA* vs PG on large

@@ -30,6 +30,9 @@ func solveOAOpt(in *workload.Instance, mode degradation.Mode, opts astar.Options
 	if opts.Metrics == nil {
 		opts.Metrics = activeMetrics
 	}
+	if opts.Tracer == nil && activeSink != nil {
+		opts.Tracer = astar.NewEventTracer(activeSink)
+	}
 	if opts.H == astar.HNone && opts.KPerLevel == 0 && !opts.UseIncumbent {
 		// caller asked for raw defaults; leave as-is (O-SVP style)
 	} else if opts.H == astar.HNone {
@@ -71,6 +74,9 @@ func solveHA(in *workload.Instance, mode degradation.Mode) (*astar.Result, error
 	g := graph.New(c, in.Patterns)
 	n, u := g.N(), g.U()
 	opts := astar.Options{KPerLevel: n / u, Condense: true, UseIncumbent: true, Metrics: activeMetrics}
+	if activeSink != nil {
+		opts.Tracer = astar.NewEventTracer(activeSink)
+	}
 	if n > 40 {
 		opts.H = astar.HPerProcAvg
 		opts.HWeight = 1.2
@@ -110,6 +116,7 @@ func solveIPBest(in *workload.Instance, mode degradation.Mode, limit time.Durati
 	cfg := ip.ConfigA
 	cfg.TimeLimit = limit
 	cfg.Metrics = activeMetrics
+	cfg.Events = activeSink
 	return ip.Solve(model, cfg)
 }
 

@@ -1,6 +1,7 @@
 package ip
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"cosched/internal/bruteforce"
 	"cosched/internal/cache"
 	"cosched/internal/degradation"
+	"cosched/internal/telemetry"
 	"cosched/internal/workload"
 )
 
@@ -189,6 +191,67 @@ func TestMaxNodes(t *testing.T) {
 	}
 	if res.Stats.Nodes > 1 {
 		t.Errorf("node limit ignored: %d nodes", res.Stats.Nodes)
+	}
+}
+
+// TestSolveEmitsTraceEvents pins the branch-and-bound trace contract:
+// the stream opens with solve_start (method "ip:<config>"), carries one
+// monotone non-increasing incumbent event per bound improvement, and
+// closes with stats + solution whose counters and cost match the Result.
+func TestSolveEmitsTraceEvents(t *testing.T) {
+	c := buildCost(t, 8, 2, 3, degradation.ModePC)
+	m, err := BuildModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := ConfigA
+	cfg.Events = telemetry.NewEventWriter(&buf)
+	res, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := telemetry.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("trace too short: %v", events)
+	}
+	first, last := events[0], events[len(events)-1]
+	if first.Ev != "solve_start" || first.Method != "ip:bnb-best+round" || first.N != 8 {
+		t.Errorf("bad solve_start: %+v", first)
+	}
+	if first.SolveID == 0 {
+		t.Error("solve_id not self-assigned")
+	}
+	if last.Ev != "solution" || math.Abs(last.Cost-res.Cost) > 1e-9 {
+		t.Errorf("bad solution event: %+v (want cost %v)", last, res.Cost)
+	}
+	prevIncumbent := math.Inf(1)
+	improvements := int64(0)
+	var statsEv *telemetry.Event
+	for i, ev := range events {
+		if ev.SolveID != first.SolveID {
+			t.Fatalf("event %d solve_id %d != %d", i, ev.SolveID, first.SolveID)
+		}
+		switch ev.Ev {
+		case "incumbent":
+			improvements++
+			if ev.Cost > prevIncumbent+1e-12 {
+				t.Errorf("incumbent worsened: %v after %v", ev.Cost, prevIncumbent)
+			}
+			prevIncumbent = ev.Cost
+		case "stats":
+			statsEv = &events[i]
+		}
+	}
+	if improvements != res.Stats.BoundImprovements {
+		t.Errorf("trace has %d incumbent events, Stats counted %d", improvements, res.Stats.BoundImprovements)
+	}
+	if statsEv == nil || statsEv.Nodes != res.Stats.Nodes || statsEv.LPIters != res.Stats.LPIters {
+		t.Errorf("stats event %+v disagrees with Stats %+v", statsEv, res.Stats)
 	}
 }
 

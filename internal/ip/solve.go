@@ -78,6 +78,69 @@ func (m *ipMetrics) finish(st *Stats, incumbent float64) {
 	m.solveNS.Add(st.Duration.Nanoseconds())
 }
 
+// ipEvents is the trace-event side of the IP telemetry: one solve_start,
+// an incumbent event per bound improvement, and the closing stats +
+// solution pair, all stamped with the solve id and the shared monotonic
+// clock. A nil *ipEvents (Config.Events unset) disables everything.
+type ipEvents struct {
+	sink    telemetry.EventSink
+	solveID uint64
+	epoch   time.Time
+}
+
+func newIPEvents(cfg *Config, n int) *ipEvents {
+	if cfg.Events == nil {
+		return nil
+	}
+	e := &ipEvents{sink: cfg.Events, solveID: cfg.SolveID, epoch: cfg.Epoch}
+	if e.solveID == 0 {
+		e.solveID = telemetry.NextSolveID()
+	}
+	if e.epoch.IsZero() {
+		e.epoch = time.Now()
+	}
+	e.emit(telemetry.Event{Ev: "solve_start", N: n, Method: "ip:" + cfg.Name})
+	return e
+}
+
+func (e *ipEvents) emit(ev telemetry.Event) {
+	if e == nil {
+		return
+	}
+	ev.SolveID = e.solveID
+	ev.TMS = float64(time.Since(e.epoch)) / float64(time.Millisecond)
+	e.sink.Emit(ev) //nolint:errcheck
+}
+
+// incumbent records a bound improvement (Pop carries the node count at
+// which it happened, mirroring the graph searches' expansion index).
+func (e *ipEvents) incumbent(cost float64, nodes int64) {
+	if e == nil {
+		return
+	}
+	e.emit(telemetry.Event{Ev: "incumbent", Cost: cost, Pop: nodes})
+}
+
+// finish closes the trace: the final accounting, the solution when one
+// exists, and a sink flush.
+func (e *ipEvents) finish(st *Stats, cost float64, groups [][]job.ProcID) {
+	if e == nil {
+		return
+	}
+	e.emit(telemetry.Event{Ev: "stats", Nodes: st.Nodes, LPIters: st.LPIters})
+	if groups != nil {
+		ints := make([][]int, len(groups))
+		for i, g := range groups {
+			ints[i] = make([]int, len(g))
+			for j, p := range g {
+				ints[i][j] = int(p)
+			}
+		}
+		e.emit(telemetry.Event{Ev: "solution", Cost: cost, Groups: ints, Pop: st.Nodes})
+	}
+	telemetry.FlushSink(e.sink) //nolint:errcheck
+}
+
 // Result is an exact (or best-found, if timed out) IP solution.
 type Result struct {
 	Groups  [][]job.ProcID
@@ -128,6 +191,7 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 	incumbent := math.Inf(1)
 	var incumbentSel []int
 	met := newIPMetrics(cfg.Metrics)
+	evs := newIPEvents(&cfg, m.Cost.Batch.NumProcs())
 
 	var best nodeHeap // best-first frontier
 	var stack []*bbNode
@@ -204,6 +268,7 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 					incumbent = sol.Objective
 					incumbentSel = sel
 					stats.BoundImprovements++
+					evs.incumbent(incumbent, stats.Nodes)
 				}
 				continue
 			}
@@ -212,6 +277,7 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 					incumbent = cost
 					incumbentSel = sel
 					stats.BoundImprovements++
+					evs.incumbent(incumbent, stats.Nodes)
 				}
 			}
 			// Branch on the fractional column.
@@ -231,15 +297,18 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 	stats.Duration = time.Since(start)
 	met.finish(&stats, incumbent)
 	if incumbentSel == nil {
+		evs.finish(&stats, 0, nil)
 		if stats.TimedOut {
 			return &Result{Stats: stats}, fmt.Errorf("ip: %s: no feasible solution before limit", cfg.Name)
 		}
 		return nil, fmt.Errorf("ip: no feasible solution found")
 	}
 	groups := m.Groups(incumbentSel)
+	cost := m.Cost.PartitionCost(groups)
+	evs.finish(&stats, cost, groups)
 	return &Result{
 		Groups:  groups,
-		Cost:    m.Cost.PartitionCost(groups),
+		Cost:    cost,
 		Optimal: !stats.TimedOut,
 		Stats:   stats,
 	}, nil

@@ -48,6 +48,36 @@ type System struct {
 	// telemetry layer can compute placement delays.
 	arrivedAt map[job.JobID]float64
 	met       *onlineMetrics
+	evs       *onlineEvents
+}
+
+// onlineEvents is the trace-event side of the online telemetry: one
+// solve_start, then arrival/place/job_done events on the simulated
+// clock (Event.T, not t_ms), and a closing solution event carrying the
+// makespan. Job numbers are 1-based in the trace so job 0 survives the
+// schema's omitempty encoding. A nil *onlineEvents disables everything.
+type onlineEvents struct {
+	sink    telemetry.EventSink
+	solveID uint64
+}
+
+func newOnlineEvents(obs Observer) *onlineEvents {
+	if obs.Events == nil {
+		return nil
+	}
+	e := &onlineEvents{sink: obs.Events, solveID: obs.SolveID}
+	if e.solveID == 0 {
+		e.solveID = telemetry.NextSolveID()
+	}
+	return e
+}
+
+func (e *onlineEvents) emit(ev telemetry.Event) {
+	if e == nil {
+		return
+	}
+	ev.SolveID = e.solveID
+	e.sink.Emit(ev) //nolint:errcheck
 }
 
 // onlineMetrics caches the registry handles of the online.* metric
@@ -127,14 +157,36 @@ func Simulate(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
 	return SimulateObserved(c, solo, machines, arrivals, p, nil)
 }
 
-// SimulateObserved is Simulate with telemetry: a non-nil registry
+// Observer bundles the optional observation surfaces of a simulation:
+// a metrics registry (the "online.*" family), a trace-event sink (the
+// arrival/place/job_done stream an incident dump or coschedtrace
+// consumes), and the solve id stamped on those events (zero
+// self-assigns one from telemetry.NextSolveID).
+type Observer struct {
+	Metrics *telemetry.Registry
+	Events  telemetry.EventSink
+	SolveID uint64
+}
+
+// SimulateObserved is Simulate with metrics: a non-nil registry
 // receives the "online.*" family (simulations, placements, simulation
 // events, speed recomputations, queue length, and a placement-delay
 // histogram in simulated time units; DESIGN.md §6).
 func SimulateObserved(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
 	arrivals []Arrival, p Policy, reg *telemetry.Registry) (*Result, error) {
+	return SimulateTraced(c, solo, machines, arrivals, p, Observer{Metrics: reg})
+}
+
+// SimulateTraced is Simulate with the full observation surface: metrics
+// plus the trace-event stream. Events carry the simulated clock in T and
+// 1-based job numbers; the stream opens with solve_start (method
+// "online:<policy>") and closes with a solution event whose Cost is the
+// makespan.
+func SimulateTraced(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
+	arrivals []Arrival, p Policy, obs Observer) (*Result, error) {
 	s := NewSystem(c, solo, machines)
-	s.met = newOnlineMetrics(reg)
+	s.met = newOnlineMetrics(obs.Metrics)
+	s.evs = newOnlineEvents(obs)
 	b := c.Batch
 	arrivalTime := make(map[job.JobID]float64, len(arrivals))
 	for i, a := range arrivals {
@@ -150,6 +202,9 @@ func SimulateObserved(c *degradation.Cost, solo func(job.ProcID) float64, machin
 		return nil, fmt.Errorf("online: %d arrivals for %d jobs", len(arrivalTime), len(b.Jobs))
 	}
 	s.arrivedAt = arrivalTime
+	s.evs.emit(telemetry.Event{
+		Ev: "solve_start", N: b.NumProcs(), U: b.Cores, Method: "online:" + p.Name(),
+	})
 
 	next := 0
 	for len(s.finished) < len(b.Jobs) {
@@ -169,6 +224,7 @@ func SimulateObserved(c *degradation.Cost, solo func(job.ProcID) float64, machin
 			if s.met != nil {
 				s.met.queued.Add(1)
 			}
+			s.evs.emit(telemetry.Event{Ev: "arrival", Job: int(arrivals[next].Job) + 1, T: s.now})
 			next++
 		} else {
 			if !anyRunning {
@@ -193,6 +249,10 @@ func SimulateObserved(c *degradation.Cost, solo func(job.ProcID) float64, machin
 		sum += t - arrivalTime[j]
 	}
 	res.MeanTurnaround = sum / float64(len(s.finished))
+	if s.evs != nil {
+		s.evs.emit(telemetry.Event{Ev: "solution", Cost: res.Makespan, T: s.now})
+		telemetry.FlushSink(s.evs.sink) //nolint:errcheck
+	}
 	return res, nil
 }
 
@@ -225,11 +285,19 @@ func (s *System) drainQueue(p Policy) {
 			s.machineOf[int(pid)-1] = m
 			s.remaining[int(pid)-1] = s.Solo(pid)
 		}
+		delay := 0.0
+		if at, ok := s.arrivedAt[j]; ok {
+			delay = s.now - at
+		}
 		if s.met != nil {
 			s.met.placements.Add(1)
-			if at, ok := s.arrivedAt[j]; ok {
-				s.met.placementDelay.Observe(s.now - at)
-			}
+			s.met.placementDelay.Observe(delay)
+		}
+		if s.evs != nil {
+			s.evs.emit(telemetry.Event{
+				Ev: "place", Job: int(j) + 1, T: s.now,
+				Machines: append([]int(nil), placement...), Delay: delay,
+			})
 		}
 		s.queue = s.queue[1:]
 	}
@@ -318,6 +386,7 @@ func (s *System) reap(arrivalTime map[job.JobID]float64) {
 		}
 		if all {
 			s.finished[j.ID] = s.now
+			s.evs.emit(telemetry.Event{Ev: "job_done", Job: int(j.ID) + 1, T: s.now})
 		}
 	}
 	_ = arrivalTime

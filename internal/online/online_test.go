@@ -1,6 +1,7 @@
 package online
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"cosched/internal/cache"
 	"cosched/internal/degradation"
 	"cosched/internal/job"
+	"cosched/internal/telemetry"
 	"cosched/internal/workload"
 )
 
@@ -211,5 +213,90 @@ func TestSimulateWithGeneratedTraces(t *testing.T) {
 		if len(res.JobFinish) != 8 {
 			t.Fatalf("finished %d jobs", len(res.JobFinish))
 		}
+	}
+}
+
+// TestSimulateTracedEmitsEvents pins the online trace contract: the
+// stream opens with solve_start (method "online:<policy>"), every job
+// contributes an arrival → place → job_done chain in causal simulated-
+// time order with 1-based job numbers, and the closing solution event
+// carries the makespan.
+func TestSimulateTracedEmitsEvents(t *testing.T) {
+	c, solo, arrivals := testSetup(t, 8, 1)
+	var buf bytes.Buffer
+	reg := telemetry.New()
+	res, err := SimulateTraced(c, solo, 2, arrivals, FirstFit{},
+		Observer{Metrics: reg, Events: telemetry.NewEventWriter(&buf)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := telemetry.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := events[0], events[len(events)-1]
+	if first.Ev != "solve_start" || first.Method != "online:first-fit" || first.N != 8 {
+		t.Errorf("bad solve_start: %+v", first)
+	}
+	if first.SolveID == 0 {
+		t.Error("solve_id not self-assigned")
+	}
+	if last.Ev != "solution" || math.Abs(last.Cost-res.Makespan) > 1e-9 {
+		t.Errorf("bad solution event: %+v (want makespan %v)", last, res.Makespan)
+	}
+
+	type chain struct{ arrived, placed, done bool }
+	chains := map[int]*chain{}
+	get := func(j int) *chain {
+		if chains[j] == nil {
+			chains[j] = &chain{}
+		}
+		return chains[j]
+	}
+	prevT := 0.0
+	for i, ev := range events {
+		if ev.SolveID != first.SolveID {
+			t.Fatalf("event %d solve_id %d != %d", i, ev.SolveID, first.SolveID)
+		}
+		switch ev.Ev {
+		case "arrival":
+			get(ev.Job).arrived = true
+		case "place":
+			ch := get(ev.Job)
+			if !ch.arrived {
+				t.Fatalf("job %d placed before arriving", ev.Job)
+			}
+			ch.placed = true
+			if len(ev.Machines) != 1 {
+				t.Fatalf("place event machines = %v, want 1 per serial job", ev.Machines)
+			}
+		case "job_done":
+			ch := get(ev.Job)
+			if !ch.placed {
+				t.Fatalf("job %d done before being placed", ev.Job)
+			}
+			ch.done = true
+		}
+		if ev.T < prevT-1e-9 {
+			t.Fatalf("event %d simulated clock went backwards: %v after %v", i, ev.T, prevT)
+		}
+		if ev.T > prevT {
+			prevT = ev.T
+		}
+	}
+	if len(chains) != 8 {
+		t.Fatalf("trace covers %d jobs, want 8", len(chains))
+	}
+	for j, ch := range chains {
+		if !ch.arrived || !ch.placed || !ch.done {
+			t.Errorf("job %d chain incomplete: %+v", j, ch)
+		}
+		if j < 1 || j > 8 {
+			t.Errorf("job number %d outside the 1-based range", j)
+		}
+	}
+	if got := reg.Counter("online.placements").Value(); got != 8 {
+		t.Errorf("online.placements = %d, want 8 (metrics leg of the observer)", got)
 	}
 }

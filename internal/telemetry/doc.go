@@ -1,7 +1,9 @@
 // Package telemetry is the solver-observability layer: a small
 // counter/gauge/histogram registry with an atomic, allocation-free update
-// path, a structured JSONL event stream, a rate-limited progress
-// reporter, and an opt-in expvar + net/http/pprof debug endpoint.
+// path, a structured JSONL event stream, per-phase spans on a monotonic
+// clock, a fixed-size lock-free flight recorder, a rate-limited progress
+// reporter, a hand-rolled Prometheus text encoder, and an opt-in
+// expvar + net/http/pprof debug endpoint.
 //
 // Every solver in this repository (OA*/HA* in internal/astar, the IP
 // branch-and-bound in internal/ip, the O-SVP and PG baselines, the online
@@ -32,16 +34,27 @@
 //
 // # Surfaces
 //
-// Three consumers sit on top of a Registry:
+// The consumers sitting on top of a Registry and the event stream:
 //
 //   - Registry.Snapshot / PublishExpvar expose the current values as one
-//     expvar map, and ServeDebug serves /debug/vars plus /debug/pprof on
-//     an opt-in address (the -debug-addr flag of cmd/coschedcli and
+//     expvar map, and ServeDebug / ServeDebugWith serve /debug/vars,
+//     /debug/pprof, /metrics (Prometheus text format via
+//     WritePrometheus), and optionally /debug/trace on an opt-in
+//     address (the -debug-addr flag of cmd/coschedcli and
 //     cmd/experiments).
 //   - EventWriter / ReadEvents define the machine-readable JSONL trace:
 //     one Event per line, round-trippable, produced by the astar
-//     JSONLTracer (expansions, dismissals with reason, progress spans,
-//     the final solution).
+//     EventTracer (expansions, dismissals with reason, progress spans,
+//     final accounting, the solution) and analysed offline by
+//     cmd/coschedtrace. Producers target the EventSink interface, so
+//     the same stream can feed a durable EventWriter, an in-memory
+//     FlightRecorder (last-N ring for post-hoc incident capture), or
+//     both through MultiSink.
+//   - SpanRecorder times the named phases of a solve pipeline (oracle
+//     precompute, graph construction, condensation, search, IP model
+//     build/solve) against one monotonic epoch, exporting each phase as
+//     span.<name>_ms histograms, span_start/span_end trace events, and
+//     the cosched.Stats phase breakdown.
 //   - ProgressReporter rate-limits human-readable progress lines (pops,
 //     pops/sec, frontier size, ETA) for long searches.
 //

@@ -3,40 +3,70 @@ package telemetry
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Event is one line of the structured JSONL solver trace. Ev identifies
 // the event type; the other fields are populated per type (zero-valued
 // fields are omitted from the encoding):
 //
-//	solve_start  n, u, method          — one per solve, first line
-//	expand       pop, depth, q, g, h, leader
+//	solve_start  n, u, method, h, sample, dismiss_sample
+//	             — one per solve, first search event
+//	expand       pop, depth, q, g, h_est, leader
 //	dismiss      pop, q, g, reason     — reason: worse|stale|pruned|beam_trim
 //	progress     pop, frontier, pops_per_sec, eta_sec, elapsed_sec
+//	span_start   span                  — a solve-pipeline phase opened
+//	span_end     span, dur_ms          — the phase closed
+//	stats        visited, expanded, generated, dismissed_*, pruned,
+//	             beam_trimmed, in_frontier, condensed (graph searches)
+//	             or nodes, lp_iters (IP) — final accounting, before the
+//	             solution event
+//	incumbent    cost, pop             — IP bound improvement
+//	arrival      job, t                — online simulation: job queued
+//	place        job, t, machines, delay — online: job placed
+//	job_done     job, t                — online: job finished
 //	solution     cost, groups, pop     — one per solve, last line
 //
 // pop is the 1-based expansion index at which the event happened (for
 // dismiss events, the expansion that generated the child), depth the path
 // depth in machines, q the number of scheduled processes, g/h the Eq. 13
 // distance and heuristic estimate of the sub-path in degradation units.
-// The schema is append-only: decoders must ignore unknown fields.
+//
+// Every event may additionally carry t_ms (monotonic milliseconds since
+// the solve epoch) and solve_id (a process-unique solve tag from
+// NextSolveID, separating interleaved or concatenated multi-solve
+// traces). Online-simulation events use t — the simulated clock — instead
+// of t_ms, and 1-based job numbers. The schema is append-only: decoders
+// must ignore unknown fields.
 type Event struct {
 	Ev string `json:"ev"`
 
-	// Solve identification (solve_start).
-	N      int    `json:"n,omitempty"`
-	U      int    `json:"u,omitempty"`
-	Method string `json:"method,omitempty"`
+	// Timing and identity (any event; both optional, absent in traces
+	// recorded before the span/flight-recorder era).
+	TMS     float64 `json:"t_ms,omitempty"`
+	SolveID uint64  `json:"solve_id,omitempty"`
+
+	// Solve identification (solve_start). HName names the h strategy;
+	// Sample/DismissSample record the tracer's expand/dismiss sampling
+	// intervals (0 or 1 = every event emitted), which tells trace
+	// consumers whether event counts reconcile with the stats event.
+	N             int    `json:"n,omitempty"`
+	U             int    `json:"u,omitempty"`
+	Method        string `json:"method,omitempty"`
+	HName         string `json:"h,omitempty"`
+	Sample        int64  `json:"sample,omitempty"`
+	DismissSample int64  `json:"dismiss_sample,omitempty"`
 
 	// Search-span fields (expand, dismiss, progress, solution).
 	Pop    int64   `json:"pop,omitempty"`
 	Depth  int     `json:"depth,omitempty"`
 	Q      int     `json:"q,omitempty"`
 	G      float64 `json:"g,omitempty"`
-	H      float64 `json:"h,omitempty"`
+	H      float64 `json:"h_est,omitempty"`
 	Leader int     `json:"leader,omitempty"`
 	Reason string  `json:"reason,omitempty"`
 
@@ -46,14 +76,116 @@ type Event struct {
 	ETASec     float64 `json:"eta_sec,omitempty"`
 	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
 
+	// Phase-span fields (span_start, span_end).
+	Span  string  `json:"span,omitempty"`
+	DurMS float64 `json:"dur_ms,omitempty"`
+
+	// Final-accounting fields (stats). Graph searches fill the admission
+	// block — Generated == Expanded + DismissedStale + BeamTrimmed +
+	// InFrontier — and IP solves the Nodes/LPIters pair.
+	Visited        int64 `json:"visited,omitempty"`
+	Expanded       int64 `json:"expanded,omitempty"`
+	Generated      int64 `json:"generated,omitempty"`
+	DismissedStale int64 `json:"dismissed_stale,omitempty"`
+	DismissedWorse int64 `json:"dismissed_worse,omitempty"`
+	Pruned         int64 `json:"pruned,omitempty"`
+	BeamTrimmed    int64 `json:"beam_trimmed,omitempty"`
+	InFrontier     int64 `json:"in_frontier,omitempty"`
+	Condensed      int64 `json:"condensed,omitempty"`
+	Nodes          int64 `json:"nodes,omitempty"`
+	LPIters        int64 `json:"lp_iters,omitempty"`
+
+	// Online-simulation fields (arrival, place, job_done). Job is
+	// 1-based (JobID + 1, so job 0 survives omitempty); T is the
+	// simulated clock; Delay the placement delay in simulated time.
+	Job      int     `json:"job,omitempty"`
+	T        float64 `json:"t,omitempty"`
+	Machines []int   `json:"machines,omitempty"`
+	Delay    float64 `json:"delay,omitempty"`
+
 	// Solution fields.
 	Cost   float64 `json:"cost,omitempty"`
 	Groups [][]int `json:"groups,omitempty"`
 }
 
+// EventSink receives trace events one at a time. EventWriter (durable
+// JSONL) and FlightRecorder (in-memory ring) are the two implementations
+// this package provides; MultiSink fans an event out to several.
+// Implementations must be safe for concurrent Emit calls.
+type EventSink interface {
+	Emit(Event) error
+}
+
+// flusher is the optional buffered-sink extension: EventWriter implements
+// it, FlightRecorder does not need to.
+type flusher interface {
+	Flush() error
+}
+
+// FlushSink flushes s when it buffers (EventWriter, a MultiSink holding
+// one); a nil or unbuffered sink is a no-op.
+func FlushSink(s EventSink) error {
+	if f, ok := s.(flusher); ok && f != nil {
+		return f.Flush()
+	}
+	return nil
+}
+
+// multiSink fans events out to several sinks.
+type multiSink []EventSink
+
+// Emit implements EventSink: the first error wins but every sink still
+// receives the event.
+func (m multiSink) Emit(ev Event) error {
+	var first error
+	for _, s := range m {
+		if err := s.Emit(ev); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Flush implements the buffered-sink extension.
+func (m multiSink) Flush() error {
+	var first error
+	for _, s := range m {
+		if err := FlushSink(s); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MultiSink combines sinks into one; nils are dropped. It returns nil
+// when nothing remains, the sink itself when exactly one does.
+func MultiSink(sinks ...EventSink) EventSink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// solveIDCounter backs NextSolveID.
+var solveIDCounter atomic.Uint64
+
+// NextSolveID returns a process-unique solve tag (1, 2, 3, ...) for the
+// Event.SolveID field, letting consumers separate the solves of a
+// multi-solve trace without relying on solve_start ordering.
+func NextSolveID() uint64 { return solveIDCounter.Add(1) }
+
 // EventWriter encodes Events as JSON Lines. It buffers internally; call
 // Flush (or Close the underlying writer after Flush) when the trace must
-// be durable — the astar JSONLTracer flushes on every solution event.
+// be durable — the astar EventTracer flushes on every solution event.
 // Emit is safe for concurrent use.
 type EventWriter struct {
 	mu  sync.Mutex
@@ -91,9 +223,33 @@ func (ew *EventWriter) Flush() error {
 	return ew.err
 }
 
+// TraceError reports a trace whose decoding stopped mid-stream: a
+// truncated or corrupt line (a crashed producer's torn last write, a
+// partial download). ReadEvents returns it alongside every event parsed
+// before the bad line, so consumers can analyse the intact prefix.
+type TraceError struct {
+	// Line is the 1-based line number of the first undecodable line.
+	Line int
+	// Err is the underlying JSON or scanner error.
+	Err error
+}
+
+// Error implements the error interface.
+func (e *TraceError) Error() string {
+	return fmt.Sprintf("telemetry: trace line %d: %v", e.Line, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TraceError) Unwrap() error { return e.Err }
+
 // ReadEvents decodes a JSONL event stream produced by EventWriter,
-// returning the events in order. Blank lines are skipped; a malformed
-// line aborts with an error naming its line number.
+// returning the events in order. Blank lines are skipped, and events of
+// unknown type are kept (the schema is append-only; consumers filter on
+// Ev). An empty stream yields no events and no error. A malformed or
+// truncated line stops the decode: ReadEvents then returns every event
+// before it together with a *TraceError naming the line — callers that
+// can work on a prefix (a flight-recorder dump, a trace cut off by a
+// crash) check for that type instead of discarding the whole trace.
 func ReadEvents(r io.Reader) ([]Event, error) {
 	var out []Event
 	sc := bufio.NewScanner(r)
@@ -107,12 +263,21 @@ func ReadEvents(r io.Reader) ([]Event, error) {
 		}
 		var ev Event
 		if err := json.Unmarshal(b, &ev); err != nil {
-			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+			return out, &TraceError{Line: line, Err: err}
 		}
 		out = append(out, ev)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return out, &TraceError{Line: line + 1, Err: err}
 	}
 	return out, nil
+}
+
+// AsTraceError unwraps err to a *TraceError, reporting whether the
+// decode failed mid-stream (so the accompanying events are a usable
+// prefix) as opposed to an I/O failure on the reader itself.
+func AsTraceError(err error) (*TraceError, bool) {
+	var te *TraceError
+	ok := errors.As(err, &te)
+	return te, ok
 }

@@ -30,6 +30,8 @@ func PublishExpvar(name string, r *Registry) {
 //	/debug/vars    — expvar (Go runtime vars plus the registry under
 //	                 the "cosched" key)
 //	/debug/pprof/  — the standard net/http/pprof profile handlers
+//	/metrics       — the registry in Prometheus text exposition format
+//	                 (WritePrometheus)
 //
 // It binds synchronously (so address errors surface to the caller) and
 // serves in a background goroutine. The returned closer shuts the
@@ -37,6 +39,15 @@ func PublishExpvar(name string, r *Registry) {
 // clean up. This is the -debug-addr flag of cmd/coschedcli and
 // cmd/experiments.
 func ServeDebug(addr string, r *Registry) (string, func() error, error) {
+	return ServeDebugWith(addr, r, nil)
+}
+
+// ServeDebugWith is ServeDebug plus a flight recorder: a non-nil fr adds
+//
+//	/debug/trace   — the recorder's retained event window as JSONL
+//	                 (FlightRecorder.Dump), directly consumable by
+//	                 cmd/coschedtrace
+func ServeDebugWith(addr string, r *Registry, fr *FlightRecorder) (string, func() error, error) {
 	PublishExpvar("cosched", r)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -49,6 +60,16 @@ func ServeDebug(addr string, r *Registry) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, r) //nolint:errcheck // best-effort scrape
+	})
+	if fr != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+			fr.Dump(w) //nolint:errcheck // best-effort dump
+		})
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return ln.Addr().String(), func() error { return srv.Close() }, nil

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled so the repository stays
+// dependency-free. Metric names are prefixed "cosched_" with dots and
+// other separators mapped to underscores: the counter "astar.pops"
+// becomes
+//
+//	# TYPE cosched_astar_pops counter
+//	cosched_astar_pops 1234
+//
+// and a histogram such as "online.placement_delay" becomes the standard
+// cumulative series
+//
+//	# TYPE cosched_online_placement_delay histogram
+//	cosched_online_placement_delay_bucket{le="0.1"} 3
+//	...
+//	cosched_online_placement_delay_bucket{le="+Inf"} 17
+//	cosched_online_placement_delay_sum 41.5
+//	cosched_online_placement_delay_count 17
+//
+// Counters map to counter, Gauge and FloatGauge to gauge. This is what
+// the debug endpoint serves at /metrics.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make(map[string]any, len(names))
+	for _, n := range names {
+		metrics[n] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	for _, name := range names {
+		pn := promName(name)
+		var err error
+		switch m := metrics[name].(type) {
+		case *Counter:
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, m.Value())
+		case *Gauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, m.Value())
+		case *FloatGauge:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(m.Value()))
+		case *Histogram:
+			err = writePromHistogram(w, pn, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn string, h *Histogram) error {
+	bounds, counts := h.Buckets()
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, formatBound(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	// The +Inf bucket makes the series cumulative-complete; cum equals
+	// the observation count by construction.
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", pn, cum)
+	return err
+}
+
+// promName maps a dotted registry name onto the Prometheus identifier
+// charset [a-zA-Z0-9_:], prefixed with the cosched_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 8)
+	b.WriteString("cosched_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (NaN/Inf spelled
+// out, shortest round-trip decimal otherwise).
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return formatBound(v)
+}
+
+// Buckets returns the histogram's upper bounds (excluding +Inf) and the
+// per-bucket (non-cumulative) observation counts; the returned counts
+// slice has len(bounds)+1 entries, the last being the +Inf bucket.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	counts := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return append([]float64(nil), h.bounds...), counts
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation inside the containing bucket — the same
+// estimate Prometheus's histogram_quantile computes server-side. It
+// returns NaN when the histogram is empty; a quantile landing in the
+// +Inf bucket reports the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum)+float64(n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: report the highest finite bound (or the
+				// mean when there are no finite bounds at all).
+				if len(h.bounds) == 0 {
+					return h.Sum() / float64(total)
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			hi := h.bounds[i]
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return h.Sum() / float64(total)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// summaryQuantiles is the fixed set summary consumers print.
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// QuantileSummary returns the p50/p90/p99 estimates of the histogram,
+// in that order, for human-readable phase summaries.
+func (h *Histogram) QuantileSummary() []float64 {
+	out := make([]float64, len(summaryQuantiles))
+	for i, q := range summaryQuantiles {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package tracetool
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// DiffRow is one counter's before/after pair.
+type DiffRow struct {
+	// Name is the counter or phase label ("generated",
+	// "phase:search_ms", ...).
+	Name string
+	// A and B are the values in the two traces (NaN when one side
+	// lacks the counter).
+	A, B float64
+}
+
+// delta renders the relative change.
+func (r DiffRow) delta() string {
+	switch {
+	case math.IsNaN(r.A):
+		return "added"
+	case math.IsNaN(r.B):
+		return "removed"
+	case r.A == r.B:
+		return "="
+	case r.A == 0:
+		return fmt.Sprintf("%+.6g", r.B)
+	default:
+		return fmt.Sprintf("%+.1f%%", 100*(r.B-r.A)/r.A)
+	}
+}
+
+// DiffReport compares two solves counter by counter.
+type DiffReport struct {
+	// Rows holds the per-counter and per-phase comparisons.
+	Rows []DiffRow
+	// CostMismatch reports that the two solves reached different
+	// solution costs — the signal coschedtrace diff exits non-zero on.
+	CostMismatch bool
+}
+
+// Diff compares two solves: the stats counters, the solution cost and
+// the phase durations. A cost difference beyond the JSON round-trip
+// tolerance sets CostMismatch.
+func Diff(a, b *Trace) *DiffReport {
+	rep := &DiffReport{}
+	orderA, ca := a.counters()
+	orderB, cb := b.counters()
+	seen := map[string]bool{}
+	for _, name := range append(append([]string{}, orderA...), orderB...) {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		row := DiffRow{Name: name, A: math.NaN(), B: math.NaN()}
+		if v, ok := ca[name]; ok {
+			row.A = v
+		}
+		if v, ok := cb[name]; ok {
+			row.B = v
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	pa, pb := phaseMap(a), phaseMap(b)
+	for _, ph := range append(a.phases(), b.phases()...) {
+		name := "phase:" + ph.name + "_ms"
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		row := DiffRow{Name: name, A: math.NaN(), B: math.NaN()}
+		if v, ok := pa[ph.name]; ok {
+			row.A = v
+		}
+		if v, ok := pb[ph.name]; ok {
+			row.B = v
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	if sa, sb := a.solution(), b.solution(); sa != nil && sb != nil {
+		rep.CostMismatch = math.Abs(sa.Cost-sb.Cost) > costEps
+	}
+	return rep
+}
+
+func phaseMap(t *Trace) map[string]float64 {
+	out := map[string]float64{}
+	for _, ph := range t.phases() {
+		out[ph.name] += ph.durMS
+	}
+	return out
+}
+
+// WriteDiff renders the report as an aligned table.
+func WriteDiff(w io.Writer, a, b *Trace, rep *DiffReport) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "A: %s\nB: %s\n", a.label(), b.label())
+	nameW, aW, bW := len("counter"), len("A"), len("B")
+	cells := make([][3]string, len(rep.Rows))
+	fmtSide := func(v float64) string {
+		if math.IsNaN(v) {
+			return "-"
+		}
+		return fmtCount(v)
+	}
+	for i, row := range rep.Rows {
+		cells[i] = [3]string{row.Name, fmtSide(row.A), fmtSide(row.B)}
+		nameW = max(nameW, len(cells[i][0]))
+		aW = max(aW, len(cells[i][1]))
+		bW = max(bW, len(cells[i][2]))
+	}
+	fmt.Fprintf(&sb, "%-*s  %*s  %*s  %s\n", nameW, "counter", aW, "A", bW, "B", "delta")
+	for i, row := range rep.Rows {
+		fmt.Fprintf(&sb, "%-*s  %*s  %*s  %s\n",
+			nameW, cells[i][0], aW, cells[i][1], bW, cells[i][2], row.delta())
+	}
+	if rep.CostMismatch {
+		sb.WriteString("COST MISMATCH: the two solves reached different solutions\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

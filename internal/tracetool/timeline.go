@@ -1,0 +1,125 @@
+package tracetool
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// timeline plot geometry: fits a terminal without wrapping.
+const (
+	plotWidth  = 64
+	plotHeight = 12
+)
+
+// WriteTimeline renders ASCII charts of the solve's progress over pops:
+// the popped g ('g') and estimate h ('h', '+' where they overlap) from
+// the expand events, then the frontier size from the progress events
+// when the trace has any. Traces without expand events (IP, online) get
+// their incumbent/clock trajectory instead.
+func WriteTimeline(w io.Writer, tr *Trace) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s ===\n", tr.label())
+
+	var pops, gs, hs []float64
+	for _, ev := range tr.Events {
+		if ev.Ev == "expand" {
+			pops = append(pops, float64(ev.Pop))
+			gs = append(gs, ev.G)
+			hs = append(hs, ev.H)
+		}
+	}
+	if len(pops) > 1 {
+		sb.WriteString("popped g (g) and h estimate (h) vs pop:\n")
+		plot(&sb, pops, [][]float64{gs, hs}, []byte{'g', 'h'})
+	}
+
+	var ppops, frontier []float64
+	for _, ev := range tr.Events {
+		if ev.Ev == "progress" {
+			ppops = append(ppops, float64(ev.Pop))
+			frontier = append(frontier, float64(ev.Frontier))
+		}
+	}
+	if len(ppops) > 1 {
+		sb.WriteString("frontier size (f) vs pop:\n")
+		plot(&sb, ppops, [][]float64{frontier}, []byte{'f'})
+	}
+
+	if len(pops) <= 1 && len(ppops) <= 1 {
+		// IP / online traces: chart the incumbent (or simulated-clock
+		// completion) trajectory.
+		var xs, ys []float64
+		for _, ev := range tr.Events {
+			switch ev.Ev {
+			case "incumbent":
+				xs = append(xs, float64(ev.Pop))
+				ys = append(ys, ev.Cost)
+			case "job_done":
+				xs = append(xs, ev.T)
+				ys = append(ys, float64(len(ys)+1))
+			}
+		}
+		switch {
+		case len(xs) > 1 && tr.kind() == "ip":
+			sb.WriteString("incumbent cost (i) vs node:\n")
+			plot(&sb, xs, [][]float64{ys}, []byte{'i'})
+		case len(xs) > 1:
+			sb.WriteString("completed jobs (j) vs simulated time:\n")
+			plot(&sb, xs, [][]float64{ys}, []byte{'j'})
+		default:
+			sb.WriteString("trace has too few events to chart\n")
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// plot renders one or more series sharing an x axis onto a
+// plotWidth×plotHeight character grid. Overlapping points from
+// different series render '+'.
+func plot(sb *strings.Builder, xs []float64, series [][]float64, marks []byte) {
+	xMin, xMax := xs[0], xs[0]
+	for _, x := range xs {
+		xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+	}
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, ys := range series {
+		for _, y := range ys {
+			yMin, yMax = math.Min(yMin, y), math.Max(yMax, y)
+		}
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]byte, plotHeight)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	for si, ys := range series {
+		for i, x := range xs {
+			col := int((x - xMin) / (xMax - xMin) * float64(plotWidth-1))
+			row := plotHeight - 1 - int((ys[i]-yMin)/(yMax-yMin)*float64(plotHeight-1))
+			if grid[row][col] != ' ' && grid[row][col] != marks[si] {
+				grid[row][col] = '+'
+			} else {
+				grid[row][col] = marks[si]
+			}
+		}
+	}
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", yMax)
+		case plotHeight - 1:
+			label = fmt.Sprintf("%.4g", yMin)
+		}
+		fmt.Fprintf(sb, "  %10s |%s|\n", label, string(line))
+	}
+	fmt.Fprintf(sb, "  %10s  %-10.4g%*.4g\n", "", xMin, plotWidth-10, xMax)
+}

@@ -73,6 +73,21 @@ type Stats struct {
 	// open-addressing table in [0,1].
 	KeyTableEntries int
 	KeyTableLoad    float64
+	// Phases is the wall-clock breakdown of the solve pipeline in
+	// completion order: "oracle" (degradation precompute), then per
+	// method "graph"/"prepare"/"search" (graph searches), or
+	// "model"/"search" (IP), or just "search" (PG, brute force).
+	// Nested phases appear after the phases they contain complete.
+	Phases []Phase
+}
+
+// Phase is one timed stage of the solve pipeline (see Stats.Phases).
+type Phase struct {
+	// Name identifies the stage ("oracle", "graph", "prepare",
+	// "search", "model").
+	Name string
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
 }
 
 // Placement is one process pinned to one core.

@@ -7,6 +7,8 @@
 #   scripts/benchdiff.sh                 # run fresh, compare vs bench/baseline_astar.txt
 #   scripts/benchdiff.sh old.txt         # compare a fresh run vs old.txt
 #   scripts/benchdiff.sh old.txt new.txt # compare two recorded runs (no bench run)
+#   scripts/benchdiff.sh --check         # re-validate the committed BENCH_astar.json
+#                                        # gate without running anything (CI mode)
 #
 # Baselines are plain `go test -bench` output; record one with:
 #   go test -run XXX -bench 'Fig9|Fig13|Table4' -benchmem -benchtime=1x . > bench/baseline_astar.txt
@@ -16,6 +18,30 @@
 # is why the acceptance gate reads allocs_reduction.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--check" ]]; then
+    if [[ ! -f BENCH_astar.json ]]; then
+        echo "benchdiff: --check: BENCH_astar.json not found (run scripts/benchdiff.sh first)" >&2
+        exit 1
+    fi
+    fail=0
+    seen=0
+    while IFS= read -r line; do
+        case "$line" in
+            *'"allocs_reduction":'*)
+                seen=1
+                v="${line##*: }"; v="${v%,}"
+                awk -v v="$v" 'BEGIN { exit (v >= 2.0) ? 0 : 1 }' || fail=1
+                ;;
+        esac
+    done < BENCH_astar.json
+    if [[ "$seen" -eq 0 || "$fail" -ne 0 ]]; then
+        echo "benchdiff: --check FAIL — BENCH_astar.json is empty or under the 2x allocs/op gate" >&2
+        exit 1
+    fi
+    echo "benchdiff: --check ok — recorded gate holds (>= 2x allocs/op reduction)" >&2
+    exit 0
+fi
 
 OLD="${1:-bench/baseline_astar.txt}"
 NEW="${2:-}"

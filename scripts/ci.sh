@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # ci.sh — the full local gate: formatting, build, vet, doc coverage,
-# tests, the allocation-budget guards (with telemetry off AND on), and a
+# tests, the allocation-budget guards (with telemetry off AND on), a
 # race pass over the concurrent search paths (worker pool + parallel
-# solver).
+# solver), the trace-invariant matrix (every producer's trace must pass
+# coschedtrace check), and the recorded benchmark gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,11 +24,36 @@ go run ./scripts/doccheck .
 go test ./...
 
 # The DESIGN.md §5c/§6 allocation budget: a dismissed child must stay
-# allocation-free both without telemetry and with a live registry being
-# flushed (run explicitly so a -run filter in the main suite can never
-# silently drop the gate).
-go test ./internal/astar/ -run 'TestDismissedChildStaysAllocationFree|TestDismissedChildAllocFreeWithTelemetry' -count=1
+# allocation-free without telemetry, with a live registry being flushed,
+# and with the full tracing stack (event tracer + flight recorder +
+# spans) attached (run explicitly so a -run filter in the main suite can
+# never silently drop the gate).
+go test ./internal/astar/ -run 'TestDismissedChildStaysAllocationFree|TestDismissedChildAllocFreeWithTelemetry|TestDismissedChildAllocFreeWithTracing' -count=1
 
 go test -race ./internal/astar/ -run 'Parallel|Worker'
+
+# Trace-invariant matrix: generate a small trace from every producer
+# (OA*, HA*-trimmed, beam, branch-and-bound, online) and replay each
+# against its invariants; the summaries must render too.
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/coschedcli -synthetic 12 -trace "$tracedir/oa.jsonl" > /dev/null
+go run ./cmd/coschedcli -synthetic 24 -method hastar -trace "$tracedir/ha.jsonl" > /dev/null
+go run ./cmd/coschedcli -synthetic 44 -method hastar -trace "$tracedir/beam.jsonl" > /dev/null
+go run ./cmd/coschedcli -synthetic 8 -method ip -trace "$tracedir/ip.jsonl" > /dev/null
+go run ./examples/onlinesim -trace "$tracedir/online.jsonl" > /dev/null
+go run ./cmd/coschedtrace check "$tracedir"/*.jsonl > /dev/null
+for f in "$tracedir"/*.jsonl; do
+    # grep (not -q) drains the stream: -q's early exit would SIGPIPE the
+    # renderer and trip pipefail.
+    go run ./cmd/coschedtrace summary "$f" | grep '=== solve' > /dev/null || {
+        echo "ci: coschedtrace summary produced no report for $f" >&2
+        exit 1
+    }
+done
+echo "ci: trace invariants hold for OA*, HA*, beam, IP and online traces" >&2
+
+# The recorded benchmark gate (no bench run — validates BENCH_astar.json).
+scripts/benchdiff.sh --check
 
 echo "ci: all green" >&2
