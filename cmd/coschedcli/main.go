@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,7 +44,10 @@ func main() {
 		seed        = flag.Int64("seed", 1, "seed for synthetic jobs")
 		accounting  = flag.String("accounting", "pc", "objective accounting: se, pe, pc")
 		ipConfig    = flag.String("ipconfig", "", "IP branch-and-bound preset name")
-		timeLimit   = flag.Duration("timelimit", 0, "IP time limit (e.g. 30s)")
+		timeLimit   = flag.Duration("timelimit", 0, "solver time limit (e.g. 30s); on breach the best incumbent is returned as a degraded schedule")
+		deadline    = flag.Duration("deadline", 0, "hard wall-clock deadline enforced through context cancellation; a breached solve returns its best incumbent flagged DEGRADED")
+		robust      = flag.Bool("robust", false, "walk the OA* → HA* → beam → PG fallback ladder (splitting -deadline across rungs) instead of a single -method")
+		memBudget   = flag.Int64("membudget", 0, "graph-search memory budget in bytes (0 = unbounded); on breach the best incumbent is returned")
 		verbose     = flag.Bool("verbose", false, "also print solver allocation statistics (element pool, dismissal table)")
 		traceFile   = flag.String("trace", "", "write the solver's JSONL event trace to this file")
 		progress    = flag.Bool("progress", false, "print rate-limited progress lines during long solves")
@@ -97,10 +101,11 @@ func main() {
 	}
 
 	opts := cosched.Options{
-		Method:     method,
-		Accounting: acct,
-		IPConfig:   *ipConfig,
-		TimeLimit:  *timeLimit,
+		Method:       method,
+		Accounting:   acct,
+		IPConfig:     *ipConfig,
+		TimeLimit:    *timeLimit,
+		MemoryBudget: *memBudget,
 	}
 	// The flight recorder is always on: SIGQUIT dumps the last events to
 	// stderr even when no trace file or debug endpoint was configured.
@@ -131,12 +136,45 @@ func main() {
 	if *progress {
 		opts.ProgressWriter = os.Stderr
 	}
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 	start := time.Now()
-	sched, err := cosched.Solve(inst, opts)
+	var sched *cosched.Schedule
+	if *robust {
+		sched, err = cosched.SolveRobust(ctx, inst, opts)
+	} else {
+		sched, err = cosched.SolveContext(ctx, inst, opts)
+	}
 	check(err)
 
+	methodName := method.String()
+	if *robust {
+		methodName = "robust ladder"
+	}
 	fmt.Printf("method %s on %s (%d processes, %d machines)\n",
-		method, machine, inst.NumProcesses(), inst.NumMachines())
+		methodName, machine, inst.NumProcesses(), inst.NumMachines())
+	if sched.Stats.Degraded {
+		fmt.Printf("DEGRADED(%s): budget breached — best incumbent below, not a proven answer\n",
+			sched.Stats.AbortReason)
+	}
+	if len(sched.Stats.Fallbacks) > 0 {
+		rungs := make([]string, len(sched.Stats.Fallbacks))
+		for i, fb := range sched.Stats.Fallbacks {
+			state := "ok"
+			switch {
+			case fb.Err != "":
+				state = "error"
+			case fb.Degraded:
+				state = fmt.Sprintf("degraded:%s", fb.Aborted)
+			}
+			rungs[i] = fmt.Sprintf("%s(%s)", fb.Method, state)
+		}
+		fmt.Printf("fallback ladder: %s\n", strings.Join(rungs, " → "))
+	}
 	fmt.Print(sched)
 	fmt.Printf("solve time: %v", time.Since(start).Round(time.Microsecond))
 	if sched.Stats.VisitedPaths > 0 {

@@ -29,6 +29,10 @@ func pcProbe() {
 		}
 		t0 := time.Now()
 		res, err := s.Solve()
+		if err == nil && res.Stats.Degraded {
+			fmt.Printf("per=%d PC >cap (%s, %.1fs)\n", per, res.Stats.Aborted, time.Since(t0).Seconds())
+			continue
+		}
 		if err != nil {
 			fmt.Printf("per=%d PC ERR %v (%.1fs)\n", per, err, time.Since(t0).Seconds())
 			continue
@@ -44,6 +48,10 @@ func pcProbe() {
 		}
 		t0 = time.Now()
 		rpe, err := spe.Solve()
+		if err == nil && rpe.Stats.Degraded {
+			fmt.Printf("per=%d PE >cap (%s, %.1fs)\n", per, rpe.Stats.Aborted, time.Since(t0).Seconds())
+			continue
+		}
 		if err != nil {
 			fmt.Printf("per=%d PE ERR %v (%.1fs)\n", per, err, time.Since(t0).Seconds())
 			continue

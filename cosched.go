@@ -26,10 +26,13 @@
 package cosched
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
+	"cosched/internal/abort"
 	"cosched/internal/astar"
 	"cosched/internal/bruteforce"
 	"cosched/internal/degradation"
@@ -99,6 +102,47 @@ const (
 	AccountSE
 )
 
+// AbortReason says why a solve stopped before proving its answer. The
+// zero value AbortNone means the solve completed normally; any other
+// value accompanies Stats.Degraded on a best-effort schedule.
+type AbortReason = abort.Reason
+
+// The abort reasons a degraded solve can carry: the context deadline
+// expired (AbortDeadline), the context was cancelled (AbortCancel), the
+// MaxExpansions / IP node cap was hit (AbortExpansions), or the search's
+// estimated live footprint breached MemoryBudget (AbortMemory).
+const (
+	AbortNone       = abort.None
+	AbortDeadline   = abort.Deadline
+	AbortCancel     = abort.Cancel
+	AbortExpansions = abort.Expansions
+	AbortMemory     = abort.Memory
+)
+
+// PanicError wraps a panic recovered at the Solve boundary — typically
+// thrown by a user-supplied callback (tracer, event sink) — so a
+// misbehaving observer fails the one solve instead of crashing the
+// process. The event sink is flushed before the error is returned, so
+// the partial trace survives for post-mortem analysis.
+type PanicError = abort.PanicError
+
+// OptionError reports an Options field that cannot be meaningfully
+// interpreted (negative budgets, NaN weights, unknown preset names).
+// Solve and SolveContext validate options up front and return it before
+// doing any work.
+type OptionError struct {
+	// Field is the Options field name, Value its rejected value and
+	// Reason why it was rejected.
+	Field  string
+	Value  any
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("cosched: invalid option %s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
 func (a Accounting) mode() degradation.Mode {
 	switch a {
 	case AccountSE:
@@ -128,15 +172,36 @@ type Options struct {
 	// ExactParallel strengthens OA*'s dismissal key with per-job maxima
 	// (see DESIGN.md §3).
 	ExactParallel bool
+	// HWeight inflates the graph-search heuristic: f = g + HWeight·h
+	// (weighted A*). Zero means 1. Only meaningful for MethodHAStar;
+	// OA* rejects values above 1 because they forfeit optimality.
+	HWeight float64
+	// BeamWidth, when positive, turns MethodHAStar into a beam search
+	// that expands at most BeamWidth elements per path depth — strictly
+	// bounded work, the most robust rung short of PG. Zero means the
+	// method's default (unbounded below 40 processes).
+	BeamWidth int
 	// IPConfig selects the branch-and-bound preset by name
 	// ("bnb-best+round", "bnb-best", "bnb-depth", "bnb-basic"); empty
 	// means the strongest.
 	IPConfig string
-	// TimeLimit aborts IP solves (0 = none).
+	// TimeLimit aborts the solve after this much wall clock (0 = none).
+	// Graph searches and IP then return their best incumbent as a
+	// degraded schedule (Stats.Degraded, Stats.AbortReason) instead of
+	// an error. Prefer SolveContext with a deadline when callers need
+	// cancellation too.
 	TimeLimit time.Duration
-	// MaxExpansions aborts graph searches after this many expansions
-	// (0 = none).
+	// MaxExpansions stops graph searches after this many expansions —
+	// and IP solves after this many branch-and-bound nodes — returning
+	// the best incumbent as a degraded schedule (0 = none).
 	MaxExpansions int64
+	// MemoryBudget, when positive, caps a graph search's estimated live
+	// byte footprint (pooled elements, dismissal-key table, priority
+	// list). On breach the search returns its best incumbent as a
+	// degraded schedule (AbortMemory) instead of growing the frontier
+	// until the process dies. Zero means unbounded; IP/PG/brute-force
+	// ignore it.
+	MemoryBudget int64
 	// TraceWriter, when non-nil, receives a text trace of the graph
 	// search (sampled expansions plus the final solution).
 	TraceWriter io.Writer
@@ -162,6 +227,52 @@ type Options struct {
 	// graph searches. ProgressEvery sets the line interval (0 = 2s).
 	ProgressWriter io.Writer
 	ProgressEvery  time.Duration
+}
+
+// validate rejects option values that have no meaningful interpretation
+// before any solver work starts, so nonsense surfaces as a typed
+// OptionError instead of a hang, a panic or a silently absurd schedule.
+func (o *Options) validate() error {
+	if o.Method < MethodOAStar || o.Method > MethodBruteForce {
+		return &OptionError{Field: "Method", Value: int(o.Method), Reason: "unknown method"}
+	}
+	if o.Accounting < AccountPC || o.Accounting > AccountSE {
+		return &OptionError{Field: "Accounting", Value: int(o.Accounting), Reason: "unknown accounting mode"}
+	}
+	if o.HStrategy < 0 || o.HStrategy > 3 {
+		return &OptionError{Field: "HStrategy", Value: o.HStrategy, Reason: "must be 0 (auto), 1, 2 or 3"}
+	}
+	if o.KPerLevel < 0 {
+		return &OptionError{Field: "KPerLevel", Value: o.KPerLevel, Reason: "must be non-negative"}
+	}
+	if math.IsNaN(o.HWeight) || o.HWeight < 0 {
+		return &OptionError{Field: "HWeight", Value: o.HWeight, Reason: "must be a non-negative number"}
+	}
+	if o.BeamWidth < 0 {
+		return &OptionError{Field: "BeamWidth", Value: o.BeamWidth, Reason: "must be non-negative"}
+	}
+	if o.TimeLimit < 0 {
+		return &OptionError{Field: "TimeLimit", Value: o.TimeLimit, Reason: "must be non-negative"}
+	}
+	if o.MaxExpansions < 0 {
+		return &OptionError{Field: "MaxExpansions", Value: o.MaxExpansions, Reason: "must be non-negative"}
+	}
+	if o.MemoryBudget < 0 {
+		return &OptionError{Field: "MemoryBudget", Value: o.MemoryBudget, Reason: "must be non-negative"}
+	}
+	if o.IPConfig != "" {
+		found := false
+		for _, c := range ip.Configs() {
+			if c.Name == o.IPConfig {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return &OptionError{Field: "IPConfig", Value: o.IPConfig, Reason: "unknown branch-and-bound preset"}
+		}
+	}
+	return nil
 }
 
 // solveObs bundles the per-call observation state every Solve carries:
@@ -200,39 +311,76 @@ func (o *solveObs) phases() []Phase {
 	return out
 }
 
-// Solve schedules the instance's batch and returns the schedule.
+// Solve schedules the instance's batch and returns the schedule. It is
+// SolveContext with a background context: no cancellation, no deadline.
 func Solve(inst *Instance, opts Options) (*Schedule, error) {
+	return SolveContext(context.Background(), inst, opts)
+}
+
+// SolveContext is Solve with cancellation: the context's deadline and
+// cancellation are polled inside the solver hot loops (once per graph
+// pop / branch-and-bound node), so a cancel stops the solve promptly —
+// mid-frontier, not only at the next TimeLimit check. A solve stopped
+// early does not fail: it returns the best incumbent found so far as a
+// feasible *Schedule flagged Stats.Degraded, with Stats.AbortReason
+// saying why (AbortDeadline, AbortCancel, AbortExpansions, AbortMemory).
+//
+// Invalid options are rejected up front with an *OptionError, and a
+// panic thrown by a user-supplied callback (tracer, event sink) is
+// recovered at this boundary into a *PanicError after flushing the
+// event sink, so one misbehaving observer cannot take down the process.
+func SolveContext(ctx context.Context, inst *Instance, opts Options) (sched *Schedule, err error) {
 	if inst == nil || inst.in == nil {
 		return nil, fmt.Errorf("cosched: nil instance")
 	}
+	if verr := opts.validate(); verr != nil {
+		return nil, verr
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	obs := newSolveObs(&opts)
+	defer func() {
+		if r := recover(); r != nil {
+			telemetry.FlushSink(obs.sink) //nolint:errcheck // keep the partial trace
+			sched, err = nil, abort.Recovered(r)
+		}
+	}()
 	sp := obs.spans.Start("oracle")
 	cost := inst.in.Cost(opts.Accounting.mode())
 	sp.End()
-	var (
-		sched *Schedule
-		err   error
-	)
 	switch opts.Method {
 	case MethodOAStar, MethodHAStar, MethodOSVP:
-		sched, err = solveGraph(inst, cost, opts, obs)
+		sched, err = solveGraph(ctx, inst, cost, opts, obs)
 	case MethodIP:
-		sched, err = solveIP(inst, cost, opts, obs)
+		sched, err = solveIP(ctx, inst, cost, opts, obs)
 	case MethodPG:
 		sp = obs.spans.Start("search")
 		res := pg.SolveObserved(cost, opts.Metrics)
 		sp.End()
-		sched = newSchedule(inst, cost, res.Groups, res.Cost, Stats{})
+		// PG is a one-pass greedy pairing: it always finishes, so an
+		// already-done context only marks its answer degraded rather
+		// than suppressing it — PG is the ladder rung that never fails.
+		st := Stats{}
+		if ctx.Err() != nil {
+			st.Degraded = true
+			st.AbortReason = abort.FromContext(ctx)
+		}
+		sched = newSchedule(inst, cost, res.Groups, res.Cost, st)
 	case MethodBruteForce:
 		sp = obs.spans.Start("search")
-		res, bfErr := bruteforce.Solve(cost)
+		res, bfErr := bruteforce.SolveContext(ctx, cost)
 		sp.End()
 		if bfErr != nil {
+			telemetry.FlushSink(obs.sink) //nolint:errcheck // keep the partial trace
 			return nil, bfErr
 		}
-		sched = newSchedule(inst, cost, res.Groups, res.Cost, Stats{})
+		sched = newSchedule(inst, cost, res.Groups, res.Cost, Stats{
+			Degraded:    res.Degraded,
+			AbortReason: res.Aborted,
+		})
 	default:
-		return nil, fmt.Errorf("cosched: unknown method %v", opts.Method)
+		return nil, &OptionError{Field: "Method", Value: int(opts.Method), Reason: "unknown method"}
 	}
 	if err != nil {
 		telemetry.FlushSink(obs.sink) //nolint:errcheck // keep the partial trace
@@ -243,7 +391,7 @@ func Solve(inst *Instance, opts Options) (*Schedule, error) {
 	return sched, nil
 }
 
-func solveGraph(inst *Instance, cost *degradation.Cost, opts Options, obs *solveObs) (*Schedule, error) {
+func solveGraph(ctx context.Context, inst *Instance, cost *degradation.Cost, opts Options, obs *solveObs) (*Schedule, error) {
 	sp := obs.spans.Start("graph")
 	g := graph.New(cost, inst.in.Patterns)
 	sp.End()
@@ -252,6 +400,9 @@ func solveGraph(inst *Instance, cost *degradation.Cost, opts Options, obs *solve
 		Condense:      !opts.DisableCondensation,
 		ExactParallel: opts.ExactParallel,
 		MaxExpansions: opts.MaxExpansions,
+		TimeLimit:     opts.TimeLimit,
+		MemoryBudget:  opts.MemoryBudget,
+		Ctx:           ctx,
 		Metrics:       opts.Metrics,
 	}
 	var tr *astar.EventTracer
@@ -286,6 +437,9 @@ func solveGraph(inst *Instance, cost *degradation.Cost, opts Options, obs *solve
 		sp = obs.spans.Start("search")
 		res, err := osvp.SolveOpts(g, osvp.Options{
 			MaxExpansions: opts.MaxExpansions,
+			TimeLimit:     opts.TimeLimit,
+			Ctx:           ctx,
+			MemoryBudget:  opts.MemoryBudget,
 			Metrics:       opts.Metrics,
 			Tracer:        aopts.Tracer,
 			Progress:      aopts.Progress,
@@ -310,6 +464,15 @@ func solveGraph(inst *Instance, cost *degradation.Cost, opts Options, obs *solve
 			aopts.UseIncumbent = false
 		}
 	}
+	// Explicit caller overrides win over the method defaults; the beam
+	// is what makes the SolveRobust ladder's third rung strictly bounded.
+	if opts.BeamWidth > 0 && opts.Method == MethodHAStar {
+		aopts.BeamWidth = opts.BeamWidth
+		aopts.UseIncumbent = false
+	}
+	if opts.HWeight > 0 {
+		aopts.HWeight = opts.HWeight
+	}
 	if tr != nil {
 		tr.HName = aopts.H.String()
 	}
@@ -328,7 +491,7 @@ func solveGraph(inst *Instance, cost *degradation.Cost, opts Options, obs *solve
 	return newSchedule(inst, cost, res.Groups, res.Cost, searchStats(res)), nil
 }
 
-func solveIP(inst *Instance, cost *degradation.Cost, opts Options, obs *solveObs) (*Schedule, error) {
+func solveIP(ctx context.Context, inst *Instance, cost *degradation.Cost, opts Options, obs *solveObs) (*Schedule, error) {
 	sp := obs.spans.Start("model")
 	model, err := ip.BuildModel(cost)
 	sp.End()
@@ -345,10 +508,15 @@ func solveIP(inst *Instance, cost *degradation.Cost, opts Options, obs *solveObs
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("cosched: unknown IP config %q", opts.IPConfig)
+			// validate() already vets the name; this guards direct callers.
+			return nil, &OptionError{Field: "IPConfig", Value: opts.IPConfig, Reason: "unknown branch-and-bound preset"}
 		}
 	}
+	cfg.Ctx = ctx
 	cfg.TimeLimit = opts.TimeLimit
+	if opts.MaxExpansions > 0 {
+		cfg.MaxNodes = opts.MaxExpansions
+	}
 	cfg.Metrics = opts.Metrics
 	cfg.Events = obs.sink
 	cfg.SolveID = obs.solveID
@@ -365,6 +533,8 @@ func solveIP(inst *Instance, cost *degradation.Cost, opts Options, obs *solveObs
 		BoundImprovements: res.Stats.BoundImprovements,
 		Duration:          res.Stats.Duration,
 		TimedOut:          res.Stats.TimedOut,
+		Degraded:          res.Stats.Degraded,
+		AbortReason:       res.Stats.Aborted,
 	}
 	return newSchedule(inst, cost, res.Groups, res.Cost, st), nil
 }
@@ -387,5 +557,7 @@ func searchStats(r *astar.Result) Stats {
 		ElemReused:      r.Stats.ElemReused,
 		KeyTableEntries: r.Stats.KeyTableEntries,
 		KeyTableLoad:    r.Stats.KeyTableLoad,
+		Degraded:        r.Stats.Degraded,
+		AbortReason:     r.Stats.Aborted,
 	}
 }

@@ -31,6 +31,8 @@ import (
 
 func main() {
 	traceFile := flag.String("trace", "", "write each policy run's JSONL event trace to this file")
+	faults := flag.Bool("faults", false, "inject a seeded fault plan: a machine crash-and-restore, transient placement failures with backoff, and a perturbed degradation oracle")
+	faultSeed := flag.Int64("faultseed", 1, "seed for the -faults plan (reproducible runs)")
 	flag.Parse()
 	const nJobs = 16
 	m := cache.QuadCore
@@ -60,6 +62,16 @@ func main() {
 		obs.Events = telemetry.NewEventWriter(f)
 	}
 
+	// The fault plan is built once and replayed identically for every
+	// policy, so their rows stay comparable. The horizon approximates
+	// the fault-free makespan (last arrival plus a few service times).
+	var plan *online.FaultPlan
+	if *faults {
+		plan = online.RandomFaultPlan(*faultSeed, machines, float64(nJobs)*5+40)
+		fmt.Printf("fault plan (seed %d): %d machine crashes, %.0f%% transient placement failures, ±%.0f%% oracle noise\n",
+			*faultSeed, len(plan.Machines), 100*plan.PlaceFailureProb, 100*plan.OracleNoise)
+	}
+
 	fmt.Printf("%d jobs arriving every 5s onto %d quad-core machines\n\n", nJobs, machines)
 	fmt.Printf("%-18s %-16s %s\n", "policy", "mean turnaround", "makespan")
 	policies := []online.Policy{
@@ -71,7 +83,7 @@ func main() {
 	for _, p := range policies {
 		o := obs
 		o.SolveID = 0 // each run self-assigns a fresh solve id
-		res, err := online.SimulateTraced(c, in.SoloTime, machines, arrivals, p, o)
+		res, err := online.SimulateWithFaults(c, in.SoloTime, machines, arrivals, p, o, plan)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,76 @@
+package abort
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReasonStrings(t *testing.T) {
+	cases := map[Reason]string{
+		None:       "",
+		Deadline:   "deadline",
+		Cancel:     "cancel",
+		Expansions: "expansions",
+		Memory:     "memory",
+		Reason(9):  "Reason(9)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reason(%d).String() = %q; want %q", r, got, want)
+		}
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if got := FromContext(expired); got != Deadline {
+		t.Errorf("expired deadline classified as %v", got)
+	}
+	cancelled, stop := context.WithCancel(context.Background())
+	stop()
+	if got := FromContext(cancelled); got != Cancel {
+		t.Errorf("cancelled context classified as %v", got)
+	}
+	// The conservative fallbacks: nil and still-live contexts map to
+	// Cancel (callers only ask after observing Done).
+	if got := FromContext(nil); got != Cancel {
+		t.Errorf("nil context classified as %v", got)
+	}
+	if got := FromContext(context.Background()); got != Cancel {
+		t.Errorf("live context classified as %v", got)
+	}
+}
+
+func TestRecoveredCapturesPanickingFrames(t *testing.T) {
+	var pe *PanicError
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				pe = Recovered(r)
+			}
+		}()
+		explode()
+	}()
+	if pe == nil {
+		t.Fatal("panic not recovered")
+	}
+	if pe.Value != "boom" {
+		t.Errorf("Value = %v; want boom", pe.Value)
+	}
+	if !strings.Contains(pe.Error(), "boom") {
+		t.Errorf("Error() = %q; want the panic value in it", pe.Error())
+	}
+	// Recovered runs inside the deferred function, so the frame that
+	// panicked is still on the captured stack.
+	if !bytes.Contains(pe.Stack, []byte("explode")) {
+		t.Errorf("stack does not show the panicking frame:\n%s", pe.Stack)
+	}
+}
+
+func explode() {
+	panic("boom")
+}

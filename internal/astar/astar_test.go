@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"cosched/internal/abort"
 	"cosched/internal/bruteforce"
 	"cosched/internal/cache"
 	"cosched/internal/degradation"
@@ -358,8 +359,18 @@ func TestMaxExpansionsAborts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Solve(); err == nil {
-		t.Error("expansion-limited search did not abort")
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatalf("expansion-limited search errored instead of degrading: %v", err)
+	}
+	if !res.Stats.Degraded || res.Stats.Aborted != abort.Expansions {
+		t.Errorf("expansion-limited search not flagged degraded/expansions: %+v", res.Stats)
+	}
+	if res.Stats.VisitedPaths != 3 {
+		t.Errorf("search popped %d elements, cap was 3", res.Stats.VisitedPaths)
+	}
+	if err := g.Cost.ValidatePartition(res.Groups); err != nil {
+		t.Errorf("degraded schedule invalid: %v", err)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"cosched/internal/abort"
 	"cosched/internal/job"
 )
 
@@ -48,13 +49,29 @@ func (s *Solver) solveBeam() (*Result, error) {
 
 	s.table = newGTable(s.keyStride)
 	root := s.rootElement()
+	done := s.abortDone()
 
 	frontier = []*element{root}
 	depths := s.n / s.u
 	for d := 0; d < depths; d++ {
 		t := s.table
 		t.reset()
-		for _, e := range frontier {
+		for idx, e := range frontier {
+			// Polled before the element is counted, so an aborted
+			// trace's admission identity reconciles: this depth's
+			// survivors (t.count) plus the frontier elements not yet
+			// expanded (q > 0 excludes the depth-0 root, which was
+			// never Generated) are exactly the in-frontier population.
+			if reason := s.pollAbort(done, &stats, start, len(frontier)); reason != abort.None {
+				inFrontier := int64(t.count)
+				for _, rest := range frontier[idx:] {
+					if rest.q > 0 {
+						inFrontier++
+					}
+				}
+				groups, cost := s.degradedGroups(nil, nil)
+				return s.finishAbort(reason, &stats, inFrontier, groups, cost, start, &hooks, met)
+			}
 			stats.VisitedPaths++
 			if e.q > 0 {
 				stats.Expanded++

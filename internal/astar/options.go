@@ -1,9 +1,11 @@
 package astar
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"cosched/internal/abort"
 	"cosched/internal/job"
 	"cosched/internal/telemetry"
 )
@@ -92,13 +94,29 @@ type Options struct {
 	// prunes children whose f exceeds it. Never affects optimality.
 	UseIncumbent bool
 	// MaxExpansions aborts the search after this many pops (0 = no
-	// limit); the search then returns an error.
+	// limit); the search then returns its best incumbent as a degraded
+	// result (Stats.Aborted = abort.Expansions).
 	MaxExpansions int64
 	// TimeLimit aborts the search after this much wall-clock time
-	// (0 = none); the search then returns an error. Unlike
+	// (0 = none); the search then returns its best incumbent as a
+	// degraded result (Stats.Aborted = abort.Deadline). Unlike
 	// MaxExpansions it also bounds searches whose per-expansion work is
 	// huge (wide levels).
 	TimeLimit time.Duration
+	// Ctx, when non-nil, is polled once per pop: a cancelled or expired
+	// context aborts the search promptly — mid-frontier, not only at the
+	// next TimeLimit poll — and returns the best incumbent as a degraded
+	// result (Stats.Aborted = abort.Cancel or abort.Deadline). nil means
+	// no cancellation.
+	Ctx context.Context
+	// MemoryBudget, when positive, caps the search's estimated live byte
+	// footprint: pooled elements at their preallocated capacities, the
+	// dismissal key table's arenas, and the priority list. The estimate
+	// is refreshed every few dozen pops; on breach the search returns its
+	// best incumbent as a degraded result (Stats.Aborted = abort.Memory)
+	// instead of growing the frontier until the process dies. Zero means
+	// unbounded.
+	MemoryBudget int64
 	// Tracer, when non-nil, receives search events: Expand for every pop
 	// and Solution once at the end. Tracers additionally implementing the
 	// optional DismissTracer, ProgressTracer or StartTracer extensions
@@ -188,6 +206,12 @@ type Stats struct {
 	// of the solve (the beam search reports its last depth).
 	KeyTableEntries int
 	KeyTableLoad    float64
+	// Degraded reports that the search stopped before proving its answer
+	// (deadline, cancellation, expansion cap or memory budget) and
+	// returned the best incumbent it held instead: a feasible schedule,
+	// not a proven-optimal one. Aborted carries the reason.
+	Degraded bool
+	Aborted  abort.Reason
 }
 
 // Result is a complete co-schedule found by the search.
@@ -198,9 +222,10 @@ type Result struct {
 	// Cost is the Eq. 13 objective of the schedule under the search's
 	// cost model, in degradation units (a dimensionless slowdown sum).
 	Cost float64
-	// Stats describes the search effort. It is populated on every
-	// successful Solve; searches aborted by MaxExpansions or TimeLimit
-	// return an error and no Result (their partial counters still reach
-	// Options.Metrics, which flushes periodically during the solve).
+	// Stats describes the search effort. Searches aborted by
+	// MaxExpansions, TimeLimit, MemoryBudget or a done Ctx still return a
+	// Result — the best incumbent schedule, flagged Stats.Degraded with
+	// the abort.Reason in Stats.Aborted — so a breached budget costs
+	// certainty, not the answer.
 	Stats Stats
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"cosched/internal/abort"
 	"cosched/internal/bitset"
 	"cosched/internal/degradation"
 	"cosched/internal/graph"
@@ -430,8 +431,22 @@ func (s *Solver) Solve() (*Result, error) {
 	var seq int64
 	pq.push(heapEntry{f: 0, g: 0, seq: seq, e: root})
 	seq++
+	done := s.abortDone()
 
 	for len(pq) > 0 {
+		// Abort conditions are polled before the pop so an aborted trace
+		// stays invariant-clean: every counted pop keeps its expand
+		// event, and len(pq) is the exact admission-identity frontier —
+		// except before the very first pop, when the never-Generated
+		// root is still queued and must not count as in-frontier.
+		if reason := s.pollAbort(done, &stats, start, len(pq)); reason != abort.None {
+			inFrontier := int64(len(pq))
+			if stats.VisitedPaths == 0 {
+				inFrontier--
+			}
+			groups, cost := s.degradedGroups(bestComplete, greedyGroups)
+			return s.finishAbort(reason, &stats, inFrontier, groups, cost, start, &hooks, met)
+		}
 		if len(pq) > stats.MaxQueue {
 			stats.MaxQueue = len(pq)
 		}
@@ -462,12 +477,6 @@ func (s *Solver) Solve() (*Result, error) {
 			if stats.VisitedPaths&(flushEvery-1) == 0 {
 				met.flush(&stats, len(pq), qMax/s.u, s.table, time.Since(start))
 			}
-		}
-		if s.opts.MaxExpansions > 0 && stats.VisitedPaths > s.opts.MaxExpansions {
-			return nil, fmt.Errorf("astar: expansion limit %d exceeded", s.opts.MaxExpansions)
-		}
-		if s.opts.TimeLimit > 0 && time.Since(start) > s.opts.TimeLimit {
-			return nil, fmt.Errorf("astar: time limit %v exceeded", s.opts.TimeLimit)
 		}
 		leader := e.set.SmallestAbsent(s.n)
 		if hooks.base != nil {

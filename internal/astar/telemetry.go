@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"cosched/internal/abort"
 	"cosched/internal/job"
 	"cosched/internal/telemetry"
 )
@@ -55,6 +56,9 @@ type EventTracer struct {
 	// timeline.
 	Epoch time.Time
 	u     int
+	// abortReason remembers the abort event's reason so the solution
+	// event repeats it (the tracetool abort-reason invariant ties them).
+	abortReason string
 }
 
 // JSONLTracer is the original name of EventTracer, kept as an alias for
@@ -85,6 +89,7 @@ func (t *EventTracer) stamp(ev *telemetry.Event) {
 // SolveStart implements StartTracer.
 func (t *EventTracer) SolveStart(n, u int, method string) {
 	t.u = u
+	t.abortReason = "" // a reused tracer must not leak a prior solve's abort
 	if t.SolveID == 0 {
 		t.SolveID = telemetry.NextSolveID()
 	}
@@ -160,7 +165,19 @@ func (t *EventTracer) SolveStats(st *Stats) {
 	t.sink.Emit(ev) //nolint:errcheck
 }
 
-// Solution implements Tracer and flushes the sink.
+// Abort implements AbortTracer: one "abort" event with the pop index at
+// which the abort was detected and the stable reason name. The
+// subsequent solution event repeats the reason, so a degraded trace is
+// self-describing and coschedtrace check can tie the two together.
+func (t *EventTracer) Abort(popIndex int64, reason string) {
+	t.abortReason = reason
+	ev := telemetry.Event{Ev: "abort", Pop: popIndex, Reason: reason}
+	t.stamp(&ev)
+	t.sink.Emit(ev) //nolint:errcheck
+}
+
+// Solution implements Tracer and flushes the sink. On degraded solves
+// the event carries the abort reason recorded by Abort.
 func (t *EventTracer) Solution(cost float64, groups [][]job.ProcID) {
 	ints := make([][]int, len(groups))
 	for i, g := range groups {
@@ -169,7 +186,7 @@ func (t *EventTracer) Solution(cost float64, groups [][]job.ProcID) {
 			ints[i][j] = int(p)
 		}
 	}
-	ev := telemetry.Event{Ev: "solution", Cost: cost, Groups: ints}
+	ev := telemetry.Event{Ev: "solution", Cost: cost, Groups: ints, Reason: t.abortReason}
 	t.stamp(&ev)
 	t.sink.Emit(ev)             //nolint:errcheck
 	telemetry.FlushSink(t.sink) //nolint:errcheck
@@ -184,6 +201,7 @@ func (t *EventTracer) Flush() error { return telemetry.FlushSink(t.sink) }
 // the solver calls them unconditionally; with a nil Options.Metrics the
 // whole layer reduces to a handful of predictable nil checks.
 type solverMetrics struct {
+	reg                                 *telemetry.Registry // for the rare, on-demand astar.aborts.* handles
 	solves, pops, expanded, generated   *telemetry.Counter
 	dismissedWorse, dismissedStale      *telemetry.Counter
 	pruned, condensed, beamTrimmed      *telemetry.Counter
@@ -201,6 +219,7 @@ func newSolverMetrics(r *telemetry.Registry) *solverMetrics {
 		return nil
 	}
 	return &solverMetrics{
+		reg:            r,
 		solves:         r.Counter("astar.solves"),
 		pops:           r.Counter("astar.pops"),
 		expanded:       r.Counter("astar.expanded"),
@@ -285,6 +304,16 @@ func (m *solverMetrics) finish(st *Stats) {
 	m.last.ElemAllocated = st.ElemAllocated
 	m.last.ElemReused = st.ElemReused
 	m.solveNS.Add(st.Duration.Nanoseconds())
+}
+
+// abort bumps the astar.aborts.<reason> counter. Aborts happen at most
+// once per solve and off the hot path, so the on-demand handle lookup
+// (and its key allocation) is fine here.
+func (m *solverMetrics) abort(r abort.Reason) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("astar.aborts." + r.String()).Add(1)
 }
 
 // searchMethod names the active search mode for the solve_start event.

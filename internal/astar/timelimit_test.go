@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"cosched/internal/abort"
 	"cosched/internal/degradation"
 )
 
@@ -13,14 +14,24 @@ func TestTimeLimitAborts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Solve(); err == nil {
-		t.Error("time-limited search did not abort")
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatalf("time-limited search errored instead of degrading: %v", err)
+	}
+	if !res.Stats.Degraded || res.Stats.Aborted != abort.Deadline {
+		t.Errorf("time-limited search not flagged degraded/deadline: %+v", res.Stats)
+	}
+	if err := g.Cost.ValidatePartition(res.Groups); err != nil {
+		t.Errorf("degraded schedule invalid: %v", err)
 	}
 	s2, err := NewSolver(g, Options{H: HPerProc, UseIncumbent: true, TimeLimit: time.Minute})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s2.Solve(); err != nil {
+	res2, err := s2.Solve()
+	if err != nil {
 		t.Errorf("generous time limit failed: %v", err)
+	} else if res2.Stats.Degraded || res2.Stats.Aborted != abort.None {
+		t.Errorf("generous time limit flagged degraded: %+v", res2.Stats)
 	}
 }

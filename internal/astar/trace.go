@@ -81,6 +81,15 @@ type ProgressTracer interface {
 	Progress(popIndex int64, frontier int, popsPerSec, etaSec, elapsedSec float64)
 }
 
+// AbortTracer is an optional Tracer extension: Abort is called once when
+// the search stops early (deadline, cancellation, expansion cap or
+// memory budget), before the final stats and solution events, with the
+// pop index at which the abort was detected and the stable reason name
+// (abort.Reason.String()).
+type AbortTracer interface {
+	Abort(popIndex int64, reason string)
+}
+
 // StatsTracer is an optional Tracer extension: SolveStats is called once
 // per solve, after the search ends and before Solution, with the final
 // counters. A trace carrying it is self-verifying — cmd/coschedtrace
@@ -98,6 +107,7 @@ type tracerHooks struct {
 	dismiss  DismissTracer
 	progress ProgressTracer
 	stats    StatsTracer
+	abort    AbortTracer
 }
 
 func newTracerHooks(t Tracer) tracerHooks {
@@ -107,6 +117,7 @@ func newTracerHooks(t Tracer) tracerHooks {
 		h.dismiss, _ = t.(DismissTracer)
 		h.progress, _ = t.(ProgressTracer)
 		h.stats, _ = t.(StatsTracer)
+		h.abort, _ = t.(AbortTracer)
 	}
 	return h
 }

@@ -6,25 +6,40 @@
 package bruteforce
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"cosched/internal/abort"
 	"cosched/internal/degradation"
 	"cosched/internal/job"
 )
 
-// Result is the provably optimal schedule.
+// Result is the provably optimal schedule — or, when a SolveContext was
+// cancelled mid-enumeration, the best partition seen so far, flagged
+// Degraded.
 type Result struct {
 	Groups [][]job.ProcID
 	Cost   float64
 	// Partitions counts the complete partitions evaluated (after
 	// branch-and-bound pruning).
 	Partitions int64
+	// Degraded reports that the enumeration stopped early (cancelled or
+	// expired context); Aborted carries the reason. The Groups are then
+	// the best partition found before the stop — feasible, not proven
+	// optimal.
+	Degraded bool
+	Aborted  abort.Reason
 }
 
 // MaxProcs guards against accidentally launching an astronomically large
 // enumeration.
 const MaxProcs = 24
+
+// abortCheckEvery is the tryNode interval between context polls: the
+// poll is two orders of magnitude cheaper than a node evaluation, but
+// keeping it off the per-node path costs nothing. Power of two (masked).
+const abortCheckEvery = 512
 
 type searcher struct {
 	cost    *degradation.Cost
@@ -38,10 +53,26 @@ type searcher struct {
 	best    float64
 	bestG   [][]job.ProcID
 	parts   int64
+
+	// Cancellation state: done is polled every abortCheckEvery tryNode
+	// calls; once aborted is set the recursion unwinds without further
+	// node evaluations.
+	ctx     context.Context
+	done    <-chan struct{}
+	calls   int64
+	aborted abort.Reason
 }
 
 // Solve exhaustively finds the minimum-objective partition.
 func Solve(c *degradation.Cost) (*Result, error) {
+	return SolveContext(context.Background(), c)
+}
+
+// SolveContext is Solve with cancellation: a cancelled or expired
+// context stops the enumeration promptly and returns the best partition
+// seen so far as a degraded Result (falling back to the trivial
+// sequential partition when the stop landed before any complete one).
+func SolveContext(ctx context.Context, c *degradation.Cost) (*Result, error) {
 	b := c.Batch
 	n := b.NumProcs()
 	if n > MaxProcs {
@@ -55,6 +86,16 @@ func Solve(c *degradation.Cost) (*Result, error) {
 		used:  make([]bool, n+1),
 		best:  math.Inf(1),
 	}
+	if ctx != nil {
+		s.ctx = ctx
+		s.done = ctx.Done()
+		// An already-done context aborts before the first node.
+		select {
+		case <-s.done:
+			s.aborted = abort.FromContext(ctx)
+		default:
+		}
+	}
 	s.procPar = make([]int, n)
 	for i := range s.procPar {
 		s.procPar[i] = -1
@@ -66,14 +107,46 @@ func Solve(c *degradation.Cost) (*Result, error) {
 		}
 	}
 	s.jobMax = make([]float64, len(par))
-	s.recurse()
+	if s.aborted == abort.None {
+		s.recurse()
+	}
 	if math.IsInf(s.best, 1) {
+		if s.aborted != abort.None {
+			groups := sequentialGroups(b)
+			return &Result{
+				Groups: groups, Cost: c.PartitionCost(groups),
+				Partitions: s.parts, Degraded: true, Aborted: s.aborted,
+			}, nil
+		}
 		return nil, fmt.Errorf("bruteforce: no feasible partition")
 	}
-	return &Result{Groups: s.bestG, Cost: s.best, Partitions: s.parts}, nil
+	res := &Result{Groups: s.bestG, Cost: s.best, Partitions: s.parts}
+	if s.aborted != abort.None {
+		res.Degraded = true
+		res.Aborted = s.aborted
+	}
+	return res, nil
+}
+
+// sequentialGroups is the trivial u-chunk partition of processes 1..n,
+// the fallback an aborted enumeration can always return.
+func sequentialGroups(b *job.Batch) [][]job.ProcID {
+	n, u := b.NumProcs(), b.Cores
+	groups := make([][]job.ProcID, 0, n/u)
+	for p := 1; p <= n; p += u {
+		g := make([]job.ProcID, 0, u)
+		for q := p; q < p+u && q <= n; q++ {
+			g = append(g, job.ProcID(q))
+		}
+		groups = append(groups, g)
+	}
+	return groups
 }
 
 func (s *searcher) recurse() {
+	if s.aborted != abort.None {
+		return
+	}
 	leader := 0
 	for p := 1; p <= s.n; p++ {
 		if !s.used[p] {
@@ -131,6 +204,18 @@ func (s *searcher) recurse() {
 // Increments are non-negative, so sub-paths already at or above the
 // incumbent are pruned.
 func (s *searcher) tryNode(node []job.ProcID) {
+	if s.aborted != abort.None {
+		return
+	}
+	s.calls++
+	if s.done != nil && s.calls&(abortCheckEvery-1) == 0 {
+		select {
+		case <-s.done:
+			s.aborted = abort.FromContext(s.ctx)
+			return
+		default:
+		}
+	}
 	type undo struct {
 		pi  int
 		old float64

@@ -1,9 +1,12 @@
 package bruteforce
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
+	"cosched/internal/abort"
 	"cosched/internal/cache"
 	"cosched/internal/degradation"
 	"cosched/internal/job"
@@ -110,5 +113,47 @@ func TestSEModeCostAtLeastPEMode(t *testing.T) {
 	}
 	if pe.Cost > se.Cost+1e-9 {
 		t.Errorf("PE optimum %v exceeds SE optimum %v", pe.Cost, se.Cost)
+	}
+}
+
+// TestSolveContextAborts pins the anytime contract of the enumerator:
+// an already-done context returns the trivial sequential partition as a
+// degraded result, and a mid-flight cancel returns the best-so-far.
+func TestSolveContextAborts(t *testing.T) {
+	m := cache.QuadCore
+	in, err := workload.SyntheticSerialInstance(16, &m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := in.Cost(degradation.ModePC)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveContext(ctx, c)
+	if err != nil {
+		t.Fatalf("cancelled enumeration errored instead of degrading: %v", err)
+	}
+	if !res.Degraded || res.Aborted != abort.Cancel {
+		t.Errorf("result not flagged degraded/cancel: %+v", res)
+	}
+	if err := c.ValidatePartition(res.Groups); err != nil {
+		t.Errorf("degraded partition invalid: %v", err)
+	}
+
+	exp, cancelExp := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelExp()
+	res, err = SolveContext(exp, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || res.Aborted != abort.Deadline {
+		t.Errorf("result not flagged degraded/deadline: %+v", res)
+	}
+
+	full, err := SolveContext(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded || full.Aborted != abort.None {
+		t.Errorf("unbounded enumeration flagged degraded: %+v", full)
 	}
 }

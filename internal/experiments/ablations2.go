@@ -99,7 +99,7 @@ func ablationSymmetry(opts RunOptions) (*Report, error) {
 				return nil, 0, err
 			}
 			start := time.Now()
-			res, err := s.Solve()
+			res, err := capErr(s.Solve())
 			return res, time.Since(start).Seconds(), err
 		}
 		canonical, tCanon, err := run(true, 4_000_000)

@@ -46,9 +46,9 @@ func fig8(opts RunOptions) (*Report, error) {
 		}
 		run := func(condense bool) (float64, int64, error) {
 			start := time.Now()
-			res, err := solveOAOpt(in, degradation.ModePC, astar.Options{
+			res, err := capErr(solveOAOpt(in, degradation.ModePC, astar.Options{
 				H: astar.HPerProc, Condense: condense, UseIncumbent: true,
-				MaxExpansions: 1_000_000, TimeLimit: 90 * time.Second})
+				MaxExpansions: 1_000_000, TimeLimit: 90 * time.Second}))
 			if err != nil {
 				return 0, 0, err
 			}
@@ -121,7 +121,7 @@ func fig9(opts RunOptions) (*Report, error) {
 				return nil, err
 			}
 			start := time.Now()
-			res, err := s.Solve()
+			res, err := capErr(s.Solve())
 			el := time.Since(start)
 			if err != nil {
 				rep.Notes = append(rep.Notes,

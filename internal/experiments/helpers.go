@@ -48,13 +48,25 @@ func solveOAOpt(in *workload.Instance, mode degradation.Mode, opts astar.Options
 	return s.Solve()
 }
 
+// capErr converts a degraded (budget-capped) search result into an
+// error. The anytime solvers return a best-incumbent schedule when a
+// cap breaks — right for production callers, wrong for experiment
+// tables, which must report ">cap" rather than pass an unproven cost
+// off as the optimum.
+func capErr(res *astar.Result, err error) (*astar.Result, error) {
+	if err == nil && res.Stats.Degraded {
+		return nil, fmt.Errorf("search budget hit (%s)", res.Stats.Aborted)
+	}
+	return res, err
+}
+
 // solveOACapped is solveOA with an expansion cap, for experiment arms
 // that may exceed laptop budgets; the caller degrades gracefully on
 // error.
 func solveOACapped(in *workload.Instance, mode degradation.Mode) (*astar.Result, error) {
-	return solveOAOpt(in, mode, astar.Options{
+	return capErr(solveOAOpt(in, mode, astar.Options{
 		Condense: true, UseIncumbent: true, ExactParallel: true,
-		MaxExpansions: 2_000_000, TimeLimit: 2 * time.Minute})
+		MaxExpansions: 2_000_000, TimeLimit: 2 * time.Minute}))
 }
 
 // solveOAPlain runs OA* exactly as the paper specifies it — set-keyed
@@ -63,9 +75,9 @@ func solveOACapped(in *workload.Instance, mode degradation.Mode) (*astar.Result,
 // continuous running maxima that defeat the symmetry canonicalisation
 // (DESIGN.md §5a). Capped as a safety net.
 func solveOAPlain(in *workload.Instance, mode degradation.Mode) (*astar.Result, error) {
-	return solveOAOpt(in, mode, astar.Options{
+	return capErr(solveOAOpt(in, mode, astar.Options{
 		Condense: true, UseIncumbent: true,
-		MaxExpansions: 1_500_000, TimeLimit: 2 * time.Minute})
+		MaxExpansions: 1_500_000, TimeLimit: 2 * time.Minute}))
 }
 
 // solveHA runs the heuristic A* with the paper's MER budget k = n/u.

@@ -1,6 +1,7 @@
 package ip
 
 import (
+	"context"
 	"time"
 
 	"cosched/internal/telemetry"
@@ -29,6 +30,10 @@ type Config struct {
 	// MaxNodes aborts after this many branch-and-bound nodes (0 =
 	// none).
 	MaxNodes int64
+	// Ctx, when non-nil, is polled once per branch-and-bound node: a
+	// cancelled or expired context aborts the solve promptly and returns
+	// the incumbent as a degraded result (Stats.Aborted).
+	Ctx context.Context
 	// LPIterLimit caps simplex pivots per relaxation (0 = default).
 	LPIterLimit int
 	// Metrics, when non-nil, receives live branch-and-bound telemetry:

@@ -2,10 +2,12 @@ package ip
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 	"time"
 
+	"cosched/internal/abort"
 	"cosched/internal/bruteforce"
 	"cosched/internal/cache"
 	"cosched/internal/degradation"
@@ -266,5 +268,92 @@ func TestConfigsOrder(t *testing.T) {
 			t.Errorf("duplicate config name %q", c.Name)
 		}
 		names[c.Name] = true
+	}
+}
+
+// TestAbortContext covers the anytime contract for branch-and-bound:
+// an already-done context — cancelled or past its deadline — must yield
+// a valid degraded partition immediately, never an error.
+func TestAbortContext(t *testing.T) {
+	c := buildCost(t, 12, 4, 1, degradation.ModePC)
+	m, err := BuildModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancelExp := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelExp()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name string
+		ctx  context.Context
+		want abort.Reason
+	}{
+		{"expired", expired, abort.Deadline},
+		{"cancelled", cancelled, abort.Cancel},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ConfigA
+			cfg.Ctx = tc.ctx
+			res, err := Solve(m, cfg)
+			if err != nil {
+				t.Fatalf("aborted solve errored instead of degrading: %v", err)
+			}
+			if !res.Stats.Degraded || res.Stats.Aborted != tc.want {
+				t.Errorf("stats not flagged degraded/%v: %+v", tc.want, res.Stats)
+			}
+			if !res.Stats.TimedOut {
+				t.Error("TimedOut compat flag not set on aborted solve")
+			}
+			if res.Optimal {
+				t.Error("aborted solve claims optimality")
+			}
+			if err := c.ValidatePartition(res.Groups); err != nil {
+				t.Errorf("degraded partition invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestAbortNodeCapDegrades pins the new MaxNodes semantics: the node cap
+// degrades instead of erroring, carries reason "expansions", and the
+// trace ends with an abort event the solution repeats.
+func TestAbortNodeCapDegrades(t *testing.T) {
+	// Seed 1 needs 9 branch-and-bound nodes under ConfigA, so a cap of
+	// one is guaranteed to bite.
+	c := buildCost(t, 12, 4, 1, degradation.ModePC)
+	m, err := BuildModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := ConfigA
+	cfg.MaxNodes = 1
+	cfg.Events = telemetry.NewEventWriter(&buf)
+	res, err := Solve(m, cfg)
+	if err != nil {
+		t.Fatalf("node-capped solve errored instead of degrading: %v", err)
+	}
+	if !res.Stats.Degraded || res.Stats.Aborted != abort.Expansions {
+		t.Errorf("stats not flagged degraded/expansions: %+v", res.Stats)
+	}
+	if err := c.ValidatePartition(res.Groups); err != nil {
+		t.Errorf("degraded partition invalid: %v", err)
+	}
+	evs, err := telemetry.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var abortReason, solReason string
+	for _, ev := range evs {
+		switch ev.Ev {
+		case "abort":
+			abortReason = ev.Reason
+		case "solution":
+			solReason = ev.Reason
+		}
+	}
+	if abortReason != "expansions" || solReason != "expansions" {
+		t.Errorf("trace abort/solution reasons = %q/%q; want expansions/expansions", abortReason, solReason)
 	}
 }

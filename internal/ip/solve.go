@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"cosched/internal/abort"
 	"cosched/internal/job"
 	"cosched/internal/lp"
 	"cosched/internal/telemetry"
@@ -25,14 +26,21 @@ type Stats struct {
 	BoundImprovements int64
 	// Duration is the wall-clock solving time.
 	Duration time.Duration
-	// TimedOut reports whether TimeLimit or MaxNodes cut the search
-	// short (the Result then carries the best incumbent, not a proven
-	// optimum).
+	// TimedOut reports whether any budget (TimeLimit, MaxNodes, or a
+	// done Ctx) cut the search short (the Result then carries the best
+	// incumbent, not a proven optimum). Kept alongside the richer
+	// Degraded/Aborted pair for the pre-anytime API surface.
 	TimedOut bool
+	// Degraded mirrors TimedOut in the anytime vocabulary every solver
+	// shares; Aborted carries the reason (deadline, cancel, expansions
+	// for the node cap).
+	Degraded bool
+	Aborted  abort.Reason
 }
 
 // ipMetrics caches the registry handles of the ip.* metric family.
 type ipMetrics struct {
+	reg                                           *telemetry.Registry
 	solves, nodes, lpIters, improvements, solveNS *telemetry.Counter
 	incumbent                                     *telemetry.FloatGauge
 	last                                          Stats
@@ -46,6 +54,7 @@ func newIPMetrics(r *telemetry.Registry) *ipMetrics {
 		return nil
 	}
 	m := &ipMetrics{
+		reg:          r,
 		solves:       r.Counter("ip.solves"),
 		nodes:        r.Counter("ip.nodes"),
 		lpIters:      r.Counter("ip.lp_iters"),
@@ -78,6 +87,15 @@ func (m *ipMetrics) finish(st *Stats, incumbent float64) {
 	m.solveNS.Add(st.Duration.Nanoseconds())
 }
 
+// abortCounter bumps ip.aborts.<reason> — at most once per solve, off
+// the per-node path, so the on-demand handle lookup is fine.
+func (m *ipMetrics) abortCounter(r abort.Reason) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("ip.aborts." + r.String()).Add(1)
+}
+
 // ipEvents is the trace-event side of the IP telemetry: one solve_start,
 // an incumbent event per bound improvement, and the closing stats +
 // solution pair, all stamped with the solve id and the shared monotonic
@@ -86,6 +104,9 @@ type ipEvents struct {
 	sink    telemetry.EventSink
 	solveID uint64
 	epoch   time.Time
+	// abortReason remembers the abort event's reason so the solution
+	// event repeats it (the tracetool abort-reason invariant).
+	abortReason string
 }
 
 func newIPEvents(cfg *Config, n int) *ipEvents {
@@ -121,8 +142,19 @@ func (e *ipEvents) incumbent(cost float64, nodes int64) {
 	e.emit(telemetry.Event{Ev: "incumbent", Cost: cost, Pop: nodes})
 }
 
+// abortEvent records an early stop: one "abort" event carrying the node
+// count and the reason, which the closing solution event repeats.
+func (e *ipEvents) abortEvent(nodes int64, reason string) {
+	if e == nil {
+		return
+	}
+	e.abortReason = reason
+	e.emit(telemetry.Event{Ev: "abort", Pop: nodes, Reason: reason})
+}
+
 // finish closes the trace: the final accounting, the solution when one
-// exists, and a sink flush.
+// exists (degraded solves repeat the abort reason on it), and a sink
+// flush.
 func (e *ipEvents) finish(st *Stats, cost float64, groups [][]job.ProcID) {
 	if e == nil {
 		return
@@ -136,7 +168,7 @@ func (e *ipEvents) finish(st *Stats, cost float64, groups [][]job.ProcID) {
 				ints[i][j] = int(p)
 			}
 		}
-		e.emit(telemetry.Event{Ev: "solution", Cost: cost, Groups: ints, Pop: st.Nodes})
+		e.emit(telemetry.Event{Ev: "solution", Cost: cost, Groups: ints, Pop: st.Nodes, Reason: e.abortReason})
 	}
 	telemetry.FlushSink(e.sink) //nolint:errcheck
 }
@@ -220,6 +252,11 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 		return nd
 	}
 
+	var done <-chan struct{}
+	if cfg.Ctx != nil {
+		done = cfg.Ctx.Done()
+	}
+	aborted := abort.None
 	pushNode(&bbNode{bound: math.Inf(-1)})
 	for {
 		nd := popNode()
@@ -229,12 +266,22 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 		if nd.bound >= incumbent-intTol {
 			continue
 		}
+		if done != nil {
+			select {
+			case <-done:
+				aborted = abort.FromContext(cfg.Ctx)
+			default:
+			}
+			if aborted != abort.None {
+				break
+			}
+		}
 		if !deadline.IsZero() && time.Now().After(deadline) {
-			stats.TimedOut = true
+			aborted = abort.Deadline
 			break
 		}
 		if cfg.MaxNodes > 0 && stats.Nodes >= cfg.MaxNodes {
-			stats.TimedOut = true
+			aborted = abort.Expansions
 			break
 		}
 		stats.Nodes++
@@ -295,12 +342,25 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 	}
 
 	stats.Duration = time.Since(start)
+	if aborted != abort.None {
+		stats.TimedOut = true
+		stats.Degraded = true
+		stats.Aborted = aborted
+		met.abortCounter(aborted)
+		evs.abortEvent(stats.Nodes, aborted.String())
+	}
 	met.finish(&stats, incumbent)
 	if incumbentSel == nil {
-		evs.finish(&stats, 0, nil)
-		if stats.TimedOut {
-			return &Result{Stats: stats}, fmt.Errorf("ip: %s: no feasible solution before limit", cfg.Name)
+		if aborted != abort.None {
+			// Aborted before any incumbent: degrade to the trivial
+			// sequential partition so the caller still gets a feasible
+			// schedule instead of an error.
+			groups := sequentialGroups(m)
+			cost := m.Cost.PartitionCost(groups)
+			evs.finish(&stats, cost, groups)
+			return &Result{Groups: groups, Cost: cost, Stats: stats}, nil
 		}
+		evs.finish(&stats, 0, nil)
 		return nil, fmt.Errorf("ip: no feasible solution found")
 	}
 	groups := m.Groups(incumbentSel)
@@ -312,6 +372,23 @@ func Solve(m *Model, cfg Config) (*Result, error) {
 		Optimal: !stats.TimedOut,
 		Stats:   stats,
 	}, nil
+}
+
+// sequentialGroups builds the trivial u-chunk partition of processes
+// 1..n in ID order: the schedule every instance admits, used as the
+// degraded fallback when a solve aborts before finding any incumbent.
+func sequentialGroups(m *Model) [][]job.ProcID {
+	b := m.Cost.Batch
+	n, u := b.NumProcs(), b.Cores
+	groups := make([][]job.ProcID, 0, n/u)
+	for p := 1; p <= n; p += u {
+		g := make([]job.ProcID, 0, u)
+		for q := p; q < p+u && q <= n; q++ {
+			g = append(g, job.ProcID(q))
+		}
+		groups = append(groups, g)
+	}
+	return groups
 }
 
 // solveRelaxation builds and solves the LP relaxation under the node's

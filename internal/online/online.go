@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"cosched/internal/abort"
 	"cosched/internal/degradation"
 	"cosched/internal/job"
 	"cosched/internal/telemetry"
@@ -43,6 +44,12 @@ type System struct {
 
 	queue    []job.JobID
 	finished map[job.JobID]float64
+
+	// down[m] marks machine m crashed: zero free cores, nothing runs on
+	// it, until the fault plan restores it. faults is the live fault
+	// machinery (nil on fault-free simulations).
+	down   []bool
+	faults *faultState
 
 	// arrivedAt mirrors the arrival times during a simulation so the
 	// telemetry layer can compute placement delays.
@@ -86,8 +93,11 @@ func (e *onlineEvents) emit(ev telemetry.Event) {
 type onlineMetrics struct {
 	sims, placements, queued, events *telemetry.Counter
 	speedUpdates                     *telemetry.Counter
-	queueLen                         *telemetry.Gauge
-	placementDelay                   *telemetry.Histogram
+	// The online.faults.* family: machine crashes applied, jobs evicted
+	// by crashes, and transient placement failures injected.
+	machineDowns, evictions, placeFailures *telemetry.Counter
+	queueLen                               *telemetry.Gauge
+	placementDelay                         *telemetry.Histogram
 }
 
 func newOnlineMetrics(r *telemetry.Registry) *onlineMetrics {
@@ -95,12 +105,15 @@ func newOnlineMetrics(r *telemetry.Registry) *onlineMetrics {
 		return nil
 	}
 	m := &onlineMetrics{
-		sims:         r.Counter("online.simulations"),
-		placements:   r.Counter("online.placements"),
-		queued:       r.Counter("online.queued_jobs"),
-		events:       r.Counter("online.events"),
-		speedUpdates: r.Counter("online.speed_updates"),
-		queueLen:     r.Gauge("online.queue"),
+		sims:          r.Counter("online.simulations"),
+		placements:    r.Counter("online.placements"),
+		queued:        r.Counter("online.queued_jobs"),
+		events:        r.Counter("online.events"),
+		speedUpdates:  r.Counter("online.speed_updates"),
+		machineDowns:  r.Counter("online.faults.machine_down"),
+		evictions:     r.Counter("online.faults.evictions"),
+		placeFailures: r.Counter("online.faults.place_failures"),
+		queueLen:      r.Gauge("online.queue"),
 		// Placement delay in simulated time units; the buckets cover
 		// immediate placement through long head-of-line blocking.
 		placementDelay: r.Histogram("online.placement_delay",
@@ -133,6 +146,7 @@ func NewSystem(c *degradation.Cost, solo func(job.ProcID) float64, machines int)
 		remaining:  make([]float64, n),
 		machineOf:  make([]int, n),
 		finished:   make(map[job.JobID]float64),
+		down:       make([]bool, machines),
 	}
 	for i := range s.remaining {
 		s.remaining[i] = math.NaN()
@@ -141,8 +155,14 @@ func NewSystem(c *degradation.Cost, solo func(job.ProcID) float64, machines int)
 	return s
 }
 
-// Free returns the idle core count of machine m.
-func (s *System) Free(m int) int { return s.Cores - len(s.perMachine[m]) }
+// Free returns the idle core count of machine m (0 while the machine is
+// crashed).
+func (s *System) Free(m int) int {
+	if s.down[m] {
+		return 0
+	}
+	return s.Cores - len(s.perMachine[m])
+}
 
 // Running returns the processes currently on machine m.
 func (s *System) Running(m int) []job.ProcID { return s.perMachine[m] }
@@ -184,9 +204,25 @@ func SimulateObserved(c *degradation.Cost, solo func(job.ProcID) float64, machin
 // makespan.
 func SimulateTraced(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
 	arrivals []Arrival, p Policy, obs Observer) (*Result, error) {
+	return SimulateWithFaults(c, solo, machines, arrivals, p, obs, nil)
+}
+
+// SimulateWithFaults is SimulateTraced under a seeded fault plan:
+// machines crash and restore on schedule (crashes evict whole jobs —
+// remaining work preserved, job requeued at the front), placements fail
+// transiently with capped exponential backoff, and the speed model runs
+// on a perturbed degradation oracle. A nil plan simulates fault-free. A
+// panic thrown by the policy's Place is recovered into an
+// *abort.PanicError after flushing the event sink, so one broken policy
+// cannot take the whole experiment down.
+func SimulateWithFaults(c *degradation.Cost, solo func(job.ProcID) float64, machines int,
+	arrivals []Arrival, p Policy, obs Observer, plan *FaultPlan) (res *Result, err error) {
 	s := NewSystem(c, solo, machines)
 	s.met = newOnlineMetrics(obs.Metrics)
 	s.evs = newOnlineEvents(obs)
+	if plan != nil {
+		s.faults = newFaultState(plan, machines, c.Batch.NumProcs())
+	}
 	b := c.Batch
 	arrivalTime := make(map[job.JobID]float64, len(arrivals))
 	for i, a := range arrivals {
@@ -202,37 +238,59 @@ func SimulateTraced(c *degradation.Cost, solo func(job.ProcID) float64, machines
 		return nil, fmt.Errorf("online: %d arrivals for %d jobs", len(arrivalTime), len(b.Jobs))
 	}
 	s.arrivedAt = arrivalTime
+	defer func() {
+		if r := recover(); r != nil {
+			if s.evs != nil {
+				telemetry.FlushSink(s.evs.sink) //nolint:errcheck // keep the partial trace
+			}
+			res, err = nil, abort.Recovered(r)
+		}
+	}()
 	s.evs.emit(telemetry.Event{
 		Ev: "solve_start", N: b.NumProcs(), U: b.Cores, Method: "online:" + p.Name(),
 	})
 
 	next := 0
 	for len(s.finished) < len(b.Jobs) {
-		// Advance to the next event: either an arrival or the earliest
-		// completion on the current speeds.
+		// Advance to the earliest of: the next arrival, the earliest
+		// completion at current speeds, the next scheduled machine
+		// fault, and the queue head's backoff expiry. Arrivals win ties.
 		dt, anyRunning := s.timeToNextCompletion()
-		var eventTime float64
+		tComp := math.Inf(1)
 		if anyRunning {
-			eventTime = s.now + dt
-		} else {
-			eventTime = math.Inf(1)
+			tComp = s.now + dt
 		}
-		if next < len(arrivals) && arrivals[next].Time <= eventTime {
-			s.progress(arrivals[next].Time - s.now)
-			s.now = arrivals[next].Time
+		tArr := math.Inf(1)
+		if next < len(arrivals) {
+			tArr = arrivals[next].Time
+		}
+		tFault := s.faults.nextFaultTime()
+		tRetry := s.nextRetryTime()
+
+		switch {
+		case tArr <= tComp && tArr <= tFault && tArr <= tRetry:
+			s.progress(tArr - s.now)
+			s.now = tArr
 			s.queue = append(s.queue, arrivals[next].Job)
 			if s.met != nil {
 				s.met.queued.Add(1)
 			}
 			s.evs.emit(telemetry.Event{Ev: "arrival", Job: int(arrivals[next].Job) + 1, T: s.now})
 			next++
-		} else {
-			if !anyRunning {
-				return nil, fmt.Errorf("online: deadlock — queue %v cannot be placed", s.queue)
-			}
+		case tFault <= tComp && tFault <= tRetry && !math.IsInf(tFault, 1):
+			s.progress(tFault - s.now)
+			s.now = tFault
+			s.applyFaults()
+		case tRetry <= tComp && !math.IsInf(tRetry, 1):
+			// The backoff expired; drainQueue below retries the head.
+			s.progress(tRetry - s.now)
+			s.now = tRetry
+		case anyRunning:
 			s.progress(dt)
-			s.now = eventTime
+			s.now = tComp
 			s.reap(arrivalTime)
+		default:
+			return nil, fmt.Errorf("online: deadlock — queue %v cannot be placed", s.queue)
 		}
 		if s.met != nil {
 			s.met.events.Add(1)
@@ -240,13 +298,16 @@ func SimulateTraced(c *degradation.Cost, solo func(job.ProcID) float64, machines
 		s.drainQueue(p)
 	}
 
-	res := &Result{Policy: p.Name(), JobFinish: s.finished}
+	res = &Result{Policy: p.Name(), JobFinish: s.finished}
 	var sum float64
-	for j, t := range s.finished {
+	// Sum in job order, not map order, so the mean is bit-identical
+	// across runs of the same plan.
+	for jid := range b.Jobs {
+		t := s.finished[job.JobID(jid)]
 		if t > res.Makespan {
 			res.Makespan = t
 		}
-		sum += t - arrivalTime[j]
+		sum += t - arrivalTime[job.JobID(jid)]
 	}
 	res.MeanTurnaround = sum / float64(len(s.finished))
 	if s.evs != nil {
@@ -261,6 +322,13 @@ func SimulateTraced(c *degradation.Cost, solo func(job.ProcID) float64, machines
 func (s *System) drainQueue(p Policy) {
 	for len(s.queue) > 0 {
 		j := s.queue[0]
+		// A job backing off after a transient placement failure blocks
+		// the queue until its retry time (conservative FIFO, as below).
+		if s.faults != nil {
+			if t, ok := s.faults.retryAt[j]; ok && t > s.now {
+				return
+			}
+		}
 		placement, err := p.Place(s, j)
 		if err != nil {
 			return
@@ -279,11 +347,30 @@ func (s *System) drainQueue(p Policy) {
 				return
 			}
 		}
+		// Inject a transient placement failure: the placement was
+		// feasible, but the machinery (not the policy) failed. The job
+		// stays at the head and retries after an exponential backoff.
+		if s.faults != nil && s.faults.failPlace(j) {
+			delay := s.faults.backoff(s.faults.placeFails[j])
+			s.faults.retryAt[j] = s.now + delay
+			if s.met != nil {
+				s.met.placeFailures.Add(1)
+			}
+			s.evs.emit(telemetry.Event{
+				Ev: "place_fail", Job: int(j) + 1, T: s.now,
+				Reason: "transient", Delay: delay,
+			})
+			return
+		}
 		for i, pid := range procs {
 			m := placement[i]
 			s.perMachine[m] = append(s.perMachine[m], pid)
 			s.machineOf[int(pid)-1] = m
-			s.remaining[int(pid)-1] = s.Solo(pid)
+			// NaN means never placed; anything else is the remaining
+			// work an eviction preserved, which the re-place resumes.
+			if math.IsNaN(s.remaining[int(pid)-1]) {
+				s.remaining[int(pid)-1] = s.Solo(pid)
+			}
 		}
 		delay := 0.0
 		if at, ok := s.arrivedAt[j]; ok {
@@ -316,7 +403,13 @@ func (s *System) speed(pid job.ProcID) float64 {
 			co = append(co, q)
 		}
 	}
-	return 1 / (1 + s.Cost.ProcCost(pid, co))
+	d := s.Cost.ProcCost(pid, co)
+	if s.faults != nil && s.faults.noise != nil {
+		// The perturbed oracle: the simulator believes a systematically
+		// wrong contention estimate for this process.
+		d *= s.faults.noise[int(pid)-1]
+	}
+	return 1 / (1 + d)
 }
 
 // timeToNextCompletion returns the wall-clock time until the earliest

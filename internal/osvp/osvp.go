@@ -8,6 +8,9 @@
 package osvp
 
 import (
+	"context"
+	"time"
+
 	"cosched/internal/astar"
 	"cosched/internal/graph"
 	"cosched/internal/telemetry"
@@ -17,8 +20,16 @@ import (
 // untraced search.
 type Options struct {
 	// MaxExpansions aborts the search after this many pops (0 = no
-	// limit); the search then returns an error.
+	// limit); the search then returns the best incumbent as a degraded
+	// result (astar.Stats.Aborted), like every other budget here.
 	MaxExpansions int64
+	// TimeLimit aborts the search after this much wall clock (0 = none).
+	TimeLimit time.Duration
+	// Ctx, when non-nil, is polled per pop: cancellation or an expired
+	// deadline degrades the solve promptly.
+	Ctx context.Context
+	// MemoryBudget caps the search's estimated live bytes (0 = none).
+	MemoryBudget int64
 	// Metrics, when non-nil, receives the underlying search telemetry
 	// ("astar.*" family, method "OA*" with h = 0) plus the
 	// "osvp.solves" counter (DESIGN.md §6).
@@ -49,6 +60,9 @@ func SolveOpts(g *graph.Graph, opts Options) (*astar.Result, error) {
 	s, err := astar.NewSolver(g, astar.Options{
 		H:             astar.HNone,
 		MaxExpansions: opts.MaxExpansions,
+		TimeLimit:     opts.TimeLimit,
+		Ctx:           opts.Ctx,
+		MemoryBudget:  opts.MemoryBudget,
 		Metrics:       opts.Metrics,
 		Tracer:        opts.Tracer,
 		Progress:      opts.Progress,

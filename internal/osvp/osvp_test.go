@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"cosched/internal/abort"
 	"cosched/internal/astar"
 	"cosched/internal/bruteforce"
 	"cosched/internal/cache"
@@ -67,10 +68,20 @@ func TestSolveWithLimitAborts(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := graph.New(in.Cost(degradation.ModePC), nil)
-	if _, err := SolveWithLimit(g, 2); err == nil {
-		t.Error("limited O-SVP did not abort")
+	res, err := SolveWithLimit(g, 2)
+	if err != nil {
+		t.Fatalf("limited O-SVP errored instead of degrading: %v", err)
 	}
-	if _, err := SolveWithLimit(g, 1_000_000); err != nil {
+	if !res.Stats.Degraded || res.Stats.Aborted != abort.Expansions {
+		t.Errorf("limited O-SVP not flagged degraded/expansions: %+v", res.Stats)
+	}
+	if err := g.Cost.ValidatePartition(res.Groups); err != nil {
+		t.Errorf("degraded schedule invalid: %v", err)
+	}
+	full, err := SolveWithLimit(g, 1_000_000)
+	if err != nil {
 		t.Errorf("generous limit failed: %v", err)
+	} else if full.Stats.Degraded {
+		t.Errorf("generous limit flagged degraded: %+v", full.Stats)
 	}
 }

@@ -26,10 +26,23 @@ import (
 //	             or nodes, lp_iters (IP) — final accounting, before the
 //	             solution event
 //	incumbent    cost, pop             — IP bound improvement
+//	abort        pop, reason           — the solve stopped early; reason:
+//	             deadline|cancel|expansions|memory. At most one per solve,
+//	             before the stats/solution pair; the solution event then
+//	             repeats the reason.
 //	arrival      job, t                — online simulation: job queued
 //	place        job, t, machines, delay — online: job placed
+//	place_fail   job, t, reason, delay — online: transient placement
+//	             failure injected by a fault plan; the job retries after
+//	             delay simulated seconds
+//	evict        job, t, machines      — online: a machine crash evicted
+//	             the job (remaining work preserved, job requeued)
+//	machine_down machines, t           — online: machine crashed
+//	machine_up   machines, t           — online: machine restored
 //	job_done     job, t                — online: job finished
-//	solution     cost, groups, pop     — one per solve, last line
+//	solution     cost, groups, pop, reason — one per solve, last line;
+//	             reason is non-empty on degraded solves and matches the
+//	             abort event
 //
 // pop is the 1-based expansion index at which the event happened (for
 // dismiss events, the expansion that generated the child), depth the path

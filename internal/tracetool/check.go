@@ -44,6 +44,13 @@ const costEps = 1e-9
 //     never the reverse).
 //   - solution-groups: the schedule is a partition of processes 1..N
 //     with no machine over capacity.
+//   - abort-reason (all solver traces): a degraded solve carries at most
+//     one abort event, its reason one of deadline|cancel|expansions|
+//     memory, and the solution event repeats the reason; a completed
+//     solve carries neither. Degraded solves are otherwise held to the
+//     same admission identity and partition validity as completed ones —
+//     only the solution-cost rule is waived, because a degraded answer
+//     is an incumbent or greedy fallback, not the popped goal.
 //
 // IP traces: incumbent-monotone (bounds only improve) and
 // solution-cost (the solution equals the final incumbent).
@@ -75,6 +82,47 @@ func Check(tr *Trace) []Violation {
 		vs = append(vs, checkOnline(tr, start)...)
 	default:
 		vs = append(vs, checkSearch(tr, start)...)
+	}
+	vs = append(vs, checkAbort(tr)...)
+	return vs
+}
+
+// checkAbort applies the abort-reason rule: a degraded solve emits
+// exactly one abort event with a known reason, echoed by the solution
+// event; a completed solve emits neither.
+func checkAbort(tr *Trace) []Violation {
+	var vs []Violation
+	var aborts []telemetry.Event
+	for i, ev := range tr.Events {
+		if ev.Ev != "abort" {
+			continue
+		}
+		switch ev.Reason {
+		case "deadline", "cancel", "expansions", "memory":
+		default:
+			vs = append(vs, Violation{"abort-reason",
+				fmt.Sprintf("event %d: unknown abort reason %q", i, ev.Reason)})
+		}
+		aborts = append(aborts, ev)
+	}
+	if len(aborts) > 1 {
+		vs = append(vs, Violation{"abort-reason",
+			fmt.Sprintf("trace carries %d abort events, at most 1 expected", len(aborts))})
+	}
+	sol := tr.solution()
+	if sol == nil {
+		return vs
+	}
+	if len(aborts) == 0 {
+		if sol.Reason != "" {
+			vs = append(vs, Violation{"abort-reason",
+				fmt.Sprintf("solution flagged degraded (%q) but no abort event precedes it", sol.Reason)})
+		}
+		return vs
+	}
+	if sol.Reason != aborts[0].Reason {
+		vs = append(vs, Violation{"abort-reason",
+			fmt.Sprintf("solution reason %q != abort event reason %q", sol.Reason, aborts[0].Reason)})
 	}
 	return vs
 }
@@ -187,7 +235,10 @@ func checkSearch(tr *Trace, start *telemetry.Event) []Violation {
 		}
 		return vs
 	}
-	if !sampled && !math.IsNaN(goalG) && sol.Cost > goalG+costEps {
+	// A degraded solution is the best incumbent (possibly a greedy
+	// fallback), which no popped goal bounds — the rule only applies to
+	// completed solves.
+	if !sampled && !math.IsNaN(goalG) && sol.Reason == "" && sol.Cost > goalG+costEps {
 		vs = append(vs, Violation{"solution-cost",
 			fmt.Sprintf("solution cost %.9f exceeds the goal pop's g %.9f", sol.Cost, goalG)})
 	}

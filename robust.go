@@ -1,0 +1,135 @@
+package cosched
+
+import (
+	"context"
+	"time"
+)
+
+// robustRung is one level of the SolveRobust fallback ladder.
+type robustRung struct {
+	name    string
+	prepare func(opts *Options)
+}
+
+// The ladder, strongest answer first: exact OA*, near-optimal HA*, a
+// strictly work-bounded beam search, and finally PG — a one-pass greedy
+// that always answers, whatever is left of the deadline.
+var robustRungs = []robustRung{
+	{"OA*", func(o *Options) {
+		o.Method = MethodOAStar
+		o.BeamWidth, o.HWeight = 0, 0
+	}},
+	{"HA*", func(o *Options) {
+		o.Method = MethodHAStar
+		o.BeamWidth, o.HWeight = 0, 0
+	}},
+	{"beam", func(o *Options) {
+		o.Method = MethodHAStar
+		if o.BeamWidth == 0 {
+			o.BeamWidth = 8
+		}
+		if o.HWeight == 0 {
+			o.HWeight = 1.2
+		}
+		o.HStrategy = 3 // the scalable per-process bound
+	}},
+	{"PG", func(o *Options) {
+		o.Method = MethodPG
+	}},
+}
+
+// SolveRobust schedules the instance under a hard deadline by walking a
+// fallback ladder — OA*, then HA*, then a bounded beam search, then PG —
+// splitting the context's remaining time evenly across the rungs still
+// ahead. The first rung that completes without degrading answers; if
+// every rung degrades, the cheapest feasible degraded schedule wins. A
+// rung that aborts on its MemoryBudget is retried once on the same rung
+// with the budget halved before the ladder moves on. PG runs in
+// microseconds whatever the deadline, so SolveRobust returns a usable
+// schedule even under an already-expired context.
+//
+// Stats.Fallbacks on the returned schedule records every attempt in
+// order; Stats.Degraded/AbortReason describe the answering attempt. The
+// Method, TimeLimit, BeamWidth and HWeight fields of opts are managed by
+// the ladder (Method is ignored; BeamWidth/HWeight seed the beam rung);
+// everything else — accounting, tracing, metrics, MemoryBudget,
+// MaxExpansions — applies to every rung.
+func SolveRobust(ctx context.Context, inst *Instance, opts Options) (*Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts.TimeLimit = 0 // rung budgets come from the split deadline
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	deadline, hasDeadline := ctx.Deadline()
+
+	var (
+		attempts  []Fallback
+		best      *Schedule
+		lastErr   error
+		userBeam  = opts.BeamWidth
+		userHW    = opts.HWeight
+		memBudget = opts.MemoryBudget
+	)
+	for i, rung := range robustRungs {
+		ropts := opts
+		ropts.BeamWidth, ropts.HWeight = userBeam, userHW
+		ropts.MemoryBudget = memBudget
+		rung.prepare(&ropts)
+
+		// Split what remains of the deadline evenly over this rung and
+		// the ones still below it, so a rung that stalls cannot starve
+		// its fallbacks.
+		rungCtx, cancel := ctx, context.CancelFunc(func() {})
+		if hasDeadline {
+			share := time.Until(deadline) / time.Duration(len(robustRungs)-i)
+			if share > 0 {
+				rungCtx, cancel = context.WithTimeout(ctx, share)
+			}
+		}
+
+		sched, err := SolveContext(rungCtx, inst, ropts)
+		// A memory-budget abort means the instance does not fit this
+		// rung's frontier: retry the rung once at half budget — a much
+		// shallower search that may still beat the next rung down.
+		if err == nil && sched.Stats.AbortReason == AbortMemory && ropts.MemoryBudget > 1 {
+			attempts = append(attempts, fallbackRecord(ropts.Method, sched, nil))
+			ropts.MemoryBudget /= 2
+			sched, err = SolveContext(rungCtx, inst, ropts)
+		}
+		cancel()
+
+		attempts = append(attempts, fallbackRecord(ropts.Method, sched, err))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !sched.Stats.Degraded {
+			sched.Stats.Fallbacks = attempts
+			return sched, nil
+		}
+		if best == nil || sched.TotalDegradation < best.TotalDegradation {
+			best = sched
+		}
+	}
+	if best == nil {
+		return nil, lastErr
+	}
+	best.Stats.Fallbacks = attempts
+	return best, nil
+}
+
+// fallbackRecord condenses one ladder attempt into its Stats.Fallbacks
+// entry.
+func fallbackRecord(m Method, sched *Schedule, err error) Fallback {
+	f := Fallback{Method: m}
+	if err != nil {
+		f.Err = err.Error()
+		return f
+	}
+	f.Degraded = sched.Stats.Degraded
+	f.Aborted = sched.Stats.AbortReason
+	f.Duration = sched.Stats.Duration
+	return f
+}

@@ -60,8 +60,19 @@ type Stats struct {
 	// (graph searches; zero elsewhere).
 	Duration        time.Duration
 	PrepareDuration time.Duration
-	// TimedOut reports whether an IP solve hit its time limit.
-	TimedOut bool
+	// TimedOut reports whether an IP solve hit its time limit. Degraded
+	// subsumes it: it is set whenever any solve stopped before proving
+	// its answer — deadline, cancellation, expansion/node cap or memory
+	// budget — and returned its best incumbent instead. AbortReason then
+	// says which budget broke (AbortNone on a completed solve).
+	TimedOut    bool
+	Degraded    bool
+	AbortReason AbortReason
+	// Fallbacks records, for SolveRobust only, every rung the fallback
+	// ladder attempted before this schedule answered, in attempt order
+	// (the last entry is the rung that produced the schedule). Empty for
+	// plain Solve/SolveContext calls.
+	Fallbacks []Fallback
 	// ElemAllocated / ElemReused report the search's element-pool
 	// behaviour (graph searches only): elements freshly allocated vs
 	// served from a free list. Reuse dominating allocation by orders of
@@ -79,6 +90,21 @@ type Stats struct {
 	// "model"/"search" (IP), or just "search" (PG, brute force).
 	// Nested phases appear after the phases they contain complete.
 	Phases []Phase
+}
+
+// Fallback is one attempt of the SolveRobust ladder (see Stats.Fallbacks).
+type Fallback struct {
+	// Method is the rung's algorithm (the beam rung reports MethodHAStar
+	// — it is HA* with a bounded beam width).
+	Method Method
+	// Degraded and Aborted mirror the attempt's Stats: whether the rung
+	// stopped early and why. Err carries the rung's error text when the
+	// attempt failed outright instead of degrading ("" otherwise).
+	Degraded bool
+	Aborted  AbortReason
+	Err      string
+	// Duration is the attempt's wall-clock time.
+	Duration time.Duration
 }
 
 // Phase is one timed stage of the solve pipeline (see Stats.Phases).

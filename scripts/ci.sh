@@ -53,6 +53,36 @@ for f in "$tracedir"/*.jsonl; do
 done
 echo "ci: trace invariants hold for OA*, HA*, beam, IP and online traces" >&2
 
+# Robustness matrix: every method under an already-expired deadline must
+# still return a valid degraded schedule promptly (the anytime
+# guarantee), its trace must carry the abort event, and the degraded
+# traces must pass the same invariant gate as completed ones.
+for m in oastar hastar osvp ip pg brute; do
+    out="$(go run ./cmd/coschedcli -synthetic 12 -method "$m" -deadline 1ns -trace "$tracedir/deg-$m.jsonl")"
+    grep -q 'DEGRADED(' <<<"$out" || {
+        echo "ci: method $m under an expired deadline did not report a degraded schedule" >&2
+        exit 1
+    }
+    grep -q 'schedule over' <<<"$out" || {
+        echo "ci: method $m under an expired deadline printed no schedule" >&2
+        exit 1
+    }
+done
+go run ./cmd/coschedtrace check "$tracedir"/deg-*.jsonl > /dev/null
+# The fallback ladder under a tight-but-usable deadline must answer and
+# report the rungs it walked.
+go run ./cmd/coschedcli -synthetic 16 -robust -deadline 200ms | grep -q 'fallback ladder:' || {
+    echo "ci: SolveRobust did not report its fallback ladder" >&2
+    exit 1
+}
+echo "ci: every method degrades gracefully under an expired deadline" >&2
+
+# Seeded fault-injection online run: crashes, evictions, placement
+# failures and a noisy oracle must leave a causally consistent trace.
+go run ./examples/onlinesim -faults -faultseed 1 -trace "$tracedir/online-faults.jsonl" > /dev/null
+go run ./cmd/coschedtrace check "$tracedir/online-faults.jsonl" > /dev/null
+echo "ci: fault-injected online simulation trace is causally consistent" >&2
+
 # The recorded benchmark gate (no bench run — validates BENCH_astar.json).
 scripts/benchdiff.sh --check
 
