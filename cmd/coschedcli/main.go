@@ -233,48 +233,15 @@ func main() {
 }
 
 func parseMachine(s string) (cosched.MachineKind, error) {
-	switch strings.ToLower(s) {
-	case "dual", "dual-core", "2":
-		return cosched.DualCore, nil
-	case "quad", "quad-core", "4":
-		return cosched.QuadCore, nil
-	case "8core", "8-core", "eight", "8":
-		return cosched.EightCore, nil
-	default:
-		return 0, fmt.Errorf("unknown machine %q (dual, quad, 8core)", s)
-	}
+	return cosched.ParseMachineKind(s)
 }
 
 func parseMethod(s string) (cosched.Method, error) {
-	switch strings.ToLower(s) {
-	case "oastar", "oa*", "oa":
-		return cosched.MethodOAStar, nil
-	case "hastar", "ha*", "ha":
-		return cosched.MethodHAStar, nil
-	case "ip":
-		return cosched.MethodIP, nil
-	case "osvp", "o-svp":
-		return cosched.MethodOSVP, nil
-	case "pg":
-		return cosched.MethodPG, nil
-	case "brute", "bruteforce", "bf":
-		return cosched.MethodBruteForce, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q", s)
-	}
+	return cosched.ParseMethod(s)
 }
 
 func parseAccounting(s string) (cosched.Accounting, error) {
-	switch strings.ToLower(s) {
-	case "se":
-		return cosched.AccountSE, nil
-	case "pe":
-		return cosched.AccountPE, nil
-	case "pc":
-		return cosched.AccountPC, nil
-	default:
-		return 0, fmt.Errorf("unknown accounting %q (se, pe, pc)", s)
-	}
+	return cosched.ParseAccounting(s)
 }
 
 func parseJobSpec(s string) (string, int, error) {

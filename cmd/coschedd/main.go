@@ -1,0 +1,98 @@
+// Command coschedd serves the cosched solver over HTTP/JSON: a bounded
+// worker pool behind an admission queue, per-request deadlines, a
+// fingerprint-keyed cache of solved schedules, and graceful drain on
+// SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	coschedd -addr :8080 -workers 4
+//	curl -s localhost:8080/v1/solve -d '{"synthetic": 8, "method": "hastar"}'
+//	curl -s localhost:8080/v1/solve-robust -d '{"synthetic": 8, "deadline_ms": 200}'
+//	curl -s localhost:8080/v1/batch -d '{"requests": [{"synthetic": 6}, {"synthetic": 8}]}'
+//
+// Telemetry lives on the same listener: Prometheus metrics under
+// /metrics (the server.* family plus solver metrics), expvar under
+// /debug/vars, pprof under /debug/pprof/, and the flight recorder's
+// recent solver events under /debug/trace.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cosched/internal/server"
+	"cosched/internal/telemetry"
+)
+
+// flightRecorderSize is the in-memory event window exposed under
+// /debug/trace; emitting into the ring is allocation-free, so the
+// recorder is always on.
+const flightRecorderSize = 8192
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers      = flag.Int("workers", 2, "solver worker goroutines (bounds solve concurrency)")
+		queueDepth   = flag.Int("queue", 64, "admission queue depth; a full queue rejects with 429")
+		cacheEntries = flag.Int("cache", 128, "solved-schedule cache capacity in entries (-1 disables)")
+		oracleCache  = flag.Int("oracle-cache", 1<<16, "per-instance degradation-memo capacity in entries")
+		defaultDL    = flag.Duration("default-deadline", 0, "deadline applied to requests that set none (0 = none)")
+		maxDL        = flag.Duration("max-deadline", 0, "cap on any request's deadline (0 = uncapped)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight solves on shutdown")
+	)
+	flag.Parse()
+
+	recorder := telemetry.NewFlightRecorder(flightRecorderSize)
+	srv := server.New(server.Config{
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		CacheEntries:       *cacheEntries,
+		OracleCacheEntries: *oracleCache,
+		DefaultDeadline:    *defaultDL,
+		MaxDeadline:        *maxDL,
+		Metrics:            telemetry.Default,
+		Recorder:           recorder,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coschedd:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	fmt.Printf("coschedd: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("coschedd: %v — draining (timeout %v)\n", sig, *drainTimeout)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "coschedd:", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then let admitted solves finish.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "coschedd: shutdown:", err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "coschedd: drain:", err)
+		os.Exit(1)
+	}
+	st := srv.CacheStats()
+	fmt.Printf("coschedd: drained clean (cache: %d entries, %d hits, %d misses, %d evictions)\n",
+		st.Entries, st.Hits, st.Misses, st.Evictions)
+}

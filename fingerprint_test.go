@@ -1,0 +1,139 @@
+package cosched
+
+import (
+	"testing"
+
+	"cosched/internal/degradation"
+)
+
+func mustFingerprint(t *testing.T, inst *Instance) string {
+	t.Helper()
+	fp, err := inst.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	if len(fp) != 64 {
+		t.Fatalf("Fingerprint = %q; want 64 hex chars", fp)
+	}
+	return fp
+}
+
+func TestInstanceFingerprintStableAcrossRebuilds(t *testing.T) {
+	build := func() *Instance {
+		inst, err := NewWorkload().
+			AddSerial("BT").AddSerial("LU").AddPE("PI", 2).AddPC("MG-Par", 4).
+			Build(QuadCore)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	a, b := build(), build()
+	fa, fb := mustFingerprint(t, a), mustFingerprint(t, b)
+	if fa != fb {
+		t.Errorf("identical workloads fingerprint differently:\n  %s\n  %s", fa, fb)
+	}
+
+	// Solving must not change the identity: the memo wrapper's cache state
+	// is transparent.
+	if _, err := Solve(a, Options{Method: MethodPG}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustFingerprint(t, a); got != fa {
+		t.Errorf("fingerprint changed after solving: %s -> %s", fa, got)
+	}
+}
+
+func TestInstanceFingerprintSensitivity(t *testing.T) {
+	base, err := NewWorkload().AddSerial("BT").AddSerial("LU").Build(QuadCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := mustFingerprint(t, base)
+
+	jobsChanged, err := NewWorkload().AddSerial("BT").AddSerial("MG").Build(QuadCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustFingerprint(t, jobsChanged); got == fp {
+		t.Error("different job set fingerprints equal")
+	}
+
+	machineChanged, err := NewWorkload().AddSerial("BT").AddSerial("LU").Build(EightCore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustFingerprint(t, machineChanged); got == fp {
+		t.Error("different machine fingerprints equal")
+	}
+}
+
+func TestInstanceFingerprintPairwise(t *testing.T) {
+	a, err := SyntheticLarge(24, QuadCore, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SyntheticLarge(24, QuadCore, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := SyntheticLarge(24, QuadCore, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb, fc := mustFingerprint(t, a), mustFingerprint(t, b), mustFingerprint(t, c)
+	if fa != fb {
+		t.Errorf("same-seed pairwise instances fingerprint differently:\n  %s\n  %s", fa, fb)
+	}
+	if fa == fc {
+		t.Error("different-seed pairwise instances fingerprint equal")
+	}
+}
+
+func TestOptionsFingerprintIgnoresBudgets(t *testing.T) {
+	base := Options{Method: MethodHAStar, HStrategy: 3, BeamWidth: 8, HWeight: 1.2}
+	fp := base.Fingerprint()
+
+	budgeted := base
+	budgeted.TimeLimit = 123
+	budgeted.MaxExpansions = 456
+	budgeted.MemoryBudget = 789
+	if got := budgeted.Fingerprint(); got != fp {
+		t.Errorf("budget fields changed the options fingerprint: %s -> %s", fp, got)
+	}
+
+	for name, mutate := range map[string]func(*Options){
+		"Method":    func(o *Options) { o.Method = MethodPG },
+		"HStrategy": func(o *Options) { o.HStrategy = 1 },
+		"BeamWidth": func(o *Options) { o.BeamWidth = 16 },
+		"HWeight":   func(o *Options) { o.HWeight = 1.5 },
+		"KPerLevel": func(o *Options) { o.KPerLevel = 4 },
+	} {
+		changed := base
+		mutate(&changed)
+		if changed.Fingerprint() == fp {
+			t.Errorf("changing %s did not change the options fingerprint", name)
+		}
+	}
+}
+
+func TestSetOracleCacheCapacityBoundsMemo(t *testing.T) {
+	inst, err := SyntheticSerial(8, QuadCore, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.SetOracleCacheCapacity(4)
+	if _, err := Solve(inst, Options{Method: MethodHAStar}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := inst.in.Oracle.(*degradation.Memoized)
+	if !ok {
+		t.Fatal("synthetic instance oracle is not memoized")
+	}
+	if got := m.CacheSize(); got > 8 {
+		t.Errorf("CacheSize = %d after capacity 4; want <= 8 (4 per query cache)", got)
+	}
+	if m.Evictions() == 0 {
+		t.Error("expected evictions from a capacity-4 memo under a full HA* solve")
+	}
+}

@@ -1,0 +1,96 @@
+package server
+
+import "cosched"
+
+// SolveRequest is the JSON body of /v1/solve and /v1/solve-robust, and
+// one element of a /v1/batch request. Exactly one workload source —
+// spec, synthetic or synthetic_large — must be set.
+type SolveRequest struct {
+	// Spec is an inline workload description (the cosched.SpecFile JSON
+	// format, as accepted by coschedcli -specfile).
+	Spec *cosched.SpecFile `json:"spec,omitempty"`
+	// Synthetic asks for N synthetic serial jobs on the SDC cache model;
+	// SyntheticLarge for N jobs on the O(u) additive pairwise oracle.
+	Synthetic      int `json:"synthetic,omitempty"`
+	SyntheticLarge int `json:"synthetic_large,omitempty"`
+	// Seed drives the synthetic generators (0 means 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Machine is the machine class for synthetic workloads ("dual",
+	// "quad", "8core"; default quad). Spec workloads carry their own.
+	Machine string `json:"machine,omitempty"`
+	// Method and Accounting name the solver configuration ("oastar",
+	// "hastar", "ip", "osvp", "pg", "brute" / "se", "pe", "pc"); empty
+	// means the defaults (OA*, PC accounting).
+	Method     string `json:"method,omitempty"`
+	Accounting string `json:"accounting,omitempty"`
+	// HStrategy, KPerLevel, HWeight, BeamWidth and IPConfig mirror the
+	// cosched.Options fields of the same names.
+	HStrategy int     `json:"h_strategy,omitempty"`
+	KPerLevel int     `json:"k_per_level,omitempty"`
+	HWeight   float64 `json:"h_weight,omitempty"`
+	BeamWidth int     `json:"beam_width,omitempty"`
+	IPConfig  string  `json:"ip_config,omitempty"`
+	// DeadlineMS is this request's wall-clock budget in milliseconds,
+	// counted from admission: time spent queued eats into it, and the
+	// remainder becomes the solve's context deadline. 0 applies the
+	// server's default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MaxExpansions and MemoryBudgetBytes mirror the cosched.Options
+	// budget fields.
+	MaxExpansions     int64 `json:"max_expansions,omitempty"`
+	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
+	// NoCache bypasses the solved-schedule cache for this request (it
+	// neither reads nor populates it).
+	NoCache bool `json:"no_cache,omitempty"`
+	// Trace returns the solve's JSONL event stream in the response
+	// (misses only — cached answers ran no solver).
+	Trace bool `json:"trace,omitempty"`
+	// Robust routes a /v1/batch element through the SolveRobust ladder
+	// (ignored on /v1/solve and /v1/solve-robust, where the endpoint
+	// decides).
+	Robust bool `json:"robust,omitempty"`
+}
+
+// SolveResponse is the JSON answer to a successful solve.
+type SolveResponse struct {
+	// Cost is the schedule's total degradation (the paper's Eq. 6/13
+	// objective); AvgCost the per-job average.
+	Cost    float64 `json:"cost"`
+	AvgCost float64 `json:"avg_cost"`
+	// Groups is the partition as 1-based process IDs per machine;
+	// Machines the same partition as job names.
+	Groups   [][]int    `json:"groups"`
+	Machines [][]string `json:"machines"`
+	// Method names what produced the schedule ("robust" for the ladder).
+	Method string `json:"method"`
+	// Degraded reports a budget-breached best-effort answer, with
+	// AbortReason saying which budget broke.
+	Degraded    bool   `json:"degraded"`
+	AbortReason string `json:"abort_reason,omitempty"`
+	// Fallbacks records the SolveRobust ladder's attempts in order.
+	Fallbacks []FallbackInfo `json:"fallbacks,omitempty"`
+	// Cached reports a solution served from the solved-schedule cache
+	// without running a solver; Shared one computed once for several
+	// concurrent identical requests. Cached is always present so
+	// clients (and the CI gate) can assert on both values.
+	Cached bool `json:"cached"`
+	Shared bool `json:"shared,omitempty"`
+	// QueueMS is the time this request waited for a worker; SolveMS the
+	// solver wall-clock of the answering run (the original run's, for
+	// cached answers).
+	QueueMS float64 `json:"queue_ms"`
+	SolveMS float64 `json:"solve_ms"`
+	// TraceJSONL carries the solve's event stream when the request set
+	// trace and the answer was freshly computed.
+	TraceJSONL string `json:"trace_jsonl,omitempty"`
+}
+
+// FallbackInfo is one SolveRobust ladder attempt on the wire.
+type FallbackInfo struct {
+	// Method is the rung's algorithm; Degraded/Aborted/Err mirror
+	// cosched.Fallback.
+	Method   string `json:"method"`
+	Degraded bool   `json:"degraded,omitempty"`
+	Aborted  string `json:"aborted,omitempty"`
+	Err      string `json:"err,omitempty"`
+}

@@ -1,0 +1,552 @@
+// Package server implements the coschedd serving daemon: an HTTP/JSON
+// API over the cosched solver with a bounded worker pool, an admission
+// queue that propagates per-request deadlines into SolveContext, a
+// fingerprint-keyed solved-schedule cache (internal/solvecache), and
+// graceful drain.
+//
+// Endpoints:
+//
+//	POST /v1/solve        — schedule one workload with one method
+//	POST /v1/solve-robust — same, through the SolveRobust fallback ladder
+//	POST /v1/batch        — a list of solve requests answered together
+//	GET  /healthz         — liveness and drain state
+//
+// plus the telemetry surface (/metrics, /debug/vars, /debug/pprof,
+// /debug/trace) from internal/telemetry.DebugMux. Request admission,
+// queueing, solving and cache effectiveness are all measured into the
+// server.* metric family (see DESIGN.md §6b).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"cosched"
+	"cosched/internal/solvecache"
+	"cosched/internal/telemetry"
+)
+
+// Config sizes and wires a Server. The zero value is usable: it means
+// two workers, a 64-deep queue, a 128-entry solution cache, a bounded
+// oracle memo, no default or maximum deadline, and a private metrics
+// registry.
+type Config struct {
+	// Workers is the number of solver goroutines (<= 0 means 2). Each
+	// runs one solve at a time, so Workers bounds solver concurrency.
+	Workers int
+	// QueueDepth bounds the admission queue (<= 0 means 64); a full
+	// queue rejects with 429 rather than buffering unboundedly.
+	QueueDepth int
+	// CacheEntries bounds the solved-schedule cache (< 0 disables
+	// caching entirely, 0 means 128).
+	CacheEntries int
+	// OracleCacheEntries bounds each built instance's memoized
+	// degradation oracle (<= 0 means 1<<16 entries per query cache).
+	OracleCacheEntries int
+	// DefaultDeadline applies to requests that set no deadline_ms
+	// (0 means no deadline). MaxDeadline caps every request's deadline
+	// (0 means uncapped).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Metrics receives the server.* metric family (nil means a private
+	// registry; pass telemetry.Default to share the process registry).
+	Metrics *telemetry.Registry
+	// Recorder, when non-nil, receives every solve's event stream and is
+	// exposed under /debug/trace.
+	Recorder *telemetry.FlightRecorder
+}
+
+// cachedSolution is a solvecache entry: the proven schedule plus the
+// solve duration it originally took, so hits can report what they saved.
+type cachedSolution struct {
+	sched   *cosched.Schedule
+	solveMS float64
+}
+
+// Server is the daemon's engine: handlers feed an admission queue that
+// a fixed worker pool drains. Construct with New, mount Handler, stop
+// with Drain.
+type Server struct {
+	cfg   Config
+	cache *solvecache.Cache[*cachedSolution]
+	queue chan *task
+
+	workers sync.WaitGroup
+	pending sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+
+	admitted      *telemetry.Counter
+	solves        *telemetry.Counter
+	rejectedQueue *telemetry.Counter
+	rejectedDL    *telemetry.Counter
+	rejectedDrain *telemetry.Counter
+	cacheHits     *telemetry.Counter
+	cacheMisses   *telemetry.Counter
+	cacheShared   *telemetry.Counter
+	cacheEvicts   *telemetry.Counter
+	queueDelay    *telemetry.Histogram
+}
+
+// queueDelayBoundsMS buckets the admission-to-pop delay: sub-millisecond
+// pops on an idle pool through multi-second waits behind long solves.
+var queueDelayBoundsMS = []float64{0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.OracleCacheEntries <= 0 {
+		cfg.OracleCacheEntries = 1 << 16
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.New()
+	}
+	r := cfg.Metrics
+	s := &Server{
+		cfg:           cfg,
+		queue:         make(chan *task, cfg.QueueDepth),
+		admitted:      r.Counter("server.admitted"),
+		solves:        r.Counter("server.solves"),
+		rejectedQueue: r.Counter("server.rejected.queue_full"),
+		rejectedDL:    r.Counter("server.rejected.deadline"),
+		rejectedDrain: r.Counter("server.rejected.draining"),
+		cacheHits:     r.Counter("server.cache.hits"),
+		cacheMisses:   r.Counter("server.cache.misses"),
+		cacheShared:   r.Counter("server.cache.shared"),
+		cacheEvicts:   r.Counter("server.cache.evictions"),
+		queueDelay:    r.Histogram("server.queue_delay_ms", queueDelayBoundsMS),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = solvecache.New[*cachedSolution](cfg.CacheEntries, func(string) { s.cacheEvicts.Add(1) })
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the daemon's full route set: the /v1 solve API,
+// /healthz, and the telemetry endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := telemetry.DebugMux(s.cfg.Metrics, s.cfg.Recorder)
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) { s.handleSolve(w, r, false) })
+	mux.HandleFunc("POST /v1/solve-robust", func(w http.ResponseWriter, r *http.Request) { s.handleSolve(w, r, true) })
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Drain stops admission (new requests get 503), waits for every
+// admitted request to finish, then stops the workers. It returns
+// ctx.Err() if the context expires first; the pool keeps draining in
+// the background in that case.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		if !already {
+			close(s.queue)
+		}
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CacheStats exposes the solution cache's counters (zero Stats when
+// caching is disabled).
+func (s *Server) CacheStats() solvecache.Stats {
+	if s.cache == nil {
+		return solvecache.Stats{}
+	}
+	return s.cache.Stats()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, robust bool) {
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	t, err := s.admit(&req, robust)
+	if err != nil {
+		writeError(w, err.status, err.msg)
+		return
+	}
+	<-t.done
+	if t.errMsg != "" {
+		writeError(w, t.status, t.errMsg)
+		return
+	}
+	writeJSON(w, http.StatusOK, t.resp)
+}
+
+// BatchRequest is the /v1/batch body: requests answered positionally.
+type BatchRequest struct {
+	// Requests lists the solves; each may independently set robust.
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchItem is one positional result of a /v1/batch call: exactly one
+// of Response or Error is populated, plus the item's HTTP-equivalent
+// status code.
+type BatchItem struct {
+	// Status is the HTTP status this request would have received alone.
+	Status int `json:"status"`
+	// Response is the solve result when Status is 200.
+	Response *SolveResponse `json:"response,omitempty"`
+	// Error describes the failure when Status is not 200.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchResponse answers a BatchRequest, one item per request in order.
+type BatchResponse struct {
+	// Items holds each request's outcome at its request index.
+	Items []BatchItem `json:"items"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no requests")
+		return
+	}
+	items := make([]BatchItem, len(req.Requests))
+	tasks := make([]*task, len(req.Requests))
+	// Admit everything first — the queue outlives the admission loop and
+	// enqueueing never blocks, so a batch wider than the queue fails its
+	// overflow items with 429 instead of deadlocking behind itself.
+	for i := range req.Requests {
+		t, aerr := s.admit(&req.Requests[i], req.Requests[i].Robust)
+		if aerr != nil {
+			items[i] = BatchItem{Status: aerr.status, Error: aerr.msg}
+			continue
+		}
+		tasks[i] = t
+	}
+	for i, t := range tasks {
+		if t == nil {
+			continue
+		}
+		<-t.done
+		if t.errMsg != "" {
+			items[i] = BatchItem{Status: t.status, Error: t.errMsg}
+		} else {
+			items[i] = BatchItem{Status: http.StatusOK, Response: t.resp}
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+}
+
+// admitError is an admission failure with its HTTP mapping.
+type admitError struct {
+	status int
+	msg    string
+}
+
+// admit validates the request, builds its instance and options, applies
+// the deadline policy, and enqueues a task — or explains why not.
+func (s *Server) admit(req *SolveRequest, robust bool) (*task, *admitError) {
+	inst, opts, err := s.prepare(req)
+	if err != nil {
+		return nil, &admitError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+
+	t := &task{
+		inst:     inst,
+		opts:     opts,
+		robust:   robust,
+		trace:    req.Trace,
+		enqueued: time.Now(),
+		done:     make(chan struct{}),
+	}
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && (deadline <= 0 || deadline > s.cfg.MaxDeadline) {
+		deadline = s.cfg.MaxDeadline
+	}
+	if deadline > 0 {
+		t.deadline = t.enqueued.Add(deadline)
+	}
+	if s.cache != nil && !req.NoCache {
+		if ifp, err := inst.Fingerprint(); err == nil {
+			tag := "solve"
+			if robust {
+				tag = "robust"
+			}
+			t.key = ifp + "|" + opts.Fingerprint() + "|" + tag
+		}
+	}
+
+	// The pending count must rise under the same lock that checks the
+	// drain flag: Drain sets the flag, then waits for pending — so every
+	// admitted task is either counted before the flag flips or rejected.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejectedDrain.Add(1)
+		return nil, &admitError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	s.pending.Add(1)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- t:
+		s.admitted.Add(1)
+		go func() { // release the drain gate once the task resolves
+			<-t.done
+			s.pending.Done()
+		}()
+		return t, nil
+	default:
+		s.pending.Done()
+		s.rejectedQueue.Add(1)
+		return nil, &admitError{status: http.StatusTooManyRequests, msg: "admission queue is full"}
+	}
+}
+
+// prepare turns the wire request into a ready instance and options.
+func (s *Server) prepare(req *SolveRequest) (*cosched.Instance, cosched.Options, error) {
+	var opts cosched.Options
+	var err error
+	if req.Method != "" {
+		if opts.Method, err = cosched.ParseMethod(req.Method); err != nil {
+			return nil, opts, err
+		}
+	}
+	if req.Accounting != "" {
+		if opts.Accounting, err = cosched.ParseAccounting(req.Accounting); err != nil {
+			return nil, opts, err
+		}
+	}
+	opts.HStrategy = req.HStrategy
+	opts.KPerLevel = req.KPerLevel
+	opts.HWeight = req.HWeight
+	opts.BeamWidth = req.BeamWidth
+	opts.IPConfig = req.IPConfig
+	opts.MaxExpansions = req.MaxExpansions
+	opts.MemoryBudget = req.MemoryBudgetBytes
+	opts.Metrics = s.cfg.Metrics
+
+	machine := cosched.QuadCore
+	if req.Machine != "" {
+		if machine, err = cosched.ParseMachineKind(req.Machine); err != nil {
+			return nil, opts, err
+		}
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	var inst *cosched.Instance
+	switch {
+	case req.Spec != nil:
+		inst, err = req.Spec.Build()
+	case req.SyntheticLarge > 0:
+		inst, err = cosched.SyntheticLarge(req.SyntheticLarge, machine, seed)
+	case req.Synthetic > 0:
+		inst, err = cosched.SyntheticSerial(req.Synthetic, machine, seed)
+	default:
+		err = fmt.Errorf("request needs a spec, synthetic or synthetic_large workload")
+	}
+	if err != nil {
+		return nil, opts, err
+	}
+	inst.SetOracleCacheCapacity(s.cfg.OracleCacheEntries)
+	return inst, opts, nil
+}
+
+// task is one admitted solve travelling from handler to worker.
+type task struct {
+	inst     *cosched.Instance
+	opts     cosched.Options
+	robust   bool
+	trace    bool
+	key      string // solution-cache key; "" = don't cache
+	deadline time.Time
+	enqueued time.Time
+
+	// Written by the worker before closing done, read by the handler
+	// after.
+	resp       *SolveResponse
+	traceJSONL string
+	status     int
+	errMsg     string
+	done       chan struct{}
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for t := range s.queue {
+		s.process(t)
+		close(t.done)
+	}
+}
+
+// process runs one admitted task: deadline check, cache lookup, solve.
+func (s *Server) process(t *task) {
+	queueMS := float64(time.Since(t.enqueued)) / float64(time.Millisecond)
+	s.queueDelay.Observe(queueMS)
+	if !t.deadline.IsZero() && !time.Now().Before(t.deadline) {
+		s.rejectedDL.Add(1)
+		t.status = http.StatusGatewayTimeout
+		t.errMsg = "deadline expired while queued"
+		return
+	}
+
+	ctx := context.Background()
+	if !t.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, t.deadline)
+		defer cancel()
+	}
+
+	compute := func() (*cachedSolution, bool, error) {
+		sched, solveMS, err := s.solve(ctx, t)
+		if err != nil {
+			return nil, false, err
+		}
+		// Only proven answers are cacheable: a degraded schedule is an
+		// artifact of this request's budgets, not the instance's optimum.
+		return &cachedSolution{sched: sched, solveMS: solveMS}, !sched.Stats.Degraded, nil
+	}
+
+	var (
+		sol     *cachedSolution
+		outcome = solvecache.Miss
+		err     error
+	)
+	if t.key != "" {
+		sol, outcome, err = s.cache.Do(t.key, compute)
+		switch outcome {
+		case solvecache.Hit:
+			s.cacheHits.Add(1)
+		case solvecache.Shared:
+			s.cacheShared.Add(1)
+		default:
+			s.cacheMisses.Add(1)
+		}
+	} else {
+		sol, _, err = compute()
+	}
+	if err != nil {
+		t.status = http.StatusInternalServerError
+		t.errMsg = err.Error()
+		return
+	}
+	t.resp = buildResponse(sol, outcome, queueMS)
+	if t.robust {
+		t.resp.Method = "robust"
+	} else {
+		t.resp.Method = t.opts.Method.String()
+	}
+	t.resp.TraceJSONL = t.traceJSONL
+}
+
+// solve runs the task's solver call, wiring trace capture and the
+// flight recorder, and reports the wall-clock spent solving.
+func (s *Server) solve(ctx context.Context, t *task) (*cosched.Schedule, float64, error) {
+	opts := t.opts
+	var traceBuf *bytes.Buffer
+	if t.trace {
+		traceBuf = &bytes.Buffer{}
+		opts.EventTraceWriter = traceBuf
+	}
+	if s.cfg.Recorder != nil {
+		opts.EventSink = s.cfg.Recorder
+	}
+	s.solves.Add(1)
+	start := time.Now()
+	var sched *cosched.Schedule
+	var err error
+	if t.robust {
+		sched, err = cosched.SolveRobust(ctx, t.inst, opts)
+	} else {
+		sched, err = cosched.SolveContext(ctx, t.inst, opts)
+	}
+	solveMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return nil, solveMS, err
+	}
+	if traceBuf != nil {
+		t.traceJSONL = traceBuf.String()
+	}
+	return sched, solveMS, nil
+}
+
+// buildResponse renders a solution for one request. The cached schedule
+// is shared across requests and only read here.
+func buildResponse(sol *cachedSolution, outcome solvecache.Outcome, queueMS float64) *SolveResponse {
+	sched := sol.sched
+	resp := &SolveResponse{
+		Cost:     sched.TotalDegradation,
+		AvgCost:  sched.AvgDegradation(),
+		Groups:   sched.Groups(),
+		Machines: sched.Machines(),
+		Degraded: sched.Stats.Degraded,
+		Cached:   outcome == solvecache.Hit,
+		Shared:   outcome == solvecache.Shared,
+		QueueMS:  queueMS,
+		SolveMS:  sol.solveMS,
+	}
+	if sched.Stats.AbortReason != cosched.AbortNone {
+		resp.AbortReason = sched.Stats.AbortReason.String()
+	}
+	for _, fb := range sched.Stats.Fallbacks {
+		resp.Fallbacks = append(resp.Fallbacks, FallbackInfo{
+			Method:   fb.Method.String(),
+			Degraded: fb.Degraded,
+			Aborted:  fb.Aborted.String(),
+			Err:      fb.Err,
+		})
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone = nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cosched/internal/telemetry"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort cleanup
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: bad response JSON: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+const specBody = `{"spec": {"machine": "quad", "jobs": [
+	{"kind": "serial", "program": "BT"},
+	{"kind": "serial", "program": "LU"},
+	{"kind": "serial", "program": "MG"},
+	{"kind": "serial", "program": "CG"}
+]}, "method": "oastar"}`
+
+func TestSolveServedFromCacheOnRepeat(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	status, first := postJSON(t, ts.URL+"/v1/solve", specBody)
+	if status != http.StatusOK {
+		t.Fatalf("first solve: status %d: %v", status, first)
+	}
+	if first["cached"] != false {
+		t.Errorf("first solve cached = %v; want false", first["cached"])
+	}
+	if first["degraded"] != false {
+		t.Errorf("first solve degraded = %v; want false", first["degraded"])
+	}
+
+	status, second := postJSON(t, ts.URL+"/v1/solve", specBody)
+	if status != http.StatusOK {
+		t.Fatalf("second solve: status %d: %v", status, second)
+	}
+	if second["cached"] != true {
+		t.Errorf("second identical solve cached = %v; want true", second["cached"])
+	}
+	if second["cost"] != first["cost"] {
+		t.Errorf("cached cost %v != computed cost %v", second["cost"], first["cost"])
+	}
+	if got := s.solves.Value(); got != 1 {
+		t.Errorf("server.solves = %d after identical repeat; want 1 (second served from cache)", got)
+	}
+	if st := s.CacheStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("CacheStats = %+v; want Hits 1, Misses 1", st)
+	}
+
+	// The robust ladder answers the same workload under a different
+	// cache tag: it must not alias the single-method entry.
+	status, robust := postJSON(t, ts.URL+"/v1/solve-robust", specBody)
+	if status != http.StatusOK {
+		t.Fatalf("robust solve: status %d: %v", status, robust)
+	}
+	if robust["cached"] != false {
+		t.Errorf("robust solve cached = %v; want false (distinct key)", robust["cached"])
+	}
+	if robust["method"] != "robust" {
+		t.Errorf("robust method = %v; want robust", robust["method"])
+	}
+	if fb, ok := robust["fallbacks"].([]any); !ok || len(fb) == 0 {
+		t.Errorf("robust response has no fallbacks: %v", robust["fallbacks"])
+	}
+}
+
+func TestNoCacheBypassesSolutionCache(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"synthetic": 6, "seed": 3, "method": "pg", "no_cache": true}`
+	for i := 0; i < 2; i++ {
+		status, resp := postJSON(t, ts.URL+"/v1/solve", body)
+		if status != http.StatusOK {
+			t.Fatalf("solve #%d: status %d: %v", i, status, resp)
+		}
+		if resp["cached"] != false {
+			t.Errorf("no_cache solve #%d cached = %v; want false", i, resp["cached"])
+		}
+	}
+	if got := s.solves.Value(); got != 2 {
+		t.Errorf("server.solves = %d with no_cache; want 2", got)
+	}
+}
+
+func TestBatchAnswersPositionally(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"requests": [
+		{"synthetic": 6, "seed": 2, "method": "hastar"},
+		{"synthetic": 4, "seed": 2, "method": "nonsense"},
+		{"synthetic": 6, "seed": 2, "method": "hastar"}
+	]}`
+	status, out := postJSON(t, ts.URL+"/v1/batch", body)
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d: %v", status, out)
+	}
+	items, ok := out["items"].([]any)
+	if !ok || len(items) != 3 {
+		t.Fatalf("batch items = %v; want 3", out["items"])
+	}
+	first := items[0].(map[string]any)
+	if first["status"] != float64(http.StatusOK) || first["response"] == nil {
+		t.Errorf("item 0 = %v; want 200 with response", first)
+	}
+	second := items[1].(map[string]any)
+	if second["status"] != float64(http.StatusBadRequest) || second["error"] == nil {
+		t.Errorf("item 1 = %v; want 400 with error", second)
+	}
+	third := items[2].(map[string]any)
+	if third["status"] != float64(http.StatusOK) {
+		t.Fatalf("item 2 = %v; want 200", third)
+	}
+	// Items 0 and 2 are identical: whichever solved first, the other
+	// either shared its flight or hit the cache.
+	r0 := first["response"].(map[string]any)
+	r2 := third["response"].(map[string]any)
+	if r0["cost"] != r2["cost"] {
+		t.Errorf("identical batch items disagree on cost: %v vs %v", r0["cost"], r2["cost"])
+	}
+	if !(r2["cached"] == true || r2["shared"] == true || r0["cached"] == true || r0["shared"] == true) {
+		t.Errorf("neither identical batch item was cache- or flight-served: %v / %v", r0, r2)
+	}
+}
+
+// parkWorker sends a long OA* solve (bounded by deadline_ms) and waits
+// until the single worker has popped it off the queue.
+func parkWorker(t *testing.T, s *Server, ts *httptest.Server, deadlineMS int) chan int {
+	t.Helper()
+	done := make(chan int, 1)
+	go func() {
+		status, _ := postJSON(t, ts.URL+"/v1/solve",
+			fmt.Sprintf(`{"synthetic": 26, "method": "oastar", "deadline_ms": %d, "no_cache": true}`, deadlineMS))
+		done <- status
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.admitted.Value() >= 1 && len(s.queue) == 0 {
+			return done
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the parking solve")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestQueueFullAndQueuedDeadlineExpiry(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	// Park the only worker for ~1.5s: a 26-job exact OA* cannot finish
+	// inside that deadline, so the solve runs until the context expires
+	// and returns a degraded answer.
+	parked := parkWorker(t, s, ts, 1500)
+
+	// Fill the queue's single slot with a request that will sit behind
+	// the parked solve until long after its own deadline.
+	queuedDone := make(chan struct {
+		status int
+		body   map[string]any
+	}, 1)
+	go func() {
+		status, body := postJSON(t, ts.URL+"/v1/solve",
+			`{"synthetic": 4, "method": "pg", "deadline_ms": 100, "no_cache": true}`)
+		queuedDone <- struct {
+			status int
+			body   map[string]any
+		}{status, body}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Queue full: the next request must be rejected immediately.
+	status, body := postJSON(t, ts.URL+"/v1/solve", `{"synthetic": 4, "method": "pg"}`)
+	if status != http.StatusTooManyRequests {
+		t.Errorf("overflow request: status %d (%v); want 429", status, body)
+	}
+	if s.rejectedQueue.Value() == 0 {
+		t.Error("server.rejected.queue_full not incremented")
+	}
+
+	if parkedStatus := <-parked; parkedStatus != http.StatusOK {
+		t.Errorf("parked solve: status %d; want 200 (degraded answer)", parkedStatus)
+	}
+	queued := <-queuedDone
+	if queued.status != http.StatusGatewayTimeout {
+		t.Errorf("queued request: status %d (%v); want 504 after its deadline expired in queue", queued.status, queued.body)
+	}
+	if s.rejectedDL.Value() == 0 {
+		t.Error("server.rejected.deadline not incremented")
+	}
+}
+
+func TestDrainRejectsNewWorkAndFinishesOldWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	parked := parkWorker(t, s, ts, 800)
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		d := s.draining
+		s.mu.Unlock()
+		if d {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain flag never set")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	status, _ := postJSON(t, ts.URL+"/v1/solve", `{"synthetic": 4, "method": "pg"}`)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("request during drain: status %d; want 503", status)
+	}
+	if parkedStatus := <-parked; parkedStatus != http.StatusOK {
+		t.Errorf("in-flight solve during drain: status %d; want 200", parkedStatus)
+	}
+	if err := <-drained; err != nil {
+		t.Errorf("Drain: %v", err)
+	}
+}
+
+func TestHealthzAndMetricsExposition(t *testing.T) {
+	reg := telemetry.New()
+	_, ts := newTestServer(t, Config{Workers: 1, Metrics: reg, Recorder: telemetry.NewFlightRecorder(256)})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status %d; want 200", resp.StatusCode)
+	}
+
+	for i := 0; i < 2; i++ {
+		if status, out := postJSON(t, ts.URL+"/v1/solve", `{"synthetic": 6, "seed": 5, "method": "pg"}`); status != http.StatusOK {
+			t.Fatalf("solve #%d: status %d: %v", i, status, out)
+		}
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body) //nolint:errcheck
+	resp.Body.Close()       //nolint:errcheck
+	for _, want := range []string{"cosched_server_admitted 2", "cosched_server_solves 1", "cosched_server_cache_hits 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestTraceReturnsEventStreamOnMiss(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	status, out := postJSON(t, ts.URL+"/v1/solve", `{"synthetic": 6, "seed": 9, "method": "hastar", "trace": true}`)
+	if status != http.StatusOK {
+		t.Fatalf("trace solve: status %d: %v", status, out)
+	}
+	trace, _ := out["trace_jsonl"].(string)
+	if !strings.Contains(trace, `"solve_start"`) {
+		t.Errorf("trace_jsonl missing solve_start event; got %.120q", trace)
+	}
+}
+
+func TestBadRequestsAreRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for name, body := range map[string]string{
+		"no workload":    `{"method": "pg"}`,
+		"bad method":     `{"synthetic": 4, "method": "quantum"}`,
+		"bad machine":    `{"synthetic": 4, "machine": "mainframe"}`,
+		"bad accounting": `{"synthetic": 4, "accounting": "xx"}`,
+		"not json":       `{{{`,
+	} {
+		status, out := postJSON(t, ts.URL+"/v1/solve", body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%v); want 400", name, status, out)
+		}
+	}
+}

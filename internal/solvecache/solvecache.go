@@ -1,0 +1,235 @@
+// Package solvecache provides the serving daemon's solved-schedule
+// cache: a capacity-bounded LRU keyed by canonical instance+options
+// fingerprints, with singleflight deduplication so that concurrent
+// requests for the same schedule run the solver once and share the
+// result.
+//
+// The cache is value-agnostic (a type parameter) and policy-free: the
+// caller decides what is cacheable — the daemon only stores proven,
+// non-degraded schedules — by returning ok=false from the compute
+// callback of Do.
+package solvecache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Outcome classifies how a Do call obtained its value.
+type Outcome int
+
+// Do outcomes, in increasing order of luck: the caller computed the
+// value itself, waited for a concurrent caller's computation, or got an
+// instant cached copy.
+const (
+	Miss Outcome = iota
+	Shared
+	Hit
+)
+
+// String names the outcome for logs and metrics labels.
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Shared:
+		return "shared"
+	case Hit:
+		return "hit"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits counts Do/Get calls answered from the cache.
+	Hits int64
+	// Misses counts Do/Get calls that found no entry.
+	Misses int64
+	// Shared counts Do calls that waited on another caller's in-flight
+	// computation instead of running their own.
+	Shared int64
+	// Evictions counts entries removed by the capacity bound.
+	Evictions int64
+	// Entries is the current cache population.
+	Entries int
+}
+
+// entry is one cached key/value pair, stored as a list.Element value so
+// recency updates are pointer moves.
+type entry[V any] struct {
+	key string
+	v   V
+}
+
+// flight is one in-progress computation other callers can wait on.
+type flight[V any] struct {
+	done  chan struct{}
+	v     V
+	ok    bool
+	err   error
+	retry bool // leader died without a result; waiters recompute
+}
+
+// Cache is a concurrency-safe, capacity-bounded LRU with singleflight
+// computation. The zero value is not usable; construct with New.
+type Cache[V any] struct {
+	mu        sync.Mutex
+	m         map[string]*list.Element
+	ll        *list.List // front = most recently used
+	flights   map[string]*flight[V]
+	capacity  int
+	onEvict   func(key string)
+	hits      int64
+	misses    int64
+	shared    int64
+	evictions int64
+}
+
+// New returns a cache holding at most capacity entries (capacity <= 0
+// means unbounded). onEvict, if non-nil, is called — outside the cache
+// lock — with each key removed by the capacity bound.
+func New[V any](capacity int, onEvict func(key string)) *Cache[V] {
+	return &Cache[V]{
+		m:        make(map[string]*list.Element),
+		ll:       list.New(),
+		flights:  make(map[string]*flight[V]),
+		capacity: capacity,
+		onEvict:  onEvict,
+	}
+}
+
+// Get returns the cached value for key, refreshing its recency.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.ll.MoveToFront(e)
+	v := e.Value.(*entry[V]).v
+	c.mu.Unlock()
+	return v, true
+}
+
+// Put stores a value under key (refreshing recency if it already
+// exists) and evicts least-recently-used entries beyond capacity.
+func (c *Cache[V]) Put(key string, v V) {
+	c.mu.Lock()
+	evicted := c.putLocked(key, v)
+	c.mu.Unlock()
+	c.notifyEvicted(evicted)
+}
+
+func (c *Cache[V]) putLocked(key string, v V) []string {
+	if e, ok := c.m[key]; ok {
+		e.Value.(*entry[V]).v = v
+		c.ll.MoveToFront(e)
+		return nil
+	}
+	c.m[key] = c.ll.PushFront(&entry[V]{key: key, v: v})
+	var evicted []string
+	for c.capacity > 0 && c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		k := back.Value.(*entry[V]).key
+		delete(c.m, k)
+		c.evictions++
+		evicted = append(evicted, k)
+	}
+	return evicted
+}
+
+func (c *Cache[V]) notifyEvicted(keys []string) {
+	if c.onEvict == nil {
+		return
+	}
+	for _, k := range keys {
+		c.onEvict(k)
+	}
+}
+
+// Do returns the value for key, computing it at most once across
+// concurrent callers. On a cache hit the computation never runs. On a
+// miss, exactly one caller runs compute while the rest block and share
+// its result; compute's ok return decides whether the value is stored
+// (uncacheable or failed computations are handed to their callers but
+// never cached, so a later Do retries). If compute panics, the panic
+// propagates to that caller while waiting callers transparently restart
+// their own Do — the flight is cleaned up either way, so a panic never
+// wedges the key.
+func (c *Cache[V]) Do(key string, compute func() (V, bool, error)) (V, Outcome, error) {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(e)
+		v := e.Value.(*entry[V]).v
+		c.mu.Unlock()
+		return v, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		<-f.done
+		if !f.ok && f.err == nil {
+			// The leader's computation vanished without a result (panic)
+			// or produced an uncacheable value; uncacheable values are
+			// still valid answers, panics leave ok=false+err=nil with a
+			// zero value — retry in that case only.
+			if f.retry {
+				return c.Do(key, compute)
+			}
+		}
+		return f.v, Shared, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	c.flights[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	completed := false
+	defer func() {
+		c.mu.Lock()
+		delete(c.flights, key)
+		var evicted []string
+		if completed && f.ok && f.err == nil {
+			evicted = c.putLocked(key, f.v)
+		}
+		if !completed {
+			f.retry = true // leader panicked: waiters must recompute
+		}
+		c.mu.Unlock()
+		c.notifyEvicted(evicted)
+		close(f.done)
+	}()
+
+	v, ok, err := compute()
+	completed = true
+	f.v, f.ok, f.err = v, ok, err
+	return v, Miss, err
+}
+
+// Len returns the current entry count.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the effectiveness counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Shared:    c.shared,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+	}
+}

@@ -1,0 +1,156 @@
+package solvecache
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	var evicted []string
+	c := New[int](2, func(key string) { evicted = append(evicted, key) })
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a: b becomes coldest
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction; want LRU out")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted; want MRU kept")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Errorf("onEvict saw %v; want [b]", evicted)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("Stats = %+v; want Evictions 1, Entries 2", st)
+	}
+}
+
+func TestDoCachesOnlyOKResults(t *testing.T) {
+	c := New[string](0, nil)
+
+	calls := 0
+	uncacheable := func() (string, bool, error) { calls++; return "degraded", false, nil }
+	for i := 0; i < 2; i++ {
+		v, out, err := c.Do("k", uncacheable)
+		if v != "degraded" || out != Miss || err != nil {
+			t.Fatalf("Do #%d = (%q, %v, %v); want degraded/miss/nil", i, v, out, err)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("uncacheable compute ran %d times; want 2 (never cached)", calls)
+	}
+
+	boom := errors.New("boom")
+	failing := func() (string, bool, error) { return "", true, boom }
+	if _, _, err := c.Do("e", failing); err != boom {
+		t.Fatalf("Do error = %v; want boom", err)
+	}
+	if _, ok := c.Get("e"); ok {
+		t.Error("failed computation was cached")
+	}
+
+	good := func() (string, bool, error) { calls = 100; return "proved", true, nil }
+	if v, out, _ := c.Do("k", good); v != "proved" || out != Miss {
+		t.Fatalf("Do = (%q, %v); want proved/miss", v, out)
+	}
+	if v, out, _ := c.Do("k", good); v != "proved" || out != Hit {
+		t.Fatalf("cached Do = (%q, %v); want proved/hit", v, out)
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := New[int](0, nil)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var leaderOutcomes, sharedOutcomes atomic.Int64
+	leaderCompute := func() (int, bool, error) {
+		computes.Add(1)
+		close(started)
+		<-release
+		return 42, true, nil
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, out, _ := c.Do("k", leaderCompute)
+		if v != 42 {
+			t.Errorf("leader got %d; want 42", v)
+		}
+		if out == Miss {
+			leaderOutcomes.Add(1)
+		}
+	}()
+	<-started
+
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, out, _ := c.Do("k", func() (int, bool, error) {
+				computes.Add(1)
+				return -1, true, nil
+			})
+			if v != 42 {
+				t.Errorf("waiter got %d; want 42", v)
+			}
+			if out == Shared {
+				sharedOutcomes.Add(1)
+			}
+		}()
+	}
+	// Hold the leader's flight open until every waiter has joined it —
+	// the shared counter increments before a waiter blocks — so each
+	// waiter observably shares rather than racing to a post-release Hit.
+	for c.Stats().Shared < 8 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times across 9 concurrent callers; want 1", got)
+	}
+	if leaderOutcomes.Load() != 1 {
+		t.Error("leader did not report Miss")
+	}
+	if got := sharedOutcomes.Load(); got != 8 {
+		t.Errorf("%d waiters reported Shared; want 8", got)
+	}
+}
+
+func TestDoPanicDoesNotWedgeKey(t *testing.T) {
+	c := New[int](0, nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.Do("k", func() (int, bool, error) { panic("kaboom") }) //nolint:errcheck
+	}()
+	v, out, err := c.Do("k", func() (int, bool, error) { return 7, true, nil })
+	if v != 7 || out != Miss || err != nil {
+		t.Fatalf("Do after panic = (%d, %v, %v); want 7/miss/nil", v, out, err)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for out, want := range map[Outcome]string{Miss: "miss", Shared: "shared", Hit: "hit", Outcome(9): "unknown"} {
+		if got := out.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q; want %q", int(out), got, want)
+		}
+	}
+}

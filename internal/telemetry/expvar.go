@@ -53,6 +53,18 @@ func ServeDebugWith(addr string, r *Registry, fr *FlightRecorder) (string, func(
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: debug endpoint: %w", err)
 	}
+	srv := &http.Server{Handler: DebugMux(r, fr), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}
+
+// DebugMux builds the observability mux behind ServeDebugWith — expvar
+// under /debug/vars, the pprof handlers, the registry in Prometheus
+// format under /metrics, and (with a non-nil fr) the flight recorder's
+// retained events as JSONL under /debug/trace — without binding a
+// listener, so servers that already own one (the coschedd daemon) can
+// mount these routes next to their own.
+func DebugMux(r *Registry, fr *FlightRecorder) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -70,7 +82,5 @@ func ServeDebugWith(addr string, r *Registry, fr *FlightRecorder) (string, func(
 			fr.Dump(w) //nolint:errcheck // best-effort dump
 		})
 	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
-	return ln.Addr().String(), func() error { return srv.Close() }, nil
+	return mux
 }

@@ -80,10 +80,19 @@ func SolveRobust(ctx context.Context, inst *Instance, opts Options) (*Schedule, 
 
 		// Split what remains of the deadline evenly over this rung and
 		// the ones still below it, so a rung that stalls cannot starve
-		// its fallbacks.
+		// its fallbacks. A rung whose share has already expired is
+		// skipped outright: running it on the parent context would hand
+		// it everything the rungs below were promised (and solver
+		// preparation runs before the first context poll, so even an
+		// expired context cannot stop it promptly). The final PG rung
+		// always runs — it answers in microseconds whatever is left.
 		rungCtx, cancel := ctx, context.CancelFunc(func() {})
 		if hasDeadline {
 			share := time.Until(deadline) / time.Duration(len(robustRungs)-i)
+			if share <= 0 && i < len(robustRungs)-1 {
+				attempts = append(attempts, Fallback{Method: ropts.Method, Err: errRungSkipped})
+				continue
+			}
 			if share > 0 {
 				rungCtx, cancel = context.WithTimeout(ctx, share)
 			}
@@ -92,8 +101,11 @@ func SolveRobust(ctx context.Context, inst *Instance, opts Options) (*Schedule, 
 		sched, err := SolveContext(rungCtx, inst, ropts)
 		// A memory-budget abort means the instance does not fit this
 		// rung's frontier: retry the rung once at half budget — a much
-		// shallower search that may still beat the next rung down.
-		if err == nil && sched.Stats.AbortReason == AbortMemory && ropts.MemoryBudget > 1 {
+		// shallower search that may still beat the next rung down. Only
+		// retry while the rung context still has usable time: a slow
+		// first attempt can exhaust it, and a retry on a spent context
+		// just records a second degraded attempt without searching.
+		if err == nil && sched.Stats.AbortReason == AbortMemory && ropts.MemoryBudget > 1 && rungHasTime(rungCtx) {
 			attempts = append(attempts, fallbackRecord(ropts.Method, sched, nil))
 			ropts.MemoryBudget /= 2
 			sched, err = SolveContext(rungCtx, inst, ropts)
@@ -118,6 +130,22 @@ func SolveRobust(ctx context.Context, inst *Instance, opts Options) (*Schedule, 
 	}
 	best.Stats.Fallbacks = attempts
 	return best, nil
+}
+
+// errRungSkipped is the Fallback.Err text recorded for a rung the ladder
+// never started because its deadline share had already expired.
+const errRungSkipped = "skipped: deadline share exhausted before the rung started"
+
+// rungHasTime reports whether a rung context can still host a useful
+// retry: not cancelled, and its deadline (if any) not yet reached.
+func rungHasTime(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if d, ok := ctx.Deadline(); ok && time.Until(d) <= 0 {
+		return false
+	}
+	return true
 }
 
 // fallbackRecord condenses one ladder attempt into its Stats.Fallbacks

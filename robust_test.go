@@ -135,6 +135,119 @@ func TestSolveRobustExpiredDeadlineStillAnswers(t *testing.T) {
 	validGroups(t, sched, 16, 4)
 }
 
+// TestSolveRobustExpiredShareSkipsRungs pins the rung-budget split: a
+// rung whose deadline share has already expired must be skipped (never
+// silently handed the whole parent context), while the final PG rung
+// always runs and answers. Pre-fix, every rung ran on the expired parent
+// context and recorded a real degraded attempt.
+func TestSolveRobustExpiredShareSkipsRungs(t *testing.T) {
+	inst, err := SyntheticSerial(16, QuadCore, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(-time.Second)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	sched, err := SolveRobust(ctx, inst, Options{})
+	if err != nil {
+		t.Fatalf("robust solve under expired deadline errored: %v", err)
+	}
+	fbs := sched.Stats.Fallbacks
+	if len(fbs) != len(robustRungs) {
+		t.Fatalf("ladder recorded %d attempts; want %d", len(fbs), len(robustRungs))
+	}
+	for i, fb := range fbs[:len(fbs)-1] {
+		if fb.Err == "" {
+			t.Errorf("rung %d (%v) ran with an expired share; want it skipped", i, fb.Method)
+		}
+		// A skipped rung did no work, so its recorded duration must
+		// respect its (zero) share.
+		if fb.Duration != 0 {
+			t.Errorf("rung %d (%v) skipped but recorded %v of work", i, fb.Method, fb.Duration)
+		}
+	}
+	last := fbs[len(fbs)-1]
+	if last.Method != MethodPG || last.Err != "" {
+		t.Errorf("final attempt = %+v; want a real PG run", last)
+	}
+	if !sched.Stats.Degraded {
+		t.Error("schedule under expired deadline not flagged degraded")
+	}
+	validGroups(t, sched, 16, 4)
+}
+
+// TestSolveRobustRungDurationsRespectShares runs the ladder under a
+// nearly-expired deadline and checks that no rung's recorded duration
+// exceeds the whole deadline (each rung's share is at most the full
+// remaining time), i.e. an expired share can never hand a rung the
+// unbounded parent context.
+func TestSolveRobustRungDurationsRespectShares(t *testing.T) {
+	inst, err := SyntheticSerial(24, QuadCore, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const deadline = 40 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	sched, err := SolveRobust(ctx, inst, Options{})
+	if err != nil {
+		t.Fatalf("robust solve under tight deadline errored: %v", err)
+	}
+	// Generous slack for scheduler jitter: the point is "bounded by the
+	// deadline", not precise timing.
+	for i, fb := range sched.Stats.Fallbacks {
+		if fb.Duration > deadline+500*time.Millisecond {
+			t.Errorf("rung %d (%v) ran %v; share can never exceed the %v deadline",
+				i, fb.Method, fb.Duration, deadline)
+		}
+	}
+	validGroups(t, sched, 24, 4)
+}
+
+// cancelOnMemoryAbortSink cancels a context the moment a solver reports
+// a memory abort — deterministically exhausting the rung context between
+// a rung's first attempt and its would-be halved-budget retry.
+type cancelOnMemoryAbortSink struct{ cancel context.CancelFunc }
+
+// Emit implements telemetry.EventSink.
+func (s *cancelOnMemoryAbortSink) Emit(ev telemetry.Event) error {
+	if ev.Ev == "abort" && ev.Reason == "memory" {
+		s.cancel()
+	}
+	return nil
+}
+
+// TestSolveRobustNoRetryOnExhaustedRungContext pins the memory-retry
+// guard: when a rung's first attempt aborts on MemoryBudget and the rung
+// context is already spent, the ladder must move on instead of burning a
+// second attempt on a context that cannot search. Pre-fix, the retry
+// reused the exhausted context and recorded a pointless second degraded
+// attempt on the same rung.
+func TestSolveRobustNoRetryOnExhaustedRungContext(t *testing.T) {
+	inst, err := SyntheticSerial(16, QuadCore, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelOnMemoryAbortSink{cancel: cancel}
+	// A 2KiB budget is below any solver's initial footprint, so the
+	// first graph rung aborts AbortMemory on its first poll; the sink
+	// then kills the parent (and with it the rung) context.
+	sched, err := SolveRobust(ctx, inst, Options{MemoryBudget: 2048, EventSink: sink})
+	if err != nil {
+		t.Fatalf("robust solve errored: %v", err)
+	}
+	var prev Fallback
+	for i, fb := range sched.Stats.Fallbacks {
+		if i > 0 && fb.Method == prev.Method && prev.Aborted == AbortMemory && fb.Aborted == AbortCancel {
+			t.Errorf("rung %v retried on an exhausted context: %+v", fb.Method, sched.Stats.Fallbacks)
+		}
+		prev = fb
+	}
+	validGroups(t, sched, 16, 4)
+}
+
 func TestOptionValidation(t *testing.T) {
 	inst := buildSmallInstance(t)
 	cases := []struct {

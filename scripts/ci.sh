@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # ci.sh — the full local gate: formatting, build, vet, doc coverage,
-# tests, the allocation-budget guards (with telemetry off AND on), a
-# race pass over the concurrent search paths (worker pool + parallel
-# solver), the trace-invariant matrix (every producer's trace must pass
-# coschedtrace check), and the recorded benchmark gate.
+# tests, the allocation-budget guards (with telemetry off AND on), race
+# passes over the concurrent search paths and the serving layer, the
+# trace-invariant matrix (every producer's trace must pass coschedtrace
+# check), the coschedd end-to-end serving gate, and the recorded
+# benchmark gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,11 +33,17 @@ go test ./internal/astar/ -run 'TestDismissedChildStaysAllocationFree|TestDismis
 
 go test -race ./internal/astar/ -run 'Parallel|Worker'
 
+# Serving-layer race pass: many SolveContext/SolveRobust calls sharing
+# one Instance and memoized oracle (the coschedd usage pattern), plus
+# the daemon engine and its caches under their own concurrent tests.
+go test -race . -run TestConcurrentSolvesShareInstance -count=1
+go test -race ./internal/server/ ./internal/solvecache/ -count=1
+
 # Trace-invariant matrix: generate a small trace from every producer
 # (OA*, HA*-trimmed, beam, branch-and-bound, online) and replay each
 # against its invariants; the summaries must render too.
 tracedir="$(mktemp -d)"
-trap 'rm -rf "$tracedir"' EXIT
+trap 'rm -rf "$tracedir"; [[ -n "${coschedd_pid:-}" ]] && kill "$coschedd_pid" 2>/dev/null || true' EXIT
 go run ./cmd/coschedcli -synthetic 12 -trace "$tracedir/oa.jsonl" > /dev/null
 go run ./cmd/coschedcli -synthetic 24 -method hastar -trace "$tracedir/ha.jsonl" > /dev/null
 go run ./cmd/coschedcli -synthetic 44 -method hastar -trace "$tracedir/beam.jsonl" > /dev/null
@@ -82,6 +89,62 @@ echo "ci: every method degrades gracefully under an expired deadline" >&2
 go run ./examples/onlinesim -faults -faultseed 1 -trace "$tracedir/online-faults.jsonl" > /dev/null
 go run ./cmd/coschedtrace check "$tracedir/online-faults.jsonl" > /dev/null
 echo "ci: fault-injected online simulation trace is causally consistent" >&2
+
+# coschedd serving gate: boot the daemon on an ephemeral port, exercise
+# solve + cache hit + batch + robust + queued-deadline rejection over
+# HTTP, scrape the server.* Prometheus metrics, and verify a SIGTERM
+# drain exits 0.
+go build -o "$tracedir/coschedd" ./cmd/coschedd
+"$tracedir/coschedd" -addr 127.0.0.1:0 -workers 1 > "$tracedir/coschedd.log" 2>&1 &
+coschedd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's#^coschedd: listening on http://##p' "$tracedir/coschedd.log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "ci: coschedd never printed its address" >&2; exit 1; }
+curl -sf "http://$addr/healthz" > /dev/null
+
+solve_req='{"synthetic": 8, "seed": 4, "method": "hastar"}'
+curl -sf -d "$solve_req" "http://$addr/v1/solve" | grep -q '"cached":false' || {
+    echo "ci: coschedd first solve was not a cache miss" >&2; exit 1; }
+curl -sf -d "$solve_req" "http://$addr/v1/solve" | grep -q '"cached":true' || {
+    echo "ci: coschedd repeated solve was not served from the cache" >&2; exit 1; }
+
+batch='{"requests": [{"synthetic": 6, "method": "pg"}, {"synthetic": 6, "robust": true, "deadline_ms": 500}]}'
+batch_out="$(curl -sf -d "$batch" "http://$addr/v1/batch")"
+grep -q '"method":"robust"' <<<"$batch_out" || {
+    echo "ci: coschedd batch did not run its robust item" >&2; exit 1; }
+grep -q '"status":200.*"status":200' <<<"$batch_out" || {
+    echo "ci: coschedd batch items did not both succeed" >&2; exit 1; }
+
+# Deadline rejection: park the single worker on a deadline-bounded OA*
+# (26 jobs cannot finish exactly in 1.5s), then queue a request whose
+# 100ms deadline must expire while it waits — a 504.
+curl -s -d '{"synthetic": 26, "method": "oastar", "deadline_ms": 1500, "no_cache": true}' \
+    "http://$addr/v1/solve" > /dev/null &
+park_pid=$!
+sleep 0.3
+code="$(curl -s -o /dev/null -w '%{http_code}' \
+    -d '{"synthetic": 4, "method": "pg", "deadline_ms": 100, "no_cache": true}' \
+    "http://$addr/v1/solve")"
+[[ "$code" == "504" ]] || {
+    echo "ci: queued past-deadline request returned $code; want 504" >&2; exit 1; }
+wait "$park_pid"
+
+metrics="$(curl -sf "http://$addr/metrics")"
+grep -Eq '^cosched_server_cache_hits [1-9]' <<<"$metrics" || {
+    echo "ci: coschedd /metrics shows no cache hits" >&2; exit 1; }
+grep -Eq '^cosched_server_rejected_deadline [1-9]' <<<"$metrics" || {
+    echo "ci: coschedd /metrics shows no deadline rejection" >&2; exit 1; }
+
+kill -TERM "$coschedd_pid"
+wait "$coschedd_pid" || {
+    echo "ci: coschedd did not drain cleanly on SIGTERM" >&2; exit 1; }
+grep -q 'drained clean' "$tracedir/coschedd.log" || {
+    echo "ci: coschedd log is missing the drain summary" >&2; exit 1; }
+echo "ci: coschedd serves, caches, rejects expired work and drains clean" >&2
 
 # The recorded benchmark gate (no bench run — validates BENCH_astar.json).
 scripts/benchdiff.sh --check
