@@ -48,6 +48,7 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "hard wall-clock deadline enforced through context cancellation; a breached solve returns its best incumbent flagged DEGRADED")
 		robust      = flag.Bool("robust", false, "walk the OA* → HA* → beam → PG fallback ladder (splitting -deadline across rungs) instead of a single -method")
 		memBudget   = flag.Int64("membudget", 0, "graph-search memory budget in bytes (0 = unbounded); on breach the best incumbent is returned")
+		parallel    = flag.Int("parallel", 0, "graph-search expansion workers: 0 = all cores, 1 = exact sequential path, >1 = parallel engine on eligible configurations")
 		verbose     = flag.Bool("verbose", false, "also print solver allocation statistics (element pool, dismissal table)")
 		traceFile   = flag.String("trace", "", "write the solver's JSONL event trace to this file")
 		progress    = flag.Bool("progress", false, "print rate-limited progress lines during long solves")
@@ -106,6 +107,7 @@ func main() {
 		IPConfig:     *ipConfig,
 		TimeLimit:    *timeLimit,
 		MemoryBudget: *memBudget,
+		Parallelism:  *parallel,
 	}
 	// The flight recorder is always on: SIGQUIT dumps the last events to
 	// stderr even when no trace file or debug endpoint was configured.
@@ -202,6 +204,10 @@ func main() {
 		if st.BBNodes > 0 {
 			fmt.Printf("branch-and-bound: %d LP pivots, %d incumbent improvements\n",
 				st.LPIters, st.BoundImprovements)
+		}
+		if st.Parallelism > 1 {
+			fmt.Printf("parallel search: %d workers, %d steals, %d speculative expansions, %d park transitions\n",
+				st.Parallelism, st.Steals, st.Speculative, st.Parked)
 		}
 		if st.ElemAllocated+st.ElemReused > 0 {
 			reusePct := 100 * float64(st.ElemReused) / float64(st.ElemAllocated+st.ElemReused)

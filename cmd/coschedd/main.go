@@ -46,6 +46,7 @@ func main() {
 		defaultDL    = flag.Duration("default-deadline", 0, "deadline applied to requests that set none (0 = none)")
 		maxDL        = flag.Duration("max-deadline", 0, "cap on any request's deadline (0 = uncapped)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight solves on shutdown")
+		solvePar     = flag.Int("solve-parallelism", 1, "expansion workers per graph solve for requests that set no parallelism (1 = exact sequential path)")
 	)
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 		OracleCacheEntries: *oracleCache,
 		DefaultDeadline:    *defaultDL,
 		MaxDeadline:        *maxDL,
+		SolveParallelism:   *solvePar,
 		Metrics:            telemetry.Default,
 		Recorder:           recorder,
 	})

@@ -30,10 +30,11 @@ func main() {
 		outDir   = flag.String("out", "", "also write each report to <out>/<id>.txt (and .json)")
 		debug    = flag.String("debug-addr", "", "serve /debug/vars (solver metrics) and /debug/pprof on this address while experiments run")
 		trace    = flag.String("trace", "", "append every solve's JSONL event trace to this file (split per solve with coschedtrace)")
+		par      = flag.Int("parallel", 0, "graph-search expansion workers (0/1 = exact sequential path)")
 	)
 	flag.Parse()
 
-	runOpts := experiments.RunOptions{Quick: *quick, Seed: *seed}
+	runOpts := experiments.RunOptions{Quick: *quick, Seed: *seed, Parallelism: *par}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"time"
 
 	"cosched/internal/abort"
@@ -181,6 +182,14 @@ type Options struct {
 	// bounded work, the most robust rung short of PG. Zero means the
 	// method's default (unbounded below 40 processes).
 	BeamWidth int
+	// Parallelism sets the number of expansion workers for the graph
+	// searches (OA*/HA*): 0 picks runtime.GOMAXPROCS(0), 1 forces the
+	// exact legacy sequential path, higher values run the sharded-frontier
+	// parallel engine when the configuration's answer is order-independent
+	// (admissible unweighted heuristics, or any beam search) and silently
+	// fall back to sequential otherwise. The schedule's Stats.Parallelism
+	// records what actually ran. IP/PG/O-SVP/brute-force ignore it.
+	Parallelism int
 	// IPConfig selects the branch-and-bound preset by name
 	// ("bnb-best+round", "bnb-best", "bnb-depth", "bnb-basic"); empty
 	// means the strongest.
@@ -259,6 +268,9 @@ func (o *Options) validate() error {
 	}
 	if o.MemoryBudget < 0 {
 		return &OptionError{Field: "MemoryBudget", Value: o.MemoryBudget, Reason: "must be non-negative"}
+	}
+	if o.Parallelism < 0 {
+		return &OptionError{Field: "Parallelism", Value: o.Parallelism, Reason: "must be non-negative"}
 	}
 	if o.IPConfig != "" {
 		found := false
@@ -396,12 +408,17 @@ func solveGraph(ctx context.Context, inst *Instance, cost *degradation.Cost, opt
 	g := graph.New(cost, inst.in.Patterns)
 	sp.End()
 	n, u := g.N(), g.U()
+	par := opts.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	aopts := astar.Options{
 		Condense:      !opts.DisableCondensation,
 		ExactParallel: opts.ExactParallel,
 		MaxExpansions: opts.MaxExpansions,
 		TimeLimit:     opts.TimeLimit,
 		MemoryBudget:  opts.MemoryBudget,
+		Parallelism:   par,
 		Ctx:           ctx,
 		Metrics:       opts.Metrics,
 	}
@@ -426,7 +443,10 @@ func solveGraph(ctx context.Context, inst *Instance, cost *degradation.Cost, opt
 	case 3:
 		aopts.H = astar.HPerProc
 	default:
-		if g.LevelEnumerable(1) && n <= 40 {
+		// HStrategy2 builds its level-minima table lazily and cannot run
+		// multi-worker; with parallelism requested the auto pick prefers
+		// the admissible per-process bound so the parallel engine engages.
+		if g.LevelEnumerable(1) && n <= 40 && par <= 1 {
 			aopts.H = astar.HStrategy2
 		} else {
 			aopts.H = astar.HPerProc
@@ -557,6 +577,10 @@ func searchStats(r *astar.Result) Stats {
 		ElemReused:      r.Stats.ElemReused,
 		KeyTableEntries: r.Stats.KeyTableEntries,
 		KeyTableLoad:    r.Stats.KeyTableLoad,
+		Parallelism:     r.Stats.Parallelism,
+		Steals:          r.Stats.Steals,
+		Speculative:     r.Stats.Speculative,
+		Parked:          r.Stats.Parked,
 		Degraded:        r.Stats.Degraded,
 		AbortReason:     r.Stats.Aborted,
 	}

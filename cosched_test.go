@@ -48,6 +48,35 @@ func TestSolveAllMethodsAgreeOnCostOrdering(t *testing.T) {
 	}
 }
 
+// TestSolveParallelismOption: the public Parallelism knob must not
+// change the optimal cost, must be rejected when negative, and the
+// schedule's Stats must record what actually ran.
+func TestSolveParallelismOption(t *testing.T) {
+	inst := buildSmallInstance(t)
+	base, err := Solve(inst, Options{Method: MethodOAStar, HStrategy: 3, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Parallelism != 1 {
+		t.Errorf("sequential solve recorded parallelism %d", base.Stats.Parallelism)
+	}
+	for _, p := range []int{0, 2, 4} {
+		s, err := Solve(inst, Options{Method: MethodOAStar, HStrategy: 3, Parallelism: p})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if math.Abs(s.TotalDegradation-base.TotalDegradation) > 1e-9 {
+			t.Errorf("parallelism %d changed cost %v -> %v", p, base.TotalDegradation, s.TotalDegradation)
+		}
+		if p > 1 && s.Stats.Parallelism != p {
+			t.Errorf("requested parallelism %d, stats recorded %d", p, s.Stats.Parallelism)
+		}
+	}
+	if _, err := Solve(inst, Options{Parallelism: -1}); err == nil {
+		t.Error("negative Parallelism accepted")
+	}
+}
+
 func TestSolveMixedWorkload(t *testing.T) {
 	w := NewWorkload()
 	w.AddSerial("art")

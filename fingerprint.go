@@ -151,6 +151,9 @@ func fingerprintOracle(w fpWriter, b *job.Batch, o degradation.Oracle) error {
 // tracing, metrics, progress) are deliberately excluded: they decide
 // whether an answer gets proven within budget, not which answer is
 // correct — and the cache only ever stores proven, non-degraded results.
+// Parallelism is excluded for the same reason: the parallel engine only
+// runs configurations whose optimal cost is order-independent, so worker
+// count changes how fast the answer arrives, not what it costs.
 func (o Options) Fingerprint() string {
 	h := sha256.New()
 	w := fpWriter{h: h}

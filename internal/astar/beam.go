@@ -3,6 +3,8 @@ package astar
 import (
 	"errors"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cosched/internal/abort"
@@ -24,6 +26,13 @@ import (
 // the element pool. The depth's survivors are ordered by (f, key) with
 // the key compared byte-lexicographically (compareKeyWords), preserving
 // the legacy string-key tie-break bit for bit.
+//
+// With Options.Parallelism > 1 each depth's child generation (candidate
+// enumeration, oracle queries, heuristics — all the expensive work) fans
+// out over worker clones, while the admission merge that follows replays
+// the sequential order exactly; results, stats and trace events are
+// therefore bit-identical to the sequential beam search (see
+// beamGenerate).
 func (s *Solver) solveBeam() (*Result, error) {
 	start := time.Now()
 	var stats Stats
@@ -35,6 +44,16 @@ func (s *Solver) solveBeam() (*Result, error) {
 	met.begin(s)
 	stats.PrepareDuration = s.prepDur
 	s.prepDur = 0
+	bp := s.beamParallelism()
+	stats.Parallelism = bp
+	var genWorkers []*Solver
+	var gens [][]*element
+	if bp > 1 {
+		genWorkers = s.ensureClones(bp)
+		if pt, ok := s.opts.Tracer.(ParallelismTracer); ok {
+			pt.SetParallelism(bp)
+		}
+	}
 	if hooks.start != nil {
 		hooks.start.SolveStart(s.n, s.u, s.searchMethod())
 	}
@@ -56,6 +75,10 @@ func (s *Solver) solveBeam() (*Result, error) {
 	for d := 0; d < depths; d++ {
 		t := s.table
 		t.reset()
+		if bp > 1 {
+			gens = make([][]*element, len(frontier))
+			s.beamGenerate(genWorkers, frontier, gens, &stats, done, start)
+		}
 		for idx, e := range frontier {
 			// Polled before the element is counted, so an aborted
 			// trace's admission identity reconciles: this depth's
@@ -63,6 +86,15 @@ func (s *Solver) solveBeam() (*Result, error) {
 			// expanded (q > 0 excludes the depth-0 root, which was
 			// never Generated) are exactly the in-frontier population.
 			if reason := s.pollAbort(done, &stats, start, len(frontier)); reason != abort.None {
+				// Pre-generated children of unmerged elements were
+				// never admitted; return them to their pools.
+				if bp > 1 {
+					for _, kids := range gens[idx:] {
+						for _, child := range kids {
+							s.recycle(child)
+						}
+					}
+				}
 				inFrontier := int64(t.count)
 				for _, rest := range frontier[idx:] {
 					if rest.q > 0 {
@@ -86,9 +118,7 @@ func (s *Solver) solveBeam() (*Result, error) {
 			if leader == 0 {
 				continue
 			}
-			avail := s.available(e, job.ProcID(leader))
-			s.forEachCandidate(e, job.ProcID(leader), avail, &stats, func(node []job.ProcID) {
-				child := s.makeChildIn(s.pool, e, node)
+			admitBeam := func(child *element) {
 				ref := t.find(child.keyWords)
 				if ref >= 0 && t.gs[ref] <= child.g {
 					stats.DismissedWorse++
@@ -98,7 +128,12 @@ func (s *Solver) solveBeam() (*Result, error) {
 					s.recycle(child)
 					return
 				}
-				child.h = s.heuristic(child)
+				if bp == 1 {
+					// The parallel generators precompute h; the serial
+					// path spends it only on children that survive the
+					// worse-check above.
+					child.h = s.heuristic(child)
+				}
 				if ref >= 0 {
 					// The superseded same-key child was generated this
 					// depth and never expanded; recycle it.
@@ -113,7 +148,20 @@ func (s *Solver) solveBeam() (*Result, error) {
 					t.insert(child.keyWords, child.g, child)
 				}
 				stats.Generated++
-			})
+			}
+			if bp > 1 {
+				// Serial merge of the pre-generated children, in exactly
+				// the order the sequential loop would have produced them.
+				for _, child := range gens[idx] {
+					admitBeam(child)
+				}
+				gens[idx] = nil
+			} else {
+				avail := s.available(e, job.ProcID(leader))
+				s.forEachCandidate(e, job.ProcID(leader), avail, &stats, func(node []job.ProcID) {
+					admitBeam(s.makeChildIn(s.pool, e, node))
+				})
+			}
 		}
 		if t.count == 0 {
 			return nil, errors.New("astar: beam search produced no children (malformed batch)")
@@ -162,4 +210,84 @@ func (s *Solver) solveBeam() (*Result, error) {
 		hooks.base.Solution(best.g, groups)
 	}
 	return &Result{Groups: groups, Cost: best.g, Stats: stats}, nil
+}
+
+// beamParallelism resolves Options.Parallelism for the beam search: the
+// layered structure lets any thread-safe heuristic parallelise (the
+// merge replays sequential admission exactly, so even the inadmissible
+// HPerProcAvg estimator stays bit-identical); only the lazily-built
+// level-minima strategies (HStrategy1/2), whose tables are not
+// goroutine-safe, force the sequential path.
+func (s *Solver) beamParallelism() int {
+	p := s.opts.Parallelism
+	if p <= 1 {
+		return 1
+	}
+	if p > maxParallelism {
+		p = maxParallelism
+	}
+	switch s.opts.H {
+	case HNone, HPerProc, HPerProcAvg:
+		return p
+	default:
+		return 1
+	}
+}
+
+// beamGenerate fans one depth's child generation over the worker
+// clones: worker wi expands frontier elements wi, wi+P, wi+2P, ... into
+// gens (children in candidate order, h precomputed), touching only its
+// own pool and scratch. No admission state is shared — counting,
+// dedup and trace events all happen in the caller's serial merge, which
+// is what keeps the parallel beam bit-identical to the sequential one.
+// Workers only poll the cheap abort signals (context, wall clock); the
+// merge loop re-polls per element and settles the abort accounting.
+func (s *Solver) beamGenerate(workers []*Solver, frontier []*element, gens [][]*element, stats *Stats, done <-chan struct{}, start time.Time) {
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	condensed := make([]int64, len(workers))
+	wg.Add(len(workers))
+	for wi := range workers {
+		go func(wi int) {
+			defer wg.Done()
+			w := workers[wi]
+			var local Stats
+			for i := wi; i < len(frontier); i += len(workers) {
+				if stop.Load() {
+					break
+				}
+				if done != nil {
+					select {
+					case <-done:
+						stop.Store(true)
+					default:
+					}
+				}
+				if w.opts.TimeLimit > 0 && time.Since(start) > w.opts.TimeLimit {
+					stop.Store(true)
+				}
+				if stop.Load() {
+					break
+				}
+				e := frontier[i]
+				leader := e.set.SmallestAbsent(w.n)
+				if leader == 0 {
+					continue
+				}
+				avail := w.available(e, job.ProcID(leader))
+				var kids []*element
+				w.forEachCandidate(e, job.ProcID(leader), avail, &local, func(node []job.ProcID) {
+					child := w.makeChildIn(w.pool, e, node)
+					child.h = w.heuristic(child)
+					kids = append(kids, child)
+				})
+				gens[i] = kids
+			}
+			condensed[wi] = local.Condensed
+		}(wi)
+	}
+	wg.Wait()
+	for _, c := range condensed {
+		stats.Condensed += c
+	}
 }

@@ -20,12 +20,13 @@ import (
 // costs directly from the interference matrix.
 func (s *Solver) nodeCosts(node []job.ProcID) []float64 {
 	key := s.canonicalNodeKey(node)
-	s.nodeCostMu.Lock()
-	if v, ok := s.nodeCostCache[key]; ok {
-		s.nodeCostMu.Unlock()
+	ncs := s.ncs
+	ncs.nodeCostMu.Lock()
+	if v, ok := ncs.nodeCostCache[key]; ok {
+		ncs.nodeCostMu.Unlock()
 		return v
 	}
-	s.nodeCostMu.Unlock()
+	ncs.nodeCostMu.Unlock()
 	v := make([]float64, len(node))
 	var others [16]job.ProcID
 	for i, p := range node {
@@ -34,9 +35,9 @@ func (s *Solver) nodeCosts(node []job.ProcID) []float64 {
 		co = append(co, node[i+1:]...)
 		v[i] = s.cost.ProcCost(p, co)
 	}
-	s.nodeCostMu.Lock()
-	s.nodeCostCache[key] = v
-	s.nodeCostMu.Unlock()
+	ncs.nodeCostMu.Lock()
+	ncs.nodeCostCache[key] = v
+	ncs.nodeCostMu.Unlock()
 	return v
 }
 
@@ -55,7 +56,10 @@ func (s *Solver) canonicalNodeKey(node []job.ProcID) string {
 	return string(b)
 }
 
-// nodeCostState is embedded in Solver (kept separate for clarity).
+// nodeCostState is the node-cost memo shared by a solver and all of its
+// parallel-engine worker clones (Solver.ncs). The mutex makes it safe
+// for concurrent expansion workers; on the serial path it is
+// uncontended.
 type nodeCostState struct {
 	nodeCostMu    sync.Mutex
 	nodeCostCache map[string][]float64

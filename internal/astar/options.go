@@ -142,8 +142,21 @@ type Options struct {
 	// degradation-oracle queries of one expansion across goroutines;
 	// the search order and result stay deterministic. Only the
 	// table-free h strategies (HNone, HPerProc, HPerProcAvg) support
-	// it; 0 and 1 mean serial.
+	// it; 0 and 1 mean serial. Ignored when Parallelism > 1 — whole
+	// expansions are then the unit of parallel work.
 	Workers int
+	// Parallelism runs N independent expansion workers over a sharded
+	// frontier (parsolve.go): per-shard heaps, work stealing, a shared
+	// incumbent bound, and a memory-aware load balancer that parks
+	// workers as the MemoryBudget footprint grows. 0 and 1 select the
+	// exact legacy single-goroutine search. Values above 1 apply only
+	// to configurations whose answer is provably order-independent —
+	// best-first search with an admissible heuristic (HNone, HPerProc)
+	// at HWeight <= 1, and the beam search with any thread-safe
+	// heuristic (HNone, HPerProc, HPerProcAvg); everything else
+	// silently runs sequentially. Stats.Parallelism records the worker
+	// count actually used, so callers can observe the fallback.
+	Parallelism int
 }
 
 // Stats reports the work a search performed. All counters are populated
@@ -206,6 +219,23 @@ type Stats struct {
 	// of the solve (the beam search reports its last depth).
 	KeyTableEntries int
 	KeyTableLoad    float64
+	// Parallelism is the number of expansion workers the solve actually
+	// ran (1 for the legacy sequential path, including configurations
+	// where a requested Parallelism > 1 was ineligible and fell back).
+	Parallelism int
+	// Steals counts pops an expansion worker took from a frontier shard
+	// it does not own (parallel solves only; zero otherwise).
+	Steals int64
+	// Speculative counts parallel expansions of elements whose f was
+	// above the global frontier minimum at pop time — work a sequential
+	// search would have deferred, admitted speculatively to keep workers
+	// busy. Their children re-enter through the shared dismissal table,
+	// so speculation never affects the answer.
+	Speculative int64
+	// Parked counts park transitions of the memory-aware load balancer:
+	// workers throttled while the footprint estimate sat between the
+	// soft threshold and the hard MemoryBudget (parallel solves only).
+	Parked int64
 	// Degraded reports that the search stopped before proving its answer
 	// (deadline, cancellation, expansion cap or memory budget) and
 	// returned the best incumbent it held instead: a feasible schedule,

@@ -1,0 +1,828 @@
+package astar
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cosched/internal/abort"
+	"cosched/internal/job"
+	"cosched/internal/telemetry"
+)
+
+// This file is the parallel best-first engine: N expansion workers over
+// a fingerprint-sharded frontier. Each worker owns a subset of the
+// shards (per-shard heaps behind per-shard locks — there is no global
+// heap mutex), pops the cheapest element it can see, and steals from the
+// globally cheapest shard when its own run dry, so the expansion order
+// stays cost-anchored even though it is no longer serial. A shared
+// atomic incumbent bound prunes on admission exactly like the
+// sequential search, and a memory-aware load balancer parks workers as
+// the MemoryBudget footprint estimate grows — throttling first, hard
+// abort (the sequential promise) only on an actual breach.
+//
+// Correctness model: the engine only runs configurations whose answer is
+// order-independent — an admissible heuristic (HNone, HPerProc) at
+// effective weight 1 (see eligibleParallelism). The trimmed candidate
+// graph is a pure function of each element's process set, dismissal is
+// the same Theorem-1 rule against one shared (striped) best-g table, and
+// pruning only ever discards children that provably cannot beat an
+// already-achieved bound; so whatever order workers expand in, the
+// cheapest complete schedule they can prove has the same cost as the
+// sequential solver's, bit for bit. Expansion counts, dismissal counts
+// and which of several equal-cost optima is returned may differ — the
+// admission invariant (Generated == Expanded + Dismissed + InFrontier)
+// still holds for every run.
+const (
+	// maxParallelism caps Options.Parallelism.
+	maxParallelism = 64
+	// parkSoftNum/parkSoftDen place the load balancer's soft threshold
+	// at 3/4 of MemoryBudget: above it workers park one by one; at the
+	// budget itself the solve aborts with abort.Memory as the
+	// sequential path would.
+	parkSoftNum, parkSoftDen = 3, 4
+	// specEps is the tolerance above the global frontier minimum within
+	// which a pop still counts as on-frontier; anything above it is a
+	// speculative expansion (Stats.Speculative).
+	specEps = 1e-12
+)
+
+// frontierShard is one heap of the sharded frontier. topF mirrors the
+// heap minimum (Float64bits, +Inf when empty) so workers and the
+// termination check can scan shard minima without taking locks.
+type frontierShard struct {
+	mu   sync.Mutex
+	pq   pqueue
+	seq  int64
+	topF atomic.Uint64
+	_    [24]byte // keep neighbouring shard locks off one cache line
+}
+
+// refreshTop republishes the heap minimum; callers hold mu.
+func (sh *frontierShard) refreshTop() {
+	if len(sh.pq) == 0 {
+		sh.topF.Store(math.Float64bits(math.Inf(1)))
+	} else {
+		sh.topF.Store(math.Float64bits(sh.pq[0].f))
+	}
+}
+
+// parEngine is the shared state of one parallel solve.
+type parEngine struct {
+	s       *Solver
+	workers []*Solver // workers[0] is s itself; the rest are clones
+	shards  []*frontierShard
+	table   *stripedTable
+
+	// ubBits is the incumbent bound (Float64bits, monotone
+	// non-increasing): the cheapest complete schedule achieved so far,
+	// greedy or searched. completeSeen flags that at least one complete
+	// child was admitted (the tie-prune precondition).
+	ubBits       atomic.Uint64
+	completeSeen atomic.Bool
+	bestMu       sync.Mutex
+	bestGroups   [][]job.ProcID
+	bestCost     float64
+	greedyGroups [][]job.ProcID
+	greedyCost   float64
+
+	// Termination protocol (HDA*-style double check): inflight is
+	// claimed under the shard lock before a pop publishes its new shard
+	// minimum, pushes counts admissions; a worker may conclude the
+	// search only after seeing inflight == 0, scanning every shard
+	// minimum, and re-reading inflight and pushes unchanged.
+	inflight atomic.Int64
+	pushes   atomic.Int64
+	done     atomic.Bool
+	aborted  atomic.Uint32 // abort.Reason; 0 = running
+
+	// Search counters (Stats snapshot lives here during the solve).
+	visited, expanded, generated   atomic.Int64
+	dismissedStale, dismissedWorse atomic.Int64
+	pruned, condensed              atomic.Int64
+	frontierSize, maxQueue         atomic.Int64
+	qMax                           atomic.Int64
+	steals, speculative            atomic.Int64
+	parks, unparks                 atomic.Int64
+
+	// Memory-aware load balancing: allocElems is the shared fresh-
+	// allocation counter every worker pool bumps, activeTarget the
+	// number of workers currently allowed to expand (worker 0 always
+	// is).
+	allocElems   atomic.Int64
+	activeTarget atomic.Int32
+
+	// trMu serializes user tracer callbacks (Tracer implementations are
+	// not required to be goroutine-safe); unused when no tracer is
+	// attached.
+	trMu   sync.Mutex
+	hooks  *tracerHooks
+	start  time.Time
+	doneCh <-chan struct{}
+}
+
+// eligibleParallelism resolves Options.Parallelism for the best-first
+// path: the worker count to run, or 1 when the configuration cannot be
+// parallelised without changing the answer (inadmissible or weighted
+// heuristics, and the lazily-built level-minima strategies whose tables
+// are not goroutine-safe).
+func (s *Solver) eligibleParallelism() int {
+	p := s.opts.Parallelism
+	if p <= 1 {
+		return 1
+	}
+	if p > maxParallelism {
+		p = maxParallelism
+	}
+	if s.opts.HWeight > 1 {
+		return 1
+	}
+	switch s.opts.H {
+	case HNone, HPerProc:
+		return p
+	default:
+		return 1
+	}
+}
+
+// workerClone returns a Solver sharing every read-only table of s
+// (graph, oracle, heuristic floors, key geometry, the node-cost memo)
+// but owning its own element pool and candidate-generation scratch, so
+// an expansion worker can run makeChildIn/forEachCandidate/heuristic
+// without touching another worker's buffers.
+func (s *Solver) workerClone() *Solver {
+	c := new(Solver)
+	*c = *s
+	c.table = nil
+	c.pool = s.newPool() // registered on s for end-of-solve stats
+	c.allPools = nil
+	c.workerPools = nil
+	c.availBuf = nil
+	c.nodeFlat = nil
+	c.childBuf = nil
+	c.greedyNd = nil
+	c.greedyCd = nil
+	c.candFlat = nil
+	c.candW = nil
+	c.candIdx = nil
+	c.anchSorted = nil
+	c.anchInNode = nil
+	c.anchNode = nil
+	c.anchSeen = nil
+	c.anchKeyBuf = nil
+	c.prepDur = 0
+	c.parClones = nil
+	return c
+}
+
+// ensureClones grows the persistent worker-clone set to p-1 entries
+// (worker 0 is the solver itself), reusing warm pools across solves.
+func (s *Solver) ensureClones(p int) []*Solver {
+	for len(s.parClones) < p-1 {
+		s.parClones = append(s.parClones, s.workerClone())
+	}
+	workers := make([]*Solver, p)
+	workers[0] = s
+	copy(workers[1:], s.parClones)
+	return workers
+}
+
+// shardCount picks a power-of-two shard count of at least 4 per worker
+// (steals stay rare) within [8, 256].
+func shardCount(p int) int {
+	n := 8
+	for n < 4*p && n < 256 {
+		n *= 2
+	}
+	return n
+}
+
+// solveParallel runs the sharded-frontier engine with p >= 2 workers.
+func (s *Solver) solveParallel(p int) (*Result, error) {
+	start := time.Now()
+	var stats Stats
+	stats.Parallelism = p
+	hooks := newTracerHooks(s.opts.Tracer)
+	met := newSolverMetrics(s.opts.Metrics)
+	pmet := newParallelMetrics(s.opts.Metrics)
+	prog := s.progressReporter(&hooks)
+
+	workers := s.ensureClones(p)
+	s.table = nil // stats come from the striped table this solve
+	met.begin(s)
+	stats.PrepareDuration = s.prepDur
+	s.prepDur = 0
+	if pt, ok := s.opts.Tracer.(ParallelismTracer); ok {
+		pt.SetParallelism(p)
+	}
+	if hooks.start != nil {
+		hooks.start.SolveStart(s.n, s.u, s.searchMethod())
+	}
+
+	nShards := shardCount(p)
+	en := &parEngine{
+		s:       s,
+		workers: workers,
+		shards:  make([]*frontierShard, nShards),
+		table:   newStripedTable(s.keyStride, nShards),
+		hooks:   &hooks,
+		start:   start,
+		doneCh:  s.abortDone(),
+	}
+	for i := range en.shards {
+		en.shards[i] = &frontierShard{}
+		en.shards[i].refreshTop()
+	}
+	en.ubBits.Store(math.Float64bits(math.Inf(1)))
+	en.activeTarget.Store(int32(p))
+	var seedAlloc int64
+	for _, pl := range s.allPools {
+		seedAlloc += pl.gets - pl.reuse
+		pl.allocCount = &en.allocElems
+	}
+	en.allocElems.Store(seedAlloc)
+
+	if s.opts.UseIncumbent {
+		if en.greedyGroups = s.greedySchedule(); en.greedyGroups != nil {
+			en.greedyCost = s.cost.PartitionCost(en.greedyGroups)
+			en.ubBits.Store(math.Float64bits(en.greedyCost))
+		}
+	}
+
+	root := s.rootElement()
+	root.stripe, root.keyRef, _ = en.table.admit(root.keyWords, 0)
+	en.push(root, 0)
+
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		go func(id int) {
+			defer wg.Done()
+			en.run(id)
+		}(i)
+	}
+
+	// The coordinator waits out the workers, flushing metrics and
+	// progress on a coarse tick (the workers never touch the registry
+	// delta state, which is not goroutine-safe).
+	joined := make(chan struct{})
+	go func() { wg.Wait(); close(joined) }()
+	tick := time.NewTicker(50 * time.Millisecond)
+	for running := true; running; {
+		select {
+		case <-joined:
+			running = false
+		case <-tick.C:
+			en.snapshot(&stats)
+			frontier := int(en.frontierSize.Load())
+			qMax := int(en.qMax.Load())
+			en.trMu.Lock()
+			s.maybeProgress(prog, &hooks, &stats, frontier, qMax, start)
+			en.trMu.Unlock()
+			met.flush(&stats, frontier, qMax/s.u, nil, time.Since(start))
+			pmet.flush(en)
+		}
+	}
+	tick.Stop()
+
+	en.snapshot(&stats)
+	stats.KeyTableEntries = int(en.table.entries.Load())
+	stats.KeyTableLoad = en.table.loadAvg()
+	defer func() {
+		met.flush(&stats, int(en.frontierSize.Load()), int(en.qMax.Load())/s.u, nil, time.Since(start))
+		pmet.flush(en)
+		met.finish(&stats)
+	}()
+
+	if r := abort.Reason(en.aborted.Load()); r != abort.None {
+		inFrontier := en.frontierSize.Load()
+		if stats.VisitedPaths == 0 {
+			inFrontier-- // the never-Generated root is still queued
+		}
+		groups, cost := en.degradedGroups()
+		return s.finishAbort(r, &stats, inFrontier, groups, cost, start, &hooks, met)
+	}
+
+	stats.InFrontier = en.frontierSize.Load()
+	stats.Duration = time.Since(start)
+	s.fillAllocStats(&stats)
+	groups, cost, ok := en.result()
+	if !ok {
+		return nil, errors.New("astar: priority list exhausted without a complete schedule")
+	}
+	if hooks.stats != nil {
+		hooks.stats.SolveStats(&stats)
+	}
+	if hooks.base != nil {
+		hooks.base.Solution(cost, groups)
+	}
+	return &Result{Groups: groups, Cost: cost, Stats: stats}, nil
+}
+
+// result picks the proven answer after a clean termination: the best
+// admitted complete schedule, or the greedy incumbent when it is at
+// least as cheap (preferring greedy on ties keeps the returned
+// partition deterministic across runs — which equal-cost optimum the
+// racing workers admitted first is not).
+func (en *parEngine) result() ([][]job.ProcID, float64, bool) {
+	switch {
+	case en.bestGroups != nil && (en.greedyGroups == nil || en.bestCost < en.greedyCost):
+		return en.bestGroups, en.bestCost, true
+	case en.greedyGroups != nil:
+		return en.greedyGroups, en.greedyCost, true
+	default:
+		return nil, 0, false
+	}
+}
+
+// degradedGroups is the abort-path answer: best complete, else greedy,
+// else a fresh greedy schedule (mirrors Solver.degradedGroups).
+func (en *parEngine) degradedGroups() ([][]job.ProcID, float64) {
+	if g, c, ok := en.result(); ok {
+		return g, c
+	}
+	g := en.s.greedySchedule()
+	if g == nil {
+		return nil, 0
+	}
+	return g, en.s.cost.PartitionCost(g)
+}
+
+// loadUB returns the current incumbent bound.
+func (en *parEngine) loadUB() float64 {
+	return math.Float64frombits(en.ubBits.Load())
+}
+
+// run is one expansion worker's main loop.
+func (en *parEngine) run(id int) {
+	w := en.workers[id]
+	idle := 0
+	parked := false
+	for {
+		if en.done.Load() || en.aborted.Load() != 0 {
+			return
+		}
+		if id == 0 {
+			en.rebalance()
+		}
+		if r := en.poll(); r != abort.None {
+			en.aborted.CompareAndSwap(0, uint32(r))
+			return
+		}
+		if id > 0 && int32(id) >= en.activeTarget.Load() {
+			if !parked {
+				parked = true
+				en.parks.Add(1)
+			}
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		if parked {
+			parked = false
+			en.unparks.Add(1)
+		}
+		e, stolen := en.popBest(id)
+		if e == nil {
+			if en.tryTerminate() {
+				en.done.Store(true)
+				return
+			}
+			// Empty-handed but the search is live (another worker is
+			// mid-expansion, or everything visible is bound-blocked):
+			// back off briefly. Gosched first so single-P schedulers
+			// (GOMAXPROCS=1) cannot livelock a spinning idler against
+			// the worker holding the frontier.
+			idle++
+			if idle < 8 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+			}
+			continue
+		}
+		idle = 0
+		if stolen {
+			en.steals.Add(1)
+		}
+		en.expandElement(w, e)
+		en.inflight.Add(-1)
+	}
+}
+
+// poll mirrors Solver.pollAbort for the parallel engine: context, wall
+// clock, expansion cap (checked against the shared pop counter, so the
+// overshoot is at most one expansion per worker) and the hard memory
+// budget.
+func (en *parEngine) poll() abort.Reason {
+	s := en.s
+	if en.doneCh != nil {
+		select {
+		case <-en.doneCh:
+			return abort.FromContext(s.opts.Ctx)
+		default:
+		}
+	}
+	if s.opts.MaxExpansions > 0 && en.visited.Load() >= s.opts.MaxExpansions {
+		return abort.Expansions
+	}
+	if s.opts.TimeLimit > 0 && time.Since(en.start) > s.opts.TimeLimit {
+		return abort.Deadline
+	}
+	if s.opts.MemoryBudget > 0 && en.footprint() > s.opts.MemoryBudget {
+		return abort.Memory
+	}
+	return abort.None
+}
+
+// footprint estimates live bytes from shared atomics only (the parallel
+// counterpart of Solver.memoryFootprint): pooled elements at solver
+// capacities, striped-table entries, and frontier heap entries.
+func (en *parEngine) footprint() int64 {
+	s := en.s
+	perElem := int64(112) + 8*int64(s.keySetWords+s.keyStride+s.u+len(s.parJobs))
+	perEntry := int64(s.keyStride)*8 + 24
+	return en.allocElems.Load()*perElem +
+		en.table.entries.Load()*perEntry +
+		en.frontierSize.Load()*48
+}
+
+// rebalance is the memory-aware load balancer, run by worker 0: below
+// the soft threshold every worker expands; between soft threshold and
+// budget the allowed-worker target ramps down linearly (never below
+// worker 0), parking the rest instead of aborting; an actual budget
+// breach is left to poll, which aborts with abort.Memory.
+func (en *parEngine) rebalance() {
+	budget := en.s.opts.MemoryBudget
+	if budget <= 0 {
+		return
+	}
+	soft := budget * parkSoftNum / parkSoftDen
+	fp := en.footprint()
+	p := int32(len(en.workers))
+	switch {
+	case fp <= soft:
+		en.activeTarget.Store(p)
+	case fp < budget:
+		frac := float64(fp-soft) / float64(budget-soft)
+		tgt := p - int32(frac*float64(p))
+		if tgt < 1 {
+			tgt = 1
+		}
+		en.activeTarget.Store(tgt)
+	}
+}
+
+// shardOf routes a dismissal key to its frontier shard (high hash bits,
+// disjoint from both the stripe and the slot-probe bits).
+func (en *parEngine) shardOf(key []uint64) int {
+	return int((hashKeyWords(key) >> 52) & uint64(len(en.shards)-1))
+}
+
+// push admits an element into its frontier shard. The pushes counter is
+// bumped first: the termination double-check relies on every admission
+// being counted before it becomes scannable.
+func (en *parEngine) push(e *element, f float64) {
+	en.pushes.Add(1)
+	cur := en.frontierSize.Add(1)
+	for {
+		m := en.maxQueue.Load()
+		if cur <= m || en.maxQueue.CompareAndSwap(m, cur) {
+			break
+		}
+	}
+	sh := en.shards[en.shardOf(e.keyWords)]
+	sh.mu.Lock()
+	sh.seq++
+	sh.pq.push(heapEntry{f: f, g: e.g, seq: sh.seq, e: e})
+	sh.refreshTop()
+	sh.mu.Unlock()
+}
+
+// popBest pops the cheapest poppable element visible to worker id:
+// first among the shards it owns (index ≡ id mod P), then — stealing —
+// from the globally cheapest shard. Elements whose f has reached the
+// incumbent bound are never popped: they provably cannot improve the
+// answer and stay queued, preserving the sequential InFrontier
+// semantics. Returns nil when nothing poppable is visible.
+func (en *parEngine) popBest(id int) (*element, bool) {
+	ub := en.loadUB()
+	best, bestF := -1, math.Inf(1)
+	for si := id; si < len(en.shards); si += len(en.workers) {
+		if f := math.Float64frombits(en.shards[si].topF.Load()); f < bestF {
+			best, bestF = si, f
+		}
+	}
+	stolen := false
+	if best < 0 || bestF >= ub {
+		best, bestF = -1, math.Inf(1)
+		for si := range en.shards {
+			if f := math.Float64frombits(en.shards[si].topF.Load()); f < bestF {
+				best, bestF = si, f
+			}
+		}
+		if best < 0 || bestF >= ub {
+			return nil, false
+		}
+		stolen = best%len(en.workers) != id
+	}
+	w := en.workers[id]
+	sh := en.shards[best]
+	sh.mu.Lock()
+	for len(sh.pq) > 0 {
+		if sh.pq[0].f >= en.loadUB() {
+			break // bound-blocked: cannot improve, stays in frontier
+		}
+		// Claim the element before its removal is published: the
+		// termination scan must never see "all shards empty" while a
+		// popped element is between pop and expansion.
+		en.inflight.Add(1)
+		e := sh.pq.pop().e
+		sh.refreshTop()
+		if en.table.refG(e.stripe, e.keyRef) < e.g {
+			// Stale: superseded by a cheaper same-key sub-path while
+			// queued. Recycle into the popping worker's pool — get()
+			// re-homes it there.
+			en.inflight.Add(-1)
+			en.frontierSize.Add(-1)
+			en.dismissedStale.Add(1)
+			en.traceDismiss(e.q, e.g, DismissStale)
+			w.pool.put(e)
+			continue
+		}
+		sh.mu.Unlock()
+		en.frontierSize.Add(-1)
+		return e, stolen
+	}
+	sh.mu.Unlock()
+	return nil, false
+}
+
+// tryTerminate implements the double-check termination protocol: the
+// search is over once no element is in flight and no scannable shard
+// minimum is below the incumbent bound, with the in-flight and push
+// counters unchanged across the scan (a push during the scan, or a
+// worker between claim and finish, forces a retry).
+func (en *parEngine) tryTerminate() bool {
+	p0 := en.pushes.Load()
+	if en.inflight.Load() != 0 {
+		return false
+	}
+	minF := math.Inf(1)
+	for _, sh := range en.shards {
+		if f := math.Float64frombits(sh.topF.Load()); f < minF {
+			minF = f
+		}
+	}
+	if en.inflight.Load() != 0 {
+		return false
+	}
+	if en.pushes.Load() != p0 {
+		return false
+	}
+	return minF >= en.loadUB()
+}
+
+// expandElement runs one expansion on worker w: the expand event, the
+// speculation accounting, candidate generation and child admission —
+// the parallel mirror of the sequential pop-loop body.
+func (en *parEngine) expandElement(w *Solver, e *element) {
+	popIdx := en.visited.Add(1)
+	if e.q > 0 {
+		en.expanded.Add(1)
+		for {
+			q := en.qMax.Load()
+			if int64(e.q) <= q || en.qMax.CompareAndSwap(q, int64(e.q)) {
+				break
+			}
+		}
+	}
+	leader := e.set.SmallestAbsent(w.n)
+	if en.hooks.base != nil {
+		en.trMu.Lock()
+		en.hooks.base.Expand(popIdx, e.q/w.u, e.g, e.h, job.ProcID(leader))
+		en.trMu.Unlock()
+	}
+	if leader == 0 {
+		// A complete element can only be popped before any bound
+		// existed (the pop gate blocks f >= ub otherwise); offering it
+		// installs the bound.
+		en.offerComplete(e)
+		return
+	}
+	if gmin := en.globalMinF(); e.g+e.h > gmin+specEps {
+		// This element's f is above the best still-queued f: a
+		// sequential search would have expanded that one first. The
+		// expansion is speculative — harmless, because its children
+		// re-enter through the shared best-g table and are superseded
+		// if a cheaper route arrives.
+		en.speculative.Add(1)
+	}
+	avail := w.available(e, job.ProcID(leader))
+	var local Stats
+	w.forEachCandidate(e, job.ProcID(leader), avail, &local, func(node []job.ProcID) {
+		en.admitChild(w, popIdx, w.makeChildIn(w.pool, e, node))
+	})
+	if local.Condensed != 0 {
+		en.condensed.Add(local.Condensed)
+	}
+}
+
+// globalMinF scans the shard minima for the cheapest queued f.
+func (en *parEngine) globalMinF() float64 {
+	minF := math.Inf(1)
+	for _, sh := range en.shards {
+		if f := math.Float64frombits(sh.topF.Load()); f < minF {
+			minF = f
+		}
+	}
+	return minF
+}
+
+// admitChild applies the sequential admission pipeline to a freshly
+// generated child: Theorem-1 dismissal (optimistic probe before the
+// heuristic, re-checked under the stripe lock), incumbent pruning, the
+// complete-child bound update, and the frontier push.
+func (en *parEngine) admitChild(w *Solver, popIdx int64, child *element) {
+	if g, ok := en.table.bestG(child.keyWords); ok && g <= child.g {
+		en.dismissedWorse.Add(1)
+		en.traceDismiss(child.q, child.g, DismissWorse)
+		w.pool.put(child)
+		return
+	}
+	child.h = w.heuristic(child)
+	f := child.g + child.h // effective weight is 1 (eligibility)
+	ub := en.loadUB()
+	if f > ub {
+		en.pruned.Add(1)
+		en.traceDismiss(child.q, child.g, DismissPruned)
+		w.pool.put(child)
+		return
+	}
+	if f >= ub-1e-12 && child.q < w.n &&
+		(en.completeSeen.Load() || en.greedyGroups != nil) {
+		// A concrete schedule achieves ub: ties cannot beat it.
+		en.pruned.Add(1)
+		en.traceDismiss(child.q, child.g, DismissPruned)
+		w.pool.put(child)
+		return
+	}
+	if child.q == w.n {
+		en.offerComplete(child)
+	}
+	stripe, ref, improved := en.table.admit(child.keyWords, child.g)
+	if !improved {
+		// Another worker admitted a same-key sub-path at least as
+		// cheap between the probe and here.
+		en.dismissedWorse.Add(1)
+		en.traceDismiss(child.q, child.g, DismissWorse)
+		w.pool.put(child)
+		return
+	}
+	child.stripe, child.keyRef = stripe, ref
+	en.push(child, f)
+	en.generated.Add(1)
+}
+
+// offerComplete folds a complete schedule into the shared bound: the
+// incumbent Float64bits shrink monotonically via CAS, and the concrete
+// groups are reconstructed immediately under bestMu (parents of a
+// complete child are expanded elements, never recycled, so the walk is
+// safe while other workers run). Equal-cost completions keep the
+// byte-lexicographically smallest partition, making the choice
+// independent of worker arrival order.
+func (en *parEngine) offerComplete(e *element) {
+	g := e.g
+	for {
+		old := en.ubBits.Load()
+		if g >= math.Float64frombits(old) {
+			break
+		}
+		if en.ubBits.CompareAndSwap(old, math.Float64bits(g)) {
+			break
+		}
+	}
+	en.completeSeen.Store(true)
+	en.bestMu.Lock()
+	switch {
+	case en.bestGroups == nil || g < en.bestCost:
+		en.bestGroups, en.bestCost = reconstruct(e), g
+	case g == en.bestCost:
+		if cand := reconstruct(e); groupsLess(cand, en.bestGroups) {
+			en.bestGroups = cand
+		}
+	}
+	en.bestMu.Unlock()
+}
+
+// groupsLess orders two partitions lexicographically over their
+// flattened process IDs (group count first).
+func groupsLess(a, b [][]job.ProcID) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		ga, gb := a[i], b[i]
+		if len(ga) != len(gb) {
+			return len(ga) < len(gb)
+		}
+		for j := range ga {
+			if ga[j] != gb[j] {
+				return ga[j] < gb[j]
+			}
+		}
+	}
+	return false
+}
+
+// traceDismiss forwards a dismissal to the user tracer under trMu. The
+// pop index attributes the child to the most recently counted expansion
+// — with concurrent workers exact attribution is meaningless, and trace
+// consumers only reconcile totals.
+func (en *parEngine) traceDismiss(q int, g float64, r DismissReason) {
+	if en.hooks.dismiss == nil {
+		return
+	}
+	pop := en.visited.Load()
+	en.trMu.Lock()
+	en.hooks.dismiss.Dismiss(pop, q, g, r)
+	en.trMu.Unlock()
+}
+
+// snapshot copies the engine's atomic counters into st (coordinator
+// flushes and the final stats).
+func (en *parEngine) snapshot(st *Stats) {
+	st.VisitedPaths = en.visited.Load()
+	st.Expanded = en.expanded.Load()
+	st.Generated = en.generated.Load()
+	st.Dismissed = en.dismissedStale.Load()
+	st.DismissedWorse = en.dismissedWorse.Load()
+	st.Pruned = en.pruned.Load()
+	st.Condensed = en.condensed.Load()
+	st.MaxQueue = int(en.maxQueue.Load())
+	st.Steals = en.steals.Load()
+	st.Speculative = en.speculative.Load()
+	st.Parked = en.parks.Load()
+}
+
+// parallelMetrics is the astar.parallel.* handle set, the parallel
+// engine's addition to the DESIGN.md §6 catalogue: steal / speculation
+// / park-unpark counters and worker, shard-count, active-worker and
+// deepest-shard gauges. Flushed by the coordinator only (the delta
+// state is not goroutine-safe, like solverMetrics).
+type parallelMetrics struct {
+	steals, speculative *telemetry.Counter
+	parks, unparks      *telemetry.Counter
+	workers, shards     *telemetry.Gauge
+	active, shardDepth  *telemetry.Gauge
+	last                struct{ steals, spec, parks, unparks int64 }
+}
+
+// newParallelMetrics resolves the astar.parallel.* handles, or nil when
+// telemetry is disabled.
+func newParallelMetrics(r *telemetry.Registry) *parallelMetrics {
+	if r == nil {
+		return nil
+	}
+	return &parallelMetrics{
+		steals:      r.Counter("astar.parallel.steals"),
+		speculative: r.Counter("astar.parallel.speculative"),
+		parks:       r.Counter("astar.parallel.parks"),
+		unparks:     r.Counter("astar.parallel.unparks"),
+		workers:     r.Gauge("astar.parallel.workers"),
+		shards:      r.Gauge("astar.parallel.shards"),
+		active:      r.Gauge("astar.parallel.active"),
+		shardDepth:  r.Gauge("astar.parallel.shard_depth_max"),
+	}
+}
+
+// flush folds counter deltas into the registry and refreshes the
+// gauges, including the deepest shard heap (briefly locking each shard;
+// the coordinator runs this a few times per second at most).
+func (m *parallelMetrics) flush(en *parEngine) {
+	if m == nil {
+		return
+	}
+	steals, spec := en.steals.Load(), en.speculative.Load()
+	parks, unparks := en.parks.Load(), en.unparks.Load()
+	m.steals.Add(steals - m.last.steals)
+	m.speculative.Add(spec - m.last.spec)
+	m.parks.Add(parks - m.last.parks)
+	m.unparks.Add(unparks - m.last.unparks)
+	m.last.steals, m.last.spec = steals, spec
+	m.last.parks, m.last.unparks = parks, unparks
+	m.workers.Set(int64(len(en.workers)))
+	m.shards.Set(int64(len(en.shards)))
+	m.active.Set(int64(en.activeTarget.Load()))
+	deepest := 0
+	for _, sh := range en.shards {
+		sh.mu.Lock()
+		if len(sh.pq) > deepest {
+			deepest = len(sh.pq)
+		}
+		sh.mu.Unlock()
+	}
+	m.shardDepth.Set(int64(deepest))
+}

@@ -1,0 +1,392 @@
+package astar
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"cosched/internal/abort"
+	"cosched/internal/degradation"
+)
+
+// This file tests the parallel best-first engine (parsolve.go) and the
+// parallel beam path (beam.go): cost equality against the sequential
+// solver across the eligible configuration matrix, the admission
+// invariant on every run, abort semantics with workers racing, the
+// memory-aware load balancer, and the per-worker allocation-free
+// dismissed-child guard. Run with -race; scripts/ci.sh does.
+
+// checkInvariant asserts the admission identity that every solve —
+// sequential or parallel, completed or aborted — must satisfy.
+func checkInvariant(t *testing.T, st *Stats) {
+	t.Helper()
+	if got := st.Expanded + st.Dismissed + st.BeamTrimmed + st.InFrontier; got != st.Generated {
+		t.Errorf("admission identity broken: generated %d != expanded %d + dismissed %d + trimmed %d + frontier %d",
+			st.Generated, st.Expanded, st.Dismissed, st.BeamTrimmed, st.InFrontier)
+	}
+}
+
+// TestParallelCostMatchesSequential is the correctness matrix: every
+// eligible configuration solved at parallelism 1 (the exact legacy
+// path), 2 and 8 must report the same optimal cost on the same seeded
+// instance, and every run must satisfy the admission invariant.
+func TestParallelCostMatchesSequential(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"oastar-hnone", Options{H: HNone}},
+		{"oastar-hperproc", Options{H: HPerProc}},
+		{"hastar-incumbent", Options{H: HPerProc, UseIncumbent: true}},
+		{"oastar-condense", Options{H: HPerProc, Condense: true}},
+		{"hastar-kperlevel", Options{H: HPerProc, KPerLevel: 3, UseIncumbent: true}},
+		{"beam-hperprocavg", Options{H: HPerProcAvg, HWeight: 1.2, BeamWidth: 16, KPerLevel: 3}},
+		{"beam-hperproc", Options{H: HPerProc, BeamWidth: 8, KPerLevel: 3}},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				g := syntheticGraph(t, 12, 4, seed, degradation.ModePC)
+				base := solveWith(t, g, cfg.opts)
+				checkInvariant(t, &base.Stats)
+				if base.Stats.Parallelism != 1 {
+					t.Fatalf("sequential solve reported parallelism %d", base.Stats.Parallelism)
+				}
+				for _, p := range []int{2, 8} {
+					opts := cfg.opts
+					opts.Parallelism = p
+					res := solveWith(t, g, opts)
+					checkInvariant(t, &res.Stats)
+					if res.Stats.Parallelism != p {
+						t.Errorf("seed %d p=%d: solve ran at parallelism %d", seed, p, res.Stats.Parallelism)
+					}
+					if math.Abs(res.Cost-base.Cost) > eps {
+						t.Errorf("seed %d p=%d: parallel cost %v != sequential %v", seed, p, res.Cost, base.Cost)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelCostMatchesSequentialMixed repeats the matrix on mixed
+// serial+parallel batches (per-job maxima in the dismissal key, the
+// Eq. 13 accounting).
+func TestParallelCostMatchesSequentialMixed(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := mixedGraph(t, 12, 2, 3, 4, seed, degradation.ModePC)
+		base := solveWith(t, g, Options{H: HPerProc})
+		for _, p := range []int{2, 8} {
+			res := solveWith(t, g, Options{H: HPerProc, Parallelism: p})
+			checkInvariant(t, &res.Stats)
+			if math.Abs(res.Cost-base.Cost) > eps {
+				t.Errorf("seed %d p=%d: parallel cost %v != sequential %v", seed, p, res.Cost, base.Cost)
+			}
+		}
+	}
+}
+
+// TestParallelBeamBitIdentical pins the stronger beam guarantee: the
+// parallel beam replays the sequential admission order exactly, so not
+// just the cost but the groups and every search counter must match.
+func TestParallelBeamBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := syntheticGraph(t, 16, 4, seed, degradation.ModePC)
+		opts := Options{H: HPerProcAvg, HWeight: 1.2, BeamWidth: 8, KPerLevel: 4}
+		base := solveWith(t, g, opts)
+		opts.Parallelism = 4
+		res := solveWith(t, g, opts)
+		if res.Cost != base.Cost {
+			t.Errorf("seed %d: beam cost %v != sequential %v", seed, res.Cost, base.Cost)
+		}
+		if len(res.Groups) != len(base.Groups) {
+			t.Fatalf("seed %d: group count %d != %d", seed, len(res.Groups), len(base.Groups))
+		}
+		for i := range res.Groups {
+			for j := range res.Groups[i] {
+				if res.Groups[i][j] != base.Groups[i][j] {
+					t.Fatalf("seed %d: groups diverge at [%d][%d]", seed, i, j)
+				}
+			}
+		}
+		bs, ps := base.Stats, res.Stats
+		if ps.VisitedPaths != bs.VisitedPaths || ps.Expanded != bs.Expanded ||
+			ps.Generated != bs.Generated || ps.Dismissed != bs.Dismissed ||
+			ps.DismissedWorse != bs.DismissedWorse || ps.Condensed != bs.Condensed ||
+			ps.BeamTrimmed != bs.BeamTrimmed || ps.InFrontier != bs.InFrontier ||
+			ps.MaxQueue != bs.MaxQueue {
+			t.Errorf("seed %d: parallel beam stats diverge from sequential:\n  seq: %+v\n  par: %+v", seed, bs, ps)
+		}
+	}
+}
+
+// TestParallelIneligibleFallsBack checks the silent sequential
+// fallback: configurations whose answer is order-dependent (weighted or
+// lazily-tabled heuristics on the best-first path) run at parallelism 1
+// regardless of the request, and still answer optimally.
+func TestParallelIneligibleFallsBack(t *testing.T) {
+	g := syntheticGraph(t, 12, 4, 1, degradation.ModePC)
+	want := solveWith(t, g, Options{H: HNone}).Cost
+	for name, opts := range map[string]Options{
+		"hstrategy2":  {H: HStrategy2, Parallelism: 4},
+		"weighted":    {H: HPerProc, HWeight: 1.5, KPerLevel: 3, Parallelism: 4},
+		"beam-tabled": {H: HStrategy2, BeamWidth: 64, KPerLevel: 3, Parallelism: 4},
+	} {
+		t.Run(name, func(t *testing.T) {
+			res := solveWith(t, g, opts)
+			if res.Stats.Parallelism != 1 {
+				t.Errorf("ineligible config ran at parallelism %d", res.Stats.Parallelism)
+			}
+			// Only the exact configuration must also stay optimal; the
+			// weighted/beam fallbacks answer what their sequential
+			// counterparts would.
+			if name == "hstrategy2" && math.Abs(res.Cost-want) > eps {
+				t.Errorf("fallback cost %v != optimal %v", res.Cost, want)
+			}
+		})
+	}
+}
+
+// TestParallelAbortPreCancelled runs the full worker fleet against an
+// already-cancelled context: the solve must return a valid degraded
+// schedule promptly, with the abort reason classified as Cancel.
+func TestParallelAbortPreCancelled(t *testing.T) {
+	g := syntheticGraph(t, 16, 4, 1, degradation.ModePC)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, err := NewSolver(g, Options{H: HPerProc, Parallelism: 8, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startAt := time.Now()
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(startAt); e > 2*time.Second {
+		t.Errorf("pre-cancelled parallel abort took %v", e)
+	}
+	if !res.Stats.Degraded || res.Stats.Aborted != abort.Cancel {
+		t.Errorf("expected degraded Cancel result, got %+v", res.Stats)
+	}
+	if err := g.Cost.ValidatePartition(res.Groups); err != nil {
+		t.Errorf("degraded schedule invalid: %v", err)
+	}
+	checkInvariant(t, &res.Stats)
+}
+
+// TestParallelAbortMidRun cancels while the workers are expanding. The
+// race between cancellation and completion is inherent, so both
+// outcomes are accepted; either way the schedule must be valid and the
+// invariant must hold.
+func TestParallelAbortMidRun(t *testing.T) {
+	g := syntheticGraph(t, 18, 2, 2, degradation.ModePC)
+	ctx, cancel := context.WithCancel(context.Background())
+	s, err := NewSolver(g, Options{H: HNone, Parallelism: 4, Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Degraded && res.Stats.Aborted != abort.Cancel {
+		t.Errorf("degraded result with reason %v, want Cancel", res.Stats.Aborted)
+	}
+	if err := g.Cost.ValidatePartition(res.Groups); err != nil {
+		t.Errorf("schedule invalid after mid-run cancel: %v", err)
+	}
+	checkInvariant(t, &res.Stats)
+}
+
+// TestParallelAbortExpansionCap bounds the shared-counter overshoot:
+// with P workers each may claim at most one expansion past the cap
+// before the next poll, so VisitedPaths lands in [cap, cap+P].
+func TestParallelAbortExpansionCap(t *testing.T) {
+	g := syntheticGraph(t, 16, 4, 1, degradation.ModePC)
+	const p, cap = 4, 3
+	s, err := NewSolver(g, Options{H: HPerProc, Parallelism: p, MaxExpansions: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Degraded || res.Stats.Aborted != abort.Expansions {
+		t.Fatalf("expected degraded Expansions result, got %+v", res.Stats)
+	}
+	if v := res.Stats.VisitedPaths; v < cap || v > cap+p {
+		t.Errorf("expansion cap %d at parallelism %d popped %d elements (overshoot bound is %d)",
+			cap, p, v, cap+p)
+	}
+	checkInvariant(t, &res.Stats)
+}
+
+// TestParallelAbortMemoryBudget: a budget breached by the root alone
+// must abort with abort.Memory from the parallel path too.
+func TestParallelAbortMemoryBudget(t *testing.T) {
+	g := syntheticGraph(t, 16, 4, 1, degradation.ModePC)
+	s, err := NewSolver(g, Options{H: HPerProc, Parallelism: 4, MemoryBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Degraded || res.Stats.Aborted != abort.Memory {
+		t.Errorf("expected degraded Memory result, got %+v", res.Stats)
+	}
+	if err := g.Cost.ValidatePartition(res.Groups); err != nil {
+		t.Errorf("degraded schedule invalid: %v", err)
+	}
+}
+
+// TestParallelRebalance unit-tests the memory-aware load balancer's
+// ramp: full fleet below the soft threshold, a linear park-down between
+// soft threshold and budget (never below worker 0), and restoration
+// when the footprint falls again.
+func TestParallelRebalance(t *testing.T) {
+	g := syntheticGraph(t, 12, 4, 1, degradation.ModePC)
+	s, err := NewSolver(g, Options{H: HPerProc, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := &parEngine{s: s, workers: s.ensureClones(8), table: newStripedTable(s.keyStride, 8)}
+	perElem := int64(112) + 8*int64(s.keySetWords+s.keyStride+s.u+len(s.parJobs))
+
+	s.opts.MemoryBudget = 0
+	en.activeTarget.Store(8)
+	en.rebalance()
+	if got := en.activeTarget.Load(); got != 8 {
+		t.Errorf("no budget: activeTarget %d, want 8", got)
+	}
+
+	s.opts.MemoryBudget = 1000 * perElem // soft threshold at 750 elements
+	en.allocElems.Store(100)
+	en.rebalance()
+	if got := en.activeTarget.Load(); got != 8 {
+		t.Errorf("under soft threshold: activeTarget %d, want 8", got)
+	}
+
+	en.allocElems.Store(900) // 60% into the soft-to-hard ramp
+	en.rebalance()
+	if got := en.activeTarget.Load(); got >= 8 || got < 1 {
+		t.Errorf("inside ramp: activeTarget %d, want in [1,7]", got)
+	}
+
+	en.allocElems.Store(999) // just under the hard budget
+	en.rebalance()
+	if got := en.activeTarget.Load(); got != 1 {
+		t.Errorf("near budget: activeTarget %d, want 1 (worker 0 never parks)", got)
+	}
+
+	en.allocElems.Store(100)
+	en.rebalance()
+	if got := en.activeTarget.Load(); got != 8 {
+		t.Errorf("after recovery: activeTarget %d, want 8", got)
+	}
+
+	if en.poll() != abort.None {
+		t.Error("poll aborted below the budget")
+	}
+	en.allocElems.Store(1001)
+	if en.poll() != abort.Memory {
+		t.Error("poll did not abort on a budget breach")
+	}
+}
+
+// TestParallelWorkerDismissedChildAllocationFree extends the hot-path
+// allocation guard to a worker clone: once its pool is warm, building a
+// child, probing the shared striped table and recycling must not
+// allocate (the pairwise-oracle regime, as in the sequential guard).
+func TestParallelWorkerDismissedChildAllocationFree(t *testing.T) {
+	sv, _, node := hotPathSolver(t, 120, 4, true)
+	workers := sv.ensureClones(2)
+	w := workers[1]
+	st := newStripedTable(sv.keyStride, 8)
+	root := w.rootElement()
+	warm := w.makeChildIn(w.pool, root, node)
+	st.admit(warm.keyWords, warm.g)
+	w.pool.put(warm)
+	allocs := testing.AllocsPerRun(200, func() {
+		c := w.makeChildIn(w.pool, root, node)
+		if g, ok := st.bestG(c.keyWords); !ok || g > c.g {
+			t.Fatal("warm key missing from striped table")
+		}
+		w.pool.put(c)
+	})
+	if allocs > 0 {
+		t.Fatalf("worker dismissed child costs %.1f allocs; want 0", allocs)
+	}
+}
+
+// TestParallelPoolWarmAcrossSolves: a second parallel solve on the same
+// solver reuses the warm worker pools for its dismissed children
+// (admitted elements are never recycled, so some fresh allocation
+// always remains) and answers identically.
+func TestParallelPoolWarmAcrossSolves(t *testing.T) {
+	g := syntheticGraph(t, 12, 4, 2, degradation.ModePC)
+	s, err := NewSolver(g, Options{H: HPerProc, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(first.Cost-second.Cost) > eps {
+		t.Errorf("repeat solve changed cost %v -> %v", first.Cost, second.Cost)
+	}
+	if reused := second.Stats.ElemReused - first.Stats.ElemReused; reused == 0 {
+		t.Error("second solve reused no pooled elements; worker pools should be warm")
+	}
+}
+
+// TestStripedTableAgreesWithSequential cross-checks the striped best-g
+// table against a plain gTable over a shared random key stream.
+func TestStripedTableAgreesWithSequential(t *testing.T) {
+	sv, err := NewSolver(syntheticGraph(t, 16, 4, 3, degradation.ModePC), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randFor(11)
+	seq := newGTable(sv.keyStride)
+	par := newStripedTable(sv.keyStride, 16)
+	key := make([]uint64, sv.keyStride)
+	for i := 0; i < 4000; i++ {
+		for w := range key {
+			key[w] = uint64(rng.Intn(64)) << 1
+		}
+		g := float64(rng.Intn(100))
+		ref := seq.find(key)
+		wantImproved := ref < 0 || seq.gs[ref] > g
+		if ref >= 0 && seq.gs[ref] > g {
+			seq.gs[ref] = g
+		} else if ref < 0 {
+			seq.insert(key, g, nil)
+		}
+		_, _, improved := par.admit(key, g)
+		if improved != wantImproved {
+			t.Fatalf("step %d: striped admit improved=%v, sequential says %v", i, improved, wantImproved)
+		}
+		if ref = seq.find(key); ref >= 0 {
+			if got, ok := par.bestG(key); !ok || got != seq.gs[ref] {
+				t.Fatalf("step %d: striped bestG %v ok=%v, sequential %v", i, got, ok, seq.gs[ref])
+			}
+		}
+	}
+	if int(par.entries.Load()) != seq.count {
+		t.Errorf("striped entries %d != sequential count %d", par.entries.Load(), seq.count)
+	}
+}

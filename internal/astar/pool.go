@@ -1,6 +1,8 @@
 package astar
 
 import (
+	"sync/atomic"
+
 	"cosched/internal/bitset"
 	"cosched/internal/job"
 )
@@ -28,6 +30,12 @@ type elemPool struct {
 	free  []*element
 	gets  int64 // elements handed out
 	reuse int64 // of those, served from the free list
+	// allocCount, when non-nil, is additionally bumped on every fresh
+	// allocation (the slow path only, so the warm 0-alloc path stays
+	// counter-free). The parallel engine points every worker pool at one
+	// shared atomic so its memory-footprint estimate can be read from
+	// any goroutine without touching the unsynchronised gets/reuse pair.
+	allocCount *atomic.Int64
 }
 
 // newPool creates a pool bound to the solver's capacities and registers
@@ -59,6 +67,9 @@ func (p *elemPool) get() *element {
 		if len(s.parJobs) > 0 {
 			e.jobMax = make([]float64, 0, len(s.parJobs))
 		}
+		if p.allocCount != nil {
+			p.allocCount.Add(1)
+		}
 	}
 	e.q = 0
 	e.g = 0
@@ -66,6 +77,8 @@ func (p *elemPool) get() *element {
 	e.hSerial = 0
 	e.parent = nil
 	e.keyRef = -1
+	e.stripe = -1
+	e.home = p
 	return e
 }
 

@@ -95,7 +95,15 @@ type Solver struct {
 	// (reported and zeroed) by the first Solve call's telemetry.
 	prepDur time.Duration
 
-	nodeCostState
+	// ncs is the mutex-guarded node-cost memo, held behind a pointer so
+	// the per-worker solver clones of the parallel engine (parsolve.go)
+	// share one cache instead of copying the mutex.
+	ncs *nodeCostState
+
+	// parClones are the per-worker shallow solver copies of the parallel
+	// best-first engine, created on first parallel solve and reused (warm
+	// pools and scratch) by every later one.
+	parClones []*Solver
 }
 
 // element is one priority-list entry: a sub-path recorded as the set of
@@ -105,6 +113,7 @@ type element struct {
 	set      *bitset.Set
 	keyWords []uint64 // word-packed dismissal key (keytable.go layout)
 	keyRef   int32    // gTable entry index once admitted; -1 before
+	stripe   int32    // stripedTable stripe of keyRef (parallel solves); -1 before
 	q        int      // processes scheduled
 	g        float64  // Eq. 13 distance of the sub-path
 	h        float64
@@ -187,7 +196,7 @@ func NewSolver(g *graph.Graph, opts Options) (*Solver, error) {
 		n:    g.N(),
 		u:    g.U(),
 	}
-	s.nodeCostCache = make(map[string][]float64)
+	s.ncs = &nodeCostState{nodeCostCache: make(map[string][]float64)}
 	if s.n == 0 || s.n%s.u != 0 {
 		return nil, fmt.Errorf("astar: %d processes not schedulable on %d-core machines", s.n, s.u)
 	}
@@ -383,8 +392,12 @@ func (s *Solver) Solve() (*Result, error) {
 	if s.opts.BeamWidth > 0 {
 		return s.solveBeam()
 	}
+	if p := s.eligibleParallelism(); p > 1 {
+		return s.solveParallel(p)
+	}
 	start := time.Now()
 	var stats Stats
+	stats.Parallelism = 1
 	var pq pqueue
 	qMax := 0
 	hooks := newTracerHooks(s.opts.Tracer)

@@ -59,6 +59,11 @@ type EventTracer struct {
 	// abortReason remembers the abort event's reason so the solution
 	// event repeats it (the tracetool abort-reason invariant ties them).
 	abortReason string
+	// parallelism is the expansion-worker count recorded by
+	// SetParallelism for the next solve_start event; consumed (emitted
+	// and cleared) there so a reused tracer never mislabels a later
+	// sequential solve.
+	parallelism int
 }
 
 // JSONLTracer is the original name of EventTracer, kept as an alias for
@@ -99,6 +104,10 @@ func (t *EventTracer) SolveStart(n, u int, method string) {
 	ev := telemetry.Event{
 		Ev: "solve_start", N: n, U: u, Method: method, HName: t.HName,
 	}
+	if t.parallelism > 1 {
+		ev.Parallelism = t.parallelism
+	}
+	t.parallelism = 0
 	if t.Every > 1 {
 		ev.Sample = t.Every
 	}
@@ -108,6 +117,10 @@ func (t *EventTracer) SolveStart(n, u int, method string) {
 	t.stamp(&ev)
 	t.sink.Emit(ev) //nolint:errcheck
 }
+
+// SetParallelism implements ParallelismTracer: the next solve_start
+// event will carry the worker count in its parallelism field.
+func (t *EventTracer) SetParallelism(p int) { t.parallelism = p }
 
 // Expand implements Tracer.
 func (t *EventTracer) Expand(popIndex int64, depth int, g, h float64, leader job.ProcID) {

@@ -90,6 +90,17 @@ type AbortTracer interface {
 	Abort(popIndex int64, reason string)
 }
 
+// ParallelismTracer is an optional Tracer extension: SetParallelism is
+// called once per solve, before SolveStart, with the number of
+// expansion workers the solve will actually run (parsolve.go). Trace
+// consumers use the recorded value to relax order-sensitive invariants
+// — parallel workers interleave expand events, so f-monotonicity only
+// holds per worker, not across the stream. Sequential solves do not
+// call it.
+type ParallelismTracer interface {
+	SetParallelism(p int)
+}
+
 // StatsTracer is an optional Tracer extension: SolveStats is called once
 // per solve, after the search ends and before Solution, with the final
 // counters. A trace carrying it is self-verifying — cmd/coschedtrace

@@ -37,6 +37,11 @@ type RunOptions struct {
 	// Solves are distinguished by their self-assigned solve_id, so one
 	// sink may span many experiments; split with coschedtrace.
 	Events telemetry.EventSink
+	// Parallelism sets the graph searches' expansion-worker count
+	// (cmd/experiments -parallel, scripts/benchdiff.sh --workers). 0 and
+	// 1 run the exact sequential path; ineligible configurations fall
+	// back to it silently, so timing columns stay comparable.
+	Parallelism int
 }
 
 // activeMetrics / activeSink carry the currently running experiment's
@@ -47,6 +52,10 @@ type RunOptions struct {
 var (
 	activeMetrics *telemetry.Registry
 	activeSink    telemetry.EventSink
+	// activeParallelism is RunOptions.Parallelism for the running
+	// experiment, applied by the solve helpers to every graph search
+	// that does not pick its own worker count.
+	activeParallelism int
 )
 
 // Report is the regenerated table/figure.
@@ -154,7 +163,8 @@ func Run(id string, opts RunOptions) (*Report, error) {
 	}
 	activeMetrics = opts.Metrics
 	activeSink = opts.Events
-	defer func() { activeMetrics, activeSink = nil, nil }()
+	activeParallelism = opts.Parallelism
+	defer func() { activeMetrics, activeSink, activeParallelism = nil, nil, 0 }()
 	rep, err := r(opts)
 	if ferr := telemetry.FlushSink(opts.Events); err == nil && ferr != nil {
 		return rep, fmt.Errorf("experiments: flushing event trace: %w", ferr)

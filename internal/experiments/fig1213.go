@@ -22,11 +22,12 @@ func init() {
 // need the estimator/beam instead of the priority-list search).
 func haLargeOptions(n, u int) astar.Options {
 	opts := astar.Options{
-		H:         astar.HPerProcAvg,
-		HWeight:   1.2,
-		KPerLevel: n / u,
-		BeamWidth: 16,
-		Metrics:   activeMetrics,
+		H:           astar.HPerProcAvg,
+		HWeight:     1.2,
+		KPerLevel:   n / u,
+		BeamWidth:   16,
+		Parallelism: activeParallelism,
+		Metrics:     activeMetrics,
 	}
 	if activeSink != nil {
 		opts.Tracer = astar.NewEventTracer(activeSink)

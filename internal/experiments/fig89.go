@@ -115,7 +115,7 @@ func fig9(opts RunOptions) (*Report, error) {
 			c := in.Cost(degradation.ModePC)
 			g := graph.New(c, in.Patterns)
 			s, err := astar.NewSolver(g, astar.Options{
-				H: astar.HPerProc, UseIncumbent: true,
+				H: astar.HPerProc, UseIncumbent: true, Parallelism: activeParallelism,
 				MaxExpansions: maxExp, TimeLimit: 90 * time.Second})
 			if err != nil {
 				return nil, err

@@ -33,6 +33,9 @@ func solveOAOpt(in *workload.Instance, mode degradation.Mode, opts astar.Options
 	if opts.Tracer == nil && activeSink != nil {
 		opts.Tracer = astar.NewEventTracer(activeSink)
 	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = activeParallelism
+	}
 	if opts.H == astar.HNone && opts.KPerLevel == 0 && !opts.UseIncumbent {
 		// caller asked for raw defaults; leave as-is (O-SVP style)
 	} else if opts.H == astar.HNone {
@@ -85,7 +88,8 @@ func solveHA(in *workload.Instance, mode degradation.Mode) (*astar.Result, error
 	c := in.Cost(mode)
 	g := graph.New(c, in.Patterns)
 	n, u := g.N(), g.U()
-	opts := astar.Options{KPerLevel: n / u, Condense: true, UseIncumbent: true, Metrics: activeMetrics}
+	opts := astar.Options{KPerLevel: n / u, Condense: true, UseIncumbent: true,
+		Parallelism: activeParallelism, Metrics: activeMetrics}
 	if activeSink != nil {
 		opts.Tracer = astar.NewEventTracer(activeSink)
 	}

@@ -209,6 +209,7 @@ func table4(opts RunOptions) (*Report, error) {
 			paths int64
 		}
 		run := func(o astar.Options) (meas, error) {
+			o.Parallelism = activeParallelism
 			g := graph.New(in.Cost(degradation.ModePC), in.Patterns)
 			s, err := astar.NewSolver(g, o)
 			if err != nil {

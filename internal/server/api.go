@@ -39,6 +39,12 @@ type SolveRequest struct {
 	// budget fields.
 	MaxExpansions     int64 `json:"max_expansions,omitempty"`
 	MemoryBudgetBytes int64 `json:"memory_budget_bytes,omitempty"`
+	// Parallelism is the graph-search expansion-worker count for this
+	// request: 0 applies the server's -solve-parallelism default, 1
+	// forces the exact sequential path, higher values run the parallel
+	// engine on eligible configurations. It does not enter the solution
+	// cache key — worker count never changes the answer's cost.
+	Parallelism int `json:"parallelism,omitempty"`
 	// NoCache bypasses the solved-schedule cache for this request (it
 	// neither reads nor populates it).
 	NoCache bool `json:"no_cache,omitempty"`

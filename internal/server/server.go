@@ -53,6 +53,11 @@ type Config struct {
 	// (0 means uncapped).
 	DefaultDeadline time.Duration
 	MaxDeadline     time.Duration
+	// SolveParallelism is the expansion-worker count applied to requests
+	// that set no parallelism of their own (<= 0 means 1, the exact
+	// sequential path — a daemon already runs Workers solves
+	// concurrently, so per-solve parallelism is opt-in).
+	SolveParallelism int
 	// Metrics receives the server.* metric family (nil means a private
 	// registry; pass telemetry.Default to share the process registry).
 	Metrics *telemetry.Registry
@@ -364,6 +369,15 @@ func (s *Server) prepare(req *SolveRequest) (*cosched.Instance, cosched.Options,
 	opts.IPConfig = req.IPConfig
 	opts.MaxExpansions = req.MaxExpansions
 	opts.MemoryBudget = req.MemoryBudgetBytes
+	// cosched.Options treats 0 as "all cores"; the daemon's default is
+	// explicit so an unconfigured server stays sequential per solve.
+	opts.Parallelism = req.Parallelism
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.cfg.SolveParallelism
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 1
+	}
 	opts.Metrics = s.cfg.Metrics
 
 	machine := cosched.QuadCore

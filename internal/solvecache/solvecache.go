@@ -8,6 +8,13 @@
 // caller decides what is cacheable — the daemon only stores proven,
 // non-degraded schedules — by returning ok=false from the compute
 // callback of Do.
+//
+// Internally the key space is split over lock-striped shards (by a hash
+// of the fingerprint string), each an independent LRU+singleflight
+// behind its own mutex, so a daemon running many solver workers does not
+// serialise every request on one cache lock. Small capacities stay on a
+// single shard, keeping the LRU eviction order exact where tests and
+// tiny deployments can observe it; see New.
 package solvecache
 
 import (
@@ -41,7 +48,8 @@ func (o Outcome) String() string {
 	}
 }
 
-// Stats is a point-in-time snapshot of cache effectiveness counters.
+// Stats is a point-in-time snapshot of cache effectiveness counters,
+// aggregated across shards.
 type Stats struct {
 	// Hits counts Do/Get calls answered from the cache.
 	Hits int64
@@ -55,6 +63,17 @@ type Stats struct {
 	// Entries is the current cache population.
 	Entries int
 }
+
+// nShards is the stripe count of a sharded cache (a power of two). 16
+// keeps worst-case lock contention at 1/16th of a single mutex while
+// costing only a few hundred spare bytes per idle shard.
+const nShards = 16
+
+// shardThreshold is the capacity below which the cache stays on a
+// single shard: splitting a tiny capacity across 16 LRUs would make the
+// effective eviction order depend on key hashes, and the contention a
+// sub-64-entry deployment can generate does not need striping.
+const shardThreshold = 64
 
 // entry is one cached key/value pair, stored as a list.Element value so
 // recency updates are pointer moves.
@@ -72,9 +91,9 @@ type flight[V any] struct {
 	retry bool // leader died without a result; waiters recompute
 }
 
-// Cache is a concurrency-safe, capacity-bounded LRU with singleflight
-// computation. The zero value is not usable; construct with New.
-type Cache[V any] struct {
+// shard is one lock stripe of the cache: an independent LRU with its
+// own singleflight table and effectiveness counters.
+type shard[V any] struct {
 	mu        sync.Mutex
 	m         map[string]*list.Element
 	ll        *list.List // front = most recently used
@@ -87,70 +106,111 @@ type Cache[V any] struct {
 	evictions int64
 }
 
+// Cache is a concurrency-safe, capacity-bounded LRU with singleflight
+// computation, striped over independent shards by key hash. The zero
+// value is not usable; construct with New.
+type Cache[V any] struct {
+	shards []*shard[V]
+	mask   uint64
+}
+
 // New returns a cache holding at most capacity entries (capacity <= 0
-// means unbounded). onEvict, if non-nil, is called — outside the cache
-// lock — with each key removed by the capacity bound.
+// means unbounded). Capacities of shardThreshold and above — and the
+// unbounded case — are striped over nShards shards, each bounded to its
+// share (ceil(capacity/nShards)) of the total; smaller capacities use a
+// single shard so the LRU eviction order stays globally exact. onEvict,
+// if non-nil, is called — outside the cache lock — with each key
+// removed by the capacity bound.
 func New[V any](capacity int, onEvict func(key string)) *Cache[V] {
-	return &Cache[V]{
-		m:        make(map[string]*list.Element),
-		ll:       list.New(),
-		flights:  make(map[string]*flight[V]),
-		capacity: capacity,
-		onEvict:  onEvict,
+	n := nShards
+	if capacity > 0 && capacity < shardThreshold {
+		n = 1
 	}
+	per := 0
+	if capacity > 0 {
+		per = (capacity + n - 1) / n
+	}
+	c := &Cache[V]{shards: make([]*shard[V], n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i] = &shard[V]{
+			m:        make(map[string]*list.Element),
+			ll:       list.New(),
+			flights:  make(map[string]*flight[V]),
+			capacity: per,
+			onEvict:  onEvict,
+		}
+	}
+	return c
+}
+
+// shardFor routes a key to its stripe (FNV-1a over the key bytes).
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return c.shards[h&c.mask]
 }
 
 // Get returns the cached value for key, refreshing its recency.
 func (c *Cache[V]) Get(key string) (V, bool) {
-	c.mu.Lock()
-	e, ok := c.m[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	e, ok := s.m[key]
 	if !ok {
-		c.misses++
-		c.mu.Unlock()
+		s.misses++
+		s.mu.Unlock()
 		var zero V
 		return zero, false
 	}
-	c.hits++
-	c.ll.MoveToFront(e)
+	s.hits++
+	s.ll.MoveToFront(e)
 	v := e.Value.(*entry[V]).v
-	c.mu.Unlock()
+	s.mu.Unlock()
 	return v, true
 }
 
 // Put stores a value under key (refreshing recency if it already
-// exists) and evicts least-recently-used entries beyond capacity.
+// exists) and evicts the shard's least-recently-used entries beyond its
+// capacity share.
 func (c *Cache[V]) Put(key string, v V) {
-	c.mu.Lock()
-	evicted := c.putLocked(key, v)
-	c.mu.Unlock()
-	c.notifyEvicted(evicted)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	evicted := s.putLocked(key, v)
+	s.mu.Unlock()
+	s.notifyEvicted(evicted)
 }
 
-func (c *Cache[V]) putLocked(key string, v V) []string {
-	if e, ok := c.m[key]; ok {
+func (s *shard[V]) putLocked(key string, v V) []string {
+	if e, ok := s.m[key]; ok {
 		e.Value.(*entry[V]).v = v
-		c.ll.MoveToFront(e)
+		s.ll.MoveToFront(e)
 		return nil
 	}
-	c.m[key] = c.ll.PushFront(&entry[V]{key: key, v: v})
+	s.m[key] = s.ll.PushFront(&entry[V]{key: key, v: v})
 	var evicted []string
-	for c.capacity > 0 && c.ll.Len() > c.capacity {
-		back := c.ll.Back()
-		c.ll.Remove(back)
+	for s.capacity > 0 && s.ll.Len() > s.capacity {
+		back := s.ll.Back()
+		s.ll.Remove(back)
 		k := back.Value.(*entry[V]).key
-		delete(c.m, k)
-		c.evictions++
+		delete(s.m, k)
+		s.evictions++
 		evicted = append(evicted, k)
 	}
 	return evicted
 }
 
-func (c *Cache[V]) notifyEvicted(keys []string) {
-	if c.onEvict == nil {
+func (s *shard[V]) notifyEvicted(keys []string) {
+	if s.onEvict == nil {
 		return
 	}
 	for _, k := range keys {
-		c.onEvict(k)
+		s.onEvict(k)
 	}
 }
 
@@ -164,17 +224,18 @@ func (c *Cache[V]) notifyEvicted(keys []string) {
 // their own Do — the flight is cleaned up either way, so a panic never
 // wedges the key.
 func (c *Cache[V]) Do(key string, compute func() (V, bool, error)) (V, Outcome, error) {
-	c.mu.Lock()
-	if e, ok := c.m[key]; ok {
-		c.hits++
-		c.ll.MoveToFront(e)
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if e, ok := s.m[key]; ok {
+		s.hits++
+		s.ll.MoveToFront(e)
 		v := e.Value.(*entry[V]).v
-		c.mu.Unlock()
+		s.mu.Unlock()
 		return v, Hit, nil
 	}
-	if f, ok := c.flights[key]; ok {
-		c.shared++
-		c.mu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		s.shared++
+		s.mu.Unlock()
 		<-f.done
 		if !f.ok && f.err == nil {
 			// The leader's computation vanished without a result (panic)
@@ -188,23 +249,23 @@ func (c *Cache[V]) Do(key string, compute func() (V, bool, error)) (V, Outcome, 
 		return f.v, Shared, f.err
 	}
 	f := &flight[V]{done: make(chan struct{})}
-	c.flights[key] = f
-	c.misses++
-	c.mu.Unlock()
+	s.flights[key] = f
+	s.misses++
+	s.mu.Unlock()
 
 	completed := false
 	defer func() {
-		c.mu.Lock()
-		delete(c.flights, key)
+		s.mu.Lock()
+		delete(s.flights, key)
 		var evicted []string
 		if completed && f.ok && f.err == nil {
-			evicted = c.putLocked(key, f.v)
+			evicted = s.putLocked(key, f.v)
 		}
 		if !completed {
 			f.retry = true // leader panicked: waiters must recompute
 		}
-		c.mu.Unlock()
-		c.notifyEvicted(evicted)
+		s.mu.Unlock()
+		s.notifyEvicted(evicted)
 		close(f.done)
 	}()
 
@@ -214,22 +275,28 @@ func (c *Cache[V]) Do(key string, compute func() (V, bool, error)) (V, Outcome, 
 	return v, Miss, err
 }
 
-// Len returns the current entry count.
+// Len returns the current entry count across all shards.
 func (c *Cache[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Stats snapshots the effectiveness counters.
+// Stats snapshots the effectiveness counters, summed across shards.
 func (c *Cache[V]) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Shared:    c.shared,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
+	var st Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Shared += s.shared
+		st.Evictions += s.evictions
+		st.Entries += s.ll.Len()
+		s.mu.Unlock()
 	}
+	return st
 }

@@ -2,6 +2,7 @@ package solvecache
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -144,6 +145,111 @@ func TestDoPanicDoesNotWedgeKey(t *testing.T) {
 	v, out, err := c.Do("k", func() (int, bool, error) { return 7, true, nil })
 	if v != 7 || out != Miss || err != nil {
 		t.Fatalf("Do after panic = (%d, %v, %v); want 7/miss/nil", v, out, err)
+	}
+}
+
+// TestShardSelection pins the sharding policy: capacities below the
+// threshold get one shard (globally exact LRU order), the threshold and
+// above — and unbounded — get the full stripe set with the capacity
+// split in per-shard shares.
+func TestShardSelection(t *testing.T) {
+	for _, tc := range []struct {
+		capacity, shards, per int
+	}{
+		{1, 1, 1},
+		{2, 1, 2},
+		{63, 1, 63},
+		{64, nShards, 4},
+		{100, nShards, 7}, // ceil(100/16)
+		{0, nShards, 0},
+		{-1, nShards, 0},
+	} {
+		c := New[int](tc.capacity, nil)
+		if len(c.shards) != tc.shards {
+			t.Errorf("capacity %d: %d shards; want %d", tc.capacity, len(c.shards), tc.shards)
+		}
+		if got := c.shards[0].capacity; got != tc.per {
+			t.Errorf("capacity %d: per-shard capacity %d; want %d", tc.capacity, got, tc.per)
+		}
+	}
+}
+
+// TestShardedAggregation fills a sharded cache past its capacity and
+// checks that Len, Stats and the capacity bound hold across shards.
+func TestShardedAggregation(t *testing.T) {
+	const capacity = 64
+	var evicted atomic.Int64
+	c := New[int](capacity, func(string) { evicted.Add(1) })
+	const total = 500
+	for i := 0; i < total; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	// Per-shard bounds allow at most nShards*ceil(capacity/nShards).
+	maxEntries := nShards * ((capacity + nShards - 1) / nShards)
+	if n := c.Len(); n > maxEntries || n == 0 {
+		t.Errorf("Len = %d; want in (0, %d]", n, maxEntries)
+	}
+	st := c.Stats()
+	if st.Entries != c.Len() {
+		t.Errorf("Stats.Entries %d != Len %d", st.Entries, c.Len())
+	}
+	if st.Evictions != int64(total)-int64(st.Entries) {
+		t.Errorf("Evictions %d + Entries %d != Puts %d", st.Evictions, st.Entries, total)
+	}
+	if evicted.Load() != st.Evictions {
+		t.Errorf("onEvict saw %d keys; Stats says %d", evicted.Load(), st.Evictions)
+	}
+	hits, misses := 0, 0
+	for i := 0; i < total; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); ok {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	if hits != st.Entries {
+		t.Errorf("%d keys retrievable; Stats.Entries says %d", hits, st.Entries)
+	}
+	st = c.Stats()
+	if st.Hits != int64(hits) || st.Misses != int64(misses) {
+		t.Errorf("aggregated hit/miss counters %d/%d; want %d/%d", st.Hits, st.Misses, hits, misses)
+	}
+}
+
+// TestShardedConcurrentDo hammers a sharded cache from many goroutines
+// (run under -race in CI): singleflight and the counters must stay
+// coherent when callers spread over shards.
+func TestShardedConcurrentDo(t *testing.T) {
+	c := New[int](256, nil)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	const workers, keys = 8, 40
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("key-%d", k)
+				v, _, err := c.Do(key, func() (int, bool, error) {
+					computes.Add(1)
+					return k, true, nil
+				})
+				if err != nil || v != k {
+					t.Errorf("Do(%s) = (%d, %v)", key, v, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := computes.Load(); got < keys || got > workers*keys {
+		t.Errorf("compute ran %d times; want in [%d, %d]", got, keys, workers*keys)
+	}
+	st := c.Stats()
+	if st.Entries != keys {
+		t.Errorf("Entries = %d; want %d", st.Entries, keys)
+	}
+	if st.Hits+st.Misses+st.Shared != workers*keys {
+		t.Errorf("outcome counters sum to %d; want %d", st.Hits+st.Misses+st.Shared, workers*keys)
 	}
 }
 

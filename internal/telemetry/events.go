@@ -14,8 +14,11 @@ import (
 // the event type; the other fields are populated per type (zero-valued
 // fields are omitted from the encoding):
 //
-//	solve_start  n, u, method, h, sample, dismiss_sample
-//	             — one per solve, first search event
+//	solve_start  n, u, method, h, sample, dismiss_sample, parallelism
+//	             — one per solve, first search event; parallelism is the
+//	             expansion-worker count, present only when > 1 (parallel
+//	             workers interleave expand events, so order-sensitive
+//	             consumers must relax per-stream invariants)
 //	expand       pop, depth, q, g, h_est, leader
 //	dismiss      pop, q, g, reason     — reason: worse|stale|pruned|beam_trim
 //	progress     pop, frontier, pops_per_sec, eta_sec, elapsed_sec
@@ -73,6 +76,7 @@ type Event struct {
 	HName         string `json:"h,omitempty"`
 	Sample        int64  `json:"sample,omitempty"`
 	DismissSample int64  `json:"dismiss_sample,omitempty"`
+	Parallelism   int    `json:"parallelism,omitempty"`
 
 	// Search-span fields (expand, dismiss, progress, solution).
 	Pop    int64   `json:"pop,omitempty"`

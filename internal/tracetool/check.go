@@ -33,8 +33,13 @@ const costEps = 1e-9
 //
 //   - admission-identity: the stats event must reconcile as
 //     Generated == Expanded + DismissedStale + BeamTrimmed + InFrontier.
-//   - f-monotone (OA* only): popped f = g + h never decreases — the
-//     Theorem 2 optimality argument rests on this.
+//   - f-monotone (sequential OA* only): popped f = g + h never decreases
+//     — the Theorem 2 optimality argument rests on this. A parallel
+//     solve (solve_start carries parallelism > 1) interleaves its
+//     workers' pops, so only total-based rules apply to it: expansion
+//     order, per-pop monotonicity and goal-pop bounds are meaningless
+//     across racing workers, and the parallel engine never pops its
+//     goal at all.
 //   - expand-count / dismiss-count: with sampling off, the event stream
 //     must carry exactly the expansions and per-reason dismissals the
 //     stats event counted.
@@ -161,6 +166,8 @@ func checkSearch(tr *Trace, start *telemetry.Event) []Violation {
 	sampled := start.Sample > 1
 	dismissSampled := start.DismissSample > 1
 	method := start.Method
+	// Order-sensitive rules only hold for a single expansion worker.
+	parallel := start.Parallelism > 1
 
 	var (
 		expandCount   int64
@@ -172,7 +179,7 @@ func checkSearch(tr *Trace, start *telemetry.Event) []Violation {
 		switch ev.Ev {
 		case "expand":
 			expandCount++
-			if method == "OA*" {
+			if method == "OA*" && !parallel {
 				f := ev.G + ev.H
 				if f < prevF-costEps {
 					vs = append(vs, Violation{"f-monotone",

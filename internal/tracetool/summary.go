@@ -23,6 +23,9 @@ func WriteSummary(w io.Writer, tr *Trace) error {
 		if st.U > 0 {
 			fmt.Fprintf(&sb, " on %d-core machines", st.U)
 		}
+		if st.Parallelism > 1 {
+			fmt.Fprintf(&sb, ", %d expansion workers", st.Parallelism)
+		}
 		if st.Sample > 1 {
 			fmt.Fprintf(&sb, " (expand events sampled 1/%d)", st.Sample)
 		}

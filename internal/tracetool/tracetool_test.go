@@ -168,6 +168,49 @@ func TestCheckCorruptedStatsAndSolution(t *testing.T) {
 	}
 }
 
+// TestCheckParallelTraceRelaxesOrder pins the parallel-trace contract:
+// concurrent expansion workers interleave their pops, so the f-monotone
+// rule applies only when solve_start records a single worker, while the
+// total-based rules keep holding either way.
+func TestCheckParallelTraceRelaxesOrder(t *testing.T) {
+	// A real parallel solve must record its worker count and check clean.
+	par := loadOne(t, searchTrace(t, 12, astar.Options{
+		H: astar.HPerProc, Condense: true, UseIncumbent: true, Parallelism: 4,
+	}))
+	if st := par.start(); st == nil || st.Parallelism != 4 {
+		t.Fatalf("parallel solve_start did not record 4 workers: %+v", st)
+	}
+	if vs := Check(par); len(vs) > 0 {
+		t.Errorf("clean parallel trace failed check: %v", vs)
+	}
+
+	// Force an f-order regression in a sequential trace: inflating one
+	// non-goal expansion's g makes the following pop's f strictly lower.
+	seq := loadOne(t, searchTrace(t, 12, astar.Options{
+		H: astar.HPerProc, Condense: true, UseIncumbent: true,
+	}))
+	mangled := false
+	for i := range seq.Events {
+		if ev := &seq.Events[i]; ev.Ev == "expand" && ev.Leader != 0 {
+			ev.G += 1000
+			mangled = true
+			break
+		}
+	}
+	if !mangled {
+		t.Fatal("fixture has no non-goal expand event to corrupt")
+	}
+	if vs := Check(seq); !hasInvariant(vs, "f-monotone") {
+		t.Errorf("sequential out-of-order pops not caught: %v", vs)
+	}
+	// The identical stream labelled as a 4-worker solve tolerates the
+	// interleaving — order rules are relaxed, not the totals.
+	seq.start().Parallelism = 4
+	if vs := Check(seq); hasInvariant(vs, "f-monotone") {
+		t.Errorf("parallel-labelled trace still flagged f-monotone: %v", vs)
+	}
+}
+
 func hasInvariant(vs []Violation, name string) bool {
 	for _, v := range vs {
 		if v.Invariant == name {

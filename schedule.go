@@ -84,6 +84,19 @@ type Stats struct {
 	// open-addressing table in [0,1].
 	KeyTableEntries int
 	KeyTableLoad    float64
+	// Parallelism is the number of expansion workers the graph search
+	// actually ran: 1 for the sequential path (including configurations
+	// where a requested Options.Parallelism could not be applied without
+	// changing the answer), 0 for non-graph methods.
+	Parallelism int
+	// Steals counts frontier-shard pops a parallel expansion worker took
+	// from a shard it does not own; Speculative counts expansions of
+	// elements above the global frontier minimum at pop time; Parked
+	// counts park transitions of the memory-aware load balancer. All
+	// zero for sequential solves.
+	Steals      int64
+	Speculative int64
+	Parked      int64
 	// Phases is the wall-clock breakdown of the solve pipeline in
 	// completion order: "oracle" (degradation precompute), then per
 	// method "graph"/"prepare"/"search" (graph searches), or

@@ -31,7 +31,10 @@ go test ./...
 # never silently drop the gate).
 go test ./internal/astar/ -run 'TestDismissedChildStaysAllocationFree|TestDismissedChildAllocFreeWithTelemetry|TestDismissedChildAllocFreeWithTracing' -count=1
 
-go test -race ./internal/astar/ -run 'Parallel|Worker'
+# Race matrix over the concurrent search paths: the per-expansion worker
+# crew, the work-stealing parallel engine (DESIGN.md §5d) and its
+# striped dismissal table.
+go test -race ./internal/astar/ -run 'Parallel|Worker|Striped'
 
 # Serving-layer race pass: many SolveContext/SolveRobust calls sharing
 # one Instance and memoized oracle (the coschedd usage pattern), plus
@@ -59,6 +62,23 @@ for f in "$tracedir"/*.jsonl; do
     }
 done
 echo "ci: trace invariants hold for OA*, HA*, beam, IP and online traces" >&2
+
+# Parallel-search trace gate: a 4-worker solve must record its worker
+# count in the trace header, pass the (order-relaxed, totals-enforced)
+# invariant replay, and match the sequential cost on the same instance.
+go run ./cmd/coschedcli -synthetic 12 -parallel 4 -trace "$tracedir/par.jsonl" > "$tracedir/par.out"
+go run ./cmd/coschedtrace check "$tracedir/par.jsonl" > /dev/null
+go run ./cmd/coschedtrace summary "$tracedir/par.jsonl" | grep '4 expansion workers' > /dev/null || {
+    echo "ci: parallel trace header does not record its worker count" >&2
+    exit 1
+}
+seq_cost="$(go run ./cmd/coschedcli -synthetic 12 < /dev/null | grep -o 'total degradation [0-9.]*')"
+par_cost="$(grep -o 'total degradation [0-9.]*' "$tracedir/par.out")"
+[[ -n "$seq_cost" && "$seq_cost" == "$par_cost" ]] || {
+    echo "ci: parallel cost '$par_cost' != sequential cost '$seq_cost'" >&2
+    exit 1
+}
+echo "ci: 4-worker parallel solve traces clean at the sequential cost" >&2
 
 # Robustness matrix: every method under an already-expired deadline must
 # still return a valid degraded schedule promptly (the anytime
