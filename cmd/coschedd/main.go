@@ -1,11 +1,14 @@
 // Command coschedd serves the cosched solver over HTTP/JSON: a bounded
 // worker pool behind an admission queue, per-request deadlines, a
 // fingerprint-keyed cache of solved schedules, and graceful drain on
-// SIGTERM/SIGINT.
+// SIGTERM/SIGINT. The pool is fixed at -workers, or autoscales between
+// -workers-min and -workers-max on queue-delay pressure (SERVING.md
+// documents the tuning knobs and metrics).
 //
 // Usage:
 //
 //	coschedd -addr :8080 -workers 4
+//	coschedd -addr :8080 -workers-min 1 -workers-max 8
 //	curl -s localhost:8080/v1/solve -d '{"synthetic": 8, "method": "hastar"}'
 //	curl -s localhost:8080/v1/solve-robust -d '{"synthetic": 8, "deadline_ms": 200}'
 //	curl -s localhost:8080/v1/batch -d '{"requests": [{"synthetic": 6}, {"synthetic": 8}]}'
@@ -39,7 +42,13 @@ const flightRecorderSize = 8192
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
-		workers      = flag.Int("workers", 2, "solver worker goroutines (bounds solve concurrency)")
+		workers      = flag.Int("workers", 2, "solver worker goroutines (fixed pool; shorthand for -workers-min == -workers-max)")
+		workersMin   = flag.Int("workers-min", 0, "autoscaled pool floor (0 = -workers)")
+		workersMax   = flag.Int("workers-max", 0, "autoscaled pool ceiling (0 = -workers; > min enables the autoscaler)")
+		scaleEvery   = flag.Duration("scale-interval", 0, "autoscaler decision interval (0 = 1s)")
+		scaleUpP90   = flag.Duration("scale-up-p90", 0, "grow when the recent p90 queue delay exceeds this (0 = 25ms)")
+		scaleIdle    = flag.Duration("scale-idle", 0, "shrink after this long with no admissions and an empty queue (0 = 5s)")
+		scaleCool    = flag.Duration("scale-cooldown", 0, "minimum gap between scale events (0 = 2s)")
 		queueDepth   = flag.Int("queue", 64, "admission queue depth; a full queue rejects with 429")
 		cacheEntries = flag.Int("cache", 128, "solved-schedule cache capacity in entries (-1 disables)")
 		oracleCache  = flag.Int("oracle-cache", 1<<16, "per-instance degradation-memo capacity in entries")
@@ -53,6 +62,12 @@ func main() {
 	recorder := telemetry.NewFlightRecorder(flightRecorderSize)
 	srv := server.New(server.Config{
 		Workers:            *workers,
+		WorkersMin:         *workersMin,
+		WorkersMax:         *workersMax,
+		ScaleInterval:      *scaleEvery,
+		ScaleUpP90:         *scaleUpP90,
+		ScaleIdle:          *scaleIdle,
+		ScaleCooldown:      *scaleCool,
 		QueueDepth:         *queueDepth,
 		CacheEntries:       *cacheEntries,
 		OracleCacheEntries: *oracleCache,

@@ -1,0 +1,180 @@
+// Command coschedload is the open-loop serving benchmark for coschedd:
+// it fires a fixed-arrival-rate RPS ladder of solve requests (a seeded
+// warm/cold fingerprint mix) at a daemon and writes the measured
+// per-rung throughput, latency percentiles, cache effectiveness and
+// rejection breakdown to BENCH_serving.json (internal/loadgen;
+// methodology in BENCHMARKS.md, daemon knobs in SERVING.md).
+//
+// Usage:
+//
+//	coschedload -addr http://127.0.0.1:8080 -rungs 8x3s,15x3s
+//	coschedload -rungs 8x3s,15x3s -workers-min 1 -workers-max 4
+//	coschedload -check BENCH_serving.json
+//
+// With -addr it attaches to a running daemon; without it, it boots an
+// in-process server (honouring the -workers-min/-workers-max autoscaler
+// bounds) on an ephemeral port, runs the ladder, and drains it. -check
+// validates an existing report file instead of running anything.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"cosched/internal/loadgen"
+	"cosched/internal/server"
+	"cosched/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "daemon base URL (e.g. http://127.0.0.1:8080); empty boots an in-process daemon")
+		rungsFlag  = flag.String("rungs", "5x3s,10x3s", "offered-load ladder: comma-separated <rps>x<duration> rungs")
+		pool       = flag.Int("pool", 8, "distinct warm workload fingerprints")
+		warm       = flag.Float64("warm", 0.5, "fraction of requests drawn from the warm pool (0..1)")
+		synthetic  = flag.Int("synthetic", 6, "jobs per request workload")
+		method     = flag.String("method", "hastar", "solver method per request")
+		deadlineMS = flag.Int64("deadline-ms", 0, "per-request deadline forwarded to the daemon (0 = server default)")
+		seed       = flag.Int64("seed", 1, "schedule seed (same seed, same request schedule)")
+		out        = flag.String("out", "BENCH_serving.json", "report file to write")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+		note       = flag.String("note", "", "environment note recorded in the report")
+		check      = flag.String("check", "", "validate this report file and exit (runs no load)")
+
+		workersMin = flag.Int("workers-min", 1, "in-process daemon: autoscaled pool floor")
+		workersMax = flag.Int("workers-max", 4, "in-process daemon: autoscaled pool ceiling")
+		queueDepth = flag.Int("queue", 256, "in-process daemon: admission queue depth")
+		scaleEvery = flag.Duration("scale-interval", 0, "in-process daemon: autoscaler decision interval (0 = 1s)")
+		scaleUpP90 = flag.Duration("scale-up-p90", 0, "in-process daemon: grow threshold on recent p90 queue delay (0 = 25ms)")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		report, err := loadgen.LoadReport(*check)
+		if err == nil {
+			err = report.Validate()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coschedload: check:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("coschedload: %s validates (%d rungs)\n", *check, len(report.Rungs))
+		return
+	}
+
+	rungs, err := loadgen.ParseRungs(*rungsFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := loadgen.Config{
+		Rungs:        rungs,
+		PoolSize:     *pool,
+		WarmFraction: *warm,
+		Seed:         *seed,
+		Synthetic:    *synthetic,
+		Method:       *method,
+		DeadlineMS:   *deadlineMS,
+	}
+	sched, err := loadgen.BuildSchedule(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	env := loadgen.Environment{
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Go:         runtime.Version(),
+		OSArch:     runtime.GOOS + "/" + runtime.GOARCH,
+		Note:       *note,
+	}
+	baseURL := *addr
+	var drain func()
+	if baseURL == "" {
+		baseURL, drain, err = bootDaemon(*workersMin, *workersMax, *queueDepth, *scaleEvery, *scaleUpP90)
+		if err != nil {
+			fatal(err)
+		}
+		defer drain()
+		env.WorkersMin = *workersMin
+		env.WorkersMax = *workersMax
+		fmt.Printf("coschedload: booted in-process daemon at %s (workers %d..%d)\n", baseURL, *workersMin, *workersMax)
+	}
+
+	fmt.Printf("coschedload: firing %d requests over %d rungs at %s\n", len(sched), len(rungs), baseURL)
+	runner := &loadgen.Runner{BaseURL: baseURL, Client: &http.Client{Timeout: *timeout}}
+	report, err := runner.Run(context.Background(), cfg, sched)
+	if err != nil {
+		fatal(err)
+	}
+	report.Environment = env
+	report.BenchmarkCmd = benchmarkCmd()
+	if err := report.Validate(); err != nil {
+		fatal(fmt.Errorf("run produced an invalid report: %w", err))
+	}
+	if err := report.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+
+	for i, rg := range report.Rungs {
+		fmt.Printf("rung %d: offered %.1f rps for %.0fs — achieved %.1f rps, p50 %.1fms p90 %.1fms p99 %.1fms p999 %.1fms, "+
+			"ok %d / 429 %d / 503 %d / 504 %d / err %d, cache hit rate %.0f%%, degraded %d\n",
+			i, rg.OfferedRPS, rg.DurationS, rg.AchievedRPS,
+			rg.Latency.P50, rg.Latency.P90, rg.Latency.P99, rg.Latency.P999,
+			rg.Status.OK, rg.Status.Rejected429, rg.Status.Rejected503, rg.Status.Rejected504, rg.Status.Errors,
+			rg.CacheHitRate*100, rg.Degraded)
+	}
+	fmt.Printf("coschedload: wrote %s\n", *out)
+}
+
+// bootDaemon starts an in-process coschedd engine on an ephemeral port
+// and returns its base URL plus a drain function.
+func bootDaemon(workersMin, workersMax, queueDepth int, scaleEvery, scaleUpP90 time.Duration) (string, func(), error) {
+	srv := server.New(server.Config{
+		WorkersMin:    workersMin,
+		WorkersMax:    workersMax,
+		QueueDepth:    queueDepth,
+		ScaleInterval: scaleEvery,
+		ScaleUpP90:    scaleUpP90,
+		Metrics:       telemetry.Default,
+		Recorder:      telemetry.NewFlightRecorder(8192),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed by the drain func
+	drain := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx) //nolint:errcheck
+		srv.Drain(ctx)        //nolint:errcheck
+	}
+	return "http://" + ln.Addr().String(), drain, nil
+}
+
+// benchmarkCmd reconstructs the invocation for the report, recording
+// every flag explicitly set.
+func benchmarkCmd() string {
+	parts := []string{"go run ./cmd/coschedload"}
+	flag.Visit(func(f *flag.Flag) {
+		val := f.Value.String()
+		if strings.ContainsAny(val, " \t") {
+			val = fmt.Sprintf("%q", val)
+		}
+		parts = append(parts, fmt.Sprintf("-%s %s", f.Name, val))
+	})
+	return strings.Join(parts, " ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coschedload:", err)
+	os.Exit(1)
+}

@@ -7,14 +7,18 @@
 //
 //	coschedtrace summary trace.jsonl            per-solve accounting
 //	coschedtrace timeline trace.jsonl           ASCII g/h and frontier charts
+//	coschedtrace scaling trace.jsonl            worker-pool autoscale timeline
 //	coschedtrace diff before.jsonl after.jsonl  counter/phase deltas
 //	coschedtrace check trace.jsonl...           replay the trace invariants
 //
-// summary and timeline accept -solve <id> to select one solve. diff
-// pairs the files' solves in order and exits non-zero when any pair
-// reached different solution costs. check exits non-zero when any
-// invariant fails, naming each violated invariant. A file argument of
-// "-" reads the trace from stdin.
+// summary and timeline accept -solve <id> to select one solve. scaling
+// reads the whole stream (scale events belong to the daemon, not a
+// solve) and renders the pool-size history coschedd's autoscaler
+// recorded — pipe /debug/trace into it. diff pairs the files' solves in
+// order and exits non-zero when any pair reached different solution
+// costs. check exits non-zero when any invariant fails, naming each
+// violated invariant. A file argument of "-" reads the trace from
+// stdin.
 package main
 
 import (
@@ -41,6 +45,8 @@ func main() {
 		err = perSolve(args, tracetool.WriteSummary)
 	case "timeline":
 		err = perSolve(args, tracetool.WriteTimeline)
+	case "scaling":
+		err = runScaling(args)
 	case "diff":
 		err = runDiff(args)
 	case "check":
@@ -62,6 +68,7 @@ func usage() {
 commands:
   summary   per-solve expansion/dismissal accounting, phases, depth profile
   timeline  ASCII charts: popped g/h vs pop, frontier vs pop
+  scaling   coschedd worker-pool autoscale timeline from scale events
   diff      compare two traces' solves counter by counter (exit 1 on cost mismatch)
   check     replay each solve against the producer's trace invariants
 
@@ -183,6 +190,19 @@ func runCheck(args []string) error {
 		return fmt.Errorf("%d invariant violation(s)", failures)
 	}
 	return nil
+}
+
+// runScaling renders the autoscale timeline of one trace file (scale
+// events are daemon-global, so the whole stream feeds one timeline).
+func runScaling(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("scaling wants one trace file, got %d", len(args))
+	}
+	traces, err := loadFile(args[0])
+	if err != nil {
+		return err
+	}
+	return tracetool.WriteScaling(os.Stdout, traces)
 }
 
 func methodOr(tr *tracetool.Trace) string {

@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// Hist tuning: geometric buckets from histMin with ratio histRatio give
+// a bounded relative quantile error of (histRatio - 1) ≈ 5% across
+// microseconds-to-minutes latencies in a few hundred counters — the
+// HDR-histogram trade (fixed memory, bounded relative error) without
+// the sub-bucket machinery.
+const (
+	histMin   = float64(time.Microsecond) // lowest resolvable latency, ns
+	histMax   = float64(2 * time.Minute)  // highest bucketed latency, ns
+	histRatio = 1.05
+)
+
+// Hist is an HDR-style latency histogram: geometrically spaced buckets
+// whose width grows 5% per step, so quantile estimates carry a bounded
+// ~5% relative error at any magnitude. The zero value is not usable;
+// construct with NewHist. Hist is not safe for concurrent use — the
+// runner serialises Record calls per rung.
+type Hist struct {
+	counts []int64
+	count  int64
+	sum    float64 // ns
+	max    float64 // ns, exact
+}
+
+// NewHist returns an empty latency histogram covering 1µs..2min.
+func NewHist() *Hist {
+	n := int(math.Ceil(math.Log(histMax/histMin)/math.Log(histRatio))) + 1
+	return &Hist{counts: make([]int64, n)}
+}
+
+// bucket maps a latency in nanoseconds to its bucket index, clamping
+// below histMin and above histMax.
+func (h *Hist) bucket(ns float64) int {
+	if ns <= histMin {
+		return 0
+	}
+	i := int(math.Log(ns/histMin) / math.Log(histRatio))
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	return i
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(d time.Duration) {
+	ns := float64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[h.bucket(ns)]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 { return h.count }
+
+// Mean returns the exact mean latency (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count))
+}
+
+// Max returns the exact maximum latency observed.
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket where the cumulative count crosses q·total — never under
+// the true quantile, and over it by at most the ~5% bucket width. The
+// top bucket reports the exact maximum. Empty histograms return 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == len(h.counts)-1 {
+				return time.Duration(h.max)
+			}
+			upper := histMin * math.Pow(histRatio, float64(i+1))
+			return time.Duration(upper)
+		}
+	}
+	return time.Duration(h.max)
+}

@@ -1,0 +1,191 @@
+// Package loadgen generates open-loop request load against a coschedd
+// daemon and measures what comes back. Open-loop means the arrival
+// process is fixed ahead of time — requests fire on a precomputed
+// schedule at the offered rate whether or not earlier requests have
+// completed — so, unlike a closed loop of N looping clients, a slow
+// server cannot throttle its own load and queueing delay shows up in
+// the measured latency instead of hiding in the generator (the
+// methodology of open-loop serving benchmarks such as sigmaos's
+// loadgen; see BENCHMARKS.md).
+//
+// A run is described by a Config: an RPS ladder (rungs of offered rate
+// × duration), a warm/cold request mix drawn from a seeded pool of
+// workload fingerprints, and per-request solver parameters.
+// BuildSchedule expands it deterministically — same Config, same
+// byte-identical schedule — a Runner fires the schedule at a daemon,
+// and the per-rung results (achieved vs offered RPS, HDR-style latency
+// percentiles, status and cache breakdowns) land in a Report, the
+// BENCH_serving.json document.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Rung is one step of the offered-load ladder: hold RPS for Duration.
+type Rung struct {
+	// RPS is the offered arrival rate in requests per second.
+	RPS float64
+	// Duration is how long the rung holds that rate.
+	Duration time.Duration
+}
+
+// ParseRungs parses a ladder flag of the form "5x3s,10x3s,20x5s" —
+// comma-separated rungs, each RPS "x" duration.
+func ParseRungs(s string) ([]Rung, error) {
+	var out []Rung
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rps, dur, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("rung %q: want <rps>x<duration>, e.g. 10x3s", part)
+		}
+		r, err := strconv.ParseFloat(rps, 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("rung %q: bad rps %q", part, rps)
+		}
+		d, err := time.ParseDuration(dur)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("rung %q: bad duration %q", part, dur)
+		}
+		out = append(out, Rung{RPS: r, Duration: d})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty ladder %q", s)
+	}
+	return out, nil
+}
+
+// Config describes one load run. The zero values of the optional
+// fields are filled by BuildSchedule: 8 warm fingerprints, a 50% warm
+// fraction, seed 1, 6-job synthetic workloads, method "hastar".
+type Config struct {
+	// Rungs is the offered-load ladder, run in order.
+	Rungs []Rung
+	// PoolSize is the number of distinct warm workload fingerprints
+	// (<= 0 means 8). A warm request re-asks one of these, so after its
+	// first occurrence it exercises the daemon's solution cache.
+	PoolSize int
+	// WarmFraction is the probability a request draws from the warm
+	// pool rather than using a never-repeated cold fingerprint
+	// (< 0 means 0.5; clamp at 1).
+	WarmFraction float64
+	// Seed drives both the warm/cold choice sequence and the workload
+	// seeds, making the whole schedule reproducible (0 means 1).
+	Seed int64
+	// Synthetic is the per-request workload size in jobs (<= 0 means 6).
+	Synthetic int
+	// Method is the per-request solver method ("" means "hastar").
+	Method string
+	// DeadlineMS is the per-request deadline forwarded to the daemon
+	// (0 means none: the server's default applies).
+	DeadlineMS int64
+}
+
+// withDefaults returns cfg with the documented defaults filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 8
+	}
+	if cfg.WarmFraction < 0 {
+		cfg.WarmFraction = 0.5
+	}
+	if cfg.WarmFraction > 1 {
+		cfg.WarmFraction = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Synthetic <= 0 {
+		cfg.Synthetic = 6
+	}
+	if cfg.Method == "" {
+		cfg.Method = "hastar"
+	}
+	return cfg
+}
+
+// Request is one scheduled call: fire Body at the daemon At after the
+// run starts.
+type Request struct {
+	// At is the request's arrival offset from the run start.
+	At time.Duration
+	// Rung indexes Config.Rungs for result aggregation.
+	Rung int
+	// Warm marks a pool-drawn fingerprint (a cache exercise); cold
+	// requests use a unique workload seed and can never hit.
+	Warm bool
+	// Seed is the workload seed the request carries.
+	Seed int64
+	// Body is the /v1/solve JSON payload.
+	Body []byte
+}
+
+// solveBody is the subset of the coschedd SolveRequest wire format the
+// generator emits (kept in sync by the runner test; internal/server
+// owns the schema).
+type solveBody struct {
+	Synthetic  int    `json:"synthetic"`
+	Seed       int64  `json:"seed"`
+	Method     string `json:"method,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+// coldSeedBase offsets the never-repeated cold workload seeds far away
+// from the warm pool's 1..PoolSize range.
+const coldSeedBase = 1 << 20
+
+// BuildSchedule expands the config into the full, deterministic request
+// schedule: arrivals on a fixed grid at each rung's offered rate (the
+// open-loop arrival process), each assigned a warm or cold fingerprint
+// by the seeded mix. Identical configs yield identical schedules.
+func BuildSchedule(cfg Config) ([]Request, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Rungs) == 0 {
+		return nil, fmt.Errorf("loadgen: config has no rungs")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var (
+		out      []Request
+		offset   time.Duration
+		coldSeed int64 = coldSeedBase
+	)
+	for ri, rung := range cfg.Rungs {
+		interval := time.Duration(float64(time.Second) / rung.RPS)
+		n := int(rung.RPS * rung.Duration.Seconds())
+		for i := 0; i < n; i++ {
+			req := Request{
+				At:   offset + time.Duration(i)*interval,
+				Rung: ri,
+			}
+			if rng.Float64() < cfg.WarmFraction {
+				req.Warm = true
+				req.Seed = int64(rng.Intn(cfg.PoolSize)) + 1
+			} else {
+				coldSeed++
+				req.Seed = coldSeed
+			}
+			body, err := json.Marshal(solveBody{
+				Synthetic:  cfg.Synthetic,
+				Seed:       req.Seed,
+				Method:     cfg.Method,
+				DeadlineMS: cfg.DeadlineMS,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: marshal request: %w", err)
+			}
+			req.Body = body
+			out = append(out, req)
+		}
+		offset += rung.Duration
+	}
+	return out, nil
+}

@@ -1,0 +1,294 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{
+		Rungs:        []Rung{{RPS: 50, Duration: time.Second}, {RPS: 100, Duration: 2 * time.Second}},
+		PoolSize:     4,
+		WarmFraction: 0.5,
+		Seed:         7,
+		Synthetic:    6,
+		Method:       "pg",
+	}
+}
+
+func TestBuildScheduleIsDeterministic(t *testing.T) {
+	a, err := BuildSchedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical configs produced different schedules")
+	}
+	if len(a) != 50+200 {
+		t.Fatalf("schedule has %d requests; want 250 (50x1s + 100x2s)", len(a))
+	}
+
+	// A different seed must produce a different warm/cold assignment.
+	cfg := testConfig()
+	cfg.Seed = 8
+	c, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].Warm != c[i].Warm || a[i].Seed != c[i].Seed {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical warm/cold sequences")
+	}
+}
+
+func TestBuildScheduleShape(t *testing.T) {
+	sched, err := BuildSchedule(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldSeen := map[int64]bool{}
+	var warm, cold int
+	for i, req := range sched {
+		if i > 0 && req.At < sched[i-1].At {
+			t.Fatalf("request %d arrives at %v, before its predecessor %v", i, req.At, sched[i-1].At)
+		}
+		var body solveBody
+		if err := json.Unmarshal(req.Body, &body); err != nil {
+			t.Fatalf("request %d body: %v", i, err)
+		}
+		if body.Seed != req.Seed || body.Synthetic != 6 || body.Method != "pg" {
+			t.Fatalf("request %d body %s disagrees with schedule %+v", i, req.Body, req)
+		}
+		if req.Warm {
+			warm++
+			if req.Seed < 1 || req.Seed > 4 {
+				t.Fatalf("warm request %d has seed %d outside pool 1..4", i, req.Seed)
+			}
+		} else {
+			cold++
+			if req.Seed < coldSeedBase {
+				t.Fatalf("cold request %d has pool-range seed %d", i, req.Seed)
+			}
+			if coldSeen[req.Seed] {
+				t.Fatalf("cold seed %d repeats — cold requests must never hit the cache", req.Seed)
+			}
+			coldSeen[req.Seed] = true
+		}
+	}
+	// The mix is a seeded coin flip; with 250 requests at 50% both
+	// sides are overwhelmingly likely well away from zero.
+	if warm < 80 || cold < 80 {
+		t.Errorf("warm/cold split %d/%d; want both near half of 250", warm, cold)
+	}
+	// Rung 1's arrivals come at its own rate: the last request lands
+	// within the ladder's total span.
+	if last := sched[len(sched)-1].At; last >= 3*time.Second {
+		t.Errorf("last arrival at %v; want inside the 3s ladder", last)
+	}
+}
+
+func TestParseRungs(t *testing.T) {
+	got, err := ParseRungs("5x3s, 12.5x500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rung{{RPS: 5, Duration: 3 * time.Second}, {RPS: 12.5, Duration: 500 * time.Millisecond}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseRungs = %+v; want %+v", got, want)
+	}
+	for _, bad := range []string{"", "5", "x3s", "5x", "0x3s", "5x0s", "-2x3s"} {
+		if _, err := ParseRungs(bad); err == nil {
+			t.Errorf("ParseRungs(%q) accepted; want error", bad)
+		}
+	}
+}
+
+// TestHistQuantilesOnKnownDistribution checks the HDR-style histogram
+// against distributions whose quantiles are known exactly: estimates
+// must never fall below the true quantile and must stay within the
+// documented ~5% bucket width above it.
+func TestHistQuantilesOnKnownDistribution(t *testing.T) {
+	// Uniform 1..10000ms, recorded in shuffled order.
+	h := NewHist()
+	vals := make([]time.Duration, 0, 10000)
+	for i := 1; i <= 10000; i++ {
+		vals = append(vals, time.Duration(i)*time.Millisecond)
+	}
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	for _, v := range vals {
+		h.Record(v)
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("Count = %d; want 10000", h.Count())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64 // true quantile, ms
+	}{
+		{0.50, 5000}, {0.90, 9000}, {0.99, 9900}, {0.999, 9990},
+	} {
+		got := float64(h.Quantile(tc.q)) / float64(time.Millisecond)
+		if got < tc.want {
+			t.Errorf("p%g = %.1fms under-reports true quantile %.0fms", tc.q*100, got, tc.want)
+		}
+		if got > tc.want*1.06 {
+			t.Errorf("p%g = %.1fms; want within 6%% above %.0fms", tc.q*100, got, tc.want)
+		}
+	}
+	if mean := h.Mean(); mean != 5000500*time.Microsecond {
+		t.Errorf("Mean = %v; want exactly 5000.5ms", mean)
+	}
+	if max := h.Max(); max != 10*time.Second {
+		t.Errorf("Max = %v; want exactly 10s", max)
+	}
+
+	// A bimodal distribution: 90% fast (2ms), 10% slow (800ms). p50/p90
+	// sit on the fast mode, p99 on the slow one.
+	b := NewHist()
+	for i := 0; i < 900; i++ {
+		b.Record(2 * time.Millisecond)
+	}
+	for i := 0; i < 100; i++ {
+		b.Record(800 * time.Millisecond)
+	}
+	if p50 := float64(b.Quantile(0.5)) / float64(time.Millisecond); p50 < 2 || p50 > 2.2 {
+		t.Errorf("bimodal p50 = %.2fms; want ~2ms", p50)
+	}
+	if p99 := float64(b.Quantile(0.99)) / float64(time.Millisecond); p99 < 800 || p99 > 850 {
+		t.Errorf("bimodal p99 = %.2fms; want ~800ms", p99)
+	}
+}
+
+func TestHistEdges(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Record(0)                // below the tracked floor
+	h.Record(10 * time.Minute) // above the tracked ceiling
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d; want 2", h.Count())
+	}
+	if got := h.Quantile(1); got != 10*time.Minute {
+		t.Errorf("top-bucket quantile = %v; want the exact max 10m", got)
+	}
+	if math.IsNaN(float64(h.Quantile(0.5))) {
+		t.Error("quantile with clamped observations is NaN")
+	}
+}
+
+// TestRunnerAgainstFakeDaemon drives a tiny open-loop ladder at a fake
+// coschedd and checks the aggregation end to end: statuses split by
+// class, cache hits counted, achieved RPS and validation positive.
+func TestRunnerAgainstFakeDaemon(t *testing.T) {
+	var (
+		mu    sync.Mutex
+		seen  = map[int64]bool{}
+		calls int
+	)
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var body solveBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			t.Errorf("fake daemon got bad body: %v", err)
+		}
+		mu.Lock()
+		calls++
+		reject := calls%10 == 0 // every 10th request is turned away
+		cached := seen[body.Seed]
+		if !reject {
+			seen[body.Seed] = true // repeat fingerprints "hit"
+		}
+		mu.Unlock()
+		if reject {
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"}) //nolint:errcheck
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"cost": 1.0, "cached": cached}) //nolint:errcheck
+	}))
+	defer fake.Close()
+
+	cfg := Config{
+		Rungs:        []Rung{{RPS: 100, Duration: 500 * time.Millisecond}, {RPS: 200, Duration: 500 * time.Millisecond}},
+		PoolSize:     3,
+		WarmFraction: 0.7,
+		Seed:         5,
+		Method:       "pg",
+	}
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{BaseURL: fake.URL}
+	report, err := r.Run(context.Background(), cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatalf("report does not validate: %v", err)
+	}
+	if len(report.Rungs) != 2 {
+		t.Fatalf("report has %d rungs; want 2", len(report.Rungs))
+	}
+	var ok429, hits int64
+	for i, rg := range report.Rungs {
+		if rg.Requests == 0 || rg.Status.OK == 0 {
+			t.Errorf("rung %d: %+v; want fired requests and OK responses", i, rg)
+		}
+		if rg.AchievedRPS <= 0 || rg.AchievedRPS > rg.OfferedRPS*1.5 {
+			t.Errorf("rung %d: achieved %.1f RPS vs offered %.1f; implausible", i, rg.AchievedRPS, rg.OfferedRPS)
+		}
+		ok429 += rg.Status.Rejected429
+		hits += rg.CacheHits
+	}
+	if ok429 == 0 {
+		t.Error("fake daemon's 429s never reached the breakdown")
+	}
+	if hits == 0 {
+		t.Error("warm repeats produced no counted cache hits")
+	}
+}
+
+// TestRunnerCancellation: a cancelled context stops the launch loop
+// early and Run still returns a coherent (partial) report.
+func TestRunnerCancellation(t *testing.T) {
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"cost": 1.0}) //nolint:errcheck
+	}))
+	defer fake.Close()
+	cfg := Config{Rungs: []Rung{{RPS: 20, Duration: 10 * time.Second}}, Seed: 2}
+	sched, err := BuildSchedule(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	report, err := r2(fake.URL).Run(ctx, cfg, sched)
+	if err != context.DeadlineExceeded {
+		t.Errorf("Run under cancelled ctx returned %v; want DeadlineExceeded", err)
+	}
+	if report.Rungs[0].Requests == 0 || report.Rungs[0].Requests >= 200 {
+		t.Errorf("cancelled run fired %d requests; want a strict prefix of 200", report.Rungs[0].Requests)
+	}
+}
+
+func r2(url string) *Runner { return &Runner{BaseURL: url} }

@@ -1,0 +1,193 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Runner fires a built schedule at a coschedd daemon, open-loop: every
+// request launches at its scheduled arrival time on its own goroutine,
+// regardless of how many earlier requests are still in flight. The
+// zero value needs BaseURL; Client defaults to a 30s-timeout client.
+type Runner struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client issues the requests (nil means a client with a 30s
+	// timeout; the timeout is the generator's give-up bound and counts
+	// as a transport error, not a server verdict).
+	Client *http.Client
+}
+
+// solveReply is the subset of the daemon's SolveResponse the runner
+// reads back for accounting.
+type solveReply struct {
+	Cached   bool `json:"cached"`
+	Shared   bool `json:"shared"`
+	Degraded bool `json:"degraded"`
+}
+
+// rungAgg accumulates one rung's results under a lock (many in-flight
+// requests finish concurrently).
+type rungAgg struct {
+	mu       sync.Mutex
+	hist     *Hist
+	status   StatusBreakdown
+	hits     int64
+	shared   int64
+	degraded int64
+}
+
+func (a *rungAgg) record(latency time.Duration, code int, reply *solveReply, transportErr bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case transportErr:
+		a.status.Errors++
+		return // no response: nothing to time or classify further
+	case code == http.StatusOK:
+		a.status.OK++
+	case code == http.StatusTooManyRequests:
+		a.status.Rejected429++
+	case code == http.StatusServiceUnavailable:
+		a.status.Rejected503++
+	case code == http.StatusGatewayTimeout:
+		a.status.Rejected504++
+	default:
+		a.status.Other++
+	}
+	a.hist.Record(latency)
+	if reply != nil {
+		if reply.Cached {
+			a.hits++
+		}
+		if reply.Shared {
+			a.shared++
+		}
+		if reply.Degraded {
+			a.degraded++
+		}
+	}
+}
+
+// Run executes the schedule against the daemon and aggregates the
+// results into a Report (BenchmarkCmd and Environment are left for the
+// caller to fill). Cancelling ctx stops launching new requests; already
+// fired ones are awaited. The call returns after every fired request
+// has resolved, which can be up to one client-timeout past the last
+// arrival.
+func (r *Runner) Run(ctx context.Context, cfg Config, sched []Request) (*Report, error) {
+	cfg = cfg.withDefaults()
+	client := r.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	url := r.BaseURL + "/v1/solve"
+
+	aggs := make([]*rungAgg, len(cfg.Rungs))
+	fired := make([]int64, len(cfg.Rungs))
+	for i := range aggs {
+		aggs[i] = &rungAgg{hist: NewHist()}
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+launch:
+	for i := range sched {
+		req := &sched[i]
+		// Open loop: wait for the arrival time, never for completions.
+		if wait := req.At - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break launch
+			}
+		} else if ctx.Err() != nil {
+			break launch
+		}
+		fired[req.Rung]++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.one(ctx, client, url, req, aggs[req.Rung])
+		}()
+	}
+	wg.Wait()
+
+	report := &Report{
+		Config: ReportConfig{
+			PoolSize:     cfg.PoolSize,
+			WarmFraction: cfg.WarmFraction,
+			Seed:         cfg.Seed,
+			Synthetic:    cfg.Synthetic,
+			Method:       cfg.Method,
+			DeadlineMS:   cfg.DeadlineMS,
+		},
+	}
+	for i, rung := range cfg.Rungs {
+		a := aggs[i]
+		st := a.status
+		responses := st.OK + st.Rejected429 + st.Rejected503 + st.Rejected504 + st.Other
+		res := RungResult{
+			OfferedRPS:  rung.RPS,
+			DurationS:   rung.Duration.Seconds(),
+			Requests:    fired[i],
+			AchievedRPS: float64(responses) / rung.Duration.Seconds(),
+			Latency: LatencyMS{
+				P50:  ms(a.hist.Quantile(0.50)),
+				P90:  ms(a.hist.Quantile(0.90)),
+				P99:  ms(a.hist.Quantile(0.99)),
+				P999: ms(a.hist.Quantile(0.999)),
+				Mean: ms(a.hist.Mean()),
+				Max:  ms(a.hist.Max()),
+			},
+			Status:    st,
+			CacheHits: a.hits,
+			Shared:    a.shared,
+			Degraded:  a.degraded,
+		}
+		if st.OK > 0 {
+			res.CacheHitRate = float64(a.hits) / float64(st.OK)
+		}
+		report.Rungs = append(report.Rungs, res)
+	}
+	return report, ctx.Err()
+}
+
+// one issues a single request and records its outcome.
+func (r *Runner) one(ctx context.Context, client *http.Client, url string, req *Request, agg *rungAgg) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(req.Body))
+	if err != nil {
+		agg.record(0, 0, nil, true)
+		return
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	sent := time.Now()
+	resp, err := client.Do(httpReq)
+	latency := time.Since(sent)
+	if err != nil {
+		agg.record(0, 0, nil, true)
+		return
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	var reply *solveReply
+	if resp.StatusCode == http.StatusOK {
+		reply = &solveReply{}
+		if err := json.NewDecoder(resp.Body).Decode(reply); err != nil {
+			reply = nil
+		}
+	}
+	agg.record(latency, resp.StatusCode, reply, false)
+}
+
+// ms converts a duration to float milliseconds for the report.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cosched/internal/telemetry"
+)
+
+// Autoscaler defaults: one decision every second, grow when the recent
+// p90 queue delay exceeds 25ms, shrink a worker after 5s with no
+// admissions and an empty queue, and never two scale events within 2s
+// of each other.
+const (
+	defaultScaleInterval = time.Second
+	defaultScaleUpP90MS  = 25.0
+	defaultScaleIdle     = 5 * time.Second
+	defaultScaleCooldown = 2 * time.Second
+)
+
+// autoscaler decides when the worker pool grows or shrinks. It is
+// deliberately decoupled from Server: every input (clock, queue-delay
+// window, queue length, current size) and output (grow, shrink) is a
+// closure, so unit tests drive tick with a fake clock and synthetic
+// load, and the production wiring in New supplies the real ones.
+//
+// Policy: each tick differences the cumulative queue-delay histogram
+// against the previous tick's snapshot, giving the delay distribution
+// of just that window. If the windowed p90 exceeds upP90MS, the pool
+// grows by one worker. If the window admitted nothing and the queue is
+// empty for idle or longer, the pool shrinks by one. A cooldown after
+// every scale event and the sustained-idle requirement on the shrink
+// side give the loop hysteresis: oscillating load inside one cooldown
+// period cannot flap the pool.
+type autoscaler struct {
+	min, max int
+	upP90MS  float64       // grow threshold on the windowed p90 queue delay
+	idle     time.Duration // shrink after this long with no work
+	cooldown time.Duration // minimum gap between scale events
+
+	now      func() time.Time
+	delay    *telemetry.Histogram // cumulative queue-delay histogram (ms)
+	queueLen func() int
+	workers  func() int
+	grow     func(reason string) bool
+	shrink   func(reason string) bool
+
+	prevCounts []int64
+	lastActive time.Time
+	coolUntil  time.Time
+
+	p90Gauge *telemetry.FloatGauge // last window's p90, for /metrics
+}
+
+// tick makes one scaling decision. It returns the action taken ("grow",
+// "shrink" or "") so tests can assert on decisions directly.
+func (a *autoscaler) tick() string {
+	now := a.now()
+	bounds, counts := a.delay.Buckets()
+	window := make([]int64, len(counts))
+	var admitted int64
+	for i, c := range counts {
+		if a.prevCounts != nil {
+			window[i] = c - a.prevCounts[i]
+		} else {
+			window[i] = c
+		}
+		admitted += window[i]
+	}
+	a.prevCounts = counts
+
+	p90 := telemetry.QuantileFromCounts(bounds, window, 0.9)
+	if a.p90Gauge != nil {
+		if admitted == 0 {
+			a.p90Gauge.Set(0)
+		} else {
+			a.p90Gauge.Set(p90)
+		}
+	}
+	if admitted > 0 || a.queueLen() > 0 {
+		a.lastActive = now
+	}
+	if now.Before(a.coolUntil) {
+		return ""
+	}
+	if admitted > 0 && p90 > a.upP90MS && a.workers() < a.max {
+		if a.grow(fmt.Sprintf("queue_delay_p90=%sms>%sms", fmtMS(p90), fmtMS(a.upP90MS))) {
+			a.coolUntil = now.Add(a.cooldown)
+			return "grow"
+		}
+		return ""
+	}
+	if idleFor := now.Sub(a.lastActive); idleFor >= a.idle && a.workers() > a.min {
+		if a.shrink(fmt.Sprintf("idle=%v", idleFor.Round(time.Millisecond))) {
+			a.coolUntil = now.Add(a.cooldown)
+			return "shrink"
+		}
+	}
+	return ""
+}
+
+// fmtMS renders a millisecond value compactly for scale-event reasons
+// (the p90 can be +Inf when the window's tail landed past every bucket).
+func fmtMS(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// autoscaleLoop runs the production ticker until Drain stops it.
+func (s *Server) autoscaleLoop() {
+	defer s.scaleDone.Done()
+	ticker := time.NewTicker(s.cfg.ScaleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.scaler.tick()
+		case <-s.scaleStop:
+			return
+		}
+	}
+}
+
+// addWorker grows the pool by one (respecting WorkersMax and drain) and
+// reports whether it did.
+func (s *Server) addWorker(reason string) bool {
+	s.mu.Lock()
+	if s.draining || len(s.workerQuit) >= s.cfg.WorkersMax {
+		s.mu.Unlock()
+		return false
+	}
+	quit := make(chan struct{})
+	s.workerQuit = append(s.workerQuit, quit)
+	n := len(s.workerQuit)
+	s.workers.Add(1)
+	s.mu.Unlock()
+	go s.worker(quit)
+	s.scaleGrows.Add(1)
+	s.recordScale(n, reason)
+	return true
+}
+
+// removeWorker shrinks the pool by one (respecting WorkersMin) and
+// reports whether it did. The retired worker finishes the task it is
+// on, if any, before exiting — shrink never abandons an admitted solve.
+func (s *Server) removeWorker(reason string) bool {
+	s.mu.Lock()
+	if len(s.workerQuit) <= s.cfg.WorkersMin {
+		s.mu.Unlock()
+		return false
+	}
+	last := s.workerQuit[len(s.workerQuit)-1]
+	s.workerQuit = s.workerQuit[:len(s.workerQuit)-1]
+	n := len(s.workerQuit)
+	s.mu.Unlock()
+	close(last)
+	s.scaleShrinks.Add(1)
+	s.recordScale(n, reason)
+	return true
+}
+
+// Workers returns the current worker-pool size.
+func (s *Server) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.workerQuit)
+}
+
+// recordScale publishes a pool resize: the workers gauge and, when a
+// recorder is attached, a "scale" trace event on the server timeline.
+func (s *Server) recordScale(workers int, reason string) {
+	s.scaleWorkers.Set(int64(workers))
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.Emit(telemetry.Event{ //nolint:errcheck // ring emit cannot fail
+			Ev:      "scale",
+			TMS:     float64(time.Since(s.epoch)) / float64(time.Millisecond),
+			Workers: workers,
+			Reason:  reason,
+		})
+	}
+}

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"cosched/internal/telemetry"
+)
+
+// scaleHarness is an autoscaler wired to a fake clock and a counting
+// fake pool, so tests drive tick deterministically: no timers, no real
+// workers.
+type scaleHarness struct {
+	a       *autoscaler
+	clock   time.Time
+	hist    *telemetry.Histogram
+	queued  int
+	size    int
+	grows   int
+	shrinks int
+}
+
+func newScaleHarness(minW, maxW int, upP90MS float64, idle, cooldown time.Duration) *scaleHarness {
+	h := &scaleHarness{
+		clock: time.Unix(1000, 0),
+		hist:  telemetry.New().Histogram("queue_delay_ms", []float64{1, 5, 10, 50, 100, 500}),
+		size:  minW,
+	}
+	h.a = &autoscaler{
+		min:        minW,
+		max:        maxW,
+		upP90MS:    upP90MS,
+		idle:       idle,
+		cooldown:   cooldown,
+		now:        func() time.Time { return h.clock },
+		delay:      h.hist,
+		queueLen:   func() int { return h.queued },
+		workers:    func() int { return h.size },
+		grow:       func(string) bool { h.size++; h.grows++; return true },
+		shrink:     func(string) bool { h.size--; h.shrinks++; return true },
+		lastActive: h.clock,
+	}
+	return h
+}
+
+// loadWindow records n queue-delay observations of delayMS each, i.e.
+// one decision window's worth of admissions.
+func (h *scaleHarness) loadWindow(n int, delayMS float64) {
+	for i := 0; i < n; i++ {
+		h.hist.Observe(delayMS)
+	}
+}
+
+func (h *scaleHarness) advance(d time.Duration) { h.clock = h.clock.Add(d) }
+
+func TestAutoscalerGrowsOnQueueDelay(t *testing.T) {
+	h := newScaleHarness(1, 4, 25, 5*time.Second, 0)
+
+	// A window whose p90 sits around 100ms (> 25ms threshold) must grow.
+	h.loadWindow(10, 100)
+	if got := h.a.tick(); got != "grow" {
+		t.Fatalf("tick under 100ms p90 = %q; want grow", got)
+	}
+	if h.size != 2 {
+		t.Fatalf("pool size = %d after one grow; want 2", h.size)
+	}
+
+	// A calm window (all sub-millisecond pops) must not grow further.
+	h.advance(time.Second)
+	h.loadWindow(10, 0.2)
+	if got := h.a.tick(); got != "" {
+		t.Fatalf("tick under 0.2ms p90 = %q; want no action", got)
+	}
+}
+
+func TestAutoscalerIgnoresStaleCumulativeCounts(t *testing.T) {
+	h := newScaleHarness(1, 4, 25, 5*time.Second, 0)
+
+	// Heavy history, consumed by one tick.
+	h.loadWindow(100, 500)
+	if got := h.a.tick(); got != "grow" {
+		t.Fatalf("first tick = %q; want grow", got)
+	}
+	// The next window is empty: the cumulative histogram still holds the
+	// old observations, but the windowed view must not re-count them.
+	h.advance(time.Second)
+	if got := h.a.tick(); got == "grow" {
+		t.Fatal("second tick re-grew on stale cumulative counts")
+	}
+}
+
+func TestAutoscalerShrinksAfterSustainedIdle(t *testing.T) {
+	h := newScaleHarness(1, 4, 25, 5*time.Second, 0)
+	h.loadWindow(10, 100)
+	h.a.tick() // grow to 2
+
+	// Idle, but not for long enough: no shrink yet.
+	h.advance(3 * time.Second)
+	if got := h.a.tick(); got != "" {
+		t.Fatalf("tick after 3s idle = %q; want no action (idle window is 5s)", got)
+	}
+	// A queued task counts as activity and resets the idle clock.
+	h.advance(3 * time.Second)
+	h.queued = 1
+	if got := h.a.tick(); got != "" {
+		t.Fatalf("tick with queued work = %q; want no action", got)
+	}
+	h.queued = 0
+	// Now a full idle window with nothing queued: shrink back.
+	h.advance(5 * time.Second)
+	if got := h.a.tick(); got != "shrink" {
+		t.Fatalf("tick after full idle window = %q; want shrink", got)
+	}
+	if h.size != 1 {
+		t.Fatalf("pool size = %d after shrink; want 1", h.size)
+	}
+}
+
+func TestAutoscalerCooldownPreventsFlapping(t *testing.T) {
+	// Oscillating load with a 10s cooldown: one burst per second, each
+	// heavy enough to grow and each followed by a dead-idle window (the
+	// idle threshold of 1s is deliberately shorter than the cooldown).
+	h := newScaleHarness(1, 8, 25, time.Second, 10*time.Second)
+	for i := 0; i < 10; i++ {
+		h.loadWindow(10, 500) // heavy half-window
+		h.a.tick()
+		h.advance(time.Second)
+		h.a.tick() // idle half-window
+		h.advance(time.Second)
+	}
+	// 20s of oscillation with a 10s cooldown admits at most 3 scale
+	// events (t=0, t≥10, t≥20) — without the cooldown this load pattern
+	// would flap on every iteration.
+	if total := h.grows + h.shrinks; total > 3 {
+		t.Fatalf("%d grows + %d shrinks under oscillating load; want <= 3 total", h.grows, h.shrinks)
+	}
+	if h.grows == 0 {
+		t.Fatal("oscillating load never grew the pool at all")
+	}
+}
+
+func TestAutoscalerClampsToMinMax(t *testing.T) {
+	h := newScaleHarness(2, 3, 25, time.Second, 0)
+
+	// Grow to the ceiling, then keep the pressure on: size must stop at max.
+	for i := 0; i < 5; i++ {
+		h.loadWindow(10, 500)
+		h.a.tick()
+		h.advance(time.Second)
+	}
+	if h.size != 3 {
+		t.Fatalf("pool size = %d under sustained pressure; want clamped at max 3", h.size)
+	}
+
+	// Idle forever: size must stop at min.
+	for i := 0; i < 5; i++ {
+		h.advance(time.Minute)
+		h.a.tick()
+	}
+	if h.size != 2 {
+		t.Fatalf("pool size = %d after sustained idle; want clamped at min 2", h.size)
+	}
+}
+
+func TestWorkersFixedWhenMinEqualsMax(t *testing.T) {
+	s, _ := newTestServer(t, Config{Workers: 3})
+	if s.scaler != nil {
+		t.Error("fixed-size config (min == max) started an autoscaler")
+	}
+	if got := s.Workers(); got != 3 {
+		t.Errorf("Workers() = %d; want 3", got)
+	}
+	if got := s.scaleWorkers.Value(); got != 3 {
+		t.Errorf("server.autoscale.workers = %d; want 3", got)
+	}
+}
+
+// TestResizedPoolUnderLoadAndDrain is the -race pass over the moving
+// pool: an aggressive autoscaler resizes between 1 and 4 workers while
+// concurrent solves stream through, then a drain lands mid-traffic.
+// Every admitted request must still resolve exactly once.
+func TestResizedPoolUnderLoadAndDrain(t *testing.T) {
+	rec := telemetry.NewFlightRecorder(256)
+	s, ts := newTestServer(t, Config{
+		WorkersMin:    1,
+		WorkersMax:    4,
+		ScaleInterval: 5 * time.Millisecond,
+		ScaleUpP90:    time.Nanosecond, // any admission trips the grow rule
+		ScaleIdle:     15 * time.Millisecond,
+		ScaleCooldown: time.Millisecond,
+		QueueDepth:    256,
+		Recorder:      rec,
+	})
+
+	const n = 24
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _ := postJSON(t, ts.URL+"/v1/solve",
+				fmt.Sprintf(`{"synthetic": 6, "seed": %d, "method": "pg", "no_cache": true}`, i%5+1))
+			codes[i] = status
+		}(i)
+		if i%6 == 5 {
+			time.Sleep(5 * time.Millisecond) // keep load arriving across several scale decisions
+		}
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("request %d: status %d; want 200", i, code)
+		}
+	}
+	if s.scaleGrows.Value() == 0 {
+		t.Error("aggressive autoscaler never grew the pool under load")
+	}
+	if got := s.Workers(); got < 1 || got > 4 {
+		t.Errorf("Workers() = %d; want within [1, 4]", got)
+	}
+
+	// Drain with traffic still arriving: the pool (whatever its size)
+	// must finish admitted work and stop; late requests get 503.
+	var late sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		late.Add(1)
+		go func(i int) {
+			defer late.Done()
+			postJSON(t, ts.URL+"/v1/solve",
+				fmt.Sprintf(`{"synthetic": 6, "seed": %d, "method": "pg", "no_cache": true}`, i+40))
+		}(i)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatalf("Drain during resize traffic: %v", err)
+	}
+	late.Wait()
+	if got := s.Workers(); got != 0 {
+		t.Errorf("Workers() = %d after drain; want 0", got)
+	}
+
+	// The flight recorder saw the pool's scale events.
+	sawScale := false
+	for _, ev := range rec.Events() {
+		if ev.Ev == "scale" {
+			sawScale = true
+			if ev.Workers < 1 || ev.Workers > 4 {
+				t.Errorf("scale event outside bounds: %+v", ev)
+			}
+			if ev.Reason == "" {
+				t.Errorf("scale event with no reason: %+v", ev)
+			}
+		}
+	}
+	if !sawScale {
+		t.Error("flight recorder captured no scale events")
+	}
+}

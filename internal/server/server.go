@@ -1,6 +1,8 @@
 // Package server implements the coschedd serving daemon: an HTTP/JSON
-// API over the cosched solver with a bounded worker pool, an admission
-// queue that propagates per-request deadlines into SolveContext, a
+// API over the cosched solver with a bounded, autoscaling worker pool
+// (grown on queue-delay pressure, shrunk after sustained idleness,
+// fixed when WorkersMin == WorkersMax), an admission queue that
+// propagates per-request deadlines into SolveContext, a
 // fingerprint-keyed solved-schedule cache (internal/solvecache), and
 // graceful drain.
 //
@@ -38,7 +40,31 @@ import (
 type Config struct {
 	// Workers is the number of solver goroutines (<= 0 means 2). Each
 	// runs one solve at a time, so Workers bounds solver concurrency.
+	// It seeds WorkersMin/WorkersMax when those are unset, which keeps
+	// the pool fixed — the pre-autoscaler behaviour.
 	Workers int
+	// WorkersMin and WorkersMax bound the autoscaled pool. Unset (<= 0)
+	// they both default to Workers, i.e. a fixed pool; WorkersMax below
+	// WorkersMin is raised to it. When WorkersMax > WorkersMin an
+	// autoscaler goroutine resizes the pool between the two: it grows on
+	// queue-delay pressure and shrinks after sustained idleness (see
+	// the autoscaler type and the Scale* knobs below).
+	WorkersMin int
+	WorkersMax int
+	// ScaleInterval is how often the autoscaler decides (<= 0 means 1s).
+	// Each decision looks at the queue-delay observations made since the
+	// previous one.
+	ScaleInterval time.Duration
+	// ScaleUpP90 grows the pool when the decision window's p90 queue
+	// delay exceeds it (<= 0 means 25ms).
+	ScaleUpP90 time.Duration
+	// ScaleIdle shrinks the pool one worker at a time after this long
+	// with no admissions and an empty queue (<= 0 means 5s).
+	ScaleIdle time.Duration
+	// ScaleCooldown is the minimum gap between scale events (<= 0 means
+	// 2s); together with ScaleIdle it is the hysteresis that stops the
+	// pool flapping under oscillating load.
+	ScaleCooldown time.Duration
 	// QueueDepth bounds the admission queue (<= 0 means 64); a full
 	// queue rejects with 429 rather than buffering unboundedly.
 	QueueDepth int
@@ -74,18 +100,24 @@ type cachedSolution struct {
 }
 
 // Server is the daemon's engine: handlers feed an admission queue that
-// a fixed worker pool drains. Construct with New, mount Handler, stop
-// with Drain.
+// an autoscaled worker pool drains (fixed-size when WorkersMin ==
+// WorkersMax). Construct with New, mount Handler, stop with Drain.
 type Server struct {
 	cfg   Config
 	cache *solvecache.Cache[*cachedSolution]
 	queue chan *task
+	epoch time.Time
 
 	workers sync.WaitGroup
 	pending sync.WaitGroup
 
-	mu       sync.Mutex
-	draining bool
+	scaler    *autoscaler
+	scaleStop chan struct{}
+	scaleDone sync.WaitGroup
+
+	mu         sync.Mutex
+	draining   bool
+	workerQuit []chan struct{} // one per live worker; closing the last retires it
 
 	admitted      *telemetry.Counter
 	solves        *telemetry.Counter
@@ -97,16 +129,39 @@ type Server struct {
 	cacheShared   *telemetry.Counter
 	cacheEvicts   *telemetry.Counter
 	queueDelay    *telemetry.Histogram
+	scaleWorkers  *telemetry.Gauge
+	scaleGrows    *telemetry.Counter
+	scaleShrinks  *telemetry.Counter
+	scaleP90      *telemetry.FloatGauge
 }
 
 // queueDelayBoundsMS buckets the admission-to-pop delay: sub-millisecond
 // pops on an idle pool through multi-second waits behind long solves.
 var queueDelayBoundsMS = []float64{0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000}
 
-// New builds the server and starts its worker pool.
+// New builds the server and starts its worker pool (WorkersMin workers;
+// the autoscaler, when WorkersMax > WorkersMin, grows it from there).
 func New(cfg Config) *Server {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
+	}
+	if cfg.WorkersMin <= 0 {
+		cfg.WorkersMin = cfg.Workers
+	}
+	if cfg.WorkersMax < cfg.WorkersMin {
+		cfg.WorkersMax = cfg.WorkersMin
+	}
+	if cfg.ScaleInterval <= 0 {
+		cfg.ScaleInterval = defaultScaleInterval
+	}
+	if cfg.ScaleUpP90 <= 0 {
+		cfg.ScaleUpP90 = time.Duration(defaultScaleUpP90MS * float64(time.Millisecond))
+	}
+	if cfg.ScaleIdle <= 0 {
+		cfg.ScaleIdle = defaultScaleIdle
+	}
+	if cfg.ScaleCooldown <= 0 {
+		cfg.ScaleCooldown = defaultScaleCooldown
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
@@ -124,6 +179,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:           cfg,
 		queue:         make(chan *task, cfg.QueueDepth),
+		epoch:         time.Now(),
 		admitted:      r.Counter("server.admitted"),
 		solves:        r.Counter("server.solves"),
 		rejectedQueue: r.Counter("server.rejected.queue_full"),
@@ -134,13 +190,40 @@ func New(cfg Config) *Server {
 		cacheShared:   r.Counter("server.cache.shared"),
 		cacheEvicts:   r.Counter("server.cache.evictions"),
 		queueDelay:    r.Histogram("server.queue_delay_ms", queueDelayBoundsMS),
+		scaleWorkers:  r.Gauge("server.autoscale.workers"),
+		scaleGrows:    r.Counter("server.autoscale.grow"),
+		scaleShrinks:  r.Counter("server.autoscale.shrink"),
+		scaleP90:      r.FloatGauge("server.autoscale.queue_p90_ms"),
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = solvecache.New[*cachedSolution](cfg.CacheEntries, func(string) { s.cacheEvicts.Add(1) })
 	}
-	s.workers.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+	for i := 0; i < cfg.WorkersMin; i++ {
+		quit := make(chan struct{})
+		s.workerQuit = append(s.workerQuit, quit)
+		s.workers.Add(1)
+		go s.worker(quit)
+	}
+	s.scaleWorkers.Set(int64(cfg.WorkersMin))
+	if cfg.WorkersMax > cfg.WorkersMin {
+		s.scaler = &autoscaler{
+			min:        cfg.WorkersMin,
+			max:        cfg.WorkersMax,
+			upP90MS:    float64(cfg.ScaleUpP90) / float64(time.Millisecond),
+			idle:       cfg.ScaleIdle,
+			cooldown:   cfg.ScaleCooldown,
+			now:        time.Now,
+			delay:      s.queueDelay,
+			queueLen:   func() int { return len(s.queue) },
+			workers:    s.Workers,
+			grow:       s.addWorker,
+			shrink:     s.removeWorker,
+			lastActive: s.epoch,
+			p90Gauge:   s.scaleP90,
+		}
+		s.scaleStop = make(chan struct{})
+		s.scaleDone.Add(1)
+		go s.autoscaleLoop()
 	}
 	return s
 }
@@ -165,6 +248,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	already := s.draining
 	s.draining = true
 	s.mu.Unlock()
+	if !already && s.scaleStop != nil {
+		close(s.scaleStop) // no resizes once the drain begins
+	}
+	s.scaleDone.Wait()
 
 	done := make(chan struct{})
 	go func() {
@@ -173,6 +260,10 @@ func (s *Server) Drain(ctx context.Context) error {
 			close(s.queue)
 		}
 		s.workers.Wait()
+		s.mu.Lock()
+		s.workerQuit = nil // every worker has exited
+		s.mu.Unlock()
+		s.scaleWorkers.Set(0)
 		close(done)
 	}()
 	select {
@@ -427,11 +518,29 @@ type task struct {
 	done       chan struct{}
 }
 
-func (s *Server) worker() {
+// worker drains the admission queue until the queue closes (drain) or
+// its quit channel does (an autoscaler shrink). Quit is only honoured
+// between tasks, so a shrink never abandons a solve in flight, and the
+// non-blocking check first makes retirement deterministic even when the
+// queue stays ready.
+func (s *Server) worker(quit chan struct{}) {
 	defer s.workers.Done()
-	for t := range s.queue {
-		s.process(t)
-		close(t.done)
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+		}
+		select {
+		case t, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.process(t)
+			close(t.done)
+		case <-quit:
+			return
+		}
 	}
 }
 

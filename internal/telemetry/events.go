@@ -43,6 +43,12 @@ import (
 //	machine_down machines, t           — online: machine crashed
 //	machine_up   machines, t           — online: machine restored
 //	job_done     job, t                — online: job finished
+//	scale        workers, reason, t_ms — serving layer: the coschedd
+//	             autoscaler resized its worker pool to workers; reason
+//	             explains the trigger ("queue_delay_p90=..." on grow,
+//	             "idle=..." on shrink). Scale events carry no solve_id —
+//	             they describe the pool, not a solve — and t_ms counts
+//	             from server start
 //	solution     cost, groups, pop, reason — one per solve, last line;
 //	             reason is non-empty on degraded solves and matches the
 //	             abort event
@@ -123,6 +129,10 @@ type Event struct {
 	// Solution fields.
 	Cost   float64 `json:"cost,omitempty"`
 	Groups [][]int `json:"groups,omitempty"`
+
+	// Serving-layer fields (scale): the worker-pool size after an
+	// autoscale event.
+	Workers int `json:"workers,omitempty"`
 }
 
 // EventSink receives trace events one at a time. EventWriter (durable

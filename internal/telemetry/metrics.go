@@ -79,6 +79,42 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// QuantileFromCounts estimates the q-quantile (0 < q <= 1) of bucketed
+// observations: counts[i] observations at most bounds[i], with
+// counts[len(bounds)] the +Inf bucket. Unlike Histogram.Quantile it
+// works on a caller-supplied count vector, so consumers that difference
+// two Buckets() snapshots can take quantiles over a time window of a
+// cumulative histogram (the serving layer's autoscaler reads its
+// "recent" p90 queue delay this way). It returns the upper bound of the
+// bucket where the cumulative count crosses q·total — a conservative
+// (never under-reporting) estimate whose error is bounded by the bucket
+// width. Empty counts return 0; a quantile landing in the +Inf bucket
+// returns +Inf.
+func QuantileFromCounts(bounds []float64, counts []int64, q float64) float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if i < len(bounds) {
+				return bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}
+
 // Sum returns the sum of all observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 

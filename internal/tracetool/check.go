@@ -150,11 +150,13 @@ func checkDismissReasons(tr *Trace) []Violation {
 	return vs
 }
 
-// onlySpans reports whether the trace carries nothing but span events
-// (a solve observed through a SpanRecorder alone).
+// onlySpans reports whether the trace carries nothing but ambient
+// events — spans (a solve observed through a SpanRecorder alone) and
+// serving-layer scale events, which belong to no solve and so arrive
+// with solve id 0 and no solve_start header.
 func (t *Trace) onlySpans() bool {
 	for _, ev := range t.Events {
-		if ev.Ev != "span_start" && ev.Ev != "span_end" {
+		if ev.Ev != "span_start" && ev.Ev != "span_end" && ev.Ev != "scale" {
 			return false
 		}
 	}

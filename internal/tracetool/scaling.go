@@ -1,0 +1,73 @@
+package tracetool
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cosched/internal/telemetry"
+)
+
+// ScaleEvents collects the serving layer's autoscale events from a
+// split trace stream, in emission order. Scale events belong to no
+// solve (the daemon's worker pool outlives any one request), so Split
+// files them under solve id 0 alongside any legacy events; this pulls
+// them back out for the scaling timeline.
+func ScaleEvents(traces []*Trace) []telemetry.Event {
+	var out []telemetry.Event
+	for _, tr := range traces {
+		for _, ev := range tr.Events {
+			if ev.Ev == "scale" {
+				out = append(out, ev)
+			}
+		}
+	}
+	return out
+}
+
+// WriteScaling renders the daemon's worker-pool history as an ASCII
+// timeline: one line per autoscale event with its offset from server
+// start, the pool size after the event as a bar, and the autoscaler's
+// recorded reason (queue-delay pressure for grows, sustained idleness
+// for shrinks). A stream with no scale events renders a note saying so
+// — the pool never moved, or the daemon ran with a fixed pool
+// (workers-min == workers-max starts no autoscaler).
+func WriteScaling(w io.Writer, traces []*Trace) error {
+	events := ScaleEvents(traces)
+	if len(events) == 0 {
+		_, err := io.WriteString(w, "no scale events: the worker pool never resized (fixed pool, or load never moved the autoscaler)\n")
+		return err
+	}
+	var sb strings.Builder
+	minW, maxW := events[0].Workers, events[0].Workers
+	for _, ev := range events {
+		if ev.Workers < minW {
+			minW = ev.Workers
+		}
+		if ev.Workers > maxW {
+			maxW = ev.Workers
+		}
+	}
+	span := (events[len(events)-1].TMS - events[0].TMS) / 1000
+	fmt.Fprintf(&sb, "=== autoscale timeline: %d events over %.1fs, workers %d..%d ===\n",
+		len(events), span, minW, maxW)
+	prev := -1
+	for _, ev := range events {
+		dir := "  "
+		switch {
+		case prev >= 0 && ev.Workers > prev:
+			dir = "+ "
+		case prev >= 0 && ev.Workers < prev:
+			dir = "- "
+		}
+		bar := ev.Workers
+		if bar < 0 {
+			bar = 0
+		}
+		fmt.Fprintf(&sb, "  t=+%8.2fs  %s%2d %-*s  %s\n",
+			ev.TMS/1000, dir, ev.Workers, maxW, strings.Repeat("#", bar), ev.Reason)
+		prev = ev.Workers
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

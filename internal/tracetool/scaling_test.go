@@ -1,0 +1,81 @@
+package tracetool
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cosched/internal/telemetry"
+)
+
+// scaleStream builds the trace a serving daemon under load emits: scale
+// events (solve id 0, no solve_start) interleaved with real solves.
+func scaleStream() []telemetry.Event {
+	return []telemetry.Event{
+		{Ev: "scale", TMS: 1000, Workers: 2, Reason: "queue_delay_p90=31.2ms>25ms"},
+		{Ev: "scale", TMS: 2500, Workers: 3, Reason: "queue_delay_p90=48.0ms>25ms"},
+		{Ev: "scale", TMS: 9000, Workers: 2, Reason: "idle=5s"},
+		{Ev: "scale", TMS: 14500, Workers: 1, Reason: "idle=5s"},
+	}
+}
+
+// TestCheckToleratesScaleOnlyTrace: the daemon's scale events carry no
+// solve id and no solve_start; check must treat that trace as clean
+// rather than flagging missing-solve-start.
+func TestCheckToleratesScaleOnlyTrace(t *testing.T) {
+	traces := Split(scaleStream())
+	if len(traces) != 1 || traces[0].ID != 0 {
+		t.Fatalf("Split gave %d traces; want one solve-0 trace", len(traces))
+	}
+	if vs := Check(traces[0]); len(vs) != 0 {
+		t.Errorf("scale-only trace flagged: %v", vs)
+	}
+}
+
+func TestWriteScalingRendersTimeline(t *testing.T) {
+	traces := Split(scaleStream())
+	var buf bytes.Buffer
+	if err := WriteScaling(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"4 events", "workers 1..3",
+		"queue_delay_p90=31.2ms>25ms", "idle=5s",
+		"###", // the peak pool size as a bar
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Grows marked +, shrinks marked - (first event has no baseline).
+	if !strings.Contains(out, "+  3") || !strings.Contains(out, "-  1") {
+		t.Errorf("timeline lacks grow/shrink direction markers:\n%s", out)
+	}
+}
+
+func TestWriteScalingEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteScaling(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no scale events") {
+		t.Errorf("empty stream output = %q; want a no-scale-events note", buf.String())
+	}
+}
+
+// TestCheckScaleEventsBesideSolves: a flight-recorder dump from a busy
+// daemon mixes scale events with complete solve traces; every trace in
+// the split must come out clean.
+func TestCheckScaleEventsBesideSolves(t *testing.T) {
+	events := scaleStream()
+	events = append(events,
+		telemetry.Event{Ev: "span_start", SolveID: 7, Span: "solve", TMS: 1100},
+		telemetry.Event{Ev: "span_end", SolveID: 7, Span: "solve", TMS: 1200, DurMS: 100},
+	)
+	for _, tr := range Split(events) {
+		if vs := Check(tr); len(vs) != 0 {
+			t.Errorf("solve %d flagged: %v", tr.ID, vs)
+		}
+	}
+}

@@ -3,8 +3,8 @@
 # tests, the allocation-budget guards (with telemetry off AND on), race
 # passes over the concurrent search paths and the serving layer, the
 # trace-invariant matrix (every producer's trace must pass coschedtrace
-# check), the coschedd end-to-end serving gate, and the recorded
-# benchmark gate.
+# check), the coschedd end-to-end serving gate, the open-loop
+# loadgen + autoscaler gate, and the recorded benchmark gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,9 +38,11 @@ go test -race ./internal/astar/ -run 'Parallel|Worker|Striped'
 
 # Serving-layer race pass: many SolveContext/SolveRobust calls sharing
 # one Instance and memoized oracle (the coschedd usage pattern), plus
-# the daemon engine and its caches under their own concurrent tests.
+# the daemon engine (including pool resizes during active solves and
+# drain), its caches, and the open-loop load generator under their own
+# concurrent tests.
 go test -race . -run TestConcurrentSolvesShareInstance -count=1
-go test -race ./internal/server/ ./internal/solvecache/ -count=1
+go test -race ./internal/server/ ./internal/solvecache/ ./internal/loadgen/ -count=1
 
 # Trace-invariant matrix: generate a small trace from every producer
 # (OA*, HA*-trimmed, beam, branch-and-bound, online) and replay each
@@ -166,7 +168,49 @@ grep -q 'drained clean' "$tracedir/coschedd.log" || {
     echo "ci: coschedd log is missing the drain summary" >&2; exit 1; }
 echo "ci: coschedd serves, caches, rejects expired work and drains clean" >&2
 
-# The recorded benchmark gate (no bench run — validates BENCH_astar.json).
+# Serving benchmark + autoscaler gate: boot coschedd with a 1..4
+# autoscaling pool and aggressive scale knobs, drive a two-rung
+# open-loop coschedload ladder sized to saturate one worker (cold
+# hastar synthetic-20 solves run ~50-100ms on this class of builder),
+# and require: a valid BENCH_serving.json, at least one autoscale grow
+# in /metrics, the pool shrinking back once the ladder goes idle, a
+# renderable scaling timeline from /debug/trace, and a clean SIGTERM
+# drain.
+go build -o "$tracedir/coschedload" ./cmd/coschedload
+"$tracedir/coschedd" -addr 127.0.0.1:0 -workers-min 1 -workers-max 4 \
+    -scale-interval 200ms -scale-up-p90 5ms -scale-idle 1500ms -scale-cooldown 400ms \
+    > "$tracedir/coschedd-scale.log" 2>&1 &
+coschedd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's#^coschedd: listening on http://##p' "$tracedir/coschedd-scale.log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "ci: autoscaling coschedd never printed its address" >&2; exit 1; }
+"$tracedir/coschedload" -addr "http://$addr" -rungs 15x3s,25x3s -synthetic 20 -warm 0.3 \
+    -out "$tracedir/BENCH_serving.json" > "$tracedir/coschedload.out"
+"$tracedir/coschedload" -check "$tracedir/BENCH_serving.json" > /dev/null
+grep -Eq '^cosched_server_autoscale_grow [1-9]' <<<"$(curl -sf "http://$addr/metrics")" || {
+    echo "ci: autoscaler never grew the pool under the ladder" >&2; exit 1; }
+shrunk=""
+for _ in $(seq 1 40); do
+    if curl -sf "http://$addr/metrics" | grep -Eq '^cosched_server_autoscale_shrink [1-9]'; then
+        shrunk=yes; break
+    fi
+    sleep 0.25
+done
+[[ -n "$shrunk" ]] || { echo "ci: autoscaler never shrank after the ladder went idle" >&2; exit 1; }
+curl -sf "http://$addr/debug/trace" | go run ./cmd/coschedtrace scaling - | grep -q 'autoscale timeline' || {
+    echo "ci: /debug/trace yields no autoscale timeline" >&2; exit 1; }
+kill -TERM "$coschedd_pid"
+wait "$coschedd_pid" || { echo "ci: autoscaling coschedd did not drain cleanly" >&2; exit 1; }
+coschedd_pid=""
+echo "ci: autoscaler grew under load, shrank when idle, BENCH_serving.json validates" >&2
+
+# The recorded benchmark gates (no bench run — validate the committed
+# BENCH_astar.json and BENCH_serving.json).
 scripts/benchdiff.sh --check
+scripts/servebench.sh --check
 
 echo "ci: all green" >&2

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# servebench.sh — regenerate BENCH_serving.json, the committed serving
+# benchmark (methodology in BENCHMARKS.md): coschedload boots an
+# in-process coschedd with a 1..4 autoscaling worker pool and drives the
+# standard two-rung open-loop ladder, sized so cold hastar solves
+# saturate one worker on the single-CPU CI builder and the autoscaler
+# has real queue delay to react to. Pass --check to validate the
+# committed file without running any load (the CI mode).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--check" ]]; then
+    go run ./cmd/coschedload -check BENCH_serving.json
+    exit 0
+fi
+
+go run ./cmd/coschedload \
+    -rungs 15x3s,25x3s -synthetic 20 -method hastar -warm 0.3 -pool 8 -seed 1 \
+    -workers-min 1 -workers-max 4 -scale-interval 200ms -scale-up-p90 5ms \
+    -note "single-CPU builder: the ladder saturates one worker, so latency measures queueing + solve time and extra workers relieve queue delay, not compute" \
+    -out BENCH_serving.json
+go run ./cmd/coschedload -check BENCH_serving.json
