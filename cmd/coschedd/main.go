@@ -15,14 +15,18 @@
 //
 // Telemetry lives on the same listener: Prometheus metrics under
 // /metrics (the server.* family plus solver metrics), expvar under
-// /debug/vars, pprof under /debug/pprof/, and the flight recorder's
-// recent solver events under /debug/trace.
+// /debug/vars, pprof under /debug/pprof/, the flight recorder's recent
+// solver events under /debug/trace, and the recent-requests ring under
+// /debug/requests. Every request is logged as one structured JSON line
+// (-access-log; -access-log-slow keeps only slow or failed requests)
+// carrying the request ID the daemon echoes on X-Request-ID.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -56,8 +60,22 @@ func main() {
 		maxDL        = flag.Duration("max-deadline", 0, "cap on any request's deadline (0 = uncapped)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight solves on shutdown")
 		solvePar     = flag.Int("solve-parallelism", 1, "expansion workers per graph solve for requests that set no parallelism (1 = exact sequential path)")
+		accessLog    = flag.String("access-log", "stderr", "structured access-log destination: stderr, stdout, a file path, or 'off'")
+		accessSlow   = flag.Duration("access-log-slow", 0, "log only requests at least this slow or with status >= 400 (0 = log everything)")
+		requestsRing = flag.Int("requests-ring", 256, "/debug/requests retained-request count (-1 disables)")
+		sloLatency   = flag.Duration("slo-latency", 500*time.Millisecond, "latency objective: a 200 within this is a good event for server.slo.latency")
+		sloObjective = flag.Float64("slo-objective", 0.99, "target good fraction for the availability and latency SLOs")
 	)
 	flag.Parse()
+
+	logger, closeLog, err := openAccessLog(*accessLog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coschedd:", err)
+		os.Exit(1)
+	}
+	if closeLog != nil {
+		defer closeLog()
+	}
 
 	recorder := telemetry.NewFlightRecorder(flightRecorderSize)
 	srv := server.New(server.Config{
@@ -76,6 +94,11 @@ func main() {
 		SolveParallelism:   *solvePar,
 		Metrics:            telemetry.Default,
 		Recorder:           recorder,
+		AccessLog:          logger,
+		AccessLogSlow:      *accessSlow,
+		RequestRing:        *requestsRing,
+		SLOLatency:         *sloLatency,
+		SLOObjective:       *sloObjective,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -112,4 +135,24 @@ func main() {
 	st := srv.CacheStats()
 	fmt.Printf("coschedd: drained clean (cache: %d entries, %d hits, %d misses, %d evictions)\n",
 		st.Entries, st.Hits, st.Misses, st.Evictions)
+}
+
+// openAccessLog resolves the -access-log flag into a JSON slog logger:
+// "stderr"/"stdout" write to the process streams, "off"/"" disables the
+// log, anything else is a file path opened for append. The returned
+// close function is nil when there is nothing to close.
+func openAccessLog(dest string) (*slog.Logger, func(), error) {
+	switch dest {
+	case "off", "":
+		return nil, nil, nil
+	case "stderr":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil, nil
+	case "stdout":
+		return slog.New(slog.NewJSONHandler(os.Stdout, nil)), nil, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("access log: %w", err)
+	}
+	return slog.New(slog.NewJSONHandler(f, nil)), func() { f.Close() }, nil //nolint:errcheck // append-only log
 }

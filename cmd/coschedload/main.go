@@ -129,6 +129,22 @@ func main() {
 			rg.Latency.P50, rg.Latency.P90, rg.Latency.P99, rg.Latency.P999,
 			rg.Status.OK, rg.Status.Rejected429, rg.Status.Rejected503, rg.Status.Rejected504, rg.Status.Errors,
 			rg.CacheHitRate*100, rg.Degraded)
+		// Failed and rejected requests come with the IDs the daemon
+		// logged, so a 5xx spike during a ladder run is attributable.
+		for _, f := range rg.Failures {
+			if f.Err != "" {
+				fmt.Printf("  failed: %s transport: %s\n", f.ID, f.Err)
+			} else {
+				fmt.Printf("  failed: %s status %d\n", f.ID, f.Status)
+			}
+		}
+		for _, s := range rg.Slowest {
+			cached := ""
+			if s.Cached {
+				cached = " (cached)"
+			}
+			fmt.Printf("  slow: %s %.1fms status %d%s\n", s.ID, s.LatencyMS, s.Status, cached)
+		}
 	}
 	fmt.Printf("coschedload: wrote %s\n", *out)
 }

@@ -8,13 +8,17 @@
 //	coschedtrace summary trace.jsonl            per-solve accounting
 //	coschedtrace timeline trace.jsonl           ASCII g/h and frontier charts
 //	coschedtrace scaling trace.jsonl            worker-pool autoscale timeline
+//	coschedtrace requests trace.jsonl           HTTP request table (coschedd traces)
 //	coschedtrace diff before.jsonl after.jsonl  counter/phase deltas
 //	coschedtrace check trace.jsonl...           replay the trace invariants
 //
 // summary and timeline accept -solve <id> to select one solve. scaling
 // reads the whole stream (scale events belong to the daemon, not a
 // solve) and renders the pool-size history coschedd's autoscaler
-// recorded — pipe /debug/trace into it. diff pairs the files' solves in
+// recorded — pipe /debug/trace into it. requests renders every HTTP
+// request the daemon recorded, with its request ID, phase breakdown and
+// the solve_id to feed back into `timeline -solve`; -slow N marks
+// requests that took at least N ms. diff pairs the files' solves in
 // order and exits non-zero when any pair reached different solution
 // costs. check exits non-zero when any invariant fails, naming each
 // violated invariant. A file argument of "-" reads the trace from
@@ -47,6 +51,8 @@ func main() {
 		err = perSolve(args, tracetool.WriteTimeline)
 	case "scaling":
 		err = runScaling(args)
+	case "requests":
+		err = runRequests(args)
 	case "diff":
 		err = runDiff(args)
 	case "check":
@@ -69,11 +75,15 @@ commands:
   summary   per-solve expansion/dismissal accounting, phases, depth profile
   timeline  ASCII charts: popped g/h vs pop, frontier vs pop
   scaling   coschedd worker-pool autoscale timeline from scale events
+  requests  coschedd HTTP request table: id, phases, cache, solve_id join key
   diff      compare two traces' solves counter by counter (exit 1 on cost mismatch)
   check     replay each solve against the producer's trace invariants
 
 flags (summary, timeline):
   -solve N  only the solve with this id
+
+flags (requests):
+  -slow N   mark requests that took at least N ms with *
 `)
 }
 
@@ -203,6 +213,25 @@ func runScaling(args []string) error {
 		return err
 	}
 	return tracetool.WriteScaling(os.Stdout, traces)
+}
+
+// runRequests renders a daemon trace's HTTP request table (request
+// events are daemon-global: served ones file under their solve, and
+// rejections under the ambient trace — the renderer walks both).
+func runRequests(args []string) error {
+	fs := flag.NewFlagSet("coschedtrace requests", flag.ExitOnError)
+	slowMS := fs.Float64("slow", 0, "mark requests that took at least this many ms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("requests wants one trace file, got %d", fs.NArg())
+	}
+	traces, err := loadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return tracetool.WriteRequests(os.Stdout, traces, *slowMS)
 }
 
 func methodOr(tr *tracetool.Trace) string {

@@ -399,6 +399,7 @@ func SolveContext(ctx context.Context, inst *Instance, opts Options) (sched *Sch
 		return nil, err
 	}
 	sched.Stats.Phases = obs.phases()
+	sched.Stats.SolveID = obs.solveID
 	telemetry.FlushSink(obs.sink) //nolint:errcheck // span events after the solution
 	return sched, nil
 }

@@ -116,6 +116,11 @@ func (cfg Config) withDefaults() Config {
 // Request is one scheduled call: fire Body at the daemon At after the
 // run starts.
 type Request struct {
+	// ID is the request's deterministic identity
+	// ("lg<seed>-r<rung>-<index>"), sent as X-Request-ID so the daemon's
+	// access log, /debug/requests ring, and trace events all carry it —
+	// a slow benchmark number is then one grep away from its cause.
+	ID string
 	// At is the request's arrival offset from the run start.
 	At time.Duration
 	// Rung indexes Config.Rungs for result aggregation.
@@ -163,6 +168,7 @@ func BuildSchedule(cfg Config) ([]Request, error) {
 		n := int(rung.RPS * rung.Duration.Seconds())
 		for i := 0; i < n; i++ {
 			req := Request{
+				ID:   fmt.Sprintf("lg%d-r%d-%05d", cfg.Seed, ri, i),
 				At:   offset + time.Duration(i)*interval,
 				Rung: ri,
 			}

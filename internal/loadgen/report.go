@@ -79,6 +79,29 @@ type StatusBreakdown struct {
 	Errors      int64 `json:"errors"`
 }
 
+// SlowRequest names one of a rung's slowest responses: the request ID
+// to grep for in the daemon's access log, /debug/requests ring, or
+// trace (`coschedtrace requests`), plus enough context to triage
+// without leaving the report.
+type SlowRequest struct {
+	ID        string  `json:"id"`
+	LatencyMS float64 `json:"latency_ms"`
+	Status    int     `json:"status"`
+	// Cached marks an answer served from the daemon's solution cache or
+	// a shared in-flight solve — a slow cached answer points at queueing,
+	// not the solver.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// RequestFailure samples one failed or rejected request. Status is the
+// HTTP verdict; transport failures that produced no status carry Err
+// instead.
+type RequestFailure struct {
+	ID     string `json:"id"`
+	Status int    `json:"status,omitempty"`
+	Err    string `json:"err,omitempty"`
+}
+
 // RungResult is one ladder rung's measurement.
 type RungResult struct {
 	// OfferedRPS and DurationS restate the rung; Requests is the number
@@ -101,6 +124,12 @@ type RungResult struct {
 	Shared       int64   `json:"shared,omitempty"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	Degraded     int64   `json:"degraded"`
+	// Slowest names the rung's slowest responses worst-first (at most
+	// slowestK); Failures samples up to failureSampleCap non-200
+	// outcomes. Both carry the request IDs the daemon logged, so a bad
+	// rung is one grep away from its traces.
+	Slowest  []SlowRequest    `json:"slowest,omitempty"`
+	Failures []RequestFailure `json:"failures,omitempty"`
 }
 
 // Validate checks the report is internally consistent: at least one
@@ -130,6 +159,14 @@ func (r *Report) Validate() error {
 		if rg.CacheHits+rg.Shared > rg.Status.OK {
 			return fmt.Errorf("rung %d: cache hits+shared (%d) exceed OK responses (%d)",
 				i, rg.CacheHits+rg.Shared, rg.Status.OK)
+		}
+		for j, s := range rg.Slowest {
+			if s.ID == "" {
+				return fmt.Errorf("rung %d: slowest[%d] has no request id", i, j)
+			}
+			if j > 0 && s.LatencyMS > rg.Slowest[j-1].LatencyMS {
+				return fmt.Errorf("rung %d: slowest not ordered worst-first at %d", i, j)
+			}
 		}
 	}
 	return nil

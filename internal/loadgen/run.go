@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -30,6 +31,14 @@ type solveReply struct {
 	Degraded bool `json:"degraded"`
 }
 
+// slowestK is how many of a rung's slowest request IDs the report keeps
+// — enough to find the tail's traces, few enough to stay readable.
+const slowestK = 5
+
+// failureSampleCap bounds the per-rung failure sample so a rung that is
+// 100% rejections does not bloat the report.
+const failureSampleCap = 20
+
 // rungAgg accumulates one rung's results under a lock (many in-flight
 // requests finish concurrently).
 type rungAgg struct {
@@ -39,27 +48,48 @@ type rungAgg struct {
 	hits     int64
 	shared   int64
 	degraded int64
+	slowest  []SlowRequest    // worst-first, at most slowestK
+	failures []RequestFailure // first failureSampleCap non-200 outcomes
 }
 
-func (a *rungAgg) record(latency time.Duration, code int, reply *solveReply, transportErr bool) {
+func (a *rungAgg) record(id string, latency time.Duration, code int, reply *solveReply, errText string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	switch {
-	case transportErr:
+	if errText != "" {
 		a.status.Errors++
+		if len(a.failures) < failureSampleCap {
+			a.failures = append(a.failures, RequestFailure{ID: id, Err: errText})
+		}
 		return // no response: nothing to time or classify further
-	case code == http.StatusOK:
+	}
+	switch code {
+	case http.StatusOK:
 		a.status.OK++
-	case code == http.StatusTooManyRequests:
+	case http.StatusTooManyRequests:
 		a.status.Rejected429++
-	case code == http.StatusServiceUnavailable:
+	case http.StatusServiceUnavailable:
 		a.status.Rejected503++
-	case code == http.StatusGatewayTimeout:
+	case http.StatusGatewayTimeout:
 		a.status.Rejected504++
 	default:
 		a.status.Other++
 	}
+	if code != http.StatusOK && len(a.failures) < failureSampleCap {
+		a.failures = append(a.failures, RequestFailure{ID: id, Status: code})
+	}
 	a.hist.Record(latency)
+	lm := ms(latency)
+	if len(a.slowest) < slowestK || lm > a.slowest[len(a.slowest)-1].LatencyMS {
+		entry := SlowRequest{ID: id, LatencyMS: lm, Status: code}
+		if reply != nil {
+			entry.Cached = reply.Cached || reply.Shared
+		}
+		a.slowest = append(a.slowest, entry)
+		sort.Slice(a.slowest, func(i, j int) bool { return a.slowest[i].LatencyMS > a.slowest[j].LatencyMS })
+		if len(a.slowest) > slowestK {
+			a.slowest = a.slowest[:slowestK]
+		}
+	}
 	if reply != nil {
 		if reply.Cached {
 			a.hits++
@@ -154,6 +184,8 @@ launch:
 			CacheHits: a.hits,
 			Shared:    a.shared,
 			Degraded:  a.degraded,
+			Slowest:   a.slowest,
+			Failures:  a.failures,
 		}
 		if st.OK > 0 {
 			res.CacheHitRate = float64(a.hits) / float64(st.OK)
@@ -163,19 +195,24 @@ launch:
 	return report, ctx.Err()
 }
 
-// one issues a single request and records its outcome.
+// one issues a single request — carrying its schedule-assigned ID as
+// X-Request-ID so the daemon's observability joins on it — and records
+// the outcome.
 func (r *Runner) one(ctx context.Context, client *http.Client, url string, req *Request, agg *rungAgg) {
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(req.Body))
 	if err != nil {
-		agg.record(0, 0, nil, true)
+		agg.record(req.ID, 0, 0, nil, err.Error())
 		return
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	if req.ID != "" {
+		httpReq.Header.Set("X-Request-ID", req.ID)
+	}
 	sent := time.Now()
 	resp, err := client.Do(httpReq)
 	latency := time.Since(sent)
 	if err != nil {
-		agg.record(0, 0, nil, true)
+		agg.record(req.ID, 0, 0, nil, err.Error())
 		return
 	}
 	defer resp.Body.Close() //nolint:errcheck
@@ -186,7 +223,7 @@ func (r *Runner) one(ctx context.Context, client *http.Client, url string, req *
 			reply = nil
 		}
 	}
-	agg.record(latency, resp.StatusCode, reply, false)
+	agg.record(req.ID, latency, resp.StatusCode, reply, "")
 }
 
 // ms converts a duration to float milliseconds for the report.

@@ -89,6 +89,12 @@ type SolveResponse struct {
 	// TraceJSONL carries the solve's event stream when the request set
 	// trace and the answer was freshly computed.
 	TraceJSONL string `json:"trace_jsonl,omitempty"`
+	// RequestID is the request's identity (the X-Request-ID echo, in the
+	// body for clients that drop headers); SolveID is the solver run that
+	// produced the answer — the original run's for cached answers — the
+	// join key into JSONL traces and coschedtrace timelines.
+	RequestID string `json:"request_id,omitempty"`
+	SolveID   uint64 `json:"solve_id,omitempty"`
 }
 
 // FallbackInfo is one SolveRobust ladder attempt on the wire.

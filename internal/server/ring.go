@@ -1,0 +1,115 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
+
+// reqRecord is one completed request as retained by the /debug/requests
+// ring: identity, route, outcome, and the phase breakdown.
+type reqRecord struct {
+	atMS        float64 // request start, ms since server epoch
+	id          string
+	route       string
+	cache       string
+	abort       string
+	fp          string
+	status      int
+	parallelism int
+	items       int
+	queueMS     float64
+	solveMS     float64
+	encodeMS    float64
+	totalMS     float64
+	solveID     uint64
+	degraded    bool
+}
+
+// reqSlot pads a record with its seqlock word. Writers bump seq to odd,
+// write, bump to even; readers that see an odd or changed seq skip the
+// slot instead of blocking (same idiom as telemetry.FlightRecorder).
+type reqSlot struct {
+	seq atomic.Uint64
+	rec reqRecord
+}
+
+// requestRing retains the last N completed requests without locks: one
+// atomic fetch-add claims a slot, the seqlock word keeps readers from
+// observing torn writes. put never blocks and never allocates beyond
+// the strings already held by the caller, so enabling the ring does not
+// perturb request latency.
+type requestRing struct {
+	slots []reqSlot
+	head  atomic.Uint64 // total puts; next slot = head % len
+}
+
+// newRequestRing returns a ring retaining n requests (n must be > 0).
+func newRequestRing(n int) *requestRing {
+	return &requestRing{slots: make([]reqSlot, n)}
+}
+
+// put records one completed request, overwriting the oldest.
+func (rr *requestRing) put(rec reqRecord) {
+	pos := rr.head.Add(1) - 1
+	slot := &rr.slots[pos%uint64(len(rr.slots))]
+	slot.seq.Store(2*pos + 1) // odd: write in progress
+	slot.rec = rec
+	slot.seq.Store(2 * (pos + 1)) // even: published
+}
+
+// snapshot returns the retained requests ordered oldest-first, skipping
+// slots a concurrent writer had in flight.
+func (rr *requestRing) snapshot() []reqRecord {
+	head := rr.head.Load()
+	n := uint64(len(rr.slots))
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	out := make([]reqRecord, 0, head-start)
+	for pos := start; pos < head; pos++ {
+		slot := &rr.slots[pos%n]
+		for range 4 {
+			seq := slot.seq.Load()
+			if seq != 2*(pos+1) {
+				break // torn, overwritten, or still writing: skip
+			}
+			rec := slot.rec
+			if slot.seq.Load() == seq {
+				out = append(out, rec)
+				break
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].atMS < out[j].atMS })
+	return out
+}
+
+// handler serves the ring as a human-readable table (the /debug/requests
+// endpoint): one row per retained request, oldest first, with the full
+// phase breakdown.
+func (rr *requestRing) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		recs := rr.snapshot()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "=== recent requests: %d retained (ring %d) ===\n", len(recs), len(rr.slots))
+		if len(recs) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%10s  %-24s  %-15s  %3s  %9s  %9s  %9s  %9s  %-6s  %-3s  %4s  %-12s  %8s  %s\n",
+			"t_ms", "req_id", "route", "st", "queue_ms", "solve_ms", "enc_ms", "total_ms",
+			"cache", "deg", "par", "fp", "solve_id", "abort")
+		for _, rec := range recs {
+			deg := ""
+			if rec.degraded {
+				deg = "yes"
+			}
+			fmt.Fprintf(w, "%10.1f  %-24s  %-15s  %3d  %9.2f  %9.2f  %9.2f  %9.2f  %-6s  %-3s  %4d  %-12s  %8d  %s\n",
+				rec.atMS, rec.id, rec.route, rec.status,
+				rec.queueMS, rec.solveMS, rec.encodeMS, rec.totalMS,
+				rec.cache, deg, rec.parallelism, rec.fp, rec.solveID, rec.abort)
+		}
+	}
+}

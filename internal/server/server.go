@@ -11,12 +11,20 @@
 //	POST /v1/solve        — schedule one workload with one method
 //	POST /v1/solve-robust — same, through the SolveRobust fallback ladder
 //	POST /v1/batch        — a list of solve requests answered together
-//	GET  /healthz         — liveness and drain state
+//	GET  /healthz         — liveness and drain state (503 once draining)
+//	GET  /debug/requests  — recent-requests ring with phase breakdowns
 //
 // plus the telemetry surface (/metrics, /debug/vars, /debug/pprof,
 // /debug/trace) from internal/telemetry.DebugMux. Request admission,
 // queueing, solving and cache effectiveness are all measured into the
 // server.* metric family (see DESIGN.md §6b).
+//
+// Every request carries an ID — accepted from X-Request-ID or generated
+// at admission, echoed back on the response header and body — threaded
+// by context through admission → queue → solve → encode, stamped into a
+// "request" telemetry event (joinable to the solver's solve_id
+// timeline), logged as one structured access-log line, and counted into
+// per-route RED metrics and SLO burn rates (see obs.go).
 package server
 
 import (
@@ -24,6 +32,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -90,13 +99,36 @@ type Config struct {
 	// Recorder, when non-nil, receives every solve's event stream and is
 	// exposed under /debug/trace.
 	Recorder *telemetry.FlightRecorder
+	// AccessLog, when non-nil, receives one structured line per observed
+	// request with the full phase breakdown (cmd/coschedd wires a JSON
+	// handler here; see logAccess in obs.go for the field set).
+	AccessLog *slog.Logger
+	// AccessLogSlow gates the access log: when > 0 only requests that
+	// took at least this long, or ended with status >= 400, are logged
+	// (0 logs every request).
+	AccessLogSlow time.Duration
+	// RequestRing sizes the /debug/requests recent-requests ring
+	// (< 0 disables it, 0 means 256 retained requests).
+	RequestRing int
+	// SLOLatency is the latency objective behind server.slo.latency: a
+	// 200 response is good when served within it (<= 0 means 500ms).
+	SLOLatency time.Duration
+	// SLOObjective is the target good fraction for both SLOs (0 means
+	// 0.99); SLOFastWindow and SLOSlowWindow override the burn-rate
+	// horizons (0 means 5m and 1h).
+	SLOObjective  float64
+	SLOFastWindow time.Duration
+	SLOSlowWindow time.Duration
 }
 
 // cachedSolution is a solvecache entry: the proven schedule plus the
-// solve duration it originally took, so hits can report what they saved.
+// solve duration it originally took, so hits can report what they
+// saved, and the solve_id of the run that produced it, so a cache hit's
+// access log still points at the trace that explains its answer.
 type cachedSolution struct {
 	sched   *cosched.Schedule
 	solveMS float64
+	solveID uint64
 }
 
 // Server is the daemon's engine: handlers feed an admission queue that
@@ -133,6 +165,14 @@ type Server struct {
 	scaleGrows    *telemetry.Counter
 	scaleShrinks  *telemetry.Counter
 	scaleP90      *telemetry.FloatGauge
+
+	// Request-scoped observability (obs.go / ring.go).
+	inflight     *telemetry.Gauge
+	routes       map[string]*routeMetrics
+	sloAvail     *telemetry.SLO
+	sloLatency   *telemetry.SLO
+	sloLatencyMS float64
+	ring         *requestRing
 }
 
 // queueDelayBoundsMS buckets the admission-to-pop delay: sub-millisecond
@@ -172,6 +212,12 @@ func New(cfg Config) *Server {
 	if cfg.OracleCacheEntries <= 0 {
 		cfg.OracleCacheEntries = 1 << 16
 	}
+	if cfg.RequestRing == 0 {
+		cfg.RequestRing = 256
+	}
+	if cfg.SLOLatency <= 0 {
+		cfg.SLOLatency = 500 * time.Millisecond
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.New()
 	}
@@ -194,6 +240,27 @@ func New(cfg Config) *Server {
 		scaleGrows:    r.Counter("server.autoscale.grow"),
 		scaleShrinks:  r.Counter("server.autoscale.shrink"),
 		scaleP90:      r.FloatGauge("server.autoscale.queue_p90_ms"),
+	}
+	s.inflight = r.Gauge("server.requests_inflight")
+	s.routes = make(map[string]*routeMetrics)
+	for _, route := range []string{"v1_solve", "v1_solve_robust", "v1_batch", "healthz"} {
+		s.routes[route] = newRouteMetrics(r, route)
+	}
+	s.sloLatencyMS = float64(cfg.SLOLatency) / float64(time.Millisecond)
+	s.sloAvail = telemetry.NewSLO(r, telemetry.SLOConfig{
+		Name:       "server.slo.availability",
+		Objective:  cfg.SLOObjective,
+		FastWindow: cfg.SLOFastWindow,
+		SlowWindow: cfg.SLOSlowWindow,
+	})
+	s.sloLatency = telemetry.NewSLO(r, telemetry.SLOConfig{
+		Name:       "server.slo.latency",
+		Objective:  cfg.SLOObjective,
+		FastWindow: cfg.SLOFastWindow,
+		SlowWindow: cfg.SLOSlowWindow,
+	})
+	if cfg.RequestRing > 0 {
+		s.ring = newRequestRing(cfg.RequestRing)
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = solvecache.New[*cachedSolution](cfg.CacheEntries, func(string) { s.cacheEvicts.Add(1) })
@@ -229,13 +296,19 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the daemon's full route set: the /v1 solve API,
-// /healthz, and the telemetry endpoints.
+// /healthz, /debug/requests, and the telemetry endpoints. The API
+// routes are wrapped in the request-observability middleware (obs.go).
 func (s *Server) Handler() http.Handler {
 	mux := telemetry.DebugMux(s.cfg.Metrics, s.cfg.Recorder)
-	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) { s.handleSolve(w, r, false) })
-	mux.HandleFunc("POST /v1/solve-robust", func(w http.ResponseWriter, r *http.Request) { s.handleSolve(w, r, true) })
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/solve", s.observe("v1_solve", true,
+		func(w http.ResponseWriter, r *http.Request, info *reqInfo) { s.handleSolve(w, r, info, false) }))
+	mux.HandleFunc("POST /v1/solve-robust", s.observe("v1_solve_robust", true,
+		func(w http.ResponseWriter, r *http.Request, info *reqInfo) { s.handleSolve(w, r, info, true) }))
+	mux.HandleFunc("POST /v1/batch", s.observe("v1_batch", true, s.handleBatch))
+	mux.HandleFunc("GET /healthz", s.observe("healthz", false, s.handleHealthz))
+	if s.ring != nil {
+		mux.HandleFunc("GET /debug/requests", s.ring.handler())
+	}
 	return mux
 }
 
@@ -283,30 +356,45 @@ func (s *Server) CacheStats() solvecache.Stats {
 	return s.cache.Stats()
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// handleHealthz reports liveness: 503 {"status":"draining"} once drain
+// begins — the signal a load balancer needs to stop routing before the
+// listener closes — and 200 with queue and worker occupancy otherwise.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request, _ *reqInfo) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": draining})
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"queue_len": len(s.queue),
+		"queue_cap": cap(s.queue),
+		"workers":   s.Workers(),
+	})
 }
 
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, robust bool) {
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, info *reqInfo, robust bool) {
 	var req SolveRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
-	t, err := s.admit(&req, robust)
+	t, err := s.admit(r.Context(), &req, robust)
 	if err != nil {
 		writeError(w, err.status, err.msg)
 		return
 	}
 	<-t.done
+	info.fromTask(t)
 	if t.errMsg != "" {
 		writeError(w, t.status, t.errMsg)
 		return
 	}
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, t.resp)
+	info.encodeMS = float64(time.Since(encodeStart)) / float64(time.Millisecond)
 }
 
 // BatchRequest is the /v1/batch body: requests answered positionally.
@@ -333,7 +421,10 @@ type BatchResponse struct {
 	Items []BatchItem `json:"items"`
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+// handleBatch answers a batch under one umbrella request ID (every item
+// shares it); the batch's access-log line aggregates its items — worst
+// queue wait, summed solve time, "mixed" when cache outcomes differ.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reqInfo) {
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
@@ -343,13 +434,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch has no requests")
 		return
 	}
+	info.items = len(req.Requests)
 	items := make([]BatchItem, len(req.Requests))
 	tasks := make([]*task, len(req.Requests))
 	// Admit everything first — the queue outlives the admission loop and
 	// enqueueing never blocks, so a batch wider than the queue fails its
 	// overflow items with 429 instead of deadlocking behind itself.
 	for i := range req.Requests {
-		t, aerr := s.admit(&req.Requests[i], req.Requests[i].Robust)
+		t, aerr := s.admit(r.Context(), &req.Requests[i], req.Requests[i].Robust)
 		if aerr != nil {
 			items[i] = BatchItem{Status: aerr.status, Error: aerr.msg}
 			continue
@@ -361,13 +453,30 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		<-t.done
+		if t.queueMS > info.queueMS {
+			info.queueMS = t.queueMS
+		}
+		info.solveMS += t.solveMS
+		info.degraded = info.degraded || t.degraded
+		if info.abort == "" {
+			info.abort = t.abortReason
+		}
+		info.parallelism = t.parallelism
+		switch {
+		case info.cache == "":
+			info.cache = t.cacheOutcome
+		case info.cache != t.cacheOutcome:
+			info.cache = "mixed"
+		}
 		if t.errMsg != "" {
 			items[i] = BatchItem{Status: t.status, Error: t.errMsg}
 		} else {
 			items[i] = BatchItem{Status: http.StatusOK, Response: t.resp}
 		}
 	}
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, BatchResponse{Items: items})
+	info.encodeMS = float64(time.Since(encodeStart)) / float64(time.Millisecond)
 }
 
 // admitError is an admission failure with its HTTP mapping.
@@ -377,20 +486,24 @@ type admitError struct {
 }
 
 // admit validates the request, builds its instance and options, applies
-// the deadline policy, and enqueues a task — or explains why not.
-func (s *Server) admit(req *SolveRequest, robust bool) (*task, *admitError) {
+// the deadline policy, and enqueues a task — or explains why not. The
+// request ID rides in from ctx (set by the observe middleware) and is
+// carried by the task across the queue hop.
+func (s *Server) admit(ctx context.Context, req *SolveRequest, robust bool) (*task, *admitError) {
 	inst, opts, err := s.prepare(req)
 	if err != nil {
 		return nil, &admitError{status: http.StatusBadRequest, msg: err.Error()}
 	}
 
 	t := &task{
-		inst:     inst,
-		opts:     opts,
-		robust:   robust,
-		trace:    req.Trace,
-		enqueued: time.Now(),
-		done:     make(chan struct{}),
+		inst:        inst,
+		opts:        opts,
+		robust:      robust,
+		trace:       req.Trace,
+		reqID:       RequestIDFromContext(ctx),
+		parallelism: opts.Parallelism,
+		enqueued:    time.Now(),
+		done:        make(chan struct{}),
 	}
 	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
 	if deadline <= 0 {
@@ -409,6 +522,10 @@ func (s *Server) admit(req *SolveRequest, robust bool) (*task, *admitError) {
 				tag = "robust"
 			}
 			t.key = ifp + "|" + opts.Fingerprint() + "|" + tag
+			t.fpPrefix = ifp
+			if len(t.fpPrefix) > 12 {
+				t.fpPrefix = t.fpPrefix[:12]
+			}
 		}
 	}
 
@@ -501,21 +618,30 @@ func (s *Server) prepare(req *SolveRequest) (*cosched.Instance, cosched.Options,
 
 // task is one admitted solve travelling from handler to worker.
 type task struct {
-	inst     *cosched.Instance
-	opts     cosched.Options
-	robust   bool
-	trace    bool
-	key      string // solution-cache key; "" = don't cache
-	deadline time.Time
-	enqueued time.Time
+	inst        *cosched.Instance
+	opts        cosched.Options
+	robust      bool
+	trace       bool
+	key         string // solution-cache key; "" = don't cache
+	reqID       string // request ID carried across the queue hop
+	fpPrefix    string // instance-fingerprint prefix (when the key was computed)
+	parallelism int
+	deadline    time.Time
+	enqueued    time.Time
 
 	// Written by the worker before closing done, read by the handler
 	// after.
-	resp       *SolveResponse
-	traceJSONL string
-	status     int
-	errMsg     string
-	done       chan struct{}
+	resp         *SolveResponse
+	traceJSONL   string
+	status       int
+	errMsg       string
+	queueMS      float64
+	solveMS      float64
+	cacheOutcome string // hit|shared|miss|bypass
+	degraded     bool
+	abortReason  string
+	solveID      uint64
+	done         chan struct{}
 }
 
 // worker drains the admission queue until the queue closes (drain) or
@@ -547,6 +673,7 @@ func (s *Server) worker(quit chan struct{}) {
 // process runs one admitted task: deadline check, cache lookup, solve.
 func (s *Server) process(t *task) {
 	queueMS := float64(time.Since(t.enqueued)) / float64(time.Millisecond)
+	t.queueMS = queueMS
 	s.queueDelay.Observe(queueMS)
 	if !t.deadline.IsZero() && !time.Now().Before(t.deadline) {
 		s.rejectedDL.Add(1)
@@ -555,7 +682,13 @@ func (s *Server) process(t *task) {
 		return
 	}
 
+	// Rebuild the request-scoped context on the worker side of the queue
+	// hop: the handler's context dies with the HTTP goroutine's select,
+	// but the identity must reach the solve.
 	ctx := context.Background()
+	if t.reqID != "" {
+		ctx = WithRequestID(ctx, t.reqID)
+	}
 	if !t.deadline.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, t.deadline)
@@ -569,7 +702,7 @@ func (s *Server) process(t *task) {
 		}
 		// Only proven answers are cacheable: a degraded schedule is an
 		// artifact of this request's budgets, not the instance's optimum.
-		return &cachedSolution{sched: sched, solveMS: solveMS}, !sched.Stats.Degraded, nil
+		return &cachedSolution{sched: sched, solveMS: solveMS, solveID: sched.Stats.SolveID}, !sched.Stats.Degraded, nil
 	}
 
 	var (
@@ -582,18 +715,28 @@ func (s *Server) process(t *task) {
 		switch outcome {
 		case solvecache.Hit:
 			s.cacheHits.Add(1)
+			t.cacheOutcome = "hit"
 		case solvecache.Shared:
 			s.cacheShared.Add(1)
+			t.cacheOutcome = "shared"
 		default:
 			s.cacheMisses.Add(1)
+			t.cacheOutcome = "miss"
 		}
 	} else {
 		sol, _, err = compute()
+		t.cacheOutcome = "bypass"
 	}
 	if err != nil {
 		t.status = http.StatusInternalServerError
 		t.errMsg = err.Error()
 		return
+	}
+	t.solveMS = sol.solveMS
+	t.solveID = sol.solveID
+	t.degraded = sol.sched.Stats.Degraded
+	if sol.sched.Stats.AbortReason != cosched.AbortNone {
+		t.abortReason = sol.sched.Stats.AbortReason.String()
 	}
 	t.resp = buildResponse(sol, outcome, queueMS)
 	if t.robust {
@@ -602,6 +745,8 @@ func (s *Server) process(t *task) {
 		t.resp.Method = t.opts.Method.String()
 	}
 	t.resp.TraceJSONL = t.traceJSONL
+	t.resp.RequestID = t.reqID
+	t.resp.SolveID = t.solveID
 }
 
 // solve runs the task's solver call, wiring trace capture and the

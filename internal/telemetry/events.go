@@ -49,6 +49,17 @@ import (
 //	             "idle=..." on shrink). Scale events carry no solve_id —
 //	             they describe the pool, not a solve — and t_ms counts
 //	             from server start
+//	request      req_id, route, status, queue_ms, solve_ms, encode_ms,
+//	             total_ms, cache, degraded, reason — serving layer: one
+//	             HTTP request's lifecycle summary, emitted at response
+//	             write. solve_id is the solve that answered it (the
+//	             original run's for cache hits), which is the join key
+//	             between the HTTP timeline and the solver timeline;
+//	             requests that ran no solver (rejections, bad requests)
+//	             carry solve_id 0. cache is hit|shared|miss|bypass (""
+//	             when the route does not consult the cache); reason
+//	             repeats the abort reason of a degraded answer. t_ms
+//	             counts from server start
 //	solution     cost, groups, pop, reason — one per solve, last line;
 //	             reason is non-empty on degraded solves and matches the
 //	             abort event
@@ -133,6 +144,25 @@ type Event struct {
 	// Serving-layer fields (scale): the worker-pool size after an
 	// autoscale event.
 	Workers int `json:"workers,omitempty"`
+
+	// Request-lifecycle fields (request): the coschedd serving layer's
+	// per-request summary. ReqID is the request's identity (generated at
+	// admission or accepted from an X-Request-ID header); Route the
+	// endpoint; Status the HTTP status written; QueueMS/SolveMS/EncodeMS/
+	// TotalMS the phase breakdown in wall-clock milliseconds; Cache the
+	// solution-cache outcome (hit|shared|miss|bypass); Degraded whether
+	// the answer was a budget-breached incumbent (Reason then names the
+	// broken budget). SolveID on a request event is the answering solve,
+	// joining the HTTP lifecycle to the solver timeline.
+	ReqID    string  `json:"req_id,omitempty"`
+	Route    string  `json:"route,omitempty"`
+	Status   int     `json:"status,omitempty"`
+	QueueMS  float64 `json:"queue_ms,omitempty"`
+	SolveMS  float64 `json:"solve_ms,omitempty"`
+	EncodeMS float64 `json:"encode_ms,omitempty"`
+	TotalMS  float64 `json:"total_ms,omitempty"`
+	Cache    string  `json:"cache,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
 }
 
 // EventSink receives trace events one at a time. EventWriter (durable

@@ -30,6 +30,11 @@ type Gauge struct {
 // Set records the current value.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
+// Add shifts the current value by n (negative n decrements) — the shape
+// an in-flight gauge wants: increment at admission, decrement at
+// completion, no read-modify-write race.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
 // Value returns the last recorded value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -103,6 +103,12 @@ type Stats struct {
 	// "model"/"search" (IP), or just "search" (PG, brute force).
 	// Nested phases appear after the phases they contain complete.
 	Phases []Phase
+	// SolveID is the telemetry identity of the solver run that produced
+	// this schedule — the id stamped on every event the run emitted, so a
+	// caller holding a Schedule can find its trace (coschedtrace joins on
+	// it, and the serving daemon reports it per request). For SolveRobust
+	// it is the answering rung's id.
+	SolveID uint64
 }
 
 // Fallback is one attempt of the SolveRobust ladder (see Stats.Fallbacks).

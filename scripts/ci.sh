@@ -99,8 +99,11 @@ for m in oastar hastar osvp ip pg brute; do
 done
 go run ./cmd/coschedtrace check "$tracedir"/deg-*.jsonl > /dev/null
 # The fallback ladder under a tight-but-usable deadline must answer and
-# report the rungs it walked.
-go run ./cmd/coschedcli -synthetic 16 -robust -deadline 200ms | grep -q 'fallback ladder:' || {
+# report the rungs it walked. (Capture to a file rather than piping into
+# grep -q: an early grep exit SIGPIPEs the still-printing writer, and
+# pipefail turns that into a spurious gate failure.)
+go run ./cmd/coschedcli -synthetic 16 -robust -deadline 200ms > "$tracedir/robust.out"
+grep -q 'fallback ladder:' "$tracedir/robust.out" || {
     echo "ci: SolveRobust did not report its fallback ladder" >&2
     exit 1
 }
@@ -168,6 +171,66 @@ grep -q 'drained clean' "$tracedir/coschedd.log" || {
     echo "ci: coschedd log is missing the drain summary" >&2; exit 1; }
 echo "ci: coschedd serves, caches, rejects expired work and drains clean" >&2
 
+# Request-observability gate: boot coschedd with a JSON access log,
+# fire a warm/cold/rejected mix with caller-supplied request IDs, and
+# require: the ID echoed on the response header and body, every
+# access-log line a JSON object with the full field set and each ID in
+# exactly one line (scripts/obscheck), the request events joinable to
+# their solve timeline in /debug/trace via `coschedtrace requests`, the
+# live /debug/requests ring showing the request, and the RED/SLO/
+# in-flight series in /metrics.
+"$tracedir/coschedd" -addr 127.0.0.1:0 -workers 1 -access-log "$tracedir/access.log" \
+    > "$tracedir/coschedd-obs.log" 2>&1 &
+coschedd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's#^coschedd: listening on http://##p' "$tracedir/coschedd-obs.log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "ci: observability coschedd never printed its address" >&2; exit 1; }
+
+obs_req='{"synthetic": 8, "seed": 9, "method": "hastar"}'
+echo_id="$(curl -sf -D - -o "$tracedir/obs-cold.json" -H 'X-Request-ID: ci-obs-cold' \
+    -d "$obs_req" "http://$addr/v1/solve" | grep -i '^x-request-id:' | tr -d '\r' | awk '{print $2}')"
+[[ "$echo_id" == "ci-obs-cold" ]] || {
+    echo "ci: X-Request-ID not echoed on the response header (got '$echo_id')" >&2; exit 1; }
+grep -q '"request_id":"ci-obs-cold"' "$tracedir/obs-cold.json" || {
+    echo "ci: solve response body does not carry its request id" >&2; exit 1; }
+curl -sf -H 'X-Request-ID: ci-obs-warm' -d "$obs_req" "http://$addr/v1/solve" | grep -q '"cached":true' || {
+    echo "ci: warm observability request was not served from the cache" >&2; exit 1; }
+code="$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Request-ID: ci-obs-bad' \
+    -d '{}' "http://$addr/v1/solve")"
+[[ "$code" == "400" ]] || { echo "ci: workload-less request returned $code; want 400" >&2; exit 1; }
+
+go run ./scripts/obscheck -log "$tracedir/access.log" ci-obs-cold ci-obs-warm ci-obs-bad
+
+curl -sf "http://$addr/debug/requests" | grep -q 'ci-obs-cold' || {
+    echo "ci: /debug/requests does not show the request" >&2; exit 1; }
+curl -sf "http://$addr/debug/trace" > "$tracedir/obs-trace.jsonl"
+go run ./cmd/coschedtrace requests "$tracedir/obs-trace.jsonl" > "$tracedir/obs-requests.out"
+grep -q 'ci-obs-cold' "$tracedir/obs-requests.out" || {
+    echo "ci: coschedtrace requests does not render the traced request" >&2; exit 1; }
+solve_id="$(grep -o '"solve_id":[0-9]*' "$tracedir/obs-cold.json" | head -1 | cut -d: -f2)"
+[[ -n "$solve_id" && "$solve_id" != "0" ]] || {
+    echo "ci: solve response carries no solve_id join key" >&2; exit 1; }
+go run ./cmd/coschedtrace summary -solve "$solve_id" "$tracedir/obs-trace.jsonl" > "$tracedir/obs-summary.out"
+grep -q '=== solve' "$tracedir/obs-summary.out" || {
+    echo "ci: request's solve_id $solve_id joins no solve timeline in the trace" >&2; exit 1; }
+
+obs_metrics="$(curl -sf "http://$addr/metrics")"
+for series in cosched_server_requests_inflight cosched_server_http_requests_v1_solve \
+    cosched_server_http_duration_ms_v1_solve_count cosched_server_slo_availability_good \
+    cosched_server_slo_latency_burn_fast; do
+    grep -q "^$series" <<<"$obs_metrics" || {
+        echo "ci: /metrics is missing the $series series" >&2; exit 1; }
+done
+
+kill -TERM "$coschedd_pid"
+wait "$coschedd_pid" || { echo "ci: observability coschedd did not drain cleanly" >&2; exit 1; }
+coschedd_pid=""
+echo "ci: request observability — IDs echoed, access log validates, trace joins, metrics present" >&2
+
 # Serving benchmark + autoscaler gate: boot coschedd with a 1..4
 # autoscaling pool and aggressive scale knobs, drive a two-rung
 # open-loop coschedload ladder sized to saturate one worker (cold
@@ -201,7 +264,8 @@ for _ in $(seq 1 40); do
     sleep 0.25
 done
 [[ -n "$shrunk" ]] || { echo "ci: autoscaler never shrank after the ladder went idle" >&2; exit 1; }
-curl -sf "http://$addr/debug/trace" | go run ./cmd/coschedtrace scaling - | grep -q 'autoscale timeline' || {
+curl -sf "http://$addr/debug/trace" | go run ./cmd/coschedtrace scaling - > "$tracedir/scaling.out"
+grep -q 'autoscale timeline' "$tracedir/scaling.out" || {
     echo "ci: /debug/trace yields no autoscale timeline" >&2; exit 1; }
 kill -TERM "$coschedd_pid"
 wait "$coschedd_pid" || { echo "ci: autoscaling coschedd did not drain cleanly" >&2; exit 1; }
