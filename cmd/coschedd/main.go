@@ -65,6 +65,7 @@ func main() {
 		requestsRing = flag.Int("requests-ring", 256, "/debug/requests retained-request count (-1 disables)")
 		sloLatency   = flag.Duration("slo-latency", 500*time.Millisecond, "latency objective: a 200 within this is a good event for server.slo.latency")
 		sloObjective = flag.Float64("slo-objective", 0.99, "target good fraction for the availability and latency SLOs")
+		replicaID    = flag.String("replica-id", "", "stable fleet identity for this daemon, shown in /healthz, access logs and request events (empty = boot-generated)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func main() {
 		RequestRing:        *requestsRing,
 		SLOLatency:         *sloLatency,
 		SLOObjective:       *sloObjective,
+		ReplicaID:          *replicaID,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -9,12 +9,21 @@
 //
 //	coschedload -addr http://127.0.0.1:8080 -rungs 8x3s,15x3s
 //	coschedload -rungs 8x3s,15x3s -workers-min 1 -workers-max 4
+//	coschedload -replicas http://127.0.0.1:8080,http://127.0.0.1:8081 -rungs 8x3s,15x3s
 //	coschedload -check BENCH_serving.json
 //
 // With -addr it attaches to a running daemon; without it, it boots an
 // in-process server (honouring the -workers-min/-workers-max autoscaler
 // bounds) on an ephemeral port, runs the ladder, and drains it. -check
 // validates an existing report file instead of running anything.
+//
+// With -replicas, every request goes through the fault-tolerant fleet
+// client (internal/coschedclient) instead of a bare HTTP POST: requests
+// are consistent-hash routed across the listed daemons with retries,
+// hedging and per-backend circuit breaking, the report gains a "fleet"
+// section, and -client-trace captures the client's per-attempt JSONL
+// events (render with `coschedtrace fleet`). -max-error-rate and
+// -assert-deadline turn the run into a pass/fail gate.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"cosched/internal/coschedclient"
 	"cosched/internal/loadgen"
 	"cosched/internal/server"
 	"cosched/internal/telemetry"
@@ -53,6 +63,13 @@ func main() {
 		queueDepth = flag.Int("queue", 256, "in-process daemon: admission queue depth")
 		scaleEvery = flag.Duration("scale-interval", 0, "in-process daemon: autoscaler decision interval (0 = 1s)")
 		scaleUpP90 = flag.Duration("scale-up-p90", 0, "in-process daemon: grow threshold on recent p90 queue delay (0 = 25ms)")
+
+		replicas    = flag.String("replicas", "", "comma-separated daemon base URLs; routes the ladder through the fleet client (overrides -addr)")
+		clientTrace = flag.String("client-trace", "", "write the fleet client's JSONL event trace here (requires -replicas)")
+		hedgeQ      = flag.Float64("hedge-quantile", 0, "fleet client: hedge after this quantile of recent latencies (0 = 0.9, negative disables)")
+		maxAttempts = flag.Int("max-attempts", 0, "fleet client: attempt rounds per logical request (0 = 3)")
+		maxErrRate  = flag.Float64("max-error-rate", -1, "fail the run when the non-429 error rate across all rungs exceeds this fraction (negative disables)")
+		assertDL    = flag.Duration("assert-deadline", 0, "fail the run when any request's latency exceeds -deadline-ms plus this grace (0 disables)")
 	)
 	flag.Parse()
 
@@ -95,8 +112,34 @@ func main() {
 		Note:       *note,
 	}
 	baseURL := *addr
+	var fleet *coschedclient.Client
+	var fleetURLs []string
+	if *replicas != "" {
+		fleetURLs = splitReplicas(*replicas)
+		sink, closeTrace, terr := openTrace(*clientTrace)
+		if terr != nil {
+			fatal(terr)
+		}
+		if closeTrace != nil {
+			defer closeTrace()
+		}
+		fleet, err = coschedclient.New(coschedclient.Config{
+			Replicas:      fleetURLs,
+			HTTPClient:    &http.Client{Timeout: *timeout},
+			MaxAttempts:   *maxAttempts,
+			HedgeQuantile: *hedgeQ,
+			Seed:          *seed,
+			Metrics:       telemetry.Default,
+			EventSink:     sink,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	} else if *clientTrace != "" {
+		fatal(fmt.Errorf("-client-trace requires -replicas"))
+	}
 	var drain func()
-	if baseURL == "" {
+	if baseURL == "" && fleet == nil {
 		baseURL, drain, err = bootDaemon(*workersMin, *workersMax, *queueDepth, *scaleEvery, *scaleUpP90)
 		if err != nil {
 			fatal(err)
@@ -107,11 +150,41 @@ func main() {
 		fmt.Printf("coschedload: booted in-process daemon at %s (workers %d..%d)\n", baseURL, *workersMin, *workersMax)
 	}
 
-	fmt.Printf("coschedload: firing %d requests over %d rungs at %s\n", len(sched), len(rungs), baseURL)
 	runner := &loadgen.Runner{BaseURL: baseURL, Client: &http.Client{Timeout: *timeout}}
+	if fleet != nil {
+		fmt.Printf("coschedload: firing %d requests over %d rungs across %d replicas (%s)\n",
+			len(sched), len(rungs), len(fleetURLs), strings.Join(fleetURLs, ", "))
+		runner.Do = func(ctx context.Context, id string, body []byte) (int, []byte, error) {
+			res, derr := fleet.DoJSON(ctx, id, body)
+			if res == nil {
+				return 0, nil, derr
+			}
+			return res.Status, res.Body, derr
+		}
+	} else {
+		fmt.Printf("coschedload: firing %d requests over %d rungs at %s\n", len(sched), len(rungs), baseURL)
+	}
 	report, err := runner.Run(context.Background(), cfg, sched)
 	if err != nil {
 		fatal(err)
+	}
+	if fleet != nil {
+		st := fleet.Stats()
+		report.Fleet = &loadgen.FleetStats{
+			Requests:          st.Requests,
+			Attempts:          st.Attempts,
+			Retries:           st.Retries,
+			Hedges:            st.Hedges,
+			HedgeWins:         st.HedgeWins,
+			Failovers:         st.Failovers,
+			Spillovers:        st.Spillovers,
+			Failures:          st.Failures,
+			DeadlineExhausted: st.DeadlineExhausted,
+			BreakerOpens:      st.BreakerOpens,
+			BreakerHalfOpens:  st.BreakerHalfOpens,
+			BreakerCloses:     st.BreakerCloses,
+			Replicas:          fleetURLs,
+		}
 	}
 	report.Environment = env
 	report.BenchmarkCmd = benchmarkCmd()
@@ -146,7 +219,87 @@ func main() {
 			fmt.Printf("  slow: %s %.1fms status %d%s\n", s.ID, s.LatencyMS, s.Status, cached)
 		}
 	}
+	if f := report.Fleet; f != nil {
+		// One greppable line: the CI chaos gate asserts on these fields.
+		fmt.Printf("coschedload: fleet requests=%d attempts=%d retries=%d hedges=%d hedge_wins=%d "+
+			"failovers=%d spillovers=%d failures=%d deadline_exhausted=%d "+
+			"breaker_opens=%d breaker_half_opens=%d breaker_closes=%d\n",
+			f.Requests, f.Attempts, f.Retries, f.Hedges, f.HedgeWins,
+			f.Failovers, f.Spillovers, f.Failures, f.DeadlineExhausted,
+			f.BreakerOpens, f.BreakerHalfOpens, f.BreakerCloses)
+	}
 	fmt.Printf("coschedload: wrote %s\n", *out)
+	if err := checkGates(report, *maxErrRate, *deadlineMS, *assertDL); err != nil {
+		fmt.Fprintln(os.Stderr, "coschedload: gate:", err)
+		os.Exit(1)
+	}
+}
+
+// splitReplicas parses the -replicas flag into trimmed non-empty URLs.
+func splitReplicas(s string) []string {
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			urls = append(urls, part)
+		}
+	}
+	return urls
+}
+
+// openTrace opens the -client-trace JSONL sink ("" means no trace). The
+// returned close function flushes buffered events before closing.
+func openTrace(path string) (telemetry.EventSink, func(), error) {
+	if path == "" {
+		return nil, nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client trace: %w", err)
+	}
+	ew := telemetry.NewEventWriter(f)
+	return ew, func() {
+		ew.Flush() //nolint:errcheck // best-effort trace
+		f.Close()  //nolint:errcheck
+	}, nil
+}
+
+// checkGates applies the run's pass/fail assertions: -max-error-rate
+// bounds the whole-run non-429 error fraction (transport failures,
+// 503/504 and unexpected statuses — 429s are the daemon shedding load
+// as designed), and -assert-deadline bounds every observed latency by
+// the request deadline plus a grace for network and encode time.
+func checkGates(report *loadgen.Report, maxErrRate float64, deadlineMS int64, grace time.Duration) error {
+	var total, bad int64
+	maxLatencyMS := 0.0
+	for _, rg := range report.Rungs {
+		total += rg.Requests
+		bad += rg.Status.Rejected503 + rg.Status.Rejected504 + rg.Status.Other + rg.Status.Errors
+		if rg.Latency.Max > maxLatencyMS {
+			maxLatencyMS = rg.Latency.Max
+		}
+	}
+	if maxErrRate >= 0 && total > 0 {
+		rate := float64(bad) / float64(total)
+		if rate > maxErrRate {
+			return fmt.Errorf("non-429 error rate %.2f%% (%d/%d) exceeds %.2f%%",
+				rate*100, bad, total, maxErrRate*100)
+		}
+		fmt.Printf("coschedload: gate ok: non-429 error rate %.2f%% (%d/%d) within %.2f%%\n",
+			rate*100, bad, total, maxErrRate*100)
+	}
+	if grace > 0 {
+		if deadlineMS <= 0 {
+			return fmt.Errorf("-assert-deadline needs -deadline-ms")
+		}
+		limitMS := float64(deadlineMS) + float64(grace)/float64(time.Millisecond)
+		if maxLatencyMS > limitMS {
+			return fmt.Errorf("max latency %.1fms exceeds deadline %dms + grace %v",
+				maxLatencyMS, deadlineMS, grace)
+		}
+		fmt.Printf("coschedload: gate ok: max latency %.1fms within deadline %dms + grace %v\n",
+			maxLatencyMS, deadlineMS, grace)
+	}
+	return nil
 }
 
 // bootDaemon starts an in-process coschedd engine on an ephemeral port

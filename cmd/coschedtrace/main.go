@@ -9,6 +9,7 @@
 //	coschedtrace timeline trace.jsonl           ASCII g/h and frontier charts
 //	coschedtrace scaling trace.jsonl            worker-pool autoscale timeline
 //	coschedtrace requests trace.jsonl           HTTP request table (coschedd traces)
+//	coschedtrace fleet trace.jsonl              fleet-client attempt/breaker chronology
 //	coschedtrace diff before.jsonl after.jsonl  counter/phase deltas
 //	coschedtrace check trace.jsonl...           replay the trace invariants
 //
@@ -18,7 +19,11 @@
 // recorded — pipe /debug/trace into it. requests renders every HTTP
 // request the daemon recorded, with its request ID, phase breakdown and
 // the solve_id to feed back into `timeline -solve`; -slow N marks
-// requests that took at least N ms. diff pairs the files' solves in
+// requests that took at least N ms. fleet renders a coschedclient trace
+// (coschedload -client-trace) as a chronology of per-attempt calls,
+// per-request summaries and circuit-breaker transitions — the req_id
+// column joins each attempt to the replica access log that served it.
+// diff pairs the files' solves in
 // order and exits non-zero when any pair reached different solution
 // costs. check exits non-zero when any invariant fails, naming each
 // violated invariant. A file argument of "-" reads the trace from
@@ -53,6 +58,8 @@ func main() {
 		err = runScaling(args)
 	case "requests":
 		err = runRequests(args)
+	case "fleet":
+		err = runFleet(args)
 	case "diff":
 		err = runDiff(args)
 	case "check":
@@ -76,6 +83,7 @@ commands:
   timeline  ASCII charts: popped g/h vs pop, frontier vs pop
   scaling   coschedd worker-pool autoscale timeline from scale events
   requests  coschedd HTTP request table: id, phases, cache, solve_id join key
+  fleet     coschedclient attempt/request/breaker chronology (req_id join key)
   diff      compare two traces' solves counter by counter (exit 1 on cost mismatch)
   check     replay each solve against the producer's trace invariants
 
@@ -232,6 +240,20 @@ func runRequests(args []string) error {
 		return err
 	}
 	return tracetool.WriteRequests(os.Stdout, traces, *slowMS)
+}
+
+// runFleet renders a fleet-client trace's attempt/request/breaker
+// chronology (client events are daemon-less: they all file under the
+// ambient trace, and the renderer walks every trace regardless).
+func runFleet(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("fleet wants one trace file, got %d", len(args))
+	}
+	traces, err := loadFile(args[0])
+	if err != nil {
+		return err
+	}
+	return tracetool.WriteFleet(os.Stdout, traces)
 }
 
 func methodOr(tr *tracetool.Trace) string {

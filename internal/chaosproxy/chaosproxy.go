@@ -1,0 +1,367 @@
+// Package chaosproxy is a fault-injecting TCP proxy for exercising the
+// fleet client and serving daemon under network failure: it sits
+// between a client and one backend and, per accepted connection, draws
+// a fault from a seeded distribution — drop the connection before any
+// bytes move, add latency, black-hole the request (read it, never
+// answer), relay the response but reset it mid-body, or answer an
+// HTTP 503 with a Retry-After header without ever contacting the
+// backend. Connections that draw no fault are piped through untouched.
+//
+// Faults are decided per TCP connection, not per HTTP request, so
+// tests that want one fault draw per request must disable HTTP
+// keep-alives on the client transport (each request then opens a fresh
+// connection). The draw sequence is deterministic in Config.Seed: the
+// same seed against the same connection arrival order injects the same
+// faults, which keeps -race chaos tests reproducible.
+package chaosproxy
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config describes the proxy's target and its fault mix. Probabilities
+// are evaluated in order — Drop, Err503, Blackhole, Reset — on one
+// uniform draw per connection, so their sum must stay <= 1; whatever
+// probability mass remains passes the connection through cleanly
+// (after Delay, which applies to every non-dropped connection).
+type Config struct {
+	// Target is the backend address ("host:port") faultless bytes are
+	// piped to.
+	Target string
+	// Seed drives the per-connection fault draws (0 means 1).
+	Seed int64
+	// DropProb closes the accepted connection before any bytes move —
+	// the client sees a reset/EOF, the transport-error shape of a
+	// crashed backend.
+	DropProb float64
+	// Err503Prob answers "503 Service Unavailable" with a Retry-After
+	// header at the HTTP layer without contacting the backend — the
+	// shape of an overloaded or draining replica.
+	Err503Prob float64
+	// BlackholeProb reads and discards the client's bytes and never
+	// answers — the shape of a wedged backend; the client's own timeout
+	// or deadline is its only way out.
+	BlackholeProb float64
+	// ResetProb forwards the request but hard-closes (RST via
+	// SO_LINGER 0) after relaying ResetAfterBytes of the response — a
+	// mid-body failure, after the backend has already done the work.
+	ResetProb float64
+	// ResetAfterBytes is how much response to relay before the reset
+	// (<= 0 means 64).
+	ResetAfterBytes int
+	// RetryAfter is the hint sent on injected 503s (<= 0 means 1s;
+	// rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// Delay is added once per non-dropped connection before any bytes
+	// reach the backend; DelayJitter adds a uniform extra in
+	// [0, DelayJitter).
+	Delay       time.Duration
+	DelayJitter time.Duration
+}
+
+// Counts reports what the proxy did, one count per accepted connection.
+type Counts struct {
+	// Conns is every accepted connection; the fault counts plus Passed
+	// sum to it.
+	Conns      int64
+	Drops      int64
+	Err503s    int64
+	Blackholes int64
+	Resets     int64
+	Passed     int64
+}
+
+// Proxy is a running chaos proxy. Construct with Listen, stop with
+// Close — Close also unblocks any black-holed connections.
+type Proxy struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	counts Counts
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Listen starts a proxy on an ephemeral localhost port.
+func Listen(cfg Config) (*Proxy, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("chaosproxy: config needs a target")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ResetAfterBytes <= 0 {
+		cfg.ResetAfterBytes = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if sum := cfg.DropProb + cfg.Err503Prob + cfg.BlackholeProb + cfg.ResetProb; sum > 1 {
+		return nil, fmt.Errorf("chaosproxy: fault probabilities sum to %.3f; want <= 1", sum)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:    ln,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		conns: make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address ("127.0.0.1:port") — point the
+// client here instead of at the backend.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Stats snapshots the per-fault connection counts.
+func (p *Proxy) Stats() Counts {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts
+}
+
+// SetFaults swaps the fault mix mid-run (target and seed are kept);
+// connections accepted after the call draw from the new mix. Tests use
+// this to turn a healthy proxy hostile mid-ladder and back.
+func (p *Proxy) SetFaults(cfg Config) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cfg.Target = p.cfg.Target
+	cfg.Seed = p.cfg.Seed
+	if cfg.ResetAfterBytes <= 0 {
+		cfg.ResetAfterBytes = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	p.cfg = cfg
+}
+
+// Close stops accepting, severs every live connection (including
+// black-holed ones), and waits for the connection handlers to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	for c := range p.conns {
+		c.Close() //nolint:errcheck // severing
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+// fault is one connection's drawn behaviour.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultDrop
+	fault503
+	faultBlackhole
+	faultReset
+)
+
+// draw picks the connection's fault and the effective config under one
+// lock, and registers the connection for Close-time severing.
+func (p *Proxy) draw(c net.Conn) (fault, Config, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return faultNone, p.cfg, false
+	}
+	p.conns[c] = struct{}{}
+	p.counts.Conns++
+	cfg := p.cfg
+	u := p.rng.Float64()
+	var extraDelay time.Duration
+	if cfg.DelayJitter > 0 {
+		extraDelay = time.Duration(p.rng.Int63n(int64(cfg.DelayJitter)))
+	}
+	cfg.Delay += extraDelay
+	switch {
+	case u < cfg.DropProb:
+		p.counts.Drops++
+		return faultDrop, cfg, true
+	case u < cfg.DropProb+cfg.Err503Prob:
+		p.counts.Err503s++
+		return fault503, cfg, true
+	case u < cfg.DropProb+cfg.Err503Prob+cfg.BlackholeProb:
+		p.counts.Blackholes++
+		return faultBlackhole, cfg, true
+	case u < cfg.DropProb+cfg.Err503Prob+cfg.BlackholeProb+cfg.ResetProb:
+		p.counts.Resets++
+		return faultReset, cfg, true
+	default:
+		p.counts.Passed++
+		return faultNone, cfg, true
+	}
+}
+
+// forget drops a finished connection from the Close-time set.
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.handle(c)
+	}
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	defer p.forget(client)
+	defer client.Close() //nolint:errcheck // best-effort teardown
+	f, cfg, ok := p.draw(client)
+	if !ok {
+		return // proxy already closed
+	}
+	switch f {
+	case faultDrop:
+		// Reset rather than FIN so the client sees a hard failure even
+		// if it has already sent its request.
+		hardClose(client)
+		return
+	case fault503:
+		p.inject503(client, cfg)
+		return
+	case faultBlackhole:
+		// Swallow the request forever; Close (or the client giving up)
+		// is the only exit.
+		buf := make([]byte, 4096)
+		for {
+			if _, err := client.Read(buf); err != nil {
+				return
+			}
+		}
+	}
+	if cfg.Delay > 0 {
+		time.Sleep(cfg.Delay)
+	}
+	backend, err := net.Dial("tcp", cfg.Target)
+	if err != nil {
+		hardClose(client)
+		return
+	}
+	defer backend.Close() //nolint:errcheck // best-effort teardown
+	// Upstream: client bytes flow to the backend unmodified until
+	// either side closes.
+	go func() {
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := client.Read(buf)
+			if n > 0 {
+				if _, werr := backend.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if rerr != nil {
+				// Half-close toward the backend so its response can
+				// still drain on the other direction.
+				if tc, ok := backend.(*net.TCPConn); ok {
+					tc.CloseWrite() //nolint:errcheck
+				}
+				return
+			}
+		}
+	}()
+	// Downstream: relay the response, resetting mid-body when the
+	// connection drew faultReset.
+	limit := -1
+	if f == faultReset {
+		limit = cfg.ResetAfterBytes
+	}
+	buf := make([]byte, 32<<10)
+	relayed := 0
+	for {
+		n, rerr := backend.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if limit >= 0 && relayed+n >= limit {
+				client.Write(chunk[:limit-relayed]) //nolint:errcheck // about to reset anyway
+				hardClose(client)
+				return
+			}
+			if _, werr := client.Write(chunk); werr != nil {
+				return
+			}
+			relayed += n
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// inject503 reads the request's header block (enough for the client to
+// consider the request sent) and answers a canned 503 with the
+// configured Retry-After, then closes the connection.
+func (p *Proxy) inject503(client net.Conn, cfg Config) {
+	// Read until the end of the header block or the client stops
+	// sending; the body, if any, is irrelevant to the injected answer.
+	client.SetReadDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	var head []byte
+	buf := make([]byte, 4096)
+	for len(head) < 64<<10 {
+		n, err := client.Read(buf)
+		head = append(head, buf[:n]...)
+		if containsHeaderEnd(head) || err != nil {
+			break
+		}
+	}
+	if cfg.Delay > 0 {
+		time.Sleep(cfg.Delay)
+	}
+	body := `{"error":"injected overload (chaosproxy)"}`
+	secs := int((cfg.RetryAfter + time.Second - 1) / time.Second)
+	fmt.Fprintf(client, //nolint:errcheck
+		"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json; charset=utf-8\r\nRetry-After: %d\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		secs, len(body), body)
+}
+
+// containsHeaderEnd reports whether b holds a complete HTTP header
+// block terminator.
+func containsHeaderEnd(b []byte) bool {
+	for i := 0; i+3 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' && b[i+2] == '\r' && b[i+3] == '\n' {
+			return true
+		}
+	}
+	return false
+}
+
+// hardClose resets the connection (SO_LINGER 0 → RST) instead of a
+// graceful FIN, so clients observe the failure immediately even with
+// unread response data in flight.
+func hardClose(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0) //nolint:errcheck
+	}
+	c.Close() //nolint:errcheck
+}

@@ -1,0 +1,245 @@
+package chaosproxy
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newBackend starts a plain HTTP backend that answers 200 with a body
+// long enough for mid-body resets to truncate.
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte(`{"ok":true,"pad":"` + strings.Repeat("x", 512) + `"}`)) //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// freshClient builds a keep-alive-free client so every request opens a
+// new proxy connection and therefore gets its own fault draw.
+func freshClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+func targetOf(srv *httptest.Server) string {
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func TestPassThrough(t *testing.T) {
+	backend := newBackend(t)
+	p, err := Listen(Config{Target: targetOf(backend)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	resp, err := freshClient(5*time.Second).Post("http://"+p.Addr(), "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("pass-through request failed: %v", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != 200 || !strings.Contains(string(body), `"ok":true`) {
+		t.Fatalf("pass-through got status %d body %q err %v", resp.StatusCode, body, err)
+	}
+	if st := p.Stats(); st.Passed != 1 || st.Conns != 1 {
+		t.Fatalf("stats = %+v; want one passed connection", st)
+	}
+}
+
+func TestDropIsTransportError(t *testing.T) {
+	backend := newBackend(t)
+	p, err := Listen(Config{Target: targetOf(backend), DropProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	_, err = freshClient(2*time.Second).Post("http://"+p.Addr(), "application/json", strings.NewReader("{}"))
+	if err == nil {
+		t.Fatal("dropped connection produced a response; want a transport error")
+	}
+	if st := p.Stats(); st.Drops != 1 {
+		t.Fatalf("stats = %+v; want one drop", st)
+	}
+}
+
+func TestInjected503CarriesRetryAfter(t *testing.T) {
+	backend := newBackend(t)
+	p, err := Listen(Config{Target: targetOf(backend), Err503Prob: 1, RetryAfter: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	resp, err := freshClient(5*time.Second).Post("http://"+p.Addr(), "application/json", strings.NewReader(`{"x":1}`))
+	if err != nil {
+		t.Fatalf("injected 503 should still be a well-formed response: %v", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d; want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q; want \"2\"", ra)
+	}
+	if st := p.Stats(); st.Err503s != 1 {
+		t.Fatalf("stats = %+v; want one injected 503", st)
+	}
+}
+
+func TestResetMidBody(t *testing.T) {
+	backend := newBackend(t)
+	p, err := Listen(Config{Target: targetOf(backend), ResetProb: 1, ResetAfterBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	resp, err := freshClient(5*time.Second).Post("http://"+p.Addr(), "application/json", strings.NewReader("{}"))
+	if err == nil {
+		// The reset may land before the status line (transport error) or
+		// after it (body read error); both are the mid-body failure shape.
+		defer resp.Body.Close() //nolint:errcheck
+		if _, rerr := io.ReadAll(resp.Body); rerr == nil {
+			t.Fatal("mid-body reset delivered a complete response")
+		}
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("stats = %+v; want one reset", st)
+	}
+}
+
+func TestBlackholeHoldsUntilClientDeadline(t *testing.T) {
+	backend := newBackend(t)
+	p, err := Listen(Config{Target: targetOf(backend), BlackholeProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+p.Addr(), strings.NewReader("{}"))
+	start := time.Now()
+	_, err = freshClient(0).Do(req)
+	if err == nil {
+		t.Fatal("black-holed request produced a response")
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("black-holed request failed after %v; want it held until the deadline", elapsed)
+	}
+	if st := p.Stats(); st.Blackholes != 1 {
+		t.Fatalf("stats = %+v; want one blackhole", st)
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	backend := newBackend(t)
+	p, err := Listen(Config{Target: targetOf(backend), Delay: 120 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	start := time.Now()
+	resp, err := freshClient(5*time.Second).Post("http://"+p.Addr(), "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //nolint:errcheck
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("delayed request round-tripped in %v; want >= ~120ms", elapsed)
+	}
+}
+
+func TestSeededDrawsAreDeterministic(t *testing.T) {
+	run := func() Counts {
+		backend := newBackend(t)
+		p, err := Listen(Config{Target: targetOf(backend), Seed: 7, DropProb: 0.3, Err503Prob: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close() //nolint:errcheck
+		client := freshClient(2 * time.Second)
+		for i := 0; i < 20; i++ { // sequential: arrival order is the draw order
+			resp, err := client.Post("http://"+p.Addr(), "application/json", strings.NewReader("{}"))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()              //nolint:errcheck
+			}
+		}
+		return p.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different fault sequences: %+v vs %+v", a, b)
+	}
+	if a.Drops == 0 || a.Err503s == 0 || a.Passed == 0 {
+		t.Fatalf("mixed config exercised no variety: %+v", a)
+	}
+}
+
+func TestSetFaultsMidRun(t *testing.T) {
+	backend := newBackend(t)
+	p, err := Listen(Config{Target: targetOf(backend)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	client := freshClient(2 * time.Second)
+	if resp, err := client.Post("http://"+p.Addr(), "application/json", strings.NewReader("{}")); err != nil {
+		t.Fatalf("healthy phase failed: %v", err)
+	} else {
+		resp.Body.Close() //nolint:errcheck
+	}
+	p.SetFaults(Config{DropProb: 1})
+	if _, err := client.Post("http://"+p.Addr(), "application/json", strings.NewReader("{}")); err == nil {
+		t.Fatal("hostile phase still answered")
+	}
+	p.SetFaults(Config{})
+	if resp, err := client.Post("http://"+p.Addr(), "application/json", strings.NewReader("{}")); err != nil {
+		t.Fatalf("recovered phase failed: %v", err)
+	} else {
+		resp.Body.Close() //nolint:errcheck
+	}
+	st := p.Stats()
+	if st.Passed != 2 || st.Drops != 1 {
+		t.Fatalf("stats = %+v; want 2 passed, 1 dropped", st)
+	}
+}
+
+func TestCloseUnblocksBlackholes(t *testing.T) {
+	backend := newBackend(t)
+	p, err := Listen(Config{Target: targetOf(backend), BlackholeProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// No client timeout: only the proxy's Close can free this.
+		freshClient(0).Post("http://"+p.Addr(), "application/json", strings.NewReader("{}")) //nolint:errcheck
+	}()
+	// Wait for the connection to be swallowed, then close under it.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Blackholes == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }() //nolint:errcheck
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung behind a black-holed connection")
+	}
+	wg.Wait()
+}

@@ -1,0 +1,240 @@
+package coschedclient
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes one backend's circuit breaker. The zero value
+// means: a 20-outcome window, 5 minimum samples, trip at a 50% failure
+// rate, stay open 2s, close after 1 half-open success.
+type BreakerConfig struct {
+	// Window is how many recent outcomes the failure rate is computed
+	// over (<= 0 means 20).
+	Window int
+	// MinSamples is the least outcomes the window needs before the rate
+	// can trip the breaker (<= 0 means 5) — one early failure must not
+	// open a cold circuit.
+	MinSamples int
+	// FailureRate opens the breaker when the window's failure fraction
+	// reaches it (<= 0 means 0.5).
+	FailureRate float64
+	// OpenFor is how long an open breaker rejects before letting one
+	// half-open probe through (<= 0 means 2s).
+	OpenFor time.Duration
+	// HalfOpenProbes is how many consecutive half-open successes close
+	// the breaker (<= 0 means 1); any half-open failure reopens it.
+	HalfOpenProbes int
+}
+
+// withDefaults fills the documented defaults.
+func (cfg BreakerConfig) withDefaults() BreakerConfig {
+	if cfg.Window <= 0 {
+		cfg.Window = 20
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 5
+	}
+	if cfg.FailureRate <= 0 {
+		cfg.FailureRate = 0.5
+	}
+	if cfg.OpenFor <= 0 {
+		cfg.OpenFor = 2 * time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	return cfg
+}
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateHalfOpen
+	stateOpen
+)
+
+// String renders the state for events and /metrics-adjacent output.
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// breaker is one backend's circuit: a ring of recent outcomes drives
+// closed→open on failure rate; open→half-open on a timer; half-open
+// lets a single probe through at a time and closes after
+// HalfOpenProbes successes. A drain signal (the backend announced it
+// is going away) forces open immediately regardless of the window.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+	// transition, when non-nil, observes every state change (telemetry
+	// hooks live there, not here).
+	transition func(from, to breakerState, reason string)
+
+	mu            sync.Mutex
+	state         breakerState
+	window        []bool // true = failure
+	widx, wlen    int
+	fails         int
+	openedAt      time.Time
+	probeInFlight bool
+	probeWins     int
+}
+
+// newBreaker builds a closed breaker.
+func newBreaker(cfg BreakerConfig, now func() time.Time, transition func(from, to breakerState, reason string)) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{
+		cfg:        cfg,
+		now:        now,
+		transition: transition,
+		window:     make([]bool, cfg.Window),
+	}
+}
+
+// currentState reports the state without advancing it.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// allow reports whether a request may go to this backend right now.
+// Closed always allows; open allows nothing until OpenFor has elapsed,
+// at which point the breaker half-opens and admits one probe;
+// half-open admits one probe at a time.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.OpenFor {
+			return false
+		}
+		b.setState(stateHalfOpen, "open interval elapsed")
+		b.probeInFlight = true
+		return true
+	default: // half-open
+		if b.probeInFlight {
+			return false
+		}
+		b.probeInFlight = true
+		return true
+	}
+}
+
+// force admits one probe through an open breaker ahead of its OpenFor
+// timer. The client uses it when every backend is open-circuited: at
+// that point rejecting is strictly worse than probing the key's home.
+func (b *breaker) force() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != stateOpen {
+		return
+	}
+	b.setState(stateHalfOpen, "all backends open; forced probe")
+	b.probeInFlight = true
+}
+
+// onSuccess records a healthy outcome.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.push(false)
+	switch b.state {
+	case stateHalfOpen:
+		b.probeInFlight = false
+		b.probeWins++
+		if b.probeWins >= b.cfg.HalfOpenProbes {
+			b.reset()
+			b.setState(stateClosed, "probe succeeded")
+		}
+	case stateOpen:
+		// A straggler launched before the trip finished well; the window
+		// records it but open only exits through allow/force probes.
+	}
+}
+
+// onFailure records a failed outcome; drain marks the backend as
+// announcing its own departure, which opens the circuit immediately.
+func (b *breaker) onFailure(drain bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.push(true)
+	switch b.state {
+	case stateClosed:
+		if drain {
+			b.open("backend draining")
+			return
+		}
+		if b.wlen >= b.cfg.MinSamples && float64(b.fails)/float64(b.wlen) >= b.cfg.FailureRate {
+			b.open("failure rate tripped")
+		}
+	case stateHalfOpen:
+		b.probeInFlight = false
+		reason := "probe failed"
+		if drain {
+			reason = "backend draining"
+		}
+		b.open(reason)
+	}
+}
+
+// open transitions to open and stamps the reopen timer. Callers hold mu.
+func (b *breaker) open(reason string) {
+	b.openedAt = b.now()
+	b.probeWins = 0
+	b.probeInFlight = false
+	b.setState(stateOpen, reason)
+}
+
+// reset clears the outcome window (a freshly closed circuit should not
+// re-trip on stale history). Callers hold mu.
+func (b *breaker) reset() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.widx, b.wlen, b.fails = 0, 0, 0
+	b.probeWins = 0
+	b.probeInFlight = false
+}
+
+// push records one outcome in the ring window. Callers hold mu.
+func (b *breaker) push(failed bool) {
+	if b.wlen == len(b.window) {
+		if b.window[b.widx] {
+			b.fails--
+		}
+	} else {
+		b.wlen++
+	}
+	b.window[b.widx] = failed
+	if failed {
+		b.fails++
+	}
+	b.widx = (b.widx + 1) % len(b.window)
+}
+
+// setState flips the state and notifies the transition hook. Callers
+// hold mu; the hook must not call back into the breaker.
+func (b *breaker) setState(to breakerState, reason string) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.transition != nil {
+		b.transition(from, to, reason)
+	}
+}

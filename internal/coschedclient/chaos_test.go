@@ -1,0 +1,213 @@
+package coschedclient
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cosched/internal/chaosproxy"
+	"cosched/internal/server"
+	"cosched/internal/telemetry"
+)
+
+// bootReplica starts a real solving daemon and a chaos proxy in front
+// of it, returning the proxied base URL the client should dial.
+func bootReplica(t *testing.T, faults chaosproxy.Config) (*chaosproxy.Proxy, string) {
+	t.Helper()
+	s := server.New(server.Config{Workers: 2, QueueDepth: 32})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx) //nolint:errcheck // best-effort cleanup
+	})
+	faults.Target = ts.Listener.Addr().String()
+	p, err := chaosproxy.Listen(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() }) //nolint:errcheck
+	return p, "http://" + p.Addr()
+}
+
+// TestChaosFleetSurvivesMixedFaults drives a ladder of solves through
+// the full client against two real daemons behind fault-injecting
+// proxies. Roughly a third of connections to each replica misbehave
+// (dropped, 503-rejected, or reset mid-body); retries, hedging and
+// failover must keep the logical success rate at 100% while staying
+// inside each request's deadline, and the client telemetry must retain
+// attempt-numbered events for the requests that failed over.
+func TestChaosFleetSurvivesMixedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos ladder is seconds-long")
+	}
+	_, url1 := bootReplica(t, chaosproxy.Config{Seed: 11, DropProb: 0.15, Err503Prob: 0.1, ResetProb: 0.08, RetryAfter: time.Second})
+	_, url2 := bootReplica(t, chaosproxy.Config{Seed: 12, DropProb: 0.15, Err503Prob: 0.1, ResetProb: 0.08, RetryAfter: time.Second})
+
+	var mu sync.Mutex
+	var events []telemetry.Event
+	c, err := New(Config{
+		Replicas: []string{url1, url2},
+		// One fault draw per request: faults are per TCP connection.
+		HTTPClient:  &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		MaxAttempts: 4,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffCap:  50 * time.Millisecond,
+		Seed:        3,
+		// Hedge aggressively so black-hole-free slowness also gets
+		// covered by the second replica.
+		HedgeQuantile: 0.9,
+		HedgeMin:      150 * time.Millisecond,
+		HedgeMax:      500 * time.Millisecond,
+		Breaker:       BreakerConfig{Window: 16, MinSamples: 6, FailureRate: 0.7, OpenFor: 200 * time.Millisecond},
+		EventSink: telemetry.EventSinkFunc(func(ev telemetry.Event) error {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 60
+	okCount := 0
+	for i := 0; i < total; i++ {
+		req := &server.SolveRequest{Synthetic: 5, Seed: int64(i % 7), Method: "hastar", DeadlineMS: 10000}
+		start := time.Now()
+		res, err := c.Solve(context.Background(), req)
+		elapsed := time.Since(start)
+		if elapsed > 11*time.Second {
+			t.Fatalf("request %d took %v against a 10s deadline", i, elapsed)
+		}
+		if err == nil && res.Status == 200 {
+			okCount++
+			if res.Response == nil || len(res.Response.Groups) == 0 {
+				t.Fatalf("request %d: 200 with undecodable/empty answer: %+v", i, res)
+			}
+		}
+	}
+	if okCount < total*95/100 {
+		t.Fatalf("only %d/%d logical requests succeeded; want >= 95%%", okCount, total)
+	}
+
+	st := c.Stats()
+	if st.Retries == 0 && st.Hedges == 0 {
+		t.Fatalf("stats = %+v; fault mix exercised neither retries nor hedges", st)
+	}
+
+	// Every retried request must have attempt-numbered events under one
+	// request ID: attempt 1..n with no gaps, then a client_request
+	// summary with the same ID.
+	mu.Lock()
+	defer mu.Unlock()
+	attemptsByID := make(map[string][]int)
+	finals := make(map[string]telemetry.Event)
+	for _, ev := range events {
+		switch ev.Ev {
+		case "client_attempt":
+			attemptsByID[ev.ReqID] = append(attemptsByID[ev.ReqID], ev.Attempt)
+		case "client_request":
+			finals[ev.ReqID] = ev
+		}
+	}
+	multi := 0
+	for id, ns := range attemptsByID {
+		if _, ok := finals[id]; !ok {
+			t.Fatalf("request %s has attempts but no client_request summary", id)
+		}
+		seen := make(map[int]bool, len(ns))
+		maxN := 0
+		for _, n := range ns {
+			if seen[n] {
+				t.Fatalf("request %s numbered attempt %d twice: %v", id, n, ns)
+			}
+			seen[n] = true
+			if n > maxN {
+				maxN = n
+			}
+		}
+		if maxN != len(ns) {
+			t.Fatalf("request %s attempts are gappy: %v", id, ns)
+		}
+		if len(ns) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no request needed more than one attempt; the fault mix did not exercise failover")
+	}
+	if len(finals) != total {
+		t.Fatalf("client_request summaries = %d; want %d", len(finals), total)
+	}
+}
+
+// TestChaosBreakerIsolatesDeadReplica kills one replica's proxy target
+// entirely (every connection dropped) and checks the fleet keeps
+// answering from the survivor while the dead replica's breaker opens,
+// then recovers once the faults are lifted.
+func TestChaosBreakerIsolatesDeadReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos ladder is seconds-long")
+	}
+	p1, url1 := bootReplica(t, chaosproxy.Config{Seed: 21})
+	_, url2 := bootReplica(t, chaosproxy.Config{Seed: 22})
+	c, err := New(Config{
+		Replicas:      []string{url1, url2},
+		HTTPClient:    &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		MaxAttempts:   3,
+		BackoffBase:   2 * time.Millisecond,
+		BackoffCap:    20 * time.Millisecond,
+		HedgeQuantile: -1,
+		Breaker:       BreakerConfig{Window: 8, MinSamples: 3, FailureRate: 0.5, OpenFor: 150 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveOK := func(i int) string {
+		t.Helper()
+		req := &server.SolveRequest{Synthetic: 4, Seed: int64(i), Method: "hastar", DeadlineMS: 10000}
+		res, err := c.Solve(context.Background(), req)
+		if err != nil || res.Status != 200 {
+			t.Fatalf("request %d failed: res=%+v err=%v", i, res, err)
+		}
+		return res.Replica
+	}
+	for i := 0; i < 6; i++ {
+		solveOK(i)
+	}
+	// Kill replica 1 (all connections dropped at the proxy).
+	p1.SetFaults(chaosproxy.Config{DropProb: 1})
+	for i := 6; i < 20; i++ {
+		if rep := solveOK(i); rep == url1 {
+			t.Fatalf("request %d answered by the dead replica", i)
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens == 0 {
+		t.Fatalf("stats = %+v; want the dead replica's breaker opened", st)
+	}
+	// Revive and wait for the breaker to probe its way closed.
+	p1.SetFaults(chaosproxy.Config{})
+	time.Sleep(200 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	recovered := false
+	for i := 20; time.Now().Before(deadline); i++ {
+		if solveOK(i) == url1 {
+			recovered = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("revived replica never served again")
+	}
+	st := c.Stats()
+	if st.BreakerHalfOpens == 0 || st.BreakerCloses == 0 {
+		t.Fatalf("stats = %+v; want half-open and close transitions after revival", st)
+	}
+}

@@ -20,6 +20,38 @@ type Report struct {
 	Config ReportConfig `json:"config"`
 	// Rungs holds one result per ladder rung, in run order.
 	Rungs []RungResult `json:"rungs"`
+	// Fleet summarises the fleet client's work when the ladder ran
+	// through coschedclient (-replicas); nil for a direct single-daemon
+	// run.
+	Fleet *FleetStats `json:"fleet,omitempty"`
+}
+
+// FleetStats is the fleet client's whole-run accounting: how much
+// retrying, hedging and failing-over it took to deliver the per-rung
+// numbers. Mirrors coschedclient.Stats.
+type FleetStats struct {
+	// Requests is logical requests; Attempts physical HTTP calls
+	// (Attempts ≥ Requests — the excess is retries and hedges).
+	Requests int64 `json:"requests"`
+	Attempts int64 `json:"attempts"`
+	Retries  int64 `json:"retries"`
+	// Hedges counts speculative duplicates; HedgeWins the ones that
+	// answered first; Failovers successes served by a non-home replica;
+	// Spillovers routes that skipped an open-circuited home.
+	Hedges     int64 `json:"hedges"`
+	HedgeWins  int64 `json:"hedge_wins"`
+	Failovers  int64 `json:"failovers"`
+	Spillovers int64 `json:"spillovers"`
+	// Failures is logical requests with no usable answer;
+	// DeadlineExhausted the subset that ran out of caller budget.
+	Failures          int64 `json:"failures"`
+	DeadlineExhausted int64 `json:"deadline_exhausted"`
+	// Breaker transition counts, summed over backends.
+	BreakerOpens     int64 `json:"breaker_opens"`
+	BreakerHalfOpens int64 `json:"breaker_half_opens"`
+	BreakerCloses    int64 `json:"breaker_closes"`
+	// Replicas lists the backend base URLs the client routed across.
+	Replicas []string `json:"replicas,omitempty"`
 }
 
 // Environment describes the measuring machine and the daemon's pool
@@ -167,6 +199,18 @@ func (r *Report) Validate() error {
 			if j > 0 && s.LatencyMS > rg.Slowest[j-1].LatencyMS {
 				return fmt.Errorf("rung %d: slowest not ordered worst-first at %d", i, j)
 			}
+		}
+	}
+	if f := r.Fleet; f != nil {
+		if f.Attempts < f.Requests {
+			return fmt.Errorf("fleet: attempts (%d) < requests (%d)", f.Attempts, f.Requests)
+		}
+		if f.HedgeWins > f.Hedges {
+			return fmt.Errorf("fleet: hedge wins (%d) exceed hedges (%d)", f.HedgeWins, f.Hedges)
+		}
+		if f.DeadlineExhausted > f.Failures {
+			return fmt.Errorf("fleet: deadline-exhausted (%d) exceed failures (%d)",
+				f.DeadlineExhausted, f.Failures)
 		}
 	}
 	return nil

@@ -21,6 +21,17 @@ type Runner struct {
 	// timeout; the timeout is the generator's give-up bound and counts
 	// as a transport error, not a server verdict).
 	Client *http.Client
+	// Do, when non-nil, replaces the direct HTTP POST for every
+	// request: it receives the schedule-assigned request ID and the
+	// marshalled /v1/solve body and returns the final HTTP verdict and
+	// response body. This is the fleet-client hook — coschedclient's
+	// DoJSON plugs in here so the ladder exercises retries, hedging and
+	// failover while the runner keeps doing open-loop arrivals and
+	// latency accounting. A zero status with a non-nil error counts as
+	// a transport failure; a non-zero status counts as that verdict
+	// even when err is non-nil (the daemon answered, the fleet client
+	// gave up on it).
+	Do func(ctx context.Context, id string, body []byte) (status int, respBody []byte, err error)
 }
 
 // solveReply is the subset of the daemon's SolveResponse the runner
@@ -199,6 +210,28 @@ launch:
 // X-Request-ID so the daemon's observability joins on it — and records
 // the outcome.
 func (r *Runner) one(ctx context.Context, client *http.Client, url string, req *Request, agg *rungAgg) {
+	if r.Do != nil {
+		sent := time.Now()
+		status, body, err := r.Do(ctx, req.ID, req.Body)
+		latency := time.Since(sent)
+		if status == 0 {
+			errText := "request failed"
+			if err != nil {
+				errText = err.Error()
+			}
+			agg.record(req.ID, 0, 0, nil, errText)
+			return
+		}
+		var reply *solveReply
+		if status == http.StatusOK {
+			reply = &solveReply{}
+			if jsonErr := json.Unmarshal(body, reply); jsonErr != nil {
+				reply = nil
+			}
+		}
+		agg.record(req.ID, latency, status, reply, "")
+		return
+	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(req.Body))
 	if err != nil {
 		agg.record(req.ID, 0, 0, nil, err.Error())

@@ -40,6 +40,16 @@ func newRequestID() string {
 	return fmt.Sprintf("%s-%06x", reqIDPrefix, reqIDSeq.Add(1))
 }
 
+// newReplicaID generates a boot-stable fleet identity for a daemon
+// whose operator did not name it: "r-<4 hex>".
+func newReplicaID() string {
+	var b [2]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-0000"
+	}
+	return "r-" + hex.EncodeToString(b[:])
+}
+
 // maxInboundIDLen bounds accepted X-Request-ID values so a hostile
 // client cannot make every log line megabytes long.
 const maxInboundIDLen = 128
@@ -230,6 +240,7 @@ func (s *Server) observe(route string, full bool, h func(http.ResponseWriter, *h
 		if s.cfg.Recorder != nil {
 			s.cfg.Recorder.Emit(telemetry.Event{ //nolint:errcheck // ring emit cannot fail
 				Ev:       "request",
+				Replica:  s.cfg.ReplicaID,
 				TMS:      float64(start.Sub(s.epoch)) / float64(time.Millisecond),
 				SolveID:  info.solveID,
 				ReqID:    info.id,
@@ -268,6 +279,7 @@ func (s *Server) logAccess(info *reqInfo, totalMS float64) {
 	}
 	attrs := []slog.Attr{
 		slog.String("req_id", info.id),
+		slog.String("replica", s.cfg.ReplicaID),
 		slog.String("route", info.route),
 		slog.Int("status", info.status),
 		slog.Float64("queue_ms", info.queueMS),

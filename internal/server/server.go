@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -119,6 +120,17 @@ type Config struct {
 	SLOObjective  float64
 	SLOFastWindow time.Duration
 	SLOSlowWindow time.Duration
+	// ReplicaID names this daemon within a fleet: it appears in
+	// /healthz, in every access-log line and request trace event, so a
+	// fleet client's telemetry can be joined to the replica that
+	// answered. Empty means a boot-generated "r-<4 hex>" ID.
+	ReplicaID string
+	// RetryAfterQueueFull and RetryAfterDraining are the Retry-After
+	// hints sent with 429 (admission queue full) and 503 (draining)
+	// rejections (<= 0 mean 1s and 2s) — the server's own estimate of
+	// when retrying is worth a client's time.
+	RetryAfterQueueFull time.Duration
+	RetryAfterDraining  time.Duration
 }
 
 // cachedSolution is a solvecache entry: the proven schedule plus the
@@ -156,6 +168,7 @@ type Server struct {
 	rejectedQueue *telemetry.Counter
 	rejectedDL    *telemetry.Counter
 	rejectedDrain *telemetry.Counter
+	rejectedGone  *telemetry.Counter
 	cacheHits     *telemetry.Counter
 	cacheMisses   *telemetry.Counter
 	cacheShared   *telemetry.Counter
@@ -218,6 +231,15 @@ func New(cfg Config) *Server {
 	if cfg.SLOLatency <= 0 {
 		cfg.SLOLatency = 500 * time.Millisecond
 	}
+	if cfg.ReplicaID == "" {
+		cfg.ReplicaID = newReplicaID()
+	}
+	if cfg.RetryAfterQueueFull <= 0 {
+		cfg.RetryAfterQueueFull = time.Second
+	}
+	if cfg.RetryAfterDraining <= 0 {
+		cfg.RetryAfterDraining = 2 * time.Second
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.New()
 	}
@@ -231,6 +253,7 @@ func New(cfg Config) *Server {
 		rejectedQueue: r.Counter("server.rejected.queue_full"),
 		rejectedDL:    r.Counter("server.rejected.deadline"),
 		rejectedDrain: r.Counter("server.rejected.draining"),
+		rejectedGone:  r.Counter("server.rejected.client_gone"),
 		cacheHits:     r.Counter("server.cache.hits"),
 		cacheMisses:   r.Counter("server.cache.misses"),
 		cacheShared:   r.Counter("server.cache.shared"),
@@ -364,14 +387,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request, _ *reqInf
 	draining := s.draining
 	s.mu.Unlock()
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		setRetryAfter(w, s.cfg.RetryAfterDraining)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":     "draining",
+			"replica_id": s.cfg.ReplicaID,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"queue_len": len(s.queue),
-		"queue_cap": cap(s.queue),
-		"workers":   s.Workers(),
+		"status":     "ok",
+		"replica_id": s.cfg.ReplicaID,
+		"queue_len":  len(s.queue),
+		"queue_cap":  cap(s.queue),
+		"workers":    s.Workers(),
 	})
 }
 
@@ -383,7 +411,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request, info *reqIn
 	}
 	t, err := s.admit(r.Context(), &req, robust)
 	if err != nil {
-		writeError(w, err.status, err.msg)
+		err.write(w)
 		return
 	}
 	<-t.done
@@ -479,10 +507,33 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request, info *reqIn
 	info.encodeMS = float64(time.Since(encodeStart)) / float64(time.Millisecond)
 }
 
-// admitError is an admission failure with its HTTP mapping.
+// admitError is an admission failure with its HTTP mapping; a non-zero
+// retryAfter becomes the rejection's Retry-After header, telling
+// well-behaved clients when a retry might succeed.
 type admitError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
+}
+
+// write renders the rejection, header included.
+func (e *admitError) write(w http.ResponseWriter) {
+	setRetryAfter(w, e.retryAfter)
+	writeError(w, e.status, e.msg)
+}
+
+// statusClientGone is the non-standard 499 (client closed request):
+// the caller vanished — hedge duplicate cancelled, connection dropped —
+// before or during its solve. Nobody receives the response; the status
+// exists for the access log and metrics.
+const statusClientGone = 499
+
+// setRetryAfter stamps a Retry-After header (whole seconds, rounded up;
+// 0 is a no-op).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	if d > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((d+time.Second-1)/time.Second)))
+	}
 }
 
 // admit validates the request, builds its instance and options, applies
@@ -501,6 +552,7 @@ func (s *Server) admit(ctx context.Context, req *SolveRequest, robust bool) (*ta
 		robust:      robust,
 		trace:       req.Trace,
 		reqID:       RequestIDFromContext(ctx),
+		clientCtx:   ctx,
 		parallelism: opts.Parallelism,
 		enqueued:    time.Now(),
 		done:        make(chan struct{}),
@@ -536,7 +588,8 @@ func (s *Server) admit(ctx context.Context, req *SolveRequest, robust bool) (*ta
 	if s.draining {
 		s.mu.Unlock()
 		s.rejectedDrain.Add(1)
-		return nil, &admitError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+		return nil, &admitError{status: http.StatusServiceUnavailable, msg: "server is draining",
+			retryAfter: s.cfg.RetryAfterDraining}
 	}
 	s.pending.Add(1)
 	s.mu.Unlock()
@@ -552,7 +605,8 @@ func (s *Server) admit(ctx context.Context, req *SolveRequest, robust bool) (*ta
 	default:
 		s.pending.Done()
 		s.rejectedQueue.Add(1)
-		return nil, &admitError{status: http.StatusTooManyRequests, msg: "admission queue is full"}
+		return nil, &admitError{status: http.StatusTooManyRequests, msg: "admission queue is full",
+			retryAfter: s.cfg.RetryAfterQueueFull}
 	}
 }
 
@@ -618,12 +672,14 @@ func (s *Server) prepare(req *SolveRequest) (*cosched.Instance, cosched.Options,
 
 // task is one admitted solve travelling from handler to worker.
 type task struct {
-	inst        *cosched.Instance
-	opts        cosched.Options
-	robust      bool
-	trace       bool
-	key         string // solution-cache key; "" = don't cache
-	reqID       string // request ID carried across the queue hop
+	inst      *cosched.Instance
+	opts      cosched.Options
+	robust    bool
+	trace     bool
+	key       string          // solution-cache key; "" = don't cache
+	reqID     string          // request ID carried across the queue hop
+	clientCtx context.Context // the HTTP request's context: done = caller gone
+
 	fpPrefix    string // instance-fingerprint prefix (when the key was computed)
 	parallelism int
 	deadline    time.Time
@@ -682,6 +738,17 @@ func (s *Server) process(t *task) {
 		return
 	}
 
+	// A caller that already went away — a cancelled hedge duplicate, a
+	// dropped connection — gets no solve at all: running it would burn a
+	// worker on an answer nobody reads (and, for hedges, double-count
+	// the logical request's side effects).
+	if t.clientCtx != nil && t.clientCtx.Err() != nil {
+		s.rejectedGone.Add(1)
+		t.status = statusClientGone
+		t.errMsg = "client went away while queued"
+		return
+	}
+
 	// Rebuild the request-scoped context on the worker side of the queue
 	// hop: the handler's context dies with the HTTP goroutine's select,
 	// but the identity must reach the solve.
@@ -693,6 +760,17 @@ func (s *Server) process(t *task) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, t.deadline)
 		defer cancel()
+	}
+	if t.clientCtx != nil {
+		// Merge the caller's cancellation into the solve context: when a
+		// fleet client cancels a losing hedge attempt (or disconnects),
+		// the solver's next expansion check aborts instead of finishing
+		// work whose answer is unread.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		stop := context.AfterFunc(t.clientCtx, cancel)
+		defer stop()
 	}
 
 	compute := func() (*cachedSolution, bool, error) {
@@ -728,6 +806,15 @@ func (s *Server) process(t *task) {
 		t.cacheOutcome = "bypass"
 	}
 	if err != nil {
+		if t.clientCtx != nil && t.clientCtx.Err() != nil {
+			// The solve died because the caller went away mid-run (a
+			// hedge loser's cancellation propagated in) — not a server
+			// fault.
+			s.rejectedGone.Add(1)
+			t.status = statusClientGone
+			t.errMsg = "client went away during solve"
+			return
+		}
 		t.status = http.StatusInternalServerError
 		t.errMsg = err.Error()
 		return

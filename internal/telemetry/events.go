@@ -163,6 +163,19 @@ type Event struct {
 	TotalMS  float64 `json:"total_ms,omitempty"`
 	Cache    string  `json:"cache,omitempty"`
 	Degraded bool    `json:"degraded,omitempty"`
+
+	// Fleet-client fields (client_attempt, client_request,
+	// client_breaker) — and, on a server "request" event, Replica is the
+	// answering daemon's replica_id. Attempt numbers the physical HTTP
+	// calls of one logical request (1-based, shared req_id); Hedged
+	// marks a speculative duplicate fired after the hedge delay; Replica
+	// names the backend the attempt went to (the winning backend, on
+	// client_request); Breaker is the per-backend circuit state after a
+	// client_breaker transition (closed|open|half-open).
+	Attempt int    `json:"attempt,omitempty"`
+	Hedged  bool   `json:"hedged,omitempty"`
+	Replica string `json:"replica,omitempty"`
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // EventSink receives trace events one at a time. EventWriter (durable
@@ -172,6 +185,13 @@ type Event struct {
 type EventSink interface {
 	Emit(Event) error
 }
+
+// EventSinkFunc adapts a function to the EventSink interface, the
+// http.HandlerFunc pattern — handy for tests and inline fan-outs.
+type EventSinkFunc func(Event) error
+
+// Emit calls f.
+func (f EventSinkFunc) Emit(ev Event) error { return f(ev) }
 
 // flusher is the optional buffered-sink extension: EventWriter implements
 // it, FlightRecorder does not need to.

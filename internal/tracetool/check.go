@@ -151,13 +151,16 @@ func checkDismissReasons(tr *Trace) []Violation {
 }
 
 // onlySpans reports whether the trace carries nothing but ambient
-// events — spans (a solve observed through a SpanRecorder alone) and
-// serving-layer scale and request events, which belong to no solve (a
-// rejected request never got one) and so arrive with solve id 0 and no
-// solve_start header.
+// events — spans (a solve observed through a SpanRecorder alone),
+// serving-layer scale and request events, and fleet-client events,
+// which belong to no solve (a rejected request never got one) and so
+// arrive with solve id 0 and no solve_start header.
 func (t *Trace) onlySpans() bool {
 	for _, ev := range t.Events {
-		if ev.Ev != "span_start" && ev.Ev != "span_end" && ev.Ev != "scale" && ev.Ev != "request" {
+		switch ev.Ev {
+		case "span_start", "span_end", "scale", "request",
+			"client_attempt", "client_request", "client_breaker":
+		default:
 			return false
 		}
 	}

@@ -1,0 +1,107 @@
+package tracetool
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cosched/internal/telemetry"
+)
+
+// FleetEvents collects the fleet client's events — client_attempt,
+// client_request, client_breaker — from a split trace stream, ordered
+// by emission time. The client runs no solver, so Split files all of
+// them into the ambient (id 0) trace, but the collector walks every
+// trace for robustness against mixed streams.
+func FleetEvents(traces []*Trace) []telemetry.Event {
+	var out []telemetry.Event
+	for _, tr := range traces {
+		for _, ev := range tr.Events {
+			switch ev.Ev {
+			case "client_attempt", "client_request", "client_breaker":
+				out = append(out, ev)
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TMS < out[j].TMS })
+	return out
+}
+
+// WriteFleet renders a fleet-client trace (coschedload -client-trace)
+// as a chronology: one row per physical attempt with its replica and
+// verdict, one summary row per logical request, and breaker transitions
+// inline where they happened. The req_id column is the join key into
+// every replica's access log and /debug/requests ring — a failed-over
+// request shows the same ID attempted on different replicas with
+// increasing attempt numbers, which is how the chaos gate proves
+// request-identity continuity.
+func WriteFleet(w io.Writer, traces []*Trace) error {
+	events := FleetEvents(traces)
+	if len(events) == 0 {
+		_, err := io.WriteString(w, "no fleet-client events: the trace was not captured from coschedclient (try coschedload -replicas ... -client-trace)\n")
+		return err
+	}
+	var requests, attempts, retried, hedged, transitions int
+	for _, ev := range events {
+		switch ev.Ev {
+		case "client_request":
+			requests++
+			if ev.Attempt > 1 {
+				retried++
+			}
+		case "client_attempt":
+			attempts++
+			if ev.Hedged {
+				hedged++
+			}
+		case "client_breaker":
+			transitions++
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== fleet: %d requests, %d attempts (%d multi-attempt, %d hedged), %d breaker transitions ===\n",
+		requests, attempts, retried, hedged, transitions)
+	fmt.Fprintf(&sb, "%10s  %-15s  %-24s  %3s  %7s  %-3s  %9s  %s\n",
+		"t_ms", "event", "req_id", "st", "attempt", "hdg", "dur_ms", "detail")
+	for _, ev := range events {
+		switch ev.Ev {
+		case "client_attempt":
+			fmt.Fprintf(&sb, "%10.1f  %-15s  %-24s  %3d  %7d  %-3s  %9.2f  %s\n",
+				ev.TMS, "attempt", ev.ReqID, ev.Status, ev.Attempt,
+				yesNo(ev.Hedged), ev.DurMS, replicaDetail(ev.Replica, ev.Reason))
+		case "client_request":
+			fmt.Fprintf(&sb, "%10.1f  %-15s  %-24s  %3d  %7d  %-3s  %9.2f  %s\n",
+				ev.TMS, "request", ev.ReqID, ev.Status, ev.Attempt,
+				yesNo(ev.Hedged), ev.TotalMS, replicaDetail(ev.Replica, ev.Reason))
+		case "client_breaker":
+			fmt.Fprintf(&sb, "%10.1f  %-15s  %-24s  %3s  %7s  %-3s  %9s  %s\n",
+				ev.TMS, "breaker:"+ev.Breaker, "-", "", "", "", "",
+				replicaDetail(ev.Replica, ev.Reason))
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// yesNo compresses a bool for a table cell.
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return ""
+}
+
+// replicaDetail joins a replica address and a reason into one detail
+// cell, skipping empty parts.
+func replicaDetail(replica, reason string) string {
+	switch {
+	case replica == "" && reason == "":
+		return ""
+	case reason == "":
+		return replica
+	case replica == "":
+		return reason
+	}
+	return replica + " (" + reason + ")"
+}

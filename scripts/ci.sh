@@ -4,7 +4,8 @@
 # passes over the concurrent search paths and the serving layer, the
 # trace-invariant matrix (every producer's trace must pass coschedtrace
 # check), the coschedd end-to-end serving gate, the open-loop
-# loadgen + autoscaler gate, and the recorded benchmark gates.
+# loadgen + autoscaler gate, the two-replica chaos gate (kill one daemon
+# mid-ladder under the fleet client), and the recorded benchmark gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,16 +40,18 @@ go test -race ./internal/astar/ -run 'Parallel|Worker|Striped'
 # Serving-layer race pass: many SolveContext/SolveRobust calls sharing
 # one Instance and memoized oracle (the coschedd usage pattern), plus
 # the daemon engine (including pool resizes during active solves and
-# drain), its caches, and the open-loop load generator under their own
-# concurrent tests.
+# drain), its caches, the open-loop load generator, the fleet client
+# (retries/hedges/breakers against real servers behind the chaos
+# proxy), and the chaos proxy itself under their own concurrent tests.
 go test -race . -run TestConcurrentSolvesShareInstance -count=1
-go test -race ./internal/server/ ./internal/solvecache/ ./internal/loadgen/ -count=1
+go test -race ./internal/server/ ./internal/solvecache/ ./internal/loadgen/ \
+    ./internal/coschedclient/ ./internal/chaosproxy/ -count=1
 
 # Trace-invariant matrix: generate a small trace from every producer
 # (OA*, HA*-trimmed, beam, branch-and-bound, online) and replay each
 # against its invariants; the summaries must render too.
 tracedir="$(mktemp -d)"
-trap 'rm -rf "$tracedir"; [[ -n "${coschedd_pid:-}" ]] && kill "$coschedd_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$tracedir"; for p in "${coschedd_pid:-}" "${chaos_r1_pid:-}" "${chaos_r2_pid:-}"; do [[ -n "$p" ]] && kill -9 "$p" 2>/dev/null || true; done' EXIT
 go run ./cmd/coschedcli -synthetic 12 -trace "$tracedir/oa.jsonl" > /dev/null
 go run ./cmd/coschedcli -synthetic 24 -method hastar -trace "$tracedir/ha.jsonl" > /dev/null
 go run ./cmd/coschedcli -synthetic 44 -method hastar -trace "$tracedir/beam.jsonl" > /dev/null
@@ -271,6 +274,103 @@ kill -TERM "$coschedd_pid"
 wait "$coschedd_pid" || { echo "ci: autoscaling coschedd did not drain cleanly" >&2; exit 1; }
 coschedd_pid=""
 echo "ci: autoscaler grew under load, shrank when idle, BENCH_serving.json validates" >&2
+
+# Chaos fleet gate: two replica daemons behind the fault-tolerant fleet
+# client (coschedload -replicas), with one replica SIGKILLed mid-ladder
+# and revived on the same port. The run must hold a sub-5% non-429
+# error rate and the caller deadline (+1s grace for retries and
+# measurement) — coschedload itself enforces both and exits non-zero on
+# a breach. On top of that: the circuit breaker must open while the
+# replica is down and half-open after it returns, a failed-over request
+# must keep one request ID across attempt-numbered client events, that
+# ID must appear with status 200 in exactly one replica's access log
+# (no duplicate side effects), and `coschedtrace fleet` must render the
+# client trace.
+"$tracedir/coschedd" -addr 127.0.0.1:0 -workers 2 -replica-id r-one \
+    -access-log "$tracedir/chaos-r1.access" > "$tracedir/chaos-r1.log" 2>&1 &
+chaos_r1_pid=$!
+r1_addr=""
+for _ in $(seq 1 50); do
+    r1_addr="$(sed -n 's#^coschedd: listening on http://##p' "$tracedir/chaos-r1.log")"
+    [[ -n "$r1_addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$r1_addr" ]] || { echo "ci: chaos replica r-one never printed its address" >&2; exit 1; }
+"$tracedir/coschedd" -addr 127.0.0.1:0 -workers 2 -replica-id r-two \
+    -access-log "$tracedir/chaos-r2.access" > "$tracedir/chaos-r2.log" 2>&1 &
+chaos_r2_pid=$!
+r2_addr=""
+for _ in $(seq 1 50); do
+    r2_addr="$(sed -n 's#^coschedd: listening on http://##p' "$tracedir/chaos-r2.log")"
+    [[ -n "$r2_addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$r2_addr" ]] || { echo "ci: chaos replica r-two never printed its address" >&2; exit 1; }
+
+"$tracedir/coschedload" -replicas "http://$r1_addr,http://$r2_addr" \
+    -rungs 15x3s,15x3s,15x3s -synthetic 6 -deadline-ms 2000 \
+    -client-trace "$tracedir/chaos-client.jsonl" \
+    -max-error-rate 0.05 -assert-deadline 1s \
+    -out "$tracedir/BENCH_chaos.json" > "$tracedir/chaos-load.out" 2>&1 &
+chaos_load_pid=$!
+# Mid-rung, hard-kill r-two. Three seconds of outage at 15 rps routes
+# enough of the ring's r-two half into connection failures to trip the
+# breaker (5-sample minimum) and ride out its 2s open window; the
+# revival on the same port then gives the half-open probe a healthy
+# backend while the ladder is still firing.
+sleep 2
+kill -9 "$chaos_r2_pid" 2>/dev/null || true
+wait "$chaos_r2_pid" 2>/dev/null || true
+sleep 3
+"$tracedir/coschedd" -addr "$r2_addr" -workers 2 -replica-id r-two \
+    -access-log "$tracedir/chaos-r2.access" >> "$tracedir/chaos-r2.log" 2>&1 &
+chaos_r2_pid=$!
+wait "$chaos_load_pid" || {
+    echo "ci: chaos ladder failed its error-rate or deadline gate:" >&2
+    cat "$tracedir/chaos-load.out" >&2
+    exit 1
+}
+"$tracedir/coschedload" -check "$tracedir/BENCH_chaos.json" > /dev/null
+
+fleet_line="$(grep '^coschedload: fleet ' "$tracedir/chaos-load.out")"
+echo "ci: $fleet_line" >&2
+opens="$(grep -o 'breaker_opens=[0-9]*' <<<"$fleet_line" | cut -d= -f2)"
+half_opens="$(grep -o 'breaker_half_opens=[0-9]*' <<<"$fleet_line" | cut -d= -f2)"
+failovers="$(grep -o 'failovers=[0-9]*' <<<"$fleet_line" | cut -d= -f2)"
+[[ "$opens" -ge 1 ]] || {
+    echo "ci: breaker never opened while a replica was down" >&2; exit 1; }
+[[ "$half_opens" -ge 1 ]] || {
+    echo "ci: breaker never half-opened after the replica returned" >&2; exit 1; }
+[[ "$failovers" -ge 1 ]] || {
+    echo "ci: no request failed over to the surviving replica" >&2; exit 1; }
+
+# Request-identity continuity and no duplicate side effects: take a
+# retried (non-hedged) request from the client trace, confirm its
+# attempts are numbered from 1 under one ID, and confirm exactly one
+# 200 access-log line across both replicas carries that ID.
+dup_id="$(grep '"ev":"client_request"' "$tracedir/chaos-client.jsonl" \
+    | grep -v '"hedged":true' | grep -E '"attempt":[2-9]' | head -1 \
+    | sed -n 's/.*"req_id":"\([^"]*\)".*/\1/p')"
+[[ -n "$dup_id" ]] || {
+    echo "ci: client trace has no multi-attempt request despite the replica kill" >&2; exit 1; }
+grep '"ev":"client_attempt"' "$tracedir/chaos-client.jsonl" \
+    | grep "\"req_id\":\"$dup_id\"" | grep -q '"attempt":1' || {
+    echo "ci: retried request $dup_id has no attempt-1 client event" >&2; exit 1; }
+ok_lines="$(cat "$tracedir/chaos-r1.access" "$tracedir/chaos-r2.access" \
+    | grep "\"req_id\":\"$dup_id\"" | grep -c '"status":200' || true)"
+[[ "$ok_lines" == "1" ]] || {
+    echo "ci: request $dup_id has $ok_lines status-200 access-log lines; want exactly 1" >&2; exit 1; }
+
+go run ./cmd/coschedtrace fleet "$tracedir/chaos-client.jsonl" > "$tracedir/chaos-fleet.out"
+grep -q '=== fleet' "$tracedir/chaos-fleet.out" || {
+    echo "ci: coschedtrace fleet produced no report" >&2; exit 1; }
+
+kill -TERM "$chaos_r1_pid" "$chaos_r2_pid"
+wait "$chaos_r1_pid" || { echo "ci: chaos replica r-one did not drain cleanly" >&2; exit 1; }
+wait "$chaos_r2_pid" || { echo "ci: chaos replica r-two did not drain cleanly" >&2; exit 1; }
+chaos_r1_pid=""
+chaos_r2_pid=""
+echo "ci: chaos gate — replica killed and revived mid-ladder, breaker opened ($opens) and recovered ($half_opens), $failovers failovers, no duplicate side effects" >&2
 
 # The recorded benchmark gates (no bench run — validate the committed
 # BENCH_astar.json and BENCH_serving.json).
