@@ -147,6 +147,19 @@ func (b *breaker) force() {
 	b.probeInFlight = true
 }
 
+// abandonProbe releases a half-open probe slot whose outcome was
+// discarded before reaching onSuccess/onFailure — the attempt was
+// cancelled because another attempt won the round or the caller went
+// away. The probe neither confirms nor condemns the backend, so no
+// outcome is recorded; the next allow() may probe again.
+func (b *breaker) abandonProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == stateHalfOpen {
+		b.probeInFlight = false
+	}
+}
+
 // onSuccess records a healthy outcome.
 func (b *breaker) onSuccess() {
 	b.mu.Lock()

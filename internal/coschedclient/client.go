@@ -213,6 +213,8 @@ func New(cfg Config) (*Client, error) {
 	if len(cfg.Replicas) == 0 {
 		return nil, fmt.Errorf("coschedclient: config needs at least one replica")
 	}
+	// Normalize a private copy: the caller may reuse its slice.
+	cfg.Replicas = append([]string(nil), cfg.Replicas...)
 	for i, r := range cfg.Replicas {
 		if r == "" {
 			return nil, fmt.Errorf("coschedclient: replica %d is empty", i)
@@ -445,10 +447,7 @@ func (c *Client) do(ctx context.Context, key, reqID string, req *server.SolveReq
 		out, hedgeFired := c.round(ctx, route, reqID, req, order, primary, budget, remaining, &attemptN, failedOn)
 		hedged = hedged || hedgeFired
 		if out == nil { // caller context died mid-round
-			c.failures.Add(1)
-			c.deadlineExhausted.Add(1)
-			c.emitRequest(reqID, start, 0, attemptN, hedged, "", "caller context cancelled")
-			return nil, fmt.Errorf("coschedclient: %w after %d attempts: %v", ErrDeadlineExhausted, attemptN, ctx.Err())
+			return nil, c.callerGone(ctx, reqID, start, attemptN, hedged)
 		}
 		last = out
 		if !out.retryable() {
@@ -477,9 +476,7 @@ func (c *Client) do(ctx context.Context, key, reqID string, req *server.SolveReq
 			case <-t.C:
 			case <-ctx.Done():
 				t.Stop()
-				c.failures.Add(1)
-				c.emitRequest(reqID, start, 0, attemptN, hedged, "", "caller context cancelled")
-				return nil, fmt.Errorf("coschedclient: request cancelled after %d attempts: %w", attemptN, ctx.Err())
+				return nil, c.callerGone(ctx, reqID, start, attemptN, hedged)
 			}
 		}
 	}
@@ -507,6 +504,20 @@ func (c *Client) do(ctx context.Context, key, reqID string, req *server.SolveReq
 	return nil, fmt.Errorf("coschedclient: no success after %d attempts: %s", attemptN, reason)
 }
 
+// callerGone classifies a caller-context death mid-request: a blown
+// context deadline counts as deadline exhaustion, a plain cancellation
+// is just a cancelled request.
+func (c *Client) callerGone(ctx context.Context, reqID string, start time.Time, attemptN int, hedged bool) error {
+	c.failures.Add(1)
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		c.deadlineExhausted.Add(1)
+		c.emitRequest(reqID, start, 0, attemptN, hedged, "", "caller deadline exhausted")
+		return fmt.Errorf("coschedclient: %w after %d attempts: %v", ErrDeadlineExhausted, attemptN, ctx.Err())
+	}
+	c.emitRequest(reqID, start, 0, attemptN, hedged, "", "caller context cancelled")
+	return fmt.Errorf("coschedclient: request cancelled after %d attempts: %w", attemptN, ctx.Err())
+}
+
 // round runs one retry round: a primary attempt, plus a hedged
 // duplicate on the next ring replica if the primary is still silent
 // after the hedge delay. First final answer wins and cancels the
@@ -517,9 +528,30 @@ func (c *Client) round(ctx context.Context, route, reqID string, req *server.Sol
 
 	resCh := make(chan attemptOut, 2)
 	var cancels []context.CancelFunc
+	launched, received := 0, 0
 	defer func() {
 		for _, cancel := range cancels {
 			cancel()
+		}
+		if leftover := launched - received; leftover > 0 {
+			// An abandoned attempt (the losing hedge, or every in-flight
+			// attempt when the caller's context dies) still owes its
+			// backend a breaker outcome: a half-open probe that never
+			// reports would hold its probe slot forever and keep the
+			// replica out of the fleet. Drain off the critical path.
+			go func() {
+				for i := 0; i < leftover; i++ {
+					o := <-resCh
+					if o.err != nil && errors.Is(o.err, context.Canceled) {
+						// Killed by the cancels above, not a backend
+						// verdict: release any probe slot it held
+						// without recording an outcome.
+						c.brk[o.replica].abandonProbe()
+						continue
+					}
+					c.noteBreaker(&o)
+				}
+			}()
 		}
 	}()
 
@@ -538,10 +570,10 @@ func (c *Client) round(ctx context.Context, route, reqID string, req *server.Sol
 		if hedge {
 			c.hedges.Add(1)
 		}
+		launched++
 		go func() { resCh <- c.attempt(actx, replica, n, hedge, route, reqID, req, remaining()) }()
 	}
 	launch(primary, false)
-	launched, received := 1, 0
 
 	var hedgeTimer *time.Timer
 	var hedgeC <-chan time.Time
@@ -581,7 +613,6 @@ func (c *Client) round(ctx context.Context, route, reqID string, req *server.Sol
 			if rep, ok := c.pickHedge(order, primary); ok {
 				if budget <= 0 || remaining() > minAttemptBudget {
 					launch(rep, true)
-					launched++
 				}
 			}
 		case <-ctx.Done():
@@ -676,9 +707,14 @@ func (c *Client) attempt(ctx context.Context, replica, n int, hedged bool,
 		c.emitAttempt(&out, reqID, err.Error())
 		return out
 	}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, perr := strconv.Atoi(strings.TrimSpace(ra)); perr == nil && secs >= 0 {
+	if ra := strings.TrimSpace(resp.Header.Get("Retry-After")); ra != "" {
+		// RFC 9110 allows both delta-seconds and an HTTP-date.
+		if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 0 {
 			out.retryAfter = time.Duration(secs) * time.Second
+		} else if at, perr := http.ParseTime(ra); perr == nil {
+			if d := time.Until(at); d > 0 {
+				out.retryAfter = d
+			}
 		}
 	}
 	if out.status == http.StatusServiceUnavailable && bytes.Contains(out.body, []byte("draining")) {
@@ -719,7 +755,9 @@ func (c *Client) finish(reqID string, start time.Time, home int, out *attemptOut
 		Attempts: attempts,
 		Retries:  retriesDone,
 		Hedged:   hedged,
-		HedgeWon: out.hedged,
+		// HedgeWon means the hedge answered first — a failing final
+		// attempt that happened to be a hedge did not "win" anything.
+		HedgeWon: out.hedged && out.status == http.StatusOK,
 	}
 	if out.status == http.StatusOK {
 		var sr server.SolveResponse

@@ -3,6 +3,7 @@ package coschedclient
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -158,6 +159,27 @@ func TestBreakerForceProbesOpenCircuit(t *testing.T) {
 	b.force()
 	if got := b.currentState(); got != stateHalfOpen {
 		t.Fatalf("state after force = %v; want half-open", got)
+	}
+}
+
+func TestBreakerAbandonProbeReleasesSlot(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(BreakerConfig{Window: 4, MinSamples: 2, FailureRate: 0.5, OpenFor: time.Second}, clk.now, nil)
+	b.onFailure(false)
+	b.onFailure(false)
+	clk.advance(1100 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("no half-open probe")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.abandonProbe()
+	if got := b.currentState(); got != stateHalfOpen {
+		t.Fatalf("state after abandon = %v; want still half-open", got)
+	}
+	if !b.allow() {
+		t.Fatal("abandoned probe slot was not released for the next probe")
 	}
 }
 
@@ -554,6 +576,210 @@ func TestBreakerOpensRoutesAwayThenRecovers(t *testing.T) {
 	}
 	if !sawOpen || !sawClose {
 		t.Fatalf("client_breaker events missing transitions: open=%v close=%v", sawOpen, sawClose)
+	}
+}
+
+func TestAbandonedHalfOpenProbeDoesNotWedgeBreaker(t *testing.T) {
+	// The review scenario: replica 0 (the key's home) breaks, then
+	// "revives" as a slow node — every half-open probe sent to it is
+	// beaten by the hedge on replica 1 and abandoned mid-flight. A leaked
+	// probe slot would pin the breaker half-open forever (force() only
+	// acts on open circuits) and the home could never rejoin the fleet;
+	// the round's outcome drain must release the slot so that once the
+	// home is fast again a probe completes and the breaker closes.
+	var mode atomic.Int32 // 0 = broken, 1 = revived but slow, 2 = fast
+	home := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode.Load() {
+		case 0:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"boom"}`, http.StatusServiceUnavailable)
+		case 1:
+			io.Copy(io.Discard, r.Body) //nolint:errcheck // unread body hides client disconnects
+			select {
+			case <-time.After(2 * time.Second):
+			case <-r.Context().Done():
+				return
+			}
+			okHandler("home", nil, nil, 0)(w, r)
+		default:
+			okHandler("home", nil, nil, 0)(w, r)
+		}
+	}))
+	defer home.Close()
+	other := httptest.NewServer(okHandler("other", nil, nil, 0))
+	defer other.Close()
+
+	c := newClient(t, func(cfg *Config) {
+		cfg.Breaker = BreakerConfig{Window: 8, MinSamples: 2, FailureRate: 0.5, OpenFor: 30 * time.Millisecond}
+		cfg.HedgeQuantile = 0.9
+		cfg.HedgeMin = 10 * time.Millisecond
+		cfg.HedgeMax = 10 * time.Millisecond // force the hedge at 10ms
+	}, home.URL, other.URL)
+	key := ""
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if c.ring.order(k)[0] == 0 {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Fatal("no key homed on replica 0 in 64 probes")
+	}
+
+	// Trip the home's breaker.
+	for i := 0; i < 4; i++ {
+		if _, err := c.SolveKeyed(context.Background(), key, fmt.Sprintf("trip-%d", i), solveBody()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens == 0 {
+		t.Fatalf("stats = %+v; want the home breaker opened", st)
+	}
+
+	// Revive the home as a slow node: half-open probes go out but lose
+	// to the hedge on the healthy replica and are abandoned.
+	mode.Store(1)
+	time.Sleep(40 * time.Millisecond) // past OpenFor
+	for i := 0; i < 5; i++ {
+		res, err := c.SolveKeyed(context.Background(), key, fmt.Sprintf("slow-%d", i), solveBody())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != 200 {
+			t.Fatalf("result during slow revival = %+v", res)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	if st := c.Stats(); st.BreakerHalfOpens == 0 {
+		t.Fatalf("stats = %+v; want at least one half-open probe attempted", st)
+	}
+
+	// Make the home fast: a fresh probe must be admitted, succeed, and
+	// close the breaker. A leaked slot would keep the home out forever.
+	mode.Store(2)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		res, err := c.SolveKeyed(context.Background(), key, "rejoin", solveBody())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Replica == home.URL {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("home replica never rejoined after abandoned probes; stats = %+v", c.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := c.Stats(); st.BreakerCloses == 0 {
+		t.Fatalf("stats = %+v; want the home breaker closed again", st)
+	}
+}
+
+func TestCallerCancellationIsNotDeadlineExhaustion(t *testing.T) {
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck // unread body hides client disconnects
+		<-r.Context().Done()
+	}))
+	defer hang.Close()
+	c := newClient(t, nil, hang.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.Solve(ctx, solveBody())
+	if err == nil {
+		t.Fatal("cancelled request produced a success")
+	}
+	if errors.Is(err, ErrDeadlineExhausted) {
+		t.Fatalf("plain cancellation misclassified as deadline exhaustion: %v", err)
+	}
+	if st := c.Stats(); st.Failures != 1 || st.DeadlineExhausted != 0 {
+		t.Fatalf("stats = %+v; want a failure but no deadline exhaustion", st)
+	}
+}
+
+func TestLosingHedgeFinalFailureDoesNotClaimHedgeWin(t *testing.T) {
+	// The home hangs; the hedge replica answers a final (non-retryable)
+	// 400. The request hedged, but nothing "won": HedgeWon must stay
+	// false on a failing final attempt, matching the hedge_wins counter.
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) //nolint:errcheck // unread body hides client disconnects
+		<-r.Context().Done()
+	}))
+	defer hang.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+	}))
+	defer bad.Close()
+	c := newClient(t, func(cfg *Config) {
+		cfg.HedgeQuantile = 0.9
+		cfg.HedgeMin = 10 * time.Millisecond
+		cfg.HedgeMax = 10 * time.Millisecond
+	}, hang.URL, bad.URL)
+	key := ""
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("probe-%d", i)
+		if c.ring.order(k)[0] == 0 {
+			key = k
+			break
+		}
+	}
+	req := solveBody()
+	req.DeadlineMS = 2000
+	res, err := c.SolveKeyed(context.Background(), key, "req-hedge-fail", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusBadRequest || !res.Hedged {
+		t.Fatalf("result = %+v; want the hedge's final 400", res)
+	}
+	if res.HedgeWon {
+		t.Fatalf("result = %+v; a failing final attempt must not claim a hedge win", res)
+	}
+	if st := c.Stats(); st.HedgeWins != 0 {
+		t.Fatalf("stats = %+v; want no hedge win counted", st)
+	}
+}
+
+func TestNewDoesNotMutateCallerReplicaSlice(t *testing.T) {
+	urls := []string{"http://a/", "http://b/"}
+	if _, err := New(Config{Replicas: urls}); err != nil {
+		t.Fatal(err)
+	}
+	if urls[0] != "http://a/" || urls[1] != "http://b/" {
+		t.Fatalf("New mutated the caller's replica slice: %v", urls)
+	}
+}
+
+func TestRetryAfterHTTPDateIsHonored(t *testing.T) {
+	var calls atomic.Int64
+	var firstRetryAt atomic.Int64
+	start := time.Now()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// The HTTP-date form of Retry-After (RFC 9110). TimeFormat has
+			// second resolution, so +2s leaves >= ~1s after truncation.
+			w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		firstRetryAt.Store(int64(time.Since(start)))
+		okHandler("s", nil, nil, 0)(w, r)
+	}))
+	defer srv.Close()
+	c := newClient(t, nil, srv.URL) // backoff base 1ms: any long wait is Retry-After's
+	res, err := c.Solve(context.Background(), solveBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 {
+		t.Fatalf("status = %d", res.Status)
+	}
+	if gap := time.Duration(firstRetryAt.Load()); gap < 900*time.Millisecond {
+		t.Fatalf("retry arrived after %v; want the HTTP-date Retry-After honoured", gap)
 	}
 }
 
