@@ -1,9 +1,10 @@
 // Command coschedd serves the cosched solver over HTTP/JSON: a bounded
 // worker pool behind an admission queue, per-request deadlines, a
-// fingerprint-keyed cache of solved schedules, and graceful drain on
-// SIGTERM/SIGINT. The pool is fixed at -workers, or autoscales between
-// -workers-min and -workers-max on queue-delay pressure (SERVING.md
-// documents the tuning knobs and metrics).
+// fingerprint-keyed cache of solved schedules (entry- and byte-bounded
+// via -cache/-cache-bytes; persisted and restart-warm via -cache-dir),
+// and graceful drain on SIGTERM/SIGINT. The pool is fixed at -workers,
+// or autoscales between -workers-min and -workers-max on queue-delay
+// pressure (SERVING.md documents the tuning knobs and metrics).
 //
 // Usage:
 //
@@ -55,7 +56,10 @@ func main() {
 		scaleCool    = flag.Duration("scale-cooldown", 0, "minimum gap between scale events (0 = 2s)")
 		queueDepth   = flag.Int("queue", 64, "admission queue depth; a full queue rejects with 429")
 		cacheEntries = flag.Int("cache", 128, "solved-schedule cache capacity in entries (-1 disables)")
+		cacheBytes   = flag.Int64("cache-bytes", 64<<20, "solved-schedule cache budget in bytes (-1 = entry bound only)")
+		cacheDir     = flag.String("cache-dir", "", "persist the solution cache to a segment log here and pre-warm from it at boot ('' = memory only)")
 		oracleCache  = flag.Int("oracle-cache", 1<<16, "per-instance degradation-memo capacity in entries")
+		oraclePool   = flag.Int("oracle-pool", 64, "fingerprint-keyed oracle pool capacity in instances (-1 disables)")
 		defaultDL    = flag.Duration("default-deadline", 0, "deadline applied to requests that set none (0 = none)")
 		maxDL        = flag.Duration("max-deadline", 0, "cap on any request's deadline (0 = uncapped)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight solves on shutdown")
@@ -79,7 +83,7 @@ func main() {
 	}
 
 	recorder := telemetry.NewFlightRecorder(flightRecorderSize)
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Workers:            *workers,
 		WorkersMin:         *workersMin,
 		WorkersMax:         *workersMax,
@@ -89,7 +93,10 @@ func main() {
 		ScaleCooldown:      *scaleCool,
 		QueueDepth:         *queueDepth,
 		CacheEntries:       *cacheEntries,
+		CacheBytes:         *cacheBytes,
+		CacheDir:           *cacheDir,
 		OracleCacheEntries: *oracleCache,
+		OraclePoolEntries:  *oraclePool,
 		DefaultDeadline:    *defaultDL,
 		MaxDeadline:        *maxDL,
 		SolveParallelism:   *solvePar,
@@ -102,6 +109,15 @@ func main() {
 		SLOObjective:       *sloObjective,
 		ReplicaID:          *replicaID,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coschedd:", err)
+		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		st := srv.CacheStats()
+		fmt.Printf("coschedd: cache warm: replayed %d records (%d skipped) from %s\n",
+			st.Replayed, st.ReplaySkipped, *cacheDir)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -134,9 +150,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "coschedd: drain:", err)
 		os.Exit(1)
 	}
+	if err := srv.CloseCache(); err != nil {
+		fmt.Fprintln(os.Stderr, "coschedd: cache close:", err)
+	}
 	st := srv.CacheStats()
-	fmt.Printf("coschedd: drained clean (cache: %d entries, %d hits, %d misses, %d evictions)\n",
-		st.Entries, st.Hits, st.Misses, st.Evictions)
+	fmt.Printf("coschedd: drained clean (cache: %d entries, %d bytes, %d hits, %d misses, %d evictions, %d spilled)\n",
+		st.Entries, st.Bytes, st.Hits, st.Misses, st.Evictions, st.Spilled)
 }
 
 // openAccessLog resolves the -access-log flag into a JSON slog logger:

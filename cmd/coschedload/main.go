@@ -305,7 +305,7 @@ func checkGates(report *loadgen.Report, maxErrRate float64, deadlineMS int64, gr
 // bootDaemon starts an in-process coschedd engine on an ephemeral port
 // and returns its base URL plus a drain function.
 func bootDaemon(workersMin, workersMax, queueDepth int, scaleEvery, scaleUpP90 time.Duration) (string, func(), error) {
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		WorkersMin:    workersMin,
 		WorkersMax:    workersMax,
 		QueueDepth:    queueDepth,
@@ -314,6 +314,9 @@ func bootDaemon(workersMin, workersMax, queueDepth int, scaleEvery, scaleUpP90 t
 		Metrics:       telemetry.Default,
 		Recorder:      telemetry.NewFlightRecorder(8192),
 	})
+	if err != nil {
+		return "", nil, err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err

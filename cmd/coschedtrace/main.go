@@ -8,6 +8,7 @@
 //	coschedtrace summary trace.jsonl            per-solve accounting
 //	coschedtrace timeline trace.jsonl           ASCII g/h and frontier charts
 //	coschedtrace scaling trace.jsonl            worker-pool autoscale timeline
+//	coschedtrace cache trace.jsonl              solution-cache replay/store/evict timeline
 //	coschedtrace requests trace.jsonl           HTTP request table (coschedd traces)
 //	coschedtrace fleet trace.jsonl              fleet-client attempt/breaker chronology
 //	coschedtrace diff before.jsonl after.jsonl  counter/phase deltas
@@ -16,7 +17,10 @@
 // summary and timeline accept -solve <id> to select one solve. scaling
 // reads the whole stream (scale events belong to the daemon, not a
 // solve) and renders the pool-size history coschedd's autoscaler
-// recorded — pipe /debug/trace into it. requests renders every HTTP
+// recorded — pipe /debug/trace into it. cache reads the whole stream
+// the same way and renders the solution-cache history coschedd recorded:
+// the boot replay from -cache-dir, stores, and bound-driven evictions,
+// each with the cache's resident bytes. requests renders every HTTP
 // request the daemon recorded, with its request ID, phase breakdown and
 // the solve_id to feed back into `timeline -solve`; -slow N marks
 // requests that took at least N ms. fleet renders a coschedclient trace
@@ -56,6 +60,8 @@ func main() {
 		err = perSolve(args, tracetool.WriteTimeline)
 	case "scaling":
 		err = runScaling(args)
+	case "cache":
+		err = runCache(args)
 	case "requests":
 		err = runRequests(args)
 	case "fleet":
@@ -82,6 +88,7 @@ commands:
   summary   per-solve expansion/dismissal accounting, phases, depth profile
   timeline  ASCII charts: popped g/h vs pop, frontier vs pop
   scaling   coschedd worker-pool autoscale timeline from scale events
+  cache     coschedd solution-cache timeline: boot replay, stores, evictions, bytes
   requests  coschedd HTTP request table: id, phases, cache, solve_id join key
   fleet     coschedclient attempt/request/breaker chronology (req_id join key)
   diff      compare two traces' solves counter by counter (exit 1 on cost mismatch)
@@ -221,6 +228,20 @@ func runScaling(args []string) error {
 		return err
 	}
 	return tracetool.WriteScaling(os.Stdout, traces)
+}
+
+// runCache renders the solution-cache timeline of one trace file
+// (cache events are daemon-global, like scale events: the whole stream
+// feeds one timeline).
+func runCache(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("cache wants one trace file, got %d", len(args))
+	}
+	traces, err := loadFile(args[0])
+	if err != nil {
+		return err
+	}
+	return tracetool.WriteCache(os.Stdout, traces)
 }
 
 // runRequests renders a daemon trace's HTTP request table (request

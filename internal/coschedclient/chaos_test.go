@@ -17,7 +17,10 @@ import (
 // of it, returning the proxied base URL the client should dial.
 func bootReplica(t *testing.T, faults chaosproxy.Config) (*chaosproxy.Proxy, string) {
 	t.Helper()
-	s := server.New(server.Config{Workers: 2, QueueDepth: 32})
+	s, err := server.New(server.Config{Workers: 2, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -32,7 +32,10 @@ func decodeJSONBody(t *testing.T, resp *http.Response, v any) {
 // (server.solves stays at 1, no duplicate side effects), and the
 // client-gone counter must record both.
 func TestDrainWithInFlightHedgeCancel(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 8, CacheEntries: -1})
+	s, err := New(Config{Workers: 1, QueueDepth: 8, CacheEntries: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 
 	// Request 1: a long uncancelled-it-would-run-for-seconds solve,
 	// admitted under a client context we cancel mid-run.
@@ -106,7 +109,10 @@ func TestDrainWithInFlightHedgeCancel(t *testing.T) {
 // whose client disconnects while the task is queued is answered 499
 // without burning a worker on it.
 func TestQueuedTaskForGoneClientSkipsSolve(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 8, CacheEntries: -1})
+	s, err := New(Config{Workers: 1, QueueDepth: 8, CacheEntries: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 		defer cancel()

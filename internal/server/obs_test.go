@@ -186,7 +186,10 @@ func TestGeneratedAndSanitizedRequestIDs(t *testing.T) {
 }
 
 func TestHealthzReportsDrainState(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := newHandlerServer(t, s)
 
 	status, body := getJSON(t, ts+"/healthz")

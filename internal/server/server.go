@@ -3,8 +3,10 @@
 // (grown on queue-delay pressure, shrunk after sustained idleness,
 // fixed when WorkersMin == WorkersMax), an admission queue that
 // propagates per-request deadlines into SolveContext, a
-// fingerprint-keyed solved-schedule cache (internal/solvecache), and
-// graceful drain.
+// fingerprint-keyed solved-schedule cache (internal/solvecache;
+// byte-bounded, optionally spilled to disk and restart-warm), a
+// fingerprint-keyed oracle pool that shares built instances' memoized
+// degradation oracles across identical workloads, and graceful drain.
 //
 // Endpoints:
 //
@@ -78,12 +80,29 @@ type Config struct {
 	// QueueDepth bounds the admission queue (<= 0 means 64); a full
 	// queue rejects with 429 rather than buffering unboundedly.
 	QueueDepth int
-	// CacheEntries bounds the solved-schedule cache (< 0 disables
-	// caching entirely, 0 means 128).
+	// CacheEntries bounds the solved-schedule cache's entry count (< 0
+	// disables caching entirely, 0 means 128).
 	CacheEntries int
+	// CacheBytes bounds the solved-schedule cache's resident bytes —
+	// each entry charged its key plus Solution.SizeBytes — so a cache
+	// of 64-job schedules and one of 4-job schedules mean the same
+	// memory (< 0 means entry-bound only, 0 means 64 MiB).
+	CacheBytes int64
+	// CacheDir, when non-empty, persists the solution cache to a
+	// write-behind segment log under this directory and pre-warms the
+	// cache from it at construction, so a restarted daemon answers
+	// previously-solved fingerprints as hits (see solvecache's spill
+	// documentation for the format and crash semantics).
+	CacheDir string
 	// OracleCacheEntries bounds each built instance's memoized
 	// degradation oracle (<= 0 means 1<<16 entries per query cache).
 	OracleCacheEntries int
+	// OraclePoolEntries bounds the fingerprint-keyed oracle pool, which
+	// shares one built instance — and so one memoized oracle — across
+	// requests with identical instance fingerprints instead of
+	// rebuilding SDC/pairwise memo tables per request (< 0 disables the
+	// pool, 0 means 64 instances).
+	OraclePoolEntries int
 	// DefaultDeadline applies to requests that set no deadline_ms
 	// (0 means no deadline). MaxDeadline caps every request's deadline
 	// (0 means uncapped).
@@ -133,24 +152,23 @@ type Config struct {
 	RetryAfterDraining  time.Duration
 }
 
-// cachedSolution is a solvecache entry: the proven schedule plus the
-// solve duration it originally took, so hits can report what they
-// saved, and the solve_id of the run that produced it, so a cache hit's
-// access log still points at the trace that explains its answer.
-type cachedSolution struct {
-	sched   *cosched.Schedule
-	solveMS float64
-	solveID uint64
-}
-
 // Server is the daemon's engine: handlers feed an admission queue that
 // an autoscaled worker pool drains (fixed-size when WorkersMin ==
 // WorkersMax). Construct with New, mount Handler, stop with Drain.
+//
+// The solution cache stores *solvecache.Solution values — the rendered
+// answer plus its solve metadata, not the live *cosched.Schedule — so
+// cached entries serialise to the spill log and survive a restart. Each
+// request consults the cache through exactly one Do call (never a Get
+// probe first), so the cache's Stats count one outcome per request; the
+// oracle pool is a separate cache with its own server.oracle_pool.*
+// counters and never touches the solution cache's Stats.
 type Server struct {
-	cfg   Config
-	cache *solvecache.Cache[*cachedSolution]
-	queue chan *task
-	epoch time.Time
+	cfg        Config
+	cache      *solvecache.Cache[*solvecache.Solution]
+	oraclePool *solvecache.Cache[*cosched.Instance]
+	queue      chan *task
+	epoch      time.Time
 
 	workers sync.WaitGroup
 	pending sync.WaitGroup
@@ -173,6 +191,14 @@ type Server struct {
 	cacheMisses   *telemetry.Counter
 	cacheShared   *telemetry.Counter
 	cacheEvicts   *telemetry.Counter
+	cacheBytes    *telemetry.Gauge
+	cacheEntries  *telemetry.Gauge
+	cacheRetries  *telemetry.Gauge
+	cacheSpilled  *telemetry.Gauge
+	cacheReplayed *telemetry.Counter
+	cacheSkipped  *telemetry.Counter
+	oraclePHits   *telemetry.Counter
+	oraclePMisses *telemetry.Counter
 	queueDelay    *telemetry.Histogram
 	scaleWorkers  *telemetry.Gauge
 	scaleGrows    *telemetry.Counter
@@ -194,7 +220,9 @@ var queueDelayBoundsMS = []float64{0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000,
 
 // New builds the server and starts its worker pool (WorkersMin workers;
 // the autoscaler, when WorkersMax > WorkersMin, grows it from there).
-func New(cfg Config) *Server {
+// When CacheDir is set the solution cache is pre-warmed from its spill
+// log before New returns; an unusable cache directory fails the boot.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
@@ -222,8 +250,14 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 128
 	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 64 << 20
+	}
 	if cfg.OracleCacheEntries <= 0 {
 		cfg.OracleCacheEntries = 1 << 16
+	}
+	if cfg.OraclePoolEntries == 0 {
+		cfg.OraclePoolEntries = 64
 	}
 	if cfg.RequestRing == 0 {
 		cfg.RequestRing = 256
@@ -258,6 +292,14 @@ func New(cfg Config) *Server {
 		cacheMisses:   r.Counter("server.cache.misses"),
 		cacheShared:   r.Counter("server.cache.shared"),
 		cacheEvicts:   r.Counter("server.cache.evictions"),
+		cacheBytes:    r.Gauge("server.cache.bytes"),
+		cacheEntries:  r.Gauge("server.cache.entries"),
+		cacheRetries:  r.Gauge("server.cache.retries"),
+		cacheSpilled:  r.Gauge("server.cache.spilled"),
+		cacheReplayed: r.Counter("server.cache.replayed"),
+		cacheSkipped:  r.Counter("server.cache.replay_skipped"),
+		oraclePHits:   r.Counter("server.oracle_pool.hits"),
+		oraclePMisses: r.Counter("server.oracle_pool.misses"),
 		queueDelay:    r.Histogram("server.queue_delay_ms", queueDelayBoundsMS),
 		scaleWorkers:  r.Gauge("server.autoscale.workers"),
 		scaleGrows:    r.Counter("server.autoscale.grow"),
@@ -286,7 +328,44 @@ func New(cfg Config) *Server {
 		s.ring = newRequestRing(cfg.RequestRing)
 	}
 	if cfg.CacheEntries > 0 {
-		s.cache = solvecache.New[*cachedSolution](cfg.CacheEntries, func(string) { s.cacheEvicts.Add(1) })
+		ccfg := solvecache.Config[*solvecache.Solution]{
+			Capacity: cfg.CacheEntries,
+			SizeOf:   (*solvecache.Solution).SizeBytes,
+			OnEvict: func(string) {
+				s.cacheEvicts.Add(1)
+				// s.cache is nil while spill replay runs inside
+				// NewWithConfig; bound-driven replay evictions count
+				// but have no cache to snapshot yet.
+				if s.cache != nil {
+					s.refreshCacheGauges()
+					s.emitCacheEvent("evict", 1)
+				}
+			},
+		}
+		if cfg.CacheBytes > 0 {
+			ccfg.MaxBytes = cfg.CacheBytes
+		}
+		if cfg.CacheDir != "" {
+			ccfg.Spill = &solvecache.SpillConfig[*solvecache.Solution]{
+				Dir:    cfg.CacheDir,
+				Encode: (*solvecache.Solution).Encode,
+				Decode: solvecache.DecodeSolution,
+			}
+		}
+		cache, err := solvecache.NewWithConfig(ccfg)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+		if st := cache.Stats(); st.Replayed > 0 || st.ReplaySkipped > 0 {
+			s.cacheReplayed.Add(st.Replayed)
+			s.cacheSkipped.Add(st.ReplaySkipped)
+			s.emitCacheEvent("replay", st.Replayed)
+		}
+		s.refreshCacheGauges()
+	}
+	if cfg.OraclePoolEntries > 0 {
+		s.oraclePool = solvecache.New[*cosched.Instance](cfg.OraclePoolEntries, nil)
 	}
 	for i := 0; i < cfg.WorkersMin; i++ {
 		quit := make(chan struct{})
@@ -315,7 +394,32 @@ func New(cfg Config) *Server {
 		s.scaleDone.Add(1)
 		go s.autoscaleLoop()
 	}
-	return s
+	return s, nil
+}
+
+// refreshCacheGauges snapshots the solution cache's O(1) size counters
+// into the server.cache.* gauges.
+func (s *Server) refreshCacheGauges() {
+	s.cacheBytes.Set(s.cache.Bytes())
+	s.cacheEntries.Set(int64(s.cache.Len()))
+	s.cacheRetries.Set(s.cache.Retries())
+	s.cacheSpilled.Set(s.cache.Spilled())
+}
+
+// emitCacheEvent records one solution-cache state change ("cache"
+// telemetry event) on the flight recorder, when one is wired.
+func (s *Server) emitCacheEvent(reason string, n int64) {
+	if s.cfg.Recorder == nil {
+		return
+	}
+	s.cfg.Recorder.Emit(telemetry.Event{ //nolint:errcheck // ring never errors
+		Ev:      "cache",
+		Reason:  reason,
+		N:       int(n),
+		Bytes:   s.cache.Bytes(),
+		TMS:     float64(time.Since(s.epoch)) / float64(time.Millisecond),
+		Replica: s.cfg.ReplicaID,
+	})
 }
 
 // Handler returns the daemon's full route set: the /v1 solve API,
@@ -377,6 +481,16 @@ func (s *Server) CacheStats() solvecache.Stats {
 		return solvecache.Stats{}
 	}
 	return s.cache.Stats()
+}
+
+// CloseCache flushes and closes the solution cache's spill log, making
+// everything written so far durable. Call it after Drain; the cache
+// itself stays usable, its stores just stop being persisted.
+func (s *Server) CloseCache() error {
+	if s.cache == nil {
+		return nil
+	}
+	return s.cache.Close()
 }
 
 // handleHealthz reports liveness: 503 {"status":"draining"} once drain
@@ -546,6 +660,35 @@ func (s *Server) admit(ctx context.Context, req *SolveRequest, robust bool) (*ta
 		return nil, &admitError{status: http.StatusBadRequest, msg: err.Error()}
 	}
 
+	// One fingerprint serves two tiers: the solution-cache key and the
+	// oracle pool. A fingerprint error (unknown oracle kind) skips both
+	// — the request still solves, uncached and unpooled.
+	var ifp string
+	if (s.cache != nil && !req.NoCache) || s.oraclePool != nil {
+		ifp, _ = inst.Fingerprint()
+	}
+	if s.oraclePool != nil && ifp != "" {
+		// Identical fingerprints mean identical instances, and a built
+		// instance is safe to share across concurrent solves (its
+		// memoized oracle is concurrency-safe), so all requests for one
+		// fingerprint ride the first request's instance — and its
+		// warmed SDC/pairwise memo tables — instead of rebuilding them.
+		// The pool is its own cache: its outcomes land in the
+		// server.oracle_pool.* counters, never in the solution cache's
+		// Stats, which stay one-outcome-per-request.
+		pooled, out, err := s.oraclePool.Do(ifp, func() (*cosched.Instance, bool, error) {
+			return inst, true, nil
+		})
+		if err == nil && pooled != nil {
+			inst = pooled
+			if out == solvecache.Miss {
+				s.oraclePMisses.Add(1)
+			} else {
+				s.oraclePHits.Add(1)
+			}
+		}
+	}
+
 	t := &task{
 		inst:        inst,
 		opts:        opts,
@@ -567,17 +710,15 @@ func (s *Server) admit(ctx context.Context, req *SolveRequest, robust bool) (*ta
 	if deadline > 0 {
 		t.deadline = t.enqueued.Add(deadline)
 	}
-	if s.cache != nil && !req.NoCache {
-		if ifp, err := inst.Fingerprint(); err == nil {
-			tag := "solve"
-			if robust {
-				tag = "robust"
-			}
-			t.key = ifp + "|" + opts.Fingerprint() + "|" + tag
-			t.fpPrefix = ifp
-			if len(t.fpPrefix) > 12 {
-				t.fpPrefix = t.fpPrefix[:12]
-			}
+	if s.cache != nil && !req.NoCache && ifp != "" {
+		tag := "solve"
+		if robust {
+			tag = "robust"
+		}
+		t.key = ifp + "|" + opts.Fingerprint() + "|" + tag
+		t.fpPrefix = ifp
+		if len(t.fpPrefix) > 12 {
+			t.fpPrefix = t.fpPrefix[:12]
 		}
 	}
 
@@ -773,18 +914,21 @@ func (s *Server) process(t *task) {
 		defer stop()
 	}
 
-	compute := func() (*cachedSolution, bool, error) {
+	compute := func() (*solvecache.Solution, bool, error) {
 		sched, solveMS, err := s.solve(ctx, t)
 		if err != nil {
 			return nil, false, err
 		}
 		// Only proven answers are cacheable: a degraded schedule is an
 		// artifact of this request's budgets, not the instance's optimum.
-		return &cachedSolution{sched: sched, solveMS: solveMS, solveID: sched.Stats.SolveID}, !sched.Stats.Degraded, nil
+		return solutionFromSchedule(sched, solveMS), !sched.Stats.Degraded, nil
 	}
 
+	// Exactly one cache consultation — a single Do, never a Get probe
+	// first — so each request contributes one outcome to the cache's
+	// Stats and the server.cache.* hit rate stays per-request truthful.
 	var (
-		sol     *cachedSolution
+		sol     *solvecache.Solution
 		outcome = solvecache.Miss
 		err     error
 	)
@@ -800,6 +944,12 @@ func (s *Server) process(t *task) {
 		default:
 			s.cacheMisses.Add(1)
 			t.cacheOutcome = "miss"
+		}
+		s.refreshCacheGauges()
+		if outcome == solvecache.Miss && err == nil && sol != nil && !sol.Degraded {
+			// This miss stored its answer (degraded and failed solves
+			// are never cached): surface the growth on the timeline.
+			s.emitCacheEvent("store", 1)
 		}
 	} else {
 		sol, _, err = compute()
@@ -819,12 +969,10 @@ func (s *Server) process(t *task) {
 		t.errMsg = err.Error()
 		return
 	}
-	t.solveMS = sol.solveMS
-	t.solveID = sol.solveID
-	t.degraded = sol.sched.Stats.Degraded
-	if sol.sched.Stats.AbortReason != cosched.AbortNone {
-		t.abortReason = sol.sched.Stats.AbortReason.String()
-	}
+	t.solveMS = sol.SolveMS
+	t.solveID = sol.SolveID
+	t.degraded = sol.Degraded
+	t.abortReason = sol.AbortReason
 	t.resp = buildResponse(sol, outcome, queueMS)
 	if t.robust {
 		t.resp.Method = "robust"
@@ -867,29 +1015,54 @@ func (s *Server) solve(ctx context.Context, t *task) (*cosched.Schedule, float64
 	return sched, solveMS, nil
 }
 
-// buildResponse renders a solution for one request. The cached schedule
-// is shared across requests and only read here.
-func buildResponse(sol *cachedSolution, outcome solvecache.Outcome, queueMS float64) *SolveResponse {
-	sched := sol.sched
-	resp := &SolveResponse{
+// solutionFromSchedule flattens a solved schedule into its cacheable
+// form: everything the response needs, nothing tied to live solver
+// state, so the value serialises to the spill log and is still
+// renderable after a restart.
+func solutionFromSchedule(sched *cosched.Schedule, solveMS float64) *solvecache.Solution {
+	sol := &solvecache.Solution{
 		Cost:     sched.TotalDegradation,
 		AvgCost:  sched.AvgDegradation(),
 		Groups:   sched.Groups(),
 		Machines: sched.Machines(),
 		Degraded: sched.Stats.Degraded,
-		Cached:   outcome == solvecache.Hit,
-		Shared:   outcome == solvecache.Shared,
-		QueueMS:  queueMS,
-		SolveMS:  sol.solveMS,
+		SolveMS:  solveMS,
+		SolveID:  sched.Stats.SolveID,
 	}
 	if sched.Stats.AbortReason != cosched.AbortNone {
-		resp.AbortReason = sched.Stats.AbortReason.String()
+		sol.AbortReason = sched.Stats.AbortReason.String()
 	}
 	for _, fb := range sched.Stats.Fallbacks {
-		resp.Fallbacks = append(resp.Fallbacks, FallbackInfo{
+		sol.Fallbacks = append(sol.Fallbacks, solvecache.SolutionFallback{
 			Method:   fb.Method.String(),
 			Degraded: fb.Degraded,
 			Aborted:  fb.Aborted.String(),
+			Err:      fb.Err,
+		})
+	}
+	return sol
+}
+
+// buildResponse renders a solution for one request. The solution is
+// shared across requests (cached) and only read here.
+func buildResponse(sol *solvecache.Solution, outcome solvecache.Outcome, queueMS float64) *SolveResponse {
+	resp := &SolveResponse{
+		Cost:        sol.Cost,
+		AvgCost:     sol.AvgCost,
+		Groups:      sol.Groups,
+		Machines:    sol.Machines,
+		Degraded:    sol.Degraded,
+		AbortReason: sol.AbortReason,
+		Cached:      outcome == solvecache.Hit,
+		Shared:      outcome == solvecache.Shared,
+		QueueMS:     queueMS,
+		SolveMS:     sol.SolveMS,
+	}
+	for _, fb := range sol.Fallbacks {
+		resp.Fallbacks = append(resp.Fallbacks, FallbackInfo{
+			Method:   fb.Method,
+			Degraded: fb.Degraded,
+			Aborted:  fb.Aborted,
 			Err:      fb.Err,
 		})
 	}

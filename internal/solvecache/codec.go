@@ -1,0 +1,377 @@
+// Binary serialisation for the cache's spill log: a generic
+// length-prefixed, checksummed record frame (AppendRecord/DecodeRecord)
+// and a concrete Solution codec for the daemon's cached solve results.
+//
+// Framing (all integers big-endian):
+//
+//	magic   u8   0xC5 — rejects files that are not a spill log at all
+//	version u8   record payload version (currently 1)
+//	keyLen  u32  length of the key bytes
+//	valLen  u32  length of the value bytes
+//	crc     u32  CRC-32 (IEEE) over key ++ value
+//	key     keyLen bytes
+//	value   valLen bytes
+//
+// The frame — magic, lengths, checksum — is fixed for all versions, so
+// a reader that meets a record with an unknown version can still trust
+// the lengths, verify the checksum, and skip the record whole. Only the
+// value payload is versioned. Decode errors distinguish a torn tail
+// (ErrTruncated: the bytes simply stop mid-record, expected after a
+// crash, fixed by truncating) from corruption (ErrCorrupt: the bytes
+// are there but wrong — bad magic, insane lengths, checksum mismatch —
+// so nothing after them can be trusted either).
+package solvecache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	recordMagic   = 0xC5
+	recordVersion = 1
+	// recordHeaderLen is the fixed frame prefix: magic + version +
+	// keyLen + valLen + crc.
+	recordHeaderLen = 1 + 1 + 4 + 4 + 4
+
+	// maxKeyLen and maxValueLen bound what a decoder will believe. A
+	// fingerprint key is ~100 bytes and a solution a few KB; anything
+	// near these limits is garbage lengths from a corrupt frame, and
+	// refusing them keeps a flipped length bit from making the decoder
+	// "skip" gigabytes.
+	maxKeyLen   = 64 << 10
+	maxValueLen = 16 << 20
+)
+
+// ErrTruncated reports a record frame that stops before its declared
+// end — the expected shape of a crash-torn segment tail.
+var ErrTruncated = errors.New("solvecache: truncated record")
+
+// ErrCorrupt reports a record frame that is present but fails
+// validation (magic, length bounds, or checksum).
+var ErrCorrupt = errors.New("solvecache: corrupt record")
+
+// errVersionSkew reports a record whose frame validates but whose
+// payload version this build does not speak; the record is skippable
+// because the frame fixed its length.
+var errVersionSkew = errors.New("solvecache: unknown record version")
+
+// Record is one framed key/value pair of the spill log.
+type Record struct {
+	Key   string
+	Value []byte
+}
+
+// AppendRecord appends rec's framed encoding to dst and returns the
+// extended slice. It errors (leaving dst unchanged) when the key or
+// value exceeds the frame's length bounds.
+func AppendRecord(dst []byte, rec Record) ([]byte, error) {
+	if len(rec.Key) > maxKeyLen {
+		return dst, fmt.Errorf("solvecache: key of %d bytes exceeds the %d-byte frame limit", len(rec.Key), maxKeyLen)
+	}
+	if len(rec.Value) > maxValueLen {
+		return dst, fmt.Errorf("solvecache: value of %d bytes exceeds the %d-byte frame limit", len(rec.Value), maxValueLen)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(rec.Key)) //nolint:errcheck // hash writes cannot fail
+	crc.Write(rec.Value)       //nolint:errcheck
+	dst = append(dst, recordMagic, recordVersion)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(rec.Key)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(rec.Value)))
+	dst = binary.BigEndian.AppendUint32(dst, crc.Sum32())
+	dst = append(dst, rec.Key...)
+	dst = append(dst, rec.Value...)
+	return dst, nil
+}
+
+// DecodeRecord decodes the first record framed in b, returning it and
+// the number of bytes it consumed. On errVersionSkew, n still covers
+// the whole (validated) frame so the caller can skip it. On ErrTruncated
+// or ErrCorrupt, n is 0 — the caller decides whether the remaining
+// bytes are a torn tail (truncate) or rot (skip the segment).
+func DecodeRecord(b []byte) (rec Record, n int, err error) {
+	if len(b) < recordHeaderLen {
+		return Record{}, 0, ErrTruncated
+	}
+	if b[0] != recordMagic {
+		return Record{}, 0, fmt.Errorf("%w: bad magic 0x%02x", ErrCorrupt, b[0])
+	}
+	version := b[1]
+	keyLen := binary.BigEndian.Uint32(b[2:6])
+	valLen := binary.BigEndian.Uint32(b[6:10])
+	wantCRC := binary.BigEndian.Uint32(b[10:14])
+	if keyLen > maxKeyLen || valLen > maxValueLen {
+		return Record{}, 0, fmt.Errorf("%w: implausible lengths key=%d value=%d", ErrCorrupt, keyLen, valLen)
+	}
+	total := recordHeaderLen + int(keyLen) + int(valLen)
+	if len(b) < total {
+		return Record{}, 0, ErrTruncated
+	}
+	key := b[recordHeaderLen : recordHeaderLen+int(keyLen)]
+	val := b[recordHeaderLen+int(keyLen) : total]
+	crc := crc32.NewIEEE()
+	crc.Write(key) //nolint:errcheck
+	crc.Write(val) //nolint:errcheck
+	if crc.Sum32() != wantCRC {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if version != recordVersion {
+		return Record{}, total, fmt.Errorf("%w: %d", errVersionSkew, version)
+	}
+	return Record{Key: string(key), Value: append([]byte(nil), val...)}, total, nil
+}
+
+// Solution is a solve result in cacheable form: everything the daemon
+// needs to answer a repeated request — assignment, cost, and the solve
+// metadata the response reports — with no live solver state, so it
+// serialises and survives a restart. The server builds one from each
+// *cosched.Schedule it decides to cache.
+type Solution struct {
+	Cost        float64
+	AvgCost     float64
+	Groups      [][]int
+	Machines    [][]string
+	Degraded    bool
+	AbortReason string
+	Fallbacks   []SolutionFallback
+	SolveMS     float64
+	SolveID     uint64
+}
+
+// SolutionFallback mirrors one entry of the solve's fallback chain.
+type SolutionFallback struct {
+	Method   string
+	Degraded bool
+	Aborted  string
+	Err      string
+}
+
+// solutionFieldBounds keep a corrupt record from convincing the decoder
+// to allocate absurd slices. Real instances top out at hundreds of
+// jobs and a handful of fallback steps.
+const (
+	maxSolutionGroups    = 1 << 20
+	maxSolutionFallbacks = 1 << 10
+	maxSolutionStringLen = 4 << 10
+)
+
+// SizeBytes reports the solution's approximate resident size, used as
+// the cache's byte-cost function. It intentionally tracks the encoded
+// size (the dominant slices cost the same in either form) so the byte
+// bound means the same thing in memory and on disk.
+func (s *Solution) SizeBytes() int {
+	n := 8 + 8 + 8 + 1 + len(s.AbortReason) + 8 + 8 // fixed fields
+	for _, g := range s.Groups {
+		n += 4 + 8*len(g)
+	}
+	for _, m := range s.Machines {
+		n += 4
+		for _, name := range m {
+			n += 4 + len(name)
+		}
+	}
+	for _, fb := range s.Fallbacks {
+		n += 1 + len(fb.Method) + len(fb.Aborted) + len(fb.Err) + 3*4
+	}
+	return n
+}
+
+// Encode serialises the solution as the version-1 record payload.
+func (s *Solution) Encode() ([]byte, error) {
+	b := make([]byte, 0, s.SizeBytes()+64)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(s.Cost))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(s.AvgCost))
+	var flags byte
+	if s.Degraded {
+		flags = 1
+	}
+	b = append(b, flags)
+	var err error
+	if b, err = appendString(b, s.AbortReason); err != nil {
+		return nil, err
+	}
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(s.SolveMS))
+	b = binary.BigEndian.AppendUint64(b, s.SolveID)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Groups)))
+	for _, g := range s.Groups {
+		b = binary.BigEndian.AppendUint32(b, uint32(len(g)))
+		for _, p := range g {
+			b = binary.BigEndian.AppendUint64(b, uint64(int64(p)))
+		}
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Machines)))
+	for _, m := range s.Machines {
+		b = binary.BigEndian.AppendUint32(b, uint32(len(m)))
+		for _, name := range m {
+			if b, err = appendString(b, name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.Fallbacks)))
+	for _, fb := range s.Fallbacks {
+		if b, err = appendString(b, fb.Method); err != nil {
+			return nil, err
+		}
+		var fbFlags byte
+		if fb.Degraded {
+			fbFlags = 1
+		}
+		b = append(b, fbFlags)
+		if b, err = appendString(b, fb.Aborted); err != nil {
+			return nil, err
+		}
+		if b, err = appendString(b, fb.Err); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeSolution parses a version-1 payload produced by Encode. It is
+// strict: every length is bounded, every read is checked, and trailing
+// bytes are an error — a record that decodes is a record that
+// round-trips.
+func DecodeSolution(b []byte) (*Solution, error) {
+	d := &solutionDecoder{b: b}
+	s := &Solution{}
+	s.Cost = math.Float64frombits(d.u64())
+	s.AvgCost = math.Float64frombits(d.u64())
+	s.Degraded = d.u8() != 0
+	s.AbortReason = d.str()
+	s.SolveMS = math.Float64frombits(d.u64())
+	s.SolveID = d.u64()
+	nGroups := d.u32()
+	if nGroups > maxSolutionGroups {
+		return nil, fmt.Errorf("%w: %d groups", ErrCorrupt, nGroups)
+	}
+	if d.err == nil && nGroups > 0 {
+		s.Groups = make([][]int, 0, min(int(nGroups), 1024))
+		for i := uint32(0); i < nGroups && d.err == nil; i++ {
+			nJobs := d.u32()
+			if nJobs > maxSolutionGroups {
+				return nil, fmt.Errorf("%w: %d jobs in group", ErrCorrupt, nJobs)
+			}
+			g := make([]int, 0, min(int(nJobs), 1024))
+			for j := uint32(0); j < nJobs && d.err == nil; j++ {
+				g = append(g, int(int64(d.u64())))
+			}
+			s.Groups = append(s.Groups, g)
+		}
+	}
+	nMachines := d.u32()
+	if nMachines > maxSolutionGroups {
+		return nil, fmt.Errorf("%w: %d machines", ErrCorrupt, nMachines)
+	}
+	if d.err == nil && nMachines > 0 {
+		s.Machines = make([][]string, 0, min(int(nMachines), 1024))
+		for i := uint32(0); i < nMachines && d.err == nil; i++ {
+			nNames := d.u32()
+			if nNames > maxSolutionGroups {
+				return nil, fmt.Errorf("%w: %d names in machine group", ErrCorrupt, nNames)
+			}
+			m := make([]string, 0, min(int(nNames), 1024))
+			for j := uint32(0); j < nNames && d.err == nil; j++ {
+				m = append(m, d.str())
+			}
+			s.Machines = append(s.Machines, m)
+		}
+	}
+	nFallbacks := d.u32()
+	if nFallbacks > maxSolutionFallbacks {
+		return nil, fmt.Errorf("%w: %d fallbacks", ErrCorrupt, nFallbacks)
+	}
+	if d.err == nil && nFallbacks > 0 {
+		s.Fallbacks = make([]SolutionFallback, 0, min(int(nFallbacks), 64))
+		for i := uint32(0); i < nFallbacks && d.err == nil; i++ {
+			var fb SolutionFallback
+			fb.Method = d.str()
+			fb.Degraded = d.u8() != 0
+			fb.Aborted = d.str()
+			fb.Err = d.str()
+			s.Fallbacks = append(s.Fallbacks, fb)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != d.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.b)-d.off)
+	}
+	return s, nil
+}
+
+// solutionDecoder is a cursor with sticky error state: after the first
+// short or invalid read every later read returns zero values, and the
+// caller checks err once at the end.
+type solutionDecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *solutionDecoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.b) {
+		d.err = ErrTruncated
+		return false
+	}
+	return true
+}
+
+func (d *solutionDecoder) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *solutionDecoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *solutionDecoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *solutionDecoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxSolutionStringLen {
+		d.err = fmt.Errorf("%w: %d-byte string", ErrCorrupt, n)
+		return ""
+	}
+	if !d.need(int(n)) {
+		return ""
+	}
+	v := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return v
+}
+
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > maxSolutionStringLen {
+		return b, fmt.Errorf("solvecache: string of %d bytes exceeds the %d-byte limit", len(s), maxSolutionStringLen)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...), nil
+}

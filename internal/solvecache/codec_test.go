@@ -1,0 +1,193 @@
+package solvecache
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleSolution() *Solution {
+	return &Solution{
+		Cost:        3.25,
+		AvgCost:     1.625,
+		Groups:      [][]int{{0, 3}, {1, 2}, {4}},
+		Machines:    [][]string{{"lu", "astar"}, {"mg", "bt"}, {"ft"}},
+		Degraded:    false,
+		AbortReason: "",
+		Fallbacks: []SolutionFallback{
+			{Method: "ip", Degraded: false, Aborted: "deadline", Err: "lp relaxation timed out"},
+			{Method: "hastar", Degraded: false},
+		},
+		SolveMS: 12.5,
+		SolveID: 42,
+	}
+}
+
+func TestSolutionRoundTrip(t *testing.T) {
+	for name, s := range map[string]*Solution{
+		"full":  sampleSolution(),
+		"empty": {},
+		"degraded": {
+			Cost: 9, AvgCost: 3, Degraded: true, AbortReason: "memory",
+			Groups: [][]int{{0}}, Machines: [][]string{{"m"}},
+		},
+	} {
+		enc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		got, err := DecodeSolution(enc)
+		if err != nil {
+			t.Fatalf("%s: DecodeSolution: %v", name, err)
+		}
+		reenc, err := got.Encode()
+		if err != nil {
+			t.Fatalf("%s: re-Encode: %v", name, err)
+		}
+		if !bytes.Equal(enc, reenc) {
+			t.Errorf("%s: round trip is not identity", name)
+		}
+		if got.Cost != s.Cost || got.SolveID != s.SolveID || got.Degraded != s.Degraded {
+			t.Errorf("%s: decoded %+v; want %+v", name, got, s)
+		}
+	}
+}
+
+func TestDecodeSolutionRejectsDamage(t *testing.T) {
+	enc, err := sampleSolution().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSolution(enc[:len(enc)-3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short payload: err = %v; want ErrTruncated", err)
+	}
+	if _, err := DecodeSolution(append(append([]byte(nil), enc...), 0xFF)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing byte: err = %v; want ErrCorrupt", err)
+	}
+	if _, err := DecodeSolution(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty payload: err = %v; want ErrTruncated", err)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := Record{Key: "fingerprint-abc", Value: []byte("payload bytes")}
+	b, err := AppendRecord(nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two records back to back decode in sequence.
+	b, err = AppendRecord(b, Record{Key: "k2", Value: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeRecord(b)
+	if err != nil || got.Key != rec.Key || !bytes.Equal(got.Value, rec.Value) {
+		t.Fatalf("DecodeRecord = (%+v, %v); want %+v", got, err, rec)
+	}
+	got2, n2, err := DecodeRecord(b[n:])
+	if err != nil || got2.Key != "k2" || len(got2.Value) != 0 {
+		t.Fatalf("second DecodeRecord = (%+v, %v)", got2, err)
+	}
+	if n+n2 != len(b) {
+		t.Errorf("records consumed %d of %d bytes", n+n2, len(b))
+	}
+}
+
+func TestDecodeRecordErrors(t *testing.T) {
+	b, err := AppendRecord(nil, Record{Key: "k", Value: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeRecord(b[:len(b)-1]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("torn tail: err = %v; want ErrTruncated", err)
+	}
+	if _, _, err := DecodeRecord(b[:5]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("torn header: err = %v; want ErrTruncated", err)
+	}
+
+	badMagic := append([]byte(nil), b...)
+	badMagic[0] = 0x00
+	if _, _, err := DecodeRecord(badMagic); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v; want ErrCorrupt", err)
+	}
+
+	flipped := append([]byte(nil), b...)
+	flipped[len(flipped)-1] ^= 0xFF // damage the value: checksum must catch it
+	if _, _, err := DecodeRecord(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("flipped payload: err = %v; want ErrCorrupt", err)
+	}
+
+	insane := append([]byte(nil), b...)
+	insane[2], insane[3] = 0xFF, 0xFF // keyLen far beyond maxKeyLen
+	if _, _, err := DecodeRecord(insane); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("insane length: err = %v; want ErrCorrupt", err)
+	}
+
+	// Version-skewed record: frame validates, n covers the record, so a
+	// replayer can skip it and keep going.
+	skewed := append([]byte(nil), b...)
+	skewed[1] = 99
+	_, n, err := DecodeRecord(skewed)
+	if !errors.Is(err, errVersionSkew) {
+		t.Fatalf("version skew: err = %v; want errVersionSkew", err)
+	}
+	if n != len(b) {
+		t.Errorf("version skew: n = %d; want %d (skippable)", n, len(b))
+	}
+}
+
+func TestAppendRecordBounds(t *testing.T) {
+	if _, err := AppendRecord(nil, Record{Key: strings.Repeat("k", maxKeyLen+1)}); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if _, err := AppendRecord(nil, Record{Key: "k", Value: make([]byte, maxValueLen+1)}); err == nil {
+		t.Error("oversized value accepted")
+	}
+}
+
+// FuzzDecodeRecord feeds the record decoder arbitrary bytes: it must
+// never panic, and anything it accepts must round-trip byte for byte.
+func FuzzDecodeRecord(f *testing.F) {
+	seed, _ := AppendRecord(nil, Record{Key: "fingerprint", Value: []byte("solution")})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{recordMagic})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, n, err := DecodeRecord(b)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(b) {
+			t.Fatalf("accepted record consumed %d of %d bytes", n, len(b))
+		}
+		reenc, err := AppendRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("accepted record does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, b[:n]) {
+			t.Fatal("accepted record does not round-trip to its input bytes")
+		}
+	})
+}
+
+// FuzzDecodeSolution does the same for the value payload decoder.
+func FuzzDecodeSolution(f *testing.F) {
+	seed, _ := sampleSolution().Encode()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSolution(b)
+		if err != nil {
+			return
+		}
+		reenc, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted solution does not re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, b) {
+			t.Fatal("accepted solution does not round-trip to its input bytes")
+		}
+	})
+}

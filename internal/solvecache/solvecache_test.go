@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCacheLRUEviction(t *testing.T) {
@@ -160,7 +162,7 @@ func TestShardSelection(t *testing.T) {
 		{2, 1, 2},
 		{63, 1, 63},
 		{64, nShards, 4},
-		{100, nShards, 7}, // ceil(100/16)
+		{100, nShards, 7}, // 100/16 = 6 rem 4: shard 0 takes an extra
 		{0, nShards, 0},
 		{-1, nShards, 0},
 	} {
@@ -184,10 +186,9 @@ func TestShardedAggregation(t *testing.T) {
 	for i := 0; i < total; i++ {
 		c.Put(fmt.Sprintf("key-%d", i), i)
 	}
-	// Per-shard bounds allow at most nShards*ceil(capacity/nShards).
-	maxEntries := nShards * ((capacity + nShards - 1) / nShards)
-	if n := c.Len(); n > maxEntries || n == 0 {
-		t.Errorf("Len = %d; want in (0, %d]", n, maxEntries)
+	// Per-shard bounds sum to exactly the configured capacity.
+	if n := c.Len(); n > capacity || n == 0 {
+		t.Errorf("Len = %d; want in (0, %d]", n, capacity)
 	}
 	st := c.Stats()
 	if st.Entries != c.Len() {
@@ -250,6 +251,216 @@ func TestShardedConcurrentDo(t *testing.T) {
 	}
 	if st.Hits+st.Misses+st.Shared != workers*keys {
 		t.Errorf("outcome counters sum to %d; want %d", st.Hits+st.Misses+st.Shared, workers*keys)
+	}
+}
+
+// TestShardCapacitySums is the capacity-overshoot regression test: a
+// plain ceil split gave every shard ceil(capacity/nShards), so a cache
+// configured for 65 entries could hold 16*5 = 80. The shares must sum
+// to exactly the configured capacity, with the remainder spread over
+// the leading shards.
+func TestShardCapacitySums(t *testing.T) {
+	for _, capacity := range []int{64, 65, 100} {
+		c := New[int](capacity, nil)
+		sum := 0
+		for _, s := range c.shards {
+			sum += s.capacity
+		}
+		if sum != capacity {
+			t.Errorf("capacity %d: shard shares sum to %d; want exactly %d", capacity, sum, capacity)
+		}
+		// The bound must hold in practice, not just in configuration:
+		// overfill every shard and check the resident total.
+		for i := 0; i < capacity*4; i++ {
+			c.Put(fmt.Sprintf("key-%d", i), i)
+		}
+		if n := c.Len(); n > capacity {
+			t.Errorf("capacity %d: %d entries resident; want <= %d", capacity, n, capacity)
+		}
+	}
+}
+
+// TestDoRetryCountsOnce is the singleflight-retry regression test: when
+// a flight leader panics, its 8 waiters retry — and before the fix each
+// retry re-entered Do and counted a second miss/shared for the same
+// logical call. Every logical call must contribute exactly one outcome;
+// the extra rounds surface under Stats.Retries instead.
+func TestDoRetryCountsOnce(t *testing.T) {
+	c := New[int](0, nil)
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		c.Do("k", func() (int, bool, error) { //nolint:errcheck
+			close(started)
+			<-release
+			panic("leader dies")
+		})
+	}()
+	<-started
+
+	const waiters = 8
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.Do("k", func() (int, bool, error) { return 42, true, nil })
+			if err != nil || v != 42 {
+				t.Errorf("waiter Do = (%d, %v); want (42, nil)", v, err)
+			}
+		}()
+	}
+	for c.Stats().Shared < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	st := c.Stats()
+	if got := st.Hits + st.Misses + st.Shared; got != waiters+1 {
+		t.Errorf("outcomes sum to %d for %d logical calls; want %d (retries must not inflate)",
+			got, waiters+1, waiters+1)
+	}
+	if st.Retries == 0 {
+		t.Error("Retries = 0; want > 0 after a panicked leader's waiters recomputed")
+	}
+}
+
+// TestDoRetryBounded pins the retry bound: a computation that panics on
+// every attempt must terminate each caller within maxDoAttempts rounds
+// instead of recursing until the stack dies.
+func TestDoRetryBounded(t *testing.T) {
+	c := New[int](0, nil)
+	var calls atomic.Int64
+	alwaysPanic := func() (int, bool, error) {
+		calls.Add(1)
+		panic("always")
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { recover() }() //nolint:errcheck
+			c.Do("k", alwaysPanic)       //nolint:errcheck
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do callers still running against an always-panicking compute; retry is unbounded")
+	}
+	// Each caller runs compute at most once per round, bounded by the
+	// attempt budget.
+	if got := calls.Load(); got > callers*maxDoAttempts {
+		t.Errorf("compute ran %d times for %d callers; want <= %d", got, callers, callers*maxDoAttempts)
+	}
+	st := c.Stats()
+	if got := st.Hits + st.Misses + st.Shared; got != callers {
+		t.Errorf("outcomes sum to %d for %d logical calls; want %d", got, callers, callers)
+	}
+}
+
+// TestByteBound exercises the byte-size bound: Stats.Bytes must stay
+// under MaxBytes, eviction must follow LRU order, and an entry larger
+// than a whole shard share must be rejected rather than flushing the
+// shard.
+func TestByteBound(t *testing.T) {
+	var evicted []string
+	c, err := NewWithConfig(Config[string]{
+		Capacity: 4, // single shard: exact LRU order
+		MaxBytes: 64,
+		SizeOf:   func(v string) int { return len(v) },
+		OnEvict:  func(key string) { evicted = append(evicted, key) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each entry costs len(key)+len(value) = 1+15 = 16 bytes; four fit
+	// exactly in 64.
+	pad := strings.Repeat("x", 15)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.Put(k, pad)
+	}
+	if got := c.Stats().Bytes; got != 64 {
+		t.Fatalf("Bytes = %d; want 64", got)
+	}
+	c.Put("e", pad) // over by one entry: a (the LRU) must go
+	st := c.Stats()
+	if st.Bytes > 64 {
+		t.Errorf("Bytes = %d after eviction; want <= 64", st.Bytes)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived byte-bound eviction; want LRU out")
+	}
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Errorf("onEvict saw %v; want [a]", evicted)
+	}
+
+	// An entry bigger than the whole budget is rejected at the door and
+	// reported as an eviction of its own key.
+	c.Put("huge", strings.Repeat("y", 100))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversized entry was stored")
+	}
+	if evicted[len(evicted)-1] != "huge" {
+		t.Errorf("oversized store reported %v; want huge last", evicted)
+	}
+	// Re-storing a key under a larger value re-charges the delta.
+	c.Put("b", strings.Repeat("z", 40)) // b now costs 41 of 64
+	if got := c.Stats().Bytes; got > 64 {
+		t.Errorf("Bytes = %d after re-store; want <= 64", got)
+	}
+}
+
+// TestByteBoundUnderDo drives the byte bound through Do (the daemon's
+// path) and checks the invariant the ISSUE pins: Stats.Bytes never
+// exceeds the configured maximum under load.
+func TestByteBoundUnderDo(t *testing.T) {
+	const maxBytes = 1 << 10
+	c, err := NewWithConfig(Config[string]{
+		MaxBytes: maxBytes,
+		SizeOf:   func(v string) int { return len(v) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if _, _, err := c.Do(key, func() (string, bool, error) {
+			return strings.Repeat("v", 64), true, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Stats().Bytes; got > maxBytes {
+			t.Fatalf("Bytes = %d after %d stores; want <= %d", got, i+1, maxBytes)
+		}
+	}
+	if c.Bytes() != c.Stats().Bytes {
+		t.Errorf("Bytes() = %d, Stats().Bytes = %d; want equal", c.Bytes(), c.Stats().Bytes)
+	}
+}
+
+func TestNewWithConfigValidation(t *testing.T) {
+	if _, err := NewWithConfig(Config[int]{MaxBytes: 1}); err == nil {
+		t.Error("MaxBytes without SizeOf accepted; want error")
+	}
+	if _, err := NewWithConfig(Config[int]{Spill: &SpillConfig[int]{}}); err == nil {
+		t.Error("spill without directory accepted; want error")
+	}
+	if _, err := NewWithConfig(Config[int]{Spill: &SpillConfig[int]{Dir: t.TempDir()}}); err == nil {
+		t.Error("spill without codec accepted; want error")
 	}
 }
 

@@ -49,6 +49,14 @@ import (
 //	             "idle=..." on shrink). Scale events carry no solve_id —
 //	             they describe the pool, not a solve — and t_ms counts
 //	             from server start
+//	cache        reason, n, bytes, t_ms — serving layer: the coschedd
+//	             solution cache changed shape; reason is the operation
+//	             (replay: n log records pre-warmed the LRU at boot;
+//	             store: a solve's answer became resident; evict: a bound
+//	             pushed entries out, n of them). bytes is the cache's
+//	             resident byte charge after the operation. Cache events
+//	             carry no solve_id — they describe the tier, not a solve
+//	             — and t_ms counts from server start
 //	request      req_id, route, status, queue_ms, solve_ms, encode_ms,
 //	             total_ms, cache, degraded, reason — serving layer: one
 //	             HTTP request's lifecycle summary, emitted at response
@@ -144,6 +152,11 @@ type Event struct {
 	// Serving-layer fields (scale): the worker-pool size after an
 	// autoscale event.
 	Workers int `json:"workers,omitempty"`
+
+	// Serving-layer fields (cache): the solution cache's resident byte
+	// charge after the operation named by Reason (replay|store|evict);
+	// N counts the records the operation touched.
+	Bytes int64 `json:"bytes,omitempty"`
 
 	// Request-lifecycle fields (request): the coschedd serving layer's
 	// per-request summary. ReqID is the request's identity (generated at

@@ -1,0 +1,73 @@
+package tracetool
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cosched/internal/telemetry"
+)
+
+// CacheEvents collects the serving layer's solution-cache events from a
+// split trace stream, in emission order. Cache events belong to no
+// solve (the cache tier outlives any one request), so Split files them
+// under solve id 0 alongside any legacy events; this pulls them back
+// out for the cache timeline.
+func CacheEvents(traces []*Trace) []telemetry.Event {
+	var out []telemetry.Event
+	for _, tr := range traces {
+		for _, ev := range tr.Events {
+			if ev.Ev == "cache" {
+				out = append(out, ev)
+			}
+		}
+	}
+	return out
+}
+
+// WriteCache renders the daemon's solution-cache history as an ASCII
+// timeline: one line per cache event with its offset from server start,
+// the operation (replay at boot, store on a cacheable miss, evict when
+// a bound pushed entries out), the record count, and the cache's
+// resident bytes after the event as a bar scaled to the stream's peak.
+// A closing line totals the replayed/stored/evicted records. A stream
+// with no cache events renders a note saying so — the daemon ran
+// cacheless, or nothing was ever stored.
+func WriteCache(w io.Writer, traces []*Trace) error {
+	events := CacheEvents(traces)
+	if len(events) == 0 {
+		_, err := io.WriteString(w, "no cache events: the solution cache never changed shape (caching disabled, or no cacheable solves)\n")
+		return err
+	}
+	var peak int64
+	for _, ev := range events {
+		if ev.Bytes > peak {
+			peak = ev.Bytes
+		}
+	}
+	var sb strings.Builder
+	span := (events[len(events)-1].TMS - events[0].TMS) / 1000
+	fmt.Fprintf(&sb, "=== cache timeline: %d events over %.1fs, peak %d bytes ===\n",
+		len(events), span, peak)
+	const barWidth = 24
+	var replayed, stored, evicted int
+	for _, ev := range events {
+		switch ev.Reason {
+		case "replay":
+			replayed += ev.N
+		case "store":
+			stored += ev.N
+		case "evict":
+			evicted += ev.N
+		}
+		bar := 0
+		if peak > 0 {
+			bar = int(ev.Bytes * barWidth / peak)
+		}
+		fmt.Fprintf(&sb, "  t=+%8.2fs  %-6s n=%-5d %8dB %-*s\n",
+			ev.TMS/1000, ev.Reason, ev.N, ev.Bytes, barWidth, strings.Repeat("#", bar))
+	}
+	fmt.Fprintf(&sb, "  total: %d replayed, %d stored, %d evicted\n", replayed, stored, evicted)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

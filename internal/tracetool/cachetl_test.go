@@ -1,0 +1,62 @@
+package tracetool
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cosched/internal/telemetry"
+)
+
+// cacheStream builds the trace a spill-backed daemon emits: a boot
+// replay, stores as misses land, and a bound-driven eviction.
+func cacheStream() []telemetry.Event {
+	return []telemetry.Event{
+		{Ev: "cache", TMS: 10, Reason: "replay", N: 5, Bytes: 1500},
+		{Ev: "cache", TMS: 1200, Reason: "store", N: 1, Bytes: 1800},
+		{Ev: "cache", TMS: 2400, Reason: "store", N: 1, Bytes: 2100},
+		{Ev: "cache", TMS: 2401, Reason: "evict", N: 1, Bytes: 1800},
+	}
+}
+
+// TestCheckToleratesCacheOnlyTrace: cache events carry no solve id and
+// no solve_start, like scale events; check must treat the trace as
+// clean rather than flagging missing-solve-start.
+func TestCheckToleratesCacheOnlyTrace(t *testing.T) {
+	traces := Split(cacheStream())
+	if len(traces) != 1 || traces[0].ID != 0 {
+		t.Fatalf("Split gave %d traces; want one solve-0 trace", len(traces))
+	}
+	if vs := Check(traces[0]); len(vs) != 0 {
+		t.Errorf("cache-only trace flagged: %v", vs)
+	}
+}
+
+func TestWriteCacheRendersTimeline(t *testing.T) {
+	traces := Split(cacheStream())
+	var buf bytes.Buffer
+	if err := WriteCache(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"4 events", "peak 2100 bytes",
+		"replay", "store", "evict",
+		"total: 5 replayed, 2 stored, 1 evicted",
+		"####", // the byte charge as a bar
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCacheEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCache(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no cache events") {
+		t.Errorf("empty stream output = %q; want a no-cache-events note", buf.String())
+	}
+}

@@ -152,13 +152,13 @@ func checkDismissReasons(tr *Trace) []Violation {
 
 // onlySpans reports whether the trace carries nothing but ambient
 // events — spans (a solve observed through a SpanRecorder alone),
-// serving-layer scale and request events, and fleet-client events,
-// which belong to no solve (a rejected request never got one) and so
-// arrive with solve id 0 and no solve_start header.
+// serving-layer scale, cache and request events, and fleet-client
+// events, which belong to no solve (a rejected request never got one)
+// and so arrive with solve id 0 and no solve_start header.
 func (t *Trace) onlySpans() bool {
 	for _, ev := range t.Events {
 		switch ev.Ev {
-		case "span_start", "span_end", "scale", "request",
+		case "span_start", "span_end", "scale", "cache", "request",
 			"client_attempt", "client_request", "client_breaker":
 		default:
 			return false

@@ -3,9 +3,12 @@
 # tests, the allocation-budget guards (with telemetry off AND on), race
 # passes over the concurrent search paths and the serving layer, the
 # trace-invariant matrix (every producer's trace must pass coschedtrace
-# check), the coschedd end-to-end serving gate, the open-loop
-# loadgen + autoscaler gate, the two-replica chaos gate (kill one daemon
-# mid-ladder under the fleet client), and the recorded benchmark gates.
+# check), the coschedd end-to-end serving gate, the restart-warm cache
+# gate (SIGTERM + reboot over the same -cache-dir must keep the hit
+# rate; a corrupt-tail segment must be skipped, not trusted), the
+# open-loop loadgen + autoscaler gate, the two-replica chaos gate (kill
+# one daemon mid-ladder under the fleet client), and the recorded
+# benchmark gates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -173,6 +176,89 @@ wait "$coschedd_pid" || {
 grep -q 'drained clean' "$tracedir/coschedd.log" || {
     echo "ci: coschedd log is missing the drain summary" >&2; exit 1; }
 echo "ci: coschedd serves, caches, rejects expired work and drains clean" >&2
+
+# Restart-warm cache gate: boot coschedd over a spill directory, warm
+# five fingerprints, SIGTERM it, reboot over the same -cache-dir and
+# require (a) the boot log reports the replay, (b) the first repeated
+# request is already a cache hit, (c) /metrics counts the replay, and
+# (d) the /debug/trace cache timeline renders the replay/store history.
+cache_dir="$tracedir/cache-spill"
+"$tracedir/coschedd" -addr 127.0.0.1:0 -workers 1 -cache-dir "$cache_dir" \
+    > "$tracedir/coschedd-warm.log" 2>&1 &
+coschedd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's#^coschedd: listening on http://##p' "$tracedir/coschedd-warm.log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "ci: spill coschedd never printed its address" >&2; exit 1; }
+for seed in 1 2 3 4 5; do
+    curl -sf -d "{\"synthetic\": 8, \"seed\": $seed, \"method\": \"hastar\"}" \
+        "http://$addr/v1/solve" > /dev/null
+done
+kill -TERM "$coschedd_pid"
+wait "$coschedd_pid" || {
+    echo "ci: spill coschedd did not drain cleanly" >&2; exit 1; }
+
+"$tracedir/coschedd" -addr 127.0.0.1:0 -workers 1 -cache-dir "$cache_dir" \
+    > "$tracedir/coschedd-warm2.log" 2>&1 &
+coschedd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's#^coschedd: listening on http://##p' "$tracedir/coschedd-warm2.log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "ci: rebooted spill coschedd never printed its address" >&2; exit 1; }
+grep -Eq 'cache warm: replayed [1-9][0-9]* records' "$tracedir/coschedd-warm2.log" || {
+    echo "ci: rebooted coschedd did not report a cache replay at boot" >&2; exit 1; }
+curl -sf -d '{"synthetic": 8, "seed": 3, "method": "hastar"}' "http://$addr/v1/solve" \
+    | grep -q '"cached":true' || {
+    echo "ci: first repeated request after restart was not a cache hit" >&2; exit 1; }
+metrics="$(curl -sf "http://$addr/metrics")"
+grep -Eq '^cosched_server_cache_replayed [1-9]' <<<"$metrics" || {
+    echo "ci: rebooted coschedd /metrics shows no replayed cache records" >&2; exit 1; }
+grep -Eq '^cosched_server_cache_bytes [1-9]' <<<"$metrics" || {
+    echo "ci: rebooted coschedd /metrics shows an empty cache after replay" >&2; exit 1; }
+curl -sf "http://$addr/debug/trace" | go run ./cmd/coschedtrace cache - \
+    > "$tracedir/cache-timeline.out"
+grep -q 'cache timeline' "$tracedir/cache-timeline.out" || {
+    echo "ci: coschedtrace cache did not render the daemon's cache timeline" >&2; exit 1; }
+grep -q 'replay' "$tracedir/cache-timeline.out" || {
+    echo "ci: cache timeline is missing the boot replay event" >&2; exit 1; }
+kill -TERM "$coschedd_pid"
+wait "$coschedd_pid" || {
+    echo "ci: rebooted spill coschedd did not drain cleanly" >&2; exit 1; }
+echo "ci: coschedd restarts warm from its spill directory" >&2
+
+# Corrupt-tail gate: tear the last spill segment mid-record (a crash
+# between write and close). The daemon must boot clean, replay the
+# intact prefix, report the skip, and still serve the surviving
+# fingerprints from cache.
+last_seg="$(ls "$cache_dir"/cache-*.seg | sort | tail -n 1)"
+[[ -n "$last_seg" ]] || { echo "ci: spill directory holds no segments to corrupt" >&2; exit 1; }
+truncate -s -5 "$last_seg"
+"$tracedir/coschedd" -addr 127.0.0.1:0 -workers 1 -cache-dir "$cache_dir" \
+    > "$tracedir/coschedd-torn.log" 2>&1 &
+coschedd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's#^coschedd: listening on http://##p' "$tracedir/coschedd-torn.log")"
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "ci: torn-tail coschedd never booted" >&2; exit 1; }
+curl -sf "http://$addr/healthz" > /dev/null || {
+    echo "ci: torn-tail coschedd is not healthy" >&2; exit 1; }
+grep -Eq 'cache warm: replayed [0-9]+ records \([1-9][0-9]* skipped\)' "$tracedir/coschedd-torn.log" || {
+    echo "ci: torn-tail coschedd did not log the skipped record" >&2; exit 1; }
+grep -Eq 'cache warm: replayed [1-9][0-9]* records' "$tracedir/coschedd-torn.log" || {
+    echo "ci: torn-tail coschedd replayed nothing from the intact prefix" >&2; exit 1; }
+kill -TERM "$coschedd_pid"
+wait "$coschedd_pid" || {
+    echo "ci: torn-tail coschedd did not drain cleanly" >&2; exit 1; }
+echo "ci: coschedd tolerates a crash-torn spill segment" >&2
 
 # Request-observability gate: boot coschedd with a JSON access log,
 # fire a warm/cold/rejected mix with caller-supplied request IDs, and
